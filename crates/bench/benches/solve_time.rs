@@ -1,0 +1,55 @@
+//! Criterion bench behind Table V: Optimization Engine solve time per
+//! topology. Run with `cargo bench --bench solve_time`; the printed
+//! Criterion estimates are the Table V rows at bench scale (smaller class
+//! budgets than the `table5` binary so the bench stays fast).
+
+use apple_core::classes::{ClassConfig, ClassSet};
+use apple_core::engine::{EngineConfig, OptimizationEngine};
+use apple_core::orchestrator::ResourceOrchestrator;
+use apple_topology::TopologyKind;
+use apple_traffic::GravityModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimization_engine");
+    group.sample_size(10);
+    for (kind, classes_budget) in [
+        (TopologyKind::Internet2, 20usize),
+        (TopologyKind::Geant, 30),
+        (TopologyKind::Univ1, 20),
+        (TopologyKind::As3679, 40),
+    ] {
+        let topo = kind.build();
+        let tm = GravityModel::new(2_000.0, 1).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: classes_budget,
+                ..Default::default()
+            },
+        );
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        // No consolidation in the timing loop: it is measured separately in
+        // the ablations bench.
+        let engine = OptimizationEngine::new(EngineConfig {
+            consolidation_attempts: 0,
+            ..Default::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &(classes, orch),
+            |b, (classes, orch)| {
+                b.iter(|| {
+                    engine
+                        .place(std::hint::black_box(classes), orch)
+                        .expect("bench instances are feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind Fig. 10: end-to-end rule generation (the tagging
+//! scheme) and the TCAM accounting, per topology.
+
+use apple_bench::apple_config;
+use apple_core::controller::Apple;
+use apple_topology::TopologyKind;
+use apple_traffic::GravityModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_rulegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_generation");
+    group.sample_size(10);
+    for kind in TopologyKind::evaluation_trio() {
+        let topo = kind.build();
+        let tm = GravityModel::new(2_000.0, 2).base_matrix(&topo);
+        let mut cfg = apple_config(kind);
+        cfg.classes.max_classes = 20; // keep the bench under a second/iter
+        cfg.engine.consolidation_attempts = 0;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &(topo, tm),
+            |b, (topo, tm)| {
+                b.iter(|| {
+                    let apple = Apple::plan(topo, tm, &cfg).expect("feasible");
+                    std::hint::black_box(apple.program().tcam.reduction_ratio())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rulegen);
+criterion_main!(benches);

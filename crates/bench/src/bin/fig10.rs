@@ -1,0 +1,60 @@
+//! Regenerates Fig. 10: boxplot of the TCAM usage reduction ratio (tagging
+//! scheme vs per-hop classification) for Internet2, GEANT and UNIV1 under
+//! different traffic matrices.
+//!
+//! Run with `cargo run --release --bin fig10`.
+
+use apple_bench::{fig10_tcam_reduction, hr};
+use apple_topology::TopologyKind;
+
+fn main() {
+    println!("Fig. 10 — TCAM usage reduction ratio (untagged / tagged)");
+    hr();
+    println!(
+        "{:<12}{:>8}{:>8}{:>8}{:>8}{:>8}{:>8}",
+        "Topology", "min", "p25", "median", "p75", "max", "mean"
+    );
+    let trials = 8;
+    for kind in TopologyKind::evaluation_trio() {
+        match fig10_tcam_reduction(kind, trials) {
+            Ok(row) => {
+                let s = row.summary;
+                println!(
+                    "{:<12}{:>8.2}{:>8.2}{:>8.2}{:>8.2}{:>8.2}{:>8.2}",
+                    row.kind.name(),
+                    s.min,
+                    s.p25,
+                    s.p50,
+                    s.p75,
+                    s.max,
+                    s.mean
+                );
+            }
+            Err(e) => println!("{:<12} FAILED: {e}", kind.name()),
+        }
+    }
+    hr();
+    println!("paper: at least 4x reduction on all three; UNIV1 largest because DC traffic");
+    println!("exploits multi-paths and untagged classification replicates across them.");
+    println!();
+    println!("§V-B fallback: on switches without pipelining the APPLE table must be");
+    println!("cross-producted with the routing table, multiplying TCAM use:");
+    for kind in TopologyKind::evaluation_trio() {
+        if let Ok(row) = apple_bench::fig10_crossproduct(kind) {
+            println!(
+                "  {:<12} pipelined {:>5} entries, cross-product {:>6} ({:.0}x penalty)",
+                row.0, row.1, row.2, row.3
+            );
+        }
+    }
+    println!();
+    println!("power (§III motivation, at ~12 mW per searched TCAM entry):");
+    for kind in TopologyKind::evaluation_trio() {
+        if let Ok(row) = apple_bench::fig10_power(kind) {
+            println!(
+                "  {:<12} tagged {:>7.2} W vs untagged {:>7.2} W",
+                row.0, row.1, row.2
+            );
+        }
+    }
+}

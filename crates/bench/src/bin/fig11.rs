@@ -1,0 +1,32 @@
+//! Regenerates Fig. 11: average CPU core usage of APPLE vs the `ingress`
+//! strawman (all chain VNFs consolidated at each class's ingress switch).
+//!
+//! Run with `cargo run --release --bin fig11`.
+
+use apple_bench::{fig11_core_usage, hr};
+use apple_topology::TopologyKind;
+
+fn main() {
+    println!("Fig. 11 — average CPU core usage: APPLE vs ingress consolidation");
+    hr();
+    println!(
+        "{:<12}{:>14}{:>16}{:>12}",
+        "Topology", "APPLE cores", "ingress cores", "reduction"
+    );
+    let trials = 5;
+    for kind in TopologyKind::evaluation_trio() {
+        match fig11_core_usage(kind, trials) {
+            Ok(row) => println!(
+                "{:<12}{:>14.1}{:>16.1}{:>11.2}x",
+                row.kind.name(),
+                row.apple_cores,
+                row.ingress_cores,
+                row.reduction()
+            ),
+            Err(e) => println!("{:<12} FAILED: {e}", kind.name()),
+        }
+    }
+    hr();
+    println!("paper: ~4x reduction on Internet2, ~2.5x on GEANT, small gap on UNIV1");
+    println!("(only two core switches limit where APPLE can multiplex).");
+}

@@ -1,0 +1,438 @@
+//! Traffic aggregation into equivalence classes (§IV-A).
+//!
+//! Flows with the same forwarding path and the same policy chain form one
+//! class `h ∈ H`. Class-level granularity (a) shrinks the optimisation
+//! input, (b) lets classes be expressed as wildcard rules, saving TCAM, and
+//! (c) smooths traffic (aggregates have lower relative variance — the MVR
+//! argument).
+//!
+//! The paper derives classes with atomic-predicate analysis over the real
+//! rule base; here (see DESIGN.md §2) we construct the same partition
+//! directly: every OD pair with traffic contributes one class per
+//! forwarding path (ECMP splits a pair across its equal-cost paths in the
+//! data-center topology), carrying the pair's assigned policy chain and the
+//! per-class wildcard predicate (the source-side /24 of the ingress
+//! switch combined with the destination-side /24).
+
+use crate::policy::PolicyChain;
+use apple_topology::{ksp, NodeId, Path, Topology};
+use apple_traffic::{Flow, TrafficMatrix};
+use std::fmt;
+
+/// Dense identifier of an equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub usize);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One equivalence class: path + chain + rate + matching predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalenceClass {
+    /// Class id (index into the owning [`ClassSet`]).
+    pub id: ClassId,
+    /// Forwarding path (computed by routing, never altered by APPLE).
+    pub path: Path,
+    /// Policy chain the class must traverse in order.
+    pub chain: PolicyChain,
+    /// Mean traffic rate `T_h` in Mbps.
+    pub rate_mbps: f64,
+    /// Source wildcard: `(address, prefix_len)` — the ingress-side /24.
+    pub src_prefix: (u32, u8),
+    /// Destination wildcard: `(address, prefix_len)`.
+    pub dst_prefix: (u32, u8),
+    /// Transport-level predicate (from an operator policy): required
+    /// protocol, if any.
+    pub proto: Option<u8>,
+    /// Destination ports the class matches (empty = any). Multiple ports
+    /// cost one TCAM classification rule each — real hardware pays the
+    /// same.
+    pub dst_ports: Vec<u16>,
+}
+
+impl EquivalenceClass {
+    /// The OD pair this class belongs to.
+    pub fn od_pair(&self) -> (NodeId, NodeId) {
+        (self.path.first(), self.path.last())
+    }
+
+    /// Rate in packets/second assuming `packet_bytes` packets.
+    pub fn rate_pps(&self, packet_bytes: u32) -> f64 {
+        self.rate_mbps * 1e6 / (f64::from(packet_bytes) * 8.0)
+    }
+}
+
+/// Configuration for class construction.
+#[derive(Debug, Clone)]
+pub struct ClassConfig {
+    /// Keep only the heaviest `max_classes` classes (0 = keep all). The
+    /// survivors are re-scaled so total traffic is preserved.
+    pub max_classes: usize,
+    /// Maximum ECMP fan-out per OD pair on multipath topologies.
+    pub ecmp_limit: usize,
+}
+
+impl Default for ClassConfig {
+    fn default() -> Self {
+        ClassConfig {
+            max_classes: 0,
+            ecmp_limit: 4,
+        }
+    }
+}
+
+/// The set of equivalence classes for one topology + traffic matrix.
+///
+/// # Example
+///
+/// ```
+/// use apple_core::classes::{ClassConfig, ClassSet};
+/// use apple_topology::zoo;
+/// use apple_traffic::{GravityModel};
+///
+/// let topo = zoo::internet2();
+/// let tm = GravityModel::new(4_000.0, 0).base_matrix(&topo);
+/// let classes = ClassSet::build(&topo, &tm, &ClassConfig::default());
+/// assert!(!classes.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClassSet {
+    classes: Vec<EquivalenceClass>,
+}
+
+impl ClassSet {
+    /// Builds the class set: one class per (OD pair, forwarding path),
+    /// with the pair's deterministic policy chain and the traffic matrix's
+    /// rate (split evenly across ECMP paths when the topology is
+    /// multipath).
+    pub fn build(topo: &Topology, tm: &TrafficMatrix, cfg: &ClassConfig) -> ClassSet {
+        let mut classes = Vec::new();
+        for (src, dst, rate) in tm.entries() {
+            let chain = PolicyChain::assign(src.0, dst.0);
+            let paths: Vec<Path> = if topo.multipath {
+                ksp::ecmp_paths(&topo.graph, src, dst, cfg.ecmp_limit)
+            } else {
+                topo.graph.shortest_path(src, dst).into_iter().collect()
+            };
+            if paths.is_empty() {
+                continue; // disconnected pair: no class
+            }
+            let share = rate / paths.len() as f64;
+            for path in paths {
+                classes.push(EquivalenceClass {
+                    id: ClassId(0), // assigned after sorting/truncation
+                    path,
+                    chain: chain.clone(),
+                    rate_mbps: share,
+                    src_prefix: (Flow::prefix_of(src), 24),
+                    dst_prefix: (Flow::prefix_of(dst), 24),
+                    proto: None,
+                    dst_ports: Vec::new(),
+                });
+            }
+        }
+        // Heaviest-first truncation with total-rate preservation.
+        classes.sort_by(|a, b| {
+            b.rate_mbps
+                .partial_cmp(&a.rate_mbps)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.path.nodes().cmp(b.path.nodes()))
+        });
+        if cfg.max_classes > 0 && classes.len() > cfg.max_classes {
+            let total: f64 = classes.iter().map(|c| c.rate_mbps).sum();
+            classes.truncate(cfg.max_classes);
+            let kept: f64 = classes.iter().map(|c| c.rate_mbps).sum();
+            if kept > 0.0 {
+                let scale = total / kept;
+                for c in &mut classes {
+                    c.rate_mbps *= scale;
+                }
+            }
+        }
+        for (i, c) in classes.iter_mut().enumerate() {
+            c.id = ClassId(i);
+        }
+        ClassSet { classes }
+    }
+
+    /// Builds classes from an operator [`PolicySpec`]
+    /// (crate::policy_spec::PolicySpec): each OD pair expands into one
+    /// class per weighted chain (rule + default), splitting the pair's
+    /// rate by the normalised weights — and further across ECMP paths on
+    /// multipath topologies. This is the operator-driven alternative to
+    /// the synthetic [`PolicyChain::assign`] used by
+    /// [`ClassSet::build`].
+    pub fn build_with_policies(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        spec: &crate::policy_spec::PolicySpec,
+        cfg: &ClassConfig,
+    ) -> ClassSet {
+        let policies = spec.weighted_policies();
+        let mut classes = Vec::new();
+        for (src, dst, rate) in tm.entries() {
+            let paths: Vec<Path> = if topo.multipath {
+                ksp::ecmp_paths(&topo.graph, src, dst, cfg.ecmp_limit)
+            } else {
+                topo.graph.shortest_path(src, dst).into_iter().collect()
+            };
+            if paths.is_empty() {
+                continue;
+            }
+            for path in &paths {
+                for policy in &policies {
+                    let share = rate * policy.weight / paths.len() as f64;
+                    if share <= 0.0 {
+                        continue;
+                    }
+                    classes.push(EquivalenceClass {
+                        id: ClassId(0),
+                        path: path.clone(),
+                        chain: policy.chain.clone(),
+                        rate_mbps: share,
+                        src_prefix: (Flow::prefix_of(src), 24),
+                        dst_prefix: (Flow::prefix_of(dst), 24),
+                        proto: policy.proto,
+                        dst_ports: policy.dst_ports.clone(),
+                    });
+                }
+            }
+        }
+        classes.sort_by(|a, b| {
+            b.rate_mbps
+                .partial_cmp(&a.rate_mbps)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.path.nodes().cmp(b.path.nodes()))
+                .then_with(|| a.chain.nfs().cmp(b.chain.nfs()))
+        });
+        if cfg.max_classes > 0 && classes.len() > cfg.max_classes {
+            let total: f64 = classes.iter().map(|c| c.rate_mbps).sum();
+            classes.truncate(cfg.max_classes);
+            let kept: f64 = classes.iter().map(|c| c.rate_mbps).sum();
+            if kept > 0.0 {
+                let scale = total / kept;
+                for c in &mut classes {
+                    c.rate_mbps *= scale;
+                }
+            }
+        }
+        for (i, c) in classes.iter_mut().enumerate() {
+            c.id = ClassId(i);
+        }
+        ClassSet { classes }
+    }
+
+    /// Builds a class set from explicit classes (tests / examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids are not the dense sequence `0..n`.
+    pub fn from_classes(classes: Vec<EquivalenceClass>) -> ClassSet {
+        for (i, c) in classes.iter().enumerate() {
+            assert_eq!(c.id.0, i, "class ids must be dense and ordered");
+        }
+        ClassSet { classes }
+    }
+
+    /// The classes, ordered by id.
+    pub fn classes(&self) -> &[EquivalenceClass] {
+        &self.classes
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Looks a class up by id.
+    pub fn class(&self, id: ClassId) -> Option<&EquivalenceClass> {
+        self.classes.get(id.0)
+    }
+
+    /// Iterates over the classes.
+    pub fn iter(&self) -> std::slice::Iter<'_, EquivalenceClass> {
+        self.classes.iter()
+    }
+
+    /// Total offered rate across classes.
+    pub fn total_rate_mbps(&self) -> f64 {
+        self.classes.iter().map(|c| c.rate_mbps).sum()
+    }
+
+    /// Re-rates every class from a new traffic matrix (same topology),
+    /// used when replaying time-varying snapshots: path and chain are
+    /// stable, only `T_h` moves.
+    pub fn with_rates_from(&self, tm: &TrafficMatrix) -> ClassSet {
+        // Count sibling classes per OD pair to re-split ECMP shares.
+        let mut siblings = std::collections::BTreeMap::new();
+        for c in &self.classes {
+            *siblings.entry(c.od_pair()).or_insert(0usize) += 1;
+        }
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| {
+                let (s, d) = c.od_pair();
+                let n = siblings[&(s, d)] as f64;
+                EquivalenceClass {
+                    rate_mbps: tm.rate(s, d) / n,
+                    ..c.clone()
+                }
+            })
+            .collect();
+        ClassSet { classes }
+    }
+}
+
+impl<'a> IntoIterator for &'a ClassSet {
+    type Item = &'a EquivalenceClass;
+    type IntoIter = std::slice::Iter<'a, EquivalenceClass>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.classes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apple_topology::zoo;
+    use apple_traffic::GravityModel;
+
+    fn internet2_classes() -> (Topology, ClassSet) {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(4_000.0, 1).base_matrix(&topo);
+        let cs = ClassSet::build(&topo, &tm, &ClassConfig::default());
+        (topo, cs)
+    }
+
+    #[test]
+    fn one_class_per_pair_on_backbone() {
+        let (topo, cs) = internet2_classes();
+        let n = topo.graph.node_count();
+        assert_eq!(cs.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn ids_dense_and_ordered_by_rate() {
+        let (_, cs) = internet2_classes();
+        for (i, c) in cs.iter().enumerate() {
+            assert_eq!(c.id.0, i);
+        }
+        for w in cs.classes().windows(2) {
+            assert!(w[0].rate_mbps >= w[1].rate_mbps);
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_total_rate() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(4_000.0, 2).base_matrix(&topo);
+        let full = ClassSet::build(&topo, &tm, &ClassConfig::default());
+        let cut = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 20,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cut.len(), 20);
+        assert!((cut.total_rate_mbps() - full.total_rate_mbps()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multipath_topology_splits_pairs() {
+        let topo = zoo::univ1();
+        let tm = GravityModel::new(4_000.0, 3).base_matrix(&topo);
+        let cs = ClassSet::build(&topo, &tm, &ClassConfig::default());
+        // Edge-to-edge pairs have 2 ECMP paths through the two cores.
+        let mut by_pair = std::collections::BTreeMap::new();
+        for c in &cs {
+            by_pair
+                .entry(c.od_pair())
+                .or_insert_with(Vec::new)
+                .push(c.clone());
+        }
+        let multi = by_pair.values().filter(|v| v.len() == 2).count();
+        assert!(multi > 0, "no ECMP-split pairs found");
+        for v in by_pair.values() {
+            if v.len() == 2 {
+                assert!((v[0].rate_mbps - v[1].rate_mbps).abs() < 1e-9);
+                assert_eq!(v[0].chain, v[1].chain);
+                assert_ne!(v[0].path, v[1].path);
+            }
+        }
+    }
+
+    #[test]
+    fn chains_follow_deterministic_assignment() {
+        let (_, cs) = internet2_classes();
+        for c in &cs {
+            let (s, d) = c.od_pair();
+            assert_eq!(c.chain, PolicyChain::assign(s.0, d.0));
+        }
+    }
+
+    #[test]
+    fn rerating_keeps_structure() {
+        let topo = zoo::internet2();
+        let tm1 = GravityModel::new(4_000.0, 4).base_matrix(&topo);
+        let tm2 = tm1.scaled(2.0);
+        let cs = ClassSet::build(&topo, &tm1, &ClassConfig::default());
+        let cs2 = cs.with_rates_from(&tm2);
+        assert_eq!(cs.len(), cs2.len());
+        for (a, b) in cs.iter().zip(cs2.iter()) {
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.chain, b.chain);
+            assert!((b.rate_mbps - 2.0 * a.rate_mbps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefixes_come_from_endpoints() {
+        let (_, cs) = internet2_classes();
+        let c = &cs.classes()[0];
+        let (s, d) = c.od_pair();
+        assert_eq!(c.src_prefix, (Flow::prefix_of(s), 24));
+        assert_eq!(c.dst_prefix, (Flow::prefix_of(d), 24));
+    }
+
+    #[test]
+    fn policy_spec_expansion() {
+        use crate::policy_spec::PolicySpec;
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(4_000.0, 6).base_matrix(&topo);
+        let spec = PolicySpec::example();
+        let cs = ClassSet::build_with_policies(&topo, &tm, &spec, &ClassConfig::default());
+        // 4 weighted chains per pair.
+        let n = topo.graph.node_count();
+        assert_eq!(cs.len(), n * (n - 1) * 4);
+        // Total rate preserved.
+        assert!((cs.total_rate_mbps() - tm.total()).abs() < 1e-6);
+        // A pair's classes split the pair rate by the spec weights.
+        let (s, d, rate) = tm.entries().next().unwrap();
+        let pair_classes: Vec<_> = cs
+            .iter()
+            .filter(|c| c.od_pair() == (s, d))
+            .collect();
+        assert_eq!(pair_classes.len(), 4);
+        let total: f64 = pair_classes.iter().map(|c| c.rate_mbps).sum();
+        assert!((total - rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_pps_conversion() {
+        let (_, cs) = internet2_classes();
+        let c = &cs.classes()[0];
+        let pps = c.rate_pps(1500);
+        assert!((pps - c.rate_mbps * 1e6 / 12_000.0).abs() < 1e-6);
+    }
+}

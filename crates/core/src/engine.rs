@@ -1,0 +1,834 @@
+//! The Optimization Engine (§IV): traffic-aware VNF placement.
+//!
+//! Builds the ILP of Eq. (1)–(8) over equivalence classes:
+//!
+//! * decision variable `d[h][i][j]` — portion of class `h` processed at the
+//!   `i`-th switch of its path for the `j`-th NF of its chain,
+//! * decision variable `q[v][n]` — number of instances of NF `n` attached
+//!   to switch `v`,
+//! * objective: minimise `Σ q` (total instances ≈ hardware/power),
+//! * Eq. (2)/(3): the cumulative portion `σ` of stage `j−1` dominates stage
+//!   `j` at every path position — chain order is preserved,
+//! * Eq. (4): every stage processes 100 % of the class by the end of the
+//!   path,
+//! * Eq. (5): per-(switch, NF) capacity: offered rate ≤ `Cap_n · q[v][n]`,
+//! * Eq. (6): per-host resources: `Σ R_n · q[v][n] ≤ A_v`.
+//!
+//! Like the paper we solve the **LP relaxation** and round; the rounding
+//! (ceil of `q`, with a resource-repair re-solve) is validated against the
+//! exact branch-and-bound optimum on small instances by the test suite.
+
+use crate::classes::ClassSet;
+use crate::orchestrator::ResourceOrchestrator;
+use apple_lp::{BranchConfig, Cmp, LpError, Model, Sense, SimplexOptions, Var};
+use apple_nf::{NfType, VnfSpec};
+use apple_topology::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors produced by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// There were no classes to place for — nothing to optimise.
+    NoClasses,
+    /// The placement problem is infeasible (not enough host resources or
+    /// VNF capacity for the offered load).
+    Infeasible,
+    /// The LP solver failed for another reason.
+    Solver(LpError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoClasses => write!(f, "no traffic classes to place VNFs for"),
+            EngineError::Infeasible => {
+                write!(f, "placement infeasible: insufficient host resources or capacity")
+            }
+            EngineError::Solver(e) => write!(f, "LP solver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<LpError> for EngineError {
+    fn from(e: LpError) -> Self {
+        match e {
+            LpError::Infeasible => EngineError::Infeasible,
+            other => EngineError::Solver(other),
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Solve exactly with branch-and-bound instead of LP-relax + round.
+    /// Only sensible for small instances (tests, ablations).
+    pub exact: bool,
+    /// Maximum rounding-repair iterations when ceiling violates host
+    /// resources.
+    pub max_repair_rounds: usize,
+    /// Budget of LP feasibility re-solves spent trying to *decrement*
+    /// under-utilised instances after ceiling (LP-guided descent). Ceiling
+    /// a degenerate LP can over-provision one instance per touched
+    /// (switch, NF); this pass claws those back. 0 disables it.
+    pub consolidation_attempts: usize,
+    /// Simplex options forwarded to the LP solver.
+    pub simplex: SimplexOptions,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            exact: false,
+            max_repair_rounds: 32,
+            consolidation_attempts: 24,
+            simplex: SimplexOptions::default(),
+        }
+    }
+}
+
+/// Result of a placement run.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// `q[v][n]`: instance counts per (switch, NF).
+    q: BTreeMap<(usize, NfType), u32>,
+    /// `d[h][i][j]`: fraction of class `h` processed at path position `i`
+    /// for chain stage `j`. Keys are `(class, i, j)`; zero entries omitted.
+    d: BTreeMap<(usize, usize, usize), f64>,
+    /// Objective value (total instances) after rounding.
+    total_instances: u32,
+    /// LP-relaxation objective (lower bound before rounding).
+    lp_objective: f64,
+    /// Wall-clock solve time (LP builds + solves + rounding).
+    solve_time: Duration,
+    /// Simplex pivots in the main solve.
+    pivots: usize,
+}
+
+impl Placement {
+    /// Instance count for (switch, NF).
+    pub fn q(&self, v: NodeId, n: NfType) -> u32 {
+        self.q.get(&(v.0, n)).copied().unwrap_or(0)
+    }
+
+    /// All non-zero (switch, NF) → count entries.
+    pub fn q_entries(&self) -> impl Iterator<Item = (NodeId, NfType, u32)> + '_ {
+        self.q
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&(v, n), &c)| (NodeId(v), n, c))
+    }
+
+    /// Fraction of class `h` processed at path position `i`, chain stage
+    /// `j`.
+    pub fn d(&self, class: usize, i: usize, j: usize) -> f64 {
+        self.d.get(&(class, i, j)).copied().unwrap_or(0.0)
+    }
+
+    /// Total VNF instances placed — the paper's objective (Eq. 1).
+    pub fn total_instances(&self) -> u32 {
+        self.total_instances
+    }
+
+    /// The LP-relaxation lower bound.
+    pub fn lp_objective(&self) -> f64 {
+        self.lp_objective
+    }
+
+    /// Rounding gap: `total_instances − lp_objective` (≥ 0).
+    pub fn rounding_gap(&self) -> f64 {
+        f64::from(self.total_instances) - self.lp_objective
+    }
+
+    /// Wall-clock solve time — the Table V metric.
+    pub fn solve_time(&self) -> Duration {
+        self.solve_time
+    }
+
+    /// Simplex pivots of the main solve.
+    pub fn pivots(&self) -> usize {
+        self.pivots
+    }
+
+    /// Total CPU cores the placement consumes (Fig. 11 metric).
+    pub fn total_cores(&self) -> u32 {
+        self.q
+            .iter()
+            .map(|(&(_, n), &c)| VnfSpec::of(n).cores * c)
+            .sum()
+    }
+}
+
+/// The Optimization Engine.
+///
+/// # Example
+///
+/// ```
+/// use apple_core::classes::{ClassConfig, ClassSet};
+/// use apple_core::engine::{EngineConfig, OptimizationEngine};
+/// use apple_core::orchestrator::ResourceOrchestrator;
+/// use apple_topology::zoo;
+/// use apple_traffic::GravityModel;
+///
+/// let topo = zoo::internet2();
+/// let tm = GravityModel::new(2_000.0, 0).base_matrix(&topo);
+/// let classes = ClassSet::build(&topo, &tm, &ClassConfig { max_classes: 12, ..Default::default() });
+/// let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+/// let engine = OptimizationEngine::new(EngineConfig::default());
+/// let placement = engine.place(&classes, &orch)?;
+/// assert!(placement.total_instances() > 0);
+/// # Ok::<(), apple_core::engine::EngineError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OptimizationEngine {
+    config: EngineConfig,
+}
+
+/// Index bookkeeping between the class set and the LP model.
+struct VarMap {
+    /// d_vars[h] is a `|P_h| × |C_h|` row-major grid of variables.
+    d_vars: Vec<Vec<Var>>,
+    /// q_vars[(v, nf index)] — only for NFs actually used by some class
+    /// whose path crosses v. Empty when q is fixed data.
+    q_vars: BTreeMap<(usize, usize), Var>,
+}
+
+/// Whether instance counts are decision variables or fixed data.
+enum QMode<'a> {
+    /// q are integer decision variables, optionally with extra upper
+    /// bounds from the rounding-repair loop.
+    Variables(&'a BTreeMap<(usize, usize), u32>),
+    /// q are constants; the model is a pure d-feasibility LP (used by the
+    /// consolidation descent).
+    Fixed(&'a BTreeMap<(usize, usize), u32>),
+}
+
+impl OptimizationEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        OptimizationEngine { config }
+    }
+
+    /// Computes a placement for the classes, given host resources from the
+    /// orchestrator.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoClasses`] on an empty class set,
+    /// [`EngineError::Infeasible`] when no feasible placement exists, and
+    /// [`EngineError::Solver`] on solver failures.
+    pub fn place(
+        &self,
+        classes: &ClassSet,
+        orch: &ResourceOrchestrator,
+    ) -> Result<Placement, EngineError> {
+        if classes.is_empty() {
+            return Err(EngineError::NoClasses);
+        }
+        let start = Instant::now();
+        let no_caps = BTreeMap::new();
+
+        if self.config.exact {
+            let (model, vmap) = self.build_model(classes, orch, QMode::Variables(&no_caps));
+            let (sol, _stats) = model.solve_ilp(BranchConfig {
+                simplex: self.config.simplex,
+                ..BranchConfig::default()
+            })?;
+            let placement =
+                self.extract(classes, &vmap, sol.values(), sol.objective(), start, sol.stats().pivots);
+            return Ok(placement);
+        }
+
+        // LP relaxation + ceiling + resource repair.
+        let mut extra_caps: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        for _round in 0..=self.config.max_repair_rounds {
+            let (model, vmap) = self.build_model(classes, orch, QMode::Variables(&extra_caps));
+            let sol = model.solve_lp_with(self.config.simplex)?;
+            let lp_obj = sol.objective();
+            // Ceil the q variables.
+            let mut q_ceil: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+            for (&key, &var) in &vmap.q_vars {
+                let val = sol.value(var);
+                q_ceil.insert(key, (val - 1e-9).ceil().max(0.0) as u32);
+            }
+            // Check host resources after ceiling.
+            let mut violations = Vec::new();
+            for (&v, host) in orch.hosts() {
+                let mut used = apple_nf::ResourceVector::zero();
+                for (&(qv, nf_idx), &count) in &q_ceil {
+                    if qv == v {
+                        used += VnfSpec::of(NfType::from_index(nf_idx)).resources().times(count);
+                    }
+                }
+                if !used.fits_in(&host.capacity) {
+                    violations.push(v);
+                }
+            }
+            if violations.is_empty() {
+                let pivots = sol.stats().pivots;
+                // LP-guided descent: try to decrement under-utilised
+                // instances while a d-feasibility LP still succeeds.
+                let (q_final, d_values, d_vmap) =
+                    self.consolidate(classes, orch, q_ceil, &sol, &vmap);
+                let mut placement = match (d_values, d_vmap) {
+                    (Some(values), Some(vm)) => {
+                        self.extract(classes, &vm, &values, lp_obj, start, pivots)
+                    }
+                    _ => self.extract(classes, &vmap, sol.values(), lp_obj, start, pivots),
+                };
+                placement.q = q_final
+                    .into_iter()
+                    .filter(|(_, c)| *c > 0)
+                    .map(|((v, nf_idx), c)| ((v, NfType::from_index(nf_idx)), c))
+                    .collect();
+                placement.total_instances = placement.q.values().sum();
+                placement.solve_time = start.elapsed();
+                return Ok(placement);
+            }
+            // Repair: at each violating host, cap fractional q at their LP
+            // floors (largest fractional part first) until the projected
+            // core overshoot is covered, forcing the next solve to shift
+            // load elsewhere.
+            for v in violations {
+                let host_caps = orch
+                    .hosts()
+                    .get(&v)
+                    .map(|h| h.capacity.cores)
+                    .unwrap_or(0);
+                let mut used: u32 = q_ceil
+                    .iter()
+                    .filter(|(&(qv, _), _)| qv == v)
+                    .map(|(&(_, nf_idx), &c)| {
+                        VnfSpec::of(NfType::from_index(nf_idx)).cores * c
+                    })
+                    .sum();
+                let mut fracs: Vec<((usize, usize), f64)> = vmap
+                    .q_vars
+                    .iter()
+                    .filter(|(&(qv, _), _)| qv == v)
+                    .filter_map(|(&key, &var)| {
+                        let val = sol.value(var);
+                        let frac = val - val.floor();
+                        // Re-tightening an already-capped variable is fine:
+                        // its cap strictly decreases, so the loop
+                        // terminates.
+                        let tighter = extra_caps
+                            .get(&key)
+                            .is_none_or(|&cap| (val.floor() as u32) < cap);
+                        if frac > 1e-6 && tighter {
+                            Some((key, frac))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                if fracs.is_empty() {
+                    return Err(EngineError::Infeasible);
+                }
+                fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for (key, _) in fracs {
+                    if used <= host_caps {
+                        break;
+                    }
+                    let var = vmap.q_vars[&key];
+                    let floor = sol.value(var).floor().max(0.0) as u32;
+                    let cap = extra_caps
+                        .get(&key)
+                        .map_or(floor, |&old| old.min(floor));
+                    extra_caps.insert(key, cap);
+                    used = used
+                        .saturating_sub(VnfSpec::of(NfType::from_index(key.1)).cores);
+                }
+            }
+        }
+        // Repair budget exhausted.
+        Err(EngineError::Infeasible)
+    }
+
+    /// LP-guided descent: repeatedly try to remove the least-utilised
+    /// instance; keep a removal whenever the d-only feasibility LP still
+    /// succeeds. Returns the final counts and, when any removal happened,
+    /// the matching d solution.
+    #[allow(clippy::type_complexity)] // internal plumbing tuple
+    fn consolidate(
+        &self,
+        classes: &ClassSet,
+        orch: &ResourceOrchestrator,
+        mut q: BTreeMap<(usize, usize), u32>,
+        lp_sol: &apple_lp::Solution,
+        vmap: &VarMap,
+    ) -> (
+        BTreeMap<(usize, usize), u32>,
+        Option<Vec<f64>>,
+        Option<VarMap>,
+    ) {
+        let mut budget = self.config.consolidation_attempts;
+        if budget == 0 {
+            return (q, None, None);
+        }
+        // Current d accessor (starts from the relaxation's d).
+        let mut d_values: Option<Vec<f64>> = None;
+        let mut d_map: Option<VarMap> = None;
+        let d_of = |values: &[f64], vm: &VarMap, h: usize, i: usize, clen: usize, j: usize| {
+            values[vm.d_vars[h][i * clen + j].index()]
+        };
+
+        loop {
+            // Utilisation per (v, nf) under the current d.
+            let mut load: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+            for (h, c) in classes.iter().enumerate() {
+                let clen = c.chain.len();
+                for (i, node) in c.path.iter().enumerate() {
+                    for (j, nf) in c.chain.nfs().iter().enumerate() {
+                        let d = match (&d_values, &d_map) {
+                            (Some(vals), Some(vm)) => d_of(vals, vm, h, i, clen, j),
+                            _ => d_of(lp_sol.values(), vmap, h, i, clen, j),
+                        };
+                        if d > 1e-9 {
+                            *load.entry((node.0, nf.index())).or_insert(0.0) +=
+                                c.rate_mbps * d;
+                        }
+                    }
+                }
+            }
+            // Candidates: q > 0, sorted by utilisation ascending.
+            // Only instances with visible slack are worth a feasibility
+            // solve; a nearly-full instance cannot be removed.
+            let mut cands: Vec<((usize, usize), f64)> = q
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .filter_map(|(&key, &c)| {
+                    let cap =
+                        VnfSpec::of(NfType::from_index(key.1)).capacity_mbps * f64::from(c);
+                    let util = load.get(&key).copied().unwrap_or(0.0) / cap.max(1e-9);
+                    (util < 0.75).then_some((key, util))
+                })
+                .collect();
+            cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+            let mut improved = false;
+            let mut failures = 0;
+            // `failures` counts only unsuccessful solves (not iterations),
+            // so enumerate() would change the early-stop semantics.
+            #[allow(clippy::explicit_counter_loop)]
+            for (key, _) in cands {
+                if budget == 0 || failures >= 4 {
+                    break;
+                }
+                budget -= 1;
+                let mut q_try = q.clone();
+                *q_try.get_mut(&key).expect("candidate exists") -= 1;
+                let (model, vm) = self.build_model(classes, orch, QMode::Fixed(&q_try));
+                if let Ok(sol) = model.solve_lp_with(self.config.simplex) {
+                    q = q_try;
+                    d_values = Some(sol.values().to_vec());
+                    d_map = Some(vm);
+                    improved = true;
+                    break;
+                }
+                failures += 1;
+            }
+            if !improved || budget == 0 {
+                break;
+            }
+        }
+        (q, d_values, d_map)
+    }
+
+    /// Serialises the Eq. (1)–(8) model for this input in CPLEX LP format
+    /// (see [`apple_lp::export`]) — handy for cross-checking against an
+    /// external solver.
+    pub fn export_lp(&self, classes: &ClassSet, orch: &ResourceOrchestrator) -> String {
+        let no_caps = BTreeMap::new();
+        let (model, _) = self.build_model(classes, orch, QMode::Variables(&no_caps));
+        model.to_lp_format()
+    }
+
+    /// Builds the Eq. (1)–(8) model. In [`QMode::Variables`] the q are
+    /// integer decision variables (with optional repair caps); in
+    /// [`QMode::Fixed`] they are constants and the model is a pure
+    /// d-feasibility LP.
+    fn build_model(
+        &self,
+        classes: &ClassSet,
+        orch: &ResourceOrchestrator,
+        qmode: QMode<'_>,
+    ) -> (Model, VarMap) {
+        let mut model = Model::new(Sense::Min);
+
+        // Which NFs can ever be needed at which switch: n at v iff some
+        // class's path crosses v and its chain uses n.
+        let mut needed: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        for c in classes {
+            for node in c.path.iter() {
+                for nf in c.chain.nfs() {
+                    needed.insert((node.0, nf.index()), true);
+                }
+            }
+        }
+
+        // Switch popularity (total class rate crossing each switch). The
+        // pure Σq objective is heavily degenerate — any spatial spread of d
+        // is LP-optimal — so rounding a scattered solution pays a ceil at
+        // every touched (v, n). A tiny popularity-decreasing surcharge on q
+        // breaks the ties toward concentrating load at shared switches,
+        // which is exactly the multiplexing that beats the ingress
+        // strawman; the surcharge (≤ 1e-3 per instance) is far too small to
+        // distort the instance count itself.
+        let mut popularity: BTreeMap<usize, f64> = BTreeMap::new();
+        for c in classes {
+            for node in c.path.iter() {
+                *popularity.entry(node.0).or_insert(0.0) += c.rate_mbps;
+            }
+        }
+        let max_pop = popularity.values().copied().fold(1.0, f64::max);
+
+        // q variables (Eq. 7: integral, >= 0). Upper bound from host
+        // resources (cores / per-instance cores) — tightens the LP. In
+        // fixed mode no q variables exist.
+        let mut q_vars = BTreeMap::new();
+        if let QMode::Variables(extra_caps) = &qmode {
+            for &(v, nf_idx) in needed.keys() {
+                let nf = NfType::from_index(nf_idx);
+                let spec = VnfSpec::of(nf);
+                let host_cap = orch
+                    .hosts()
+                    .get(&v)
+                    .map(|h| h.capacity)
+                    .unwrap_or_else(apple_nf::ResourceVector::zero);
+                let mut ub = host_cap
+                    .cores
+                    .checked_div(spec.cores)
+                    .map_or(f64::INFINITY, f64::from);
+                if let Some(&cap) = extra_caps.get(&(v, nf_idx)) {
+                    ub = ub.min(f64::from(cap));
+                }
+                let pop = popularity.get(&v).copied().unwrap_or(0.0);
+                let surcharge = 1e-3 * (1.0 - pop / max_pop) + 1e-6 * (v as f64);
+                let var =
+                    model.add_int_var(format!("q_v{v}_{}", nf.name()), 0.0, ub, 1.0 + surcharge);
+                q_vars.insert((v, nf_idx), var);
+            }
+        }
+
+        // d variables (Eq. 8: 0 <= d <= 1; the upper bound is implied by
+        // Eq. (4) + non-negativity, so we use [0, 1] only as a bound box).
+        let mut d_vars = Vec::with_capacity(classes.len());
+        for c in classes {
+            let plen = c.path.len();
+            let clen = c.chain.len();
+            let mut grid = Vec::with_capacity(plen * clen);
+            for i in 0..plen {
+                for j in 0..clen {
+                    grid.push(model.add_var(
+                        format!("d_c{}_{i}_{j}", c.id.0),
+                        0.0,
+                        1.0,
+                        0.0,
+                    ));
+                }
+            }
+            d_vars.push(grid);
+        }
+        let dv = |h: usize, i: usize, j: usize, clen: usize| d_vars[h][i * clen + j];
+
+        // Eq. (3): sigma_{j-1}^i >= sigma_j^i for every class, position,
+        // stage >= 1.   sigma_j^i = sum_{i' <= i} d^{i'}_j.
+        for (h, c) in classes.iter().enumerate() {
+            let plen = c.path.len();
+            let clen = c.chain.len();
+            for j in 1..clen {
+                for i in 0..plen {
+                    let mut terms = Vec::with_capacity(2 * (i + 1));
+                    for i2 in 0..=i {
+                        terms.push((dv(h, i2, j - 1, clen), 1.0));
+                        terms.push((dv(h, i2, j, clen), -1.0));
+                    }
+                    model
+                        .add_constraint(terms, Cmp::Ge, 0.0)
+                        .expect("order constraint is finite");
+                }
+            }
+            // Eq. (4): sigma_j^{|P|} = 1 for every stage j.
+            for j in 0..clen {
+                let terms: Vec<_> = (0..plen).map(|i| (dv(h, i, j, clen), 1.0)).collect();
+                model
+                    .add_constraint(terms, Cmp::Eq, 1.0)
+                    .expect("coverage constraint is finite");
+            }
+        }
+
+        // Eq. (5): capacity per (v, n): sum_h T_h d <= Cap_n q.
+        for &(v, nf_idx) in needed.keys() {
+            let nf = NfType::from_index(nf_idx);
+            let cap = VnfSpec::of(nf).capacity_mbps;
+            let mut terms = Vec::new();
+            for (h, c) in classes.iter().enumerate() {
+                let clen = c.chain.len();
+                if let (Some(i), Some(j)) = (c.path.index_of(NodeId(v)), c.chain.position(nf)) {
+                    terms.push((dv(h, i, j, clen), c.rate_mbps));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            match &qmode {
+                QMode::Variables(_) => {
+                    let qvar = q_vars[&(v, nf_idx)];
+                    terms.push((qvar, -cap));
+                    model
+                        .add_constraint(terms, Cmp::Le, 0.0)
+                        .expect("capacity constraint is finite");
+                }
+                QMode::Fixed(q) => {
+                    let count = q.get(&(v, nf_idx)).copied().unwrap_or(0);
+                    model
+                        .add_constraint(terms, Cmp::Le, cap * f64::from(count))
+                        .expect("capacity constraint is finite");
+                }
+            }
+        }
+
+        // Eq. (6): host resources: sum_n R_n q <= A_v (cores and memory).
+        // Only meaningful when q are variables; in fixed mode the counts
+        // were validated against resources when they were chosen.
+        if matches!(qmode, QMode::Variables(_)) {
+            for (&v, host) in orch.hosts() {
+                let mut core_terms = Vec::new();
+                let mut mem_terms = Vec::new();
+                for (&(qv, nf_idx), &qvar) in &q_vars {
+                    if qv == v {
+                        let r = VnfSpec::of(NfType::from_index(nf_idx)).resources();
+                        core_terms.push((qvar, f64::from(r.cores)));
+                        mem_terms.push((qvar, f64::from(r.memory_mib)));
+                    }
+                }
+                if core_terms.is_empty() {
+                    continue;
+                }
+                model
+                    .add_constraint(core_terms, Cmp::Le, f64::from(host.capacity.cores))
+                    .expect("core constraint is finite");
+                model
+                    .add_constraint(mem_terms, Cmp::Le, f64::from(host.capacity.memory_mib))
+                    .expect("memory constraint is finite");
+            }
+        }
+
+        (model, VarMap { d_vars, q_vars })
+    }
+
+    fn extract(
+        &self,
+        classes: &ClassSet,
+        vmap: &VarMap,
+        values: &[f64],
+        lp_objective: f64,
+        start: Instant,
+        pivots: usize,
+    ) -> Placement {
+        let mut q = BTreeMap::new();
+        for (&(v, nf_idx), &var) in &vmap.q_vars {
+            let val = values[var.index()];
+            let count = (val - 1e-9).ceil().max(0.0) as u32;
+            if count > 0 {
+                q.insert((v, NfType::from_index(nf_idx)), count);
+            }
+        }
+        let mut d = BTreeMap::new();
+        for (h, c) in classes.iter().enumerate() {
+            let clen = c.chain.len();
+            for i in 0..c.path.len() {
+                for j in 0..clen {
+                    let val = values[vmap.d_vars[h][i * clen + j].index()];
+                    if val > 1e-9 {
+                        d.insert((h, i, j), val.min(1.0));
+                    }
+                }
+            }
+        }
+        let total_instances = q.values().sum();
+        Placement {
+            q,
+            d,
+            total_instances,
+            lp_objective,
+            solve_time: start.elapsed(),
+            pivots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{ClassConfig, ClassId, EquivalenceClass};
+    use crate::policy::PolicyChain;
+    use apple_topology::{zoo, Path};
+    use apple_traffic::{Flow, GravityModel};
+
+    /// One class on a 3-switch line with chain FW -> IDS, 100 Mbps.
+    fn tiny() -> (apple_topology::Topology, ClassSet, ResourceOrchestrator) {
+        let topo = zoo::line(3);
+        let path = Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let chain = PolicyChain::new(vec![NfType::Firewall, NfType::Ids]).unwrap();
+        let class = EquivalenceClass {
+            id: ClassId(0),
+            path,
+            chain,
+            rate_mbps: 100.0,
+            src_prefix: (Flow::prefix_of(NodeId(0)), 24),
+            dst_prefix: (Flow::prefix_of(NodeId(2)), 24),
+            proto: None,
+            dst_ports: Vec::new(),
+        };
+        let classes = ClassSet::from_classes(vec![class]);
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        (topo, classes, orch)
+    }
+
+    #[test]
+    fn tiny_class_needs_one_instance_per_stage() {
+        let (_t, classes, orch) = tiny();
+        let engine = OptimizationEngine::new(EngineConfig::default());
+        let p = engine.place(&classes, &orch).unwrap();
+        assert_eq!(p.total_instances(), 2);
+        // Coverage: each stage fully placed somewhere on the path.
+        for j in 0..2 {
+            let total: f64 = (0..3).map(|i| p.d(0, i, j)).sum();
+            assert!((total - 1.0).abs() < 1e-6, "stage {j} covers {total}");
+        }
+    }
+
+    #[test]
+    fn chain_order_is_respected_in_d() {
+        let (_t, classes, orch) = tiny();
+        let engine = OptimizationEngine::new(EngineConfig::default());
+        let p = engine.place(&classes, &orch).unwrap();
+        // Cumulative portion of stage 0 dominates stage 1 at every i.
+        let mut cum0 = 0.0;
+        let mut cum1 = 0.0;
+        for i in 0..3 {
+            cum0 += p.d(0, i, 0);
+            cum1 += p.d(0, i, 1);
+            assert!(cum0 >= cum1 - 1e-6, "order violated at position {i}");
+        }
+    }
+
+    #[test]
+    fn jumbo_class_splits_across_instances() {
+        // 2000 Mbps with 900 Mbps firewalls needs ceil(2000/900) = 3
+        // instances for the FW stage.
+        let (topo, mut classes, orch) = tiny();
+        let mut c = classes.classes()[0].clone();
+        c.rate_mbps = 2_000.0;
+        c.chain = PolicyChain::new(vec![NfType::Firewall]).unwrap();
+        classes = ClassSet::from_classes(vec![c]);
+        let _ = topo;
+        let engine = OptimizationEngine::new(EngineConfig::default());
+        let p = engine.place(&classes, &orch).unwrap();
+        assert_eq!(p.total_instances(), 3);
+    }
+
+    #[test]
+    fn capacity_respected_after_rounding() {
+        let (_t, classes, orch) = tiny();
+        let engine = OptimizationEngine::new(EngineConfig::default());
+        let p = engine.place(&classes, &orch).unwrap();
+        // For every (v, nf): offered <= cap * q.
+        for v in 0..3usize {
+            for nf in NfType::all() {
+                let mut offered = 0.0;
+                for (h, c) in classes.iter().enumerate() {
+                    if let (Some(i), Some(j)) =
+                        (c.path.index_of(NodeId(v)), c.chain.position(nf))
+                    {
+                        offered += c.rate_mbps * p.d(h, i, j);
+                    }
+                }
+                let cap = VnfSpec::of(nf).capacity_mbps * f64::from(p.q(NodeId(v), nf));
+                assert!(offered <= cap + 1e-6, "{nf} at v{v}: {offered} > {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_rounded_on_small_instance() {
+        let (_t, classes, orch) = tiny();
+        let rounded = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let exact = OptimizationEngine::new(EngineConfig {
+            exact: true,
+            ..Default::default()
+        })
+        .place(&classes, &orch)
+        .unwrap();
+        assert!(rounded.total_instances() >= exact.total_instances());
+        assert_eq!(exact.total_instances(), 2);
+        // LP bound is below both.
+        assert!(exact.lp_objective() <= f64::from(exact.total_instances()) + 1e-6);
+    }
+
+    #[test]
+    fn empty_class_set_rejected() {
+        let topo = zoo::line(2);
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let engine = OptimizationEngine::new(EngineConfig::default());
+        assert!(matches!(
+            engine.place(&ClassSet::default(), &orch),
+            Err(EngineError::NoClasses)
+        ));
+    }
+
+    #[test]
+    fn infeasible_when_hosts_too_small() {
+        // Hosts with 2 cores cannot run a firewall (4 cores).
+        let topo = zoo::line(3);
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 2);
+        let (_t, classes, _) = tiny();
+        let engine = OptimizationEngine::new(EngineConfig::default());
+        assert!(matches!(
+            engine.place(&classes, &orch),
+            Err(EngineError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn internet2_end_to_end_placement() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(3_000.0, 5).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 20,
+                ..Default::default()
+            },
+        );
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let engine = OptimizationEngine::new(EngineConfig::default());
+        let p = engine.place(&classes, &orch).unwrap();
+        assert!(p.total_instances() > 0);
+        assert!(p.rounding_gap() >= -1e-6);
+        assert!(p.total_cores() > 0);
+        assert!(p.solve_time().as_nanos() > 0);
+        // Multiplexing: fewer instances than sum of per-class lower bounds
+        // placed independently (instances are shared across classes).
+        let naive: u32 = classes
+            .iter()
+            .map(|c| c.chain.len() as u32)
+            .sum();
+        assert!(
+            p.total_instances() < naive,
+            "no multiplexing: {} vs naive {}",
+            p.total_instances(),
+            naive
+        );
+    }
+
+}

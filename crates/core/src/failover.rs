@@ -1,0 +1,564 @@
+//! The Dynamic Handler: fast failover for small time-scale traffic
+//! dynamics (§VI).
+//!
+//! Large time-scale dynamics (diurnal drift) are handled by periodically
+//! re-running the Optimization Engine. Small time-scale bursts are too fast
+//! for VM provisioning, so APPLE *temporarily re-balances sub-classes*:
+//!
+//! 1. an overloaded instance notifies the Dynamic Handler,
+//! 2. the handler halves the workload of every sub-class traversing that
+//!    instance and spreads the other half to the least-loaded sub-classes
+//!    of the same class,
+//! 3. if the spread would overload another instance, a **new ClickOS
+//!    instance** is booted (tens of milliseconds when reconfiguring an
+//!    existing VM) and a **new sub-class** is created to absorb the burst,
+//! 4. when the instance is no longer overloaded, the distribution rolls
+//!    back and helper instances are cancelled to save resources.
+//!
+//! The handler mutates only sub-class shares and TCAM matching rules — the
+//! forwarding paths of flows never change (interference freedom holds even
+//! during failover).
+
+use crate::classes::{ClassId, ClassSet};
+use crate::orchestrator::{OrchestratorError, ResourceOrchestrator};
+use apple_nf::{InstanceId, NfType, VnfSpec};
+use apple_topology::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sub-class share as the Dynamic Handler sees it: which instance serves
+/// each stage, and the current (possibly re-balanced) traffic fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareState {
+    /// Owning class.
+    pub class: ClassId,
+    /// Sub-class id.
+    pub sub: u16,
+    /// Current fraction of the class's traffic.
+    pub fraction: f64,
+    /// Fraction assigned by the Optimization Engine (roll-back target).
+    pub baseline: f64,
+    /// Instance per chain stage.
+    pub instances: Vec<InstanceId>,
+}
+
+/// What the handler did in response to a notification; mirrors the steps in
+/// Fig. 4.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailoverAction {
+    /// Load moved between existing sub-classes only (rule update, ~70 ms).
+    Rebalanced {
+        /// Sub-classes whose share shrank.
+        relieved: Vec<(ClassId, u16)>,
+        /// Sub-classes whose share grew.
+        absorbers: Vec<(ClassId, u16)>,
+    },
+    /// A new helper instance + sub-class was created (ClickOS
+    /// reconfiguration, tens of milliseconds).
+    SpawnedHelper {
+        /// The new instance.
+        instance: InstanceId,
+        /// NF type of the helper.
+        nf: NfType,
+        /// Switch whose host runs it.
+        switch: NodeId,
+    },
+    /// The spill was moved to an *existing* instance of the same NF with
+    /// spare capacity (a new sub-class, but no new VM).
+    Reassigned {
+        /// The existing instance now absorbing the spill.
+        instance: InstanceId,
+    },
+    /// The overload could not be relieved (non-ClickOS NF with no spare
+    /// instance anywhere on the path); the overload persists and the loss
+    /// curve shows it.
+    Held,
+    /// Nothing to do (instance unknown or carries no sub-classes).
+    None,
+}
+
+/// Errors during failover handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailoverError {
+    /// Helper instance launch failed (no resources anywhere on the path).
+    NoCapacity(OrchestratorError),
+}
+
+impl fmt::Display for FailoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailoverError::NoCapacity(e) => write!(f, "cannot spawn helper: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FailoverError {}
+
+/// The Dynamic Handler.
+///
+/// Tracks the live sub-class shares and rewrites them in response to
+/// overload notifications; instances spawned for failover are remembered so
+/// roll-back can cancel them.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicHandler {
+    shares: Vec<ShareState>,
+    /// Helper instances created by fast failover, with the share index they
+    /// absorb for.
+    helpers: Vec<(InstanceId, usize)>,
+    /// Extra cores consumed by helpers right now (for the §IX-E "< 17
+    /// cores" claim).
+    helper_cores: u32,
+    /// Peak helper cores seen.
+    peak_helper_cores: u32,
+}
+
+impl DynamicHandler {
+    /// Builds the handler state from an instance assignment (the engine's
+    /// output realised by the rule generator).
+    pub fn from_assignment(
+        classes: &ClassSet,
+        plan: &crate::subclass::SubclassPlan,
+        assignment: &crate::rules::InstanceAssignment,
+    ) -> DynamicHandler {
+        let mut shares = Vec::new();
+        for s in plan.subclasses() {
+            let class = classes.class(s.class).expect("plan refers to known classes");
+            let instances: Vec<InstanceId> = (0..class.chain.len())
+                .filter_map(|j| assignment.instance(s.class, s.id, j))
+                .collect();
+            if instances.len() != class.chain.len() {
+                continue; // unassigned stage: skip (engine guarantees none)
+            }
+            shares.push(ShareState {
+                class: s.class,
+                sub: s.id,
+                fraction: s.fraction(),
+                baseline: s.fraction(),
+                instances,
+            });
+        }
+        DynamicHandler {
+            shares,
+            helpers: Vec::new(),
+            helper_cores: 0,
+            peak_helper_cores: 0,
+        }
+    }
+
+    /// Current shares.
+    pub fn shares(&self) -> &[ShareState] {
+        &self.shares
+    }
+
+    /// Offered load of `inst` in Mbps given per-class rates.
+    pub fn instance_load(&self, inst: InstanceId, rates: &BTreeMap<ClassId, f64>) -> f64 {
+        self.shares
+            .iter()
+            .filter(|s| s.instances.contains(&inst))
+            .map(|s| s.fraction * rates.get(&s.class).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Extra cores helpers currently consume.
+    pub fn helper_cores(&self) -> u32 {
+        self.helper_cores
+    }
+
+    /// Peak extra cores helpers have consumed.
+    pub fn peak_helper_cores(&self) -> u32 {
+        self.peak_helper_cores
+    }
+
+    /// Handles an overloading notification from `inst` (Fig. 4 steps 1–4).
+    ///
+    /// `rates` carries the current per-class rates in Mbps; `classes` and
+    /// `orch` are needed to size and place a helper when re-balancing alone
+    /// would overload another instance.
+    ///
+    /// # Errors
+    ///
+    /// [`FailoverError::NoCapacity`] when a helper is needed but no host on
+    /// the class path can fit one.
+    pub fn handle_overload(
+        &mut self,
+        inst: InstanceId,
+        rates: &BTreeMap<ClassId, f64>,
+        classes: &ClassSet,
+        orch: &mut ResourceOrchestrator,
+    ) -> Result<FailoverAction, FailoverError> {
+        // Sub-classes traversing the overloaded instance.
+        let victim_idx: Vec<usize> = self
+            .shares
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.instances.contains(&inst))
+            .map(|(i, _)| i)
+            .collect();
+        if victim_idx.is_empty() {
+            return Ok(FailoverAction::None);
+        }
+
+        let mut relieved = Vec::new();
+        let mut absorbers = Vec::new();
+        let mut need_new_subclass: Vec<(usize, f64)> = Vec::new(); // (share idx, spill)
+
+        for &vi in &victim_idx {
+            let spill = self.shares[vi].fraction / 2.0;
+            if spill <= 1e-6 {
+                continue;
+            }
+            let class = self.shares[vi].class;
+            // Candidate absorbers: least-loaded sibling sub-classes of the
+            // same class that avoid the overloaded instance.
+            let cap_of = |s: &ShareState| -> f64 {
+                // The binding capacity across the share's stages.
+                s.instances
+                    .iter()
+                    .map(|&i| {
+                        orch.instance(i)
+                            .map_or(f64::INFINITY, |x| x.spec().capacity_mbps)
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let rate = rates.get(&class).copied().unwrap_or(0.0);
+            let sibling: Option<usize> = self
+                .shares
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    *i != vi && s.class == class && !s.instances.contains(&inst)
+                })
+                .min_by(|(_, a), (_, b)| {
+                    let la = self.instance_load(a.instances[0], rates);
+                    let lb = self.instance_load(b.instances[0], rates);
+                    la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i);
+            match sibling {
+                Some(si)
+                    if {
+                        // Does the absorber stay under capacity with the
+                        // extra spill?
+                        let extra = spill * rate;
+                        let worst = self.shares[si]
+                            .instances
+                            .iter()
+                            .map(|&i| self.instance_load(i, rates) + extra)
+                            .fold(0.0f64, f64::max);
+                        worst <= cap_of(&self.shares[si]) + 1e-9
+                    } =>
+                {
+                    self.shares[vi].fraction -= spill;
+                    self.shares[si].fraction += spill;
+                    relieved.push((self.shares[vi].class, self.shares[vi].sub));
+                    absorbers.push((self.shares[si].class, self.shares[si].sub));
+                }
+                _ => need_new_subclass.push((vi, spill)),
+            }
+        }
+
+        // One new sub-class per notification (Fig. 4 shows a single new
+        // VM); it absorbs the largest spill. Preference order: an existing
+        // same-NF instance with slack (no VM work at all), then a freshly
+        // reconfigured ClickOS instance; non-ClickOS NFs without slack hold
+        // (a normal VM boots far too slowly for fast failover).
+        if let Some(&(vi, spill)) = need_new_subclass
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            let class_id = self.shares[vi].class;
+            let class = classes.class(class_id).expect("shares refer to known classes");
+            let rate = rates.get(&class_id).copied().unwrap_or(0.0);
+            // The replacement serves the overloaded instance's stage.
+            let stage = self.shares[vi]
+                .instances
+                .iter()
+                .position(|&i| i == inst)
+                .expect("victim share traverses the instance");
+            let nf = class.chain.nfs()[stage];
+            let spec = VnfSpec::of(nf);
+            // The replacement's switch must keep the chain order: between
+            // the previous and next stage's positions on the path.
+            let pos_of = |iid: InstanceId| -> Option<usize> {
+                orch.instance(iid)
+                    .and_then(|x| class.path.index_of(NodeId(x.host_switch())))
+            };
+            let lo = if stage == 0 {
+                0
+            } else {
+                pos_of(self.shares[vi].instances[stage - 1]).unwrap_or(0)
+            };
+            let hi = if stage + 1 == self.shares[vi].instances.len() {
+                class.path.len() - 1
+            } else {
+                pos_of(self.shares[vi].instances[stage + 1])
+                    .unwrap_or(class.path.len() - 1)
+            };
+
+            // 1. Existing instance with slack.
+            let mut replacement: Option<InstanceId> = None;
+            'search: for p in lo..=hi {
+                let v = class.path.nodes()[p];
+                for cand in orch.instances_at(v, nf) {
+                    if cand != inst
+                        && self.instance_load(cand, rates) + spill * rate
+                            <= spec.capacity_mbps + 1e-9
+                    {
+                        replacement = Some(cand);
+                        break 'search;
+                    }
+                }
+            }
+            if let Some(cand) = replacement {
+                self.split_share(vi, spill, stage, cand, None);
+                return Ok(FailoverAction::Reassigned { instance: cand });
+            }
+
+            // 2. Fresh ClickOS instance (reconfiguration, tens of ms).
+            if spec.clickos {
+                let mut spawned = None;
+                let mut last_err = None;
+                for p in lo..=hi {
+                    match orch.launch(class.path.nodes()[p], nf) {
+                        Ok(id) => {
+                            spawned = Some((id, class.path.nodes()[p]));
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match spawned {
+                    Some((helper, at)) => {
+                        self.split_share(vi, spill, stage, helper, Some(nf));
+                        return Ok(FailoverAction::SpawnedHelper {
+                            instance: helper,
+                            nf,
+                            switch: at,
+                        });
+                    }
+                    None => {
+                        return Err(FailoverError::NoCapacity(
+                            last_err.expect("launch failed at least once"),
+                        ))
+                    }
+                }
+            }
+
+            // 3. Non-ClickOS with no slack anywhere: hold.
+            if relieved.is_empty() {
+                return Ok(FailoverAction::Held);
+            }
+        }
+
+        if relieved.is_empty() {
+            Ok(FailoverAction::None)
+        } else {
+            Ok(FailoverAction::Rebalanced {
+                relieved,
+                absorbers,
+            })
+        }
+    }
+
+    /// Moves `spill` of share `vi` into a new sub-class whose `stage` is
+    /// served by `replacement`. When `spawned_nf` is set the replacement is
+    /// a fresh helper VM whose cores are tracked for roll-back.
+    fn split_share(
+        &mut self,
+        vi: usize,
+        spill: f64,
+        stage: usize,
+        replacement: InstanceId,
+        spawned_nf: Option<NfType>,
+    ) {
+        let class_id = self.shares[vi].class;
+        let mut instances = self.shares[vi].instances.clone();
+        instances[stage] = replacement;
+        let new_sub = self
+            .shares
+            .iter()
+            .filter(|s| s.class == class_id)
+            .map(|s| s.sub)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        self.shares[vi].fraction -= spill;
+        self.shares.push(ShareState {
+            class: class_id,
+            sub: new_sub,
+            fraction: spill,
+            baseline: 0.0, // temporary shares vanish on roll-back
+            instances,
+        });
+        if let Some(nf) = spawned_nf {
+            self.helpers.push((replacement, self.shares.len() - 1));
+            self.helper_cores += VnfSpec::of(nf).cores;
+            self.peak_helper_cores = self.peak_helper_cores.max(self.helper_cores);
+        }
+    }
+
+    /// Rolls the distribution back to the engine's baseline once overload
+    /// clears (§VI: "the distribution will roll back to the normal state"),
+    /// cancelling helper instances to save hardware.
+    pub fn roll_back(&mut self, orch: &mut ResourceOrchestrator) {
+        for (helper, _) in self.helpers.drain(..) {
+            if let Some(inst) = orch.instance(helper) {
+                self.helper_cores = self
+                    .helper_cores
+                    .saturating_sub(inst.spec().cores);
+            }
+            let _ = orch.teardown(helper);
+        }
+        // Drop helper shares; restore baselines.
+        self.shares.retain(|s| s.baseline > 0.0);
+        for s in &mut self.shares {
+            s.fraction = s.baseline;
+        }
+    }
+
+    /// Verifies the invariant that every class's shares sum to 1.
+    pub fn fractions_consistent(&self) -> bool {
+        let mut per_class: BTreeMap<ClassId, f64> = BTreeMap::new();
+        for s in &self.shares {
+            *per_class.entry(s.class).or_insert(0.0) += s.fraction;
+        }
+        per_class.values().all(|&v| (v - 1.0).abs() < 1e-6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{ClassConfig, ClassSet};
+    use crate::engine::{EngineConfig, OptimizationEngine};
+    use crate::rules::generate;
+    use crate::subclass::{SplitStrategy, SubclassPlan};
+    use apple_topology::zoo;
+    use apple_traffic::GravityModel;
+
+    fn setup() -> (
+        ClassSet,
+        ResourceOrchestrator,
+        DynamicHandler,
+        BTreeMap<ClassId, f64>,
+    ) {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(3_000.0, 23).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 10,
+                ..Default::default()
+            },
+        );
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+        let prog = generate(&topo, &classes, &plan, &placement, &mut orch).unwrap();
+        let handler = DynamicHandler::from_assignment(&classes, &plan, &prog.assignment);
+        let rates: BTreeMap<ClassId, f64> =
+            classes.iter().map(|c| (c.id, c.rate_mbps)).collect();
+        (classes, orch, handler, rates)
+    }
+
+    #[test]
+    fn baseline_fractions_sum_to_one() {
+        let (_, _, handler, _) = setup();
+        assert!(handler.fractions_consistent());
+        assert_eq!(handler.helper_cores(), 0);
+    }
+
+    #[test]
+    fn unknown_instance_is_noop() {
+        let (classes, mut orch, mut handler, rates) = setup();
+        let act = handler
+            .handle_overload(InstanceId(999_999), &rates, &classes, &mut orch)
+            .unwrap();
+        assert_eq!(act, FailoverAction::None);
+    }
+
+    #[test]
+    fn overload_halves_and_conserves_traffic() {
+        let (classes, mut orch, mut handler, rates) = setup();
+        let victim = handler.shares()[0].instances[0];
+        let act = handler
+            .handle_overload(victim, &rates, &classes, &mut orch)
+            .unwrap();
+        assert_ne!(act, FailoverAction::None);
+        assert!(handler.fractions_consistent(), "traffic lost during failover");
+    }
+
+    #[test]
+    fn helper_spawned_when_no_sibling_exists() {
+        // A burst on a single-sub-class class has no sibling to absorb:
+        // a helper must be spawned.
+        let (classes, mut orch, mut handler, mut rates) = setup();
+        // Pick a share that is its class's only one.
+        let lone = handler
+            .shares()
+            .iter()
+            .find(|s| {
+                handler
+                    .shares()
+                    .iter()
+                    .filter(|o| o.class == s.class)
+                    .count()
+                    == 1
+            })
+            .cloned();
+        if let Some(lone) = lone {
+            // Burst its class.
+            *rates.entry(lone.class).or_insert(0.0) *= 10.0;
+            let victim = lone.instances[0];
+            let act = handler
+                .handle_overload(victim, &rates, &classes, &mut orch)
+                .unwrap();
+            match act {
+                FailoverAction::SpawnedHelper { nf, .. } => {
+                    let class = classes.class(lone.class).unwrap();
+                    assert!(class.chain.contains(nf));
+                    assert!(handler.helper_cores() > 0);
+                    assert!(handler.fractions_consistent());
+                }
+                other => panic!("expected helper, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn roll_back_restores_baseline_and_frees_helpers() {
+        let (classes, mut orch, mut handler, mut rates) = setup();
+        let before: Vec<f64> = handler.shares().iter().map(|s| s.fraction).collect();
+        let instances_before = orch.instance_count();
+        // Force a helper by bursting the first share's class.
+        let victim = handler.shares()[0].instances[0];
+        let class = handler.shares()[0].class;
+        *rates.entry(class).or_insert(0.0) *= 20.0;
+        let _ = handler.handle_overload(victim, &rates, &classes, &mut orch);
+        handler.roll_back(&mut orch);
+        let after: Vec<f64> = handler.shares().iter().map(|s| s.fraction).collect();
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((b - a).abs() < 1e-9);
+        }
+        assert_eq!(orch.instance_count(), instances_before);
+        assert_eq!(handler.helper_cores(), 0);
+        assert!(handler.fractions_consistent());
+    }
+
+    #[test]
+    fn peak_helper_cores_tracks_maximum() {
+        let (classes, mut orch, mut handler, mut rates) = setup();
+        let victim = handler.shares()[0].instances[0];
+        let class = handler.shares()[0].class;
+        *rates.entry(class).or_insert(0.0) *= 20.0;
+        let _ = handler.handle_overload(victim, &rates, &classes, &mut orch);
+        let peak = handler.peak_helper_cores();
+        handler.roll_back(&mut orch);
+        assert_eq!(handler.helper_cores(), 0);
+        assert_eq!(handler.peak_helper_cores(), peak);
+    }
+}

@@ -1,0 +1,61 @@
+//! APPLE — the paper's primary contribution: an SDN-based NFV orchestration
+//! framework enforcing policy chains with **interference freedom** (flow
+//! paths are never changed) and **VM isolation** (every VNF instance is its
+//! own VM).
+//!
+//! The crate mirrors the architecture of Fig. 1:
+//!
+//! * [`policy`] — NF policy chains and the synthetic policy workload of
+//!   §IX-A,
+//! * [`classes`] — traffic aggregation into equivalence classes (same
+//!   forwarding path + same policy chain, §IV-A),
+//! * [`engine`] — the Optimization Engine: the ILP of Eq. (1)–(8), solved
+//!   by LP relaxation + rounding (exact branch-and-bound available for
+//!   validation),
+//! * [`subclass`] — sub-class construction (§V-A): monotone coupling of the
+//!   per-stage spatial distributions into concrete VNF-instance sequences,
+//!   realised by consistent hashing or prefix splitting,
+//! * [`orchestrator`] — the Resource Orchestrator: APPLE hosts, resource
+//!   accounting, instance lifecycle,
+//! * [`rules`] — the Rule Generator: Table III TCAM programs + vSwitch
+//!   rules implementing the flow-tagging scheme of §V-B, plus the
+//!   no-tagging baseline used by Fig. 10,
+//! * [`failover`] — the Dynamic Handler: fast failover for small
+//!   time-scale traffic dynamics (§VI),
+//! * [`baselines`] — the `ingress` strawman of Fig. 11 and a traffic-
+//!   steering model used to demonstrate interference (Table I),
+//! * [`controller`] — the end-to-end facade tying all components together.
+//!
+//! # Example
+//!
+//! ```
+//! use apple_core::controller::Apple;
+//! use apple_topology::zoo;
+//! use apple_traffic::{SeriesConfig, TmSeries};
+//!
+//! let topo = zoo::internet2();
+//! let series = TmSeries::generate(&topo, &SeriesConfig::small(7));
+//! let apple = Apple::plan(&topo, &series.mean(), &Default::default())?;
+//! assert!(apple.placement().total_instances() > 0);
+//! # Ok::<(), apple_core::engine::EngineError>(())
+//! ```
+
+pub mod baselines;
+pub mod classes;
+pub mod controller;
+pub mod engine;
+pub mod failover;
+pub mod online;
+pub mod orchestrator;
+pub mod policy;
+pub mod policy_spec;
+pub mod rules;
+pub mod subclass;
+pub mod transition;
+pub mod verify;
+
+pub use classes::{ClassId, ClassSet, EquivalenceClass};
+pub use controller::Apple;
+pub use engine::{EngineConfig, OptimizationEngine, Placement};
+pub use policy::PolicyChain;
+pub use subclass::{SplitStrategy, SubclassPlan};

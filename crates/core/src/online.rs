@@ -1,0 +1,448 @@
+//! Online placement for newly arriving classes — the extension the paper
+//! defers ("Online algorithms are for our future research", §IV).
+//!
+//! When a new equivalence class appears between two runs of the global
+//! Optimization Engine, APPLE should serve it immediately from residual
+//! capacity. The placer solves the single-class problem optimally with a
+//! small dynamic program over (chain stage, path position):
+//!
+//! * assigning a stage to a position costs **0** when an existing instance
+//!   of the right NF at that switch has enough slack, **1** when a new
+//!   instance must (and can) be launched, and **∞** otherwise;
+//! * stage positions must be non-decreasing along the path (the Eq. (3)
+//!   order constraint);
+//! * the DP minimises the number of new instances, then earliest
+//!   positions (deterministic tie-break).
+//!
+//! Launches during reconstruction can consume the resources a later stage
+//! counted on; the placer retries with the conflicting cell forbidden, so
+//! the final decision is always realisable.
+
+use crate::classes::EquivalenceClass;
+use crate::orchestrator::ResourceOrchestrator;
+use apple_nf::{InstanceId, VnfSpec};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from online placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// The class's rate exceeds one instance's capacity for some chain NF;
+    /// jumbo classes need the global engine's fractional splitting.
+    JumboClass {
+        /// The NF whose capacity is exceeded.
+        nf: apple_nf::NfType,
+        /// The class rate in Mbps.
+        rate_mbps: f64,
+    },
+    /// No feasible assignment exists on the class's path with current
+    /// residual resources.
+    NoCapacity,
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::JumboClass { nf, rate_mbps } => write!(
+                f,
+                "class rate {rate_mbps:.0} Mbps exceeds a single {nf} instance; use the global engine"
+            ),
+            OnlineError::NoCapacity => {
+                write!(f, "no residual capacity on the class's path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// The placement decision for one arriving class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineDecision {
+    /// Instance serving each chain stage, in order.
+    pub stage_instances: Vec<InstanceId>,
+    /// Instances newly launched for this class (subset of
+    /// `stage_instances`).
+    pub launched: Vec<InstanceId>,
+    /// Path position of each stage (non-decreasing).
+    pub stage_positions: Vec<usize>,
+}
+
+/// Incremental placer that tracks per-instance committed load.
+///
+/// # Example
+///
+/// ```
+/// use apple_core::online::OnlinePlacer;
+/// use apple_core::classes::{ClassId, EquivalenceClass};
+/// use apple_core::orchestrator::ResourceOrchestrator;
+/// use apple_core::policy::PolicyChain;
+/// use apple_nf::NfType;
+/// use apple_topology::{zoo, NodeId, Path};
+/// use apple_traffic::Flow;
+///
+/// let topo = zoo::line(3);
+/// let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+/// let mut placer = OnlinePlacer::new();
+/// let class = EquivalenceClass {
+///     id: ClassId(0),
+///     path: Path::new(vec![NodeId(0), NodeId(1), NodeId(2)])?,
+///     chain: PolicyChain::new(vec![NfType::Firewall])?,
+///     rate_mbps: 100.0,
+///     src_prefix: (Flow::prefix_of(NodeId(0)), 24),
+///     dst_prefix: (Flow::prefix_of(NodeId(2)), 24),
+///     proto: None,
+///     dst_ports: Vec::new(),
+/// };
+/// let decision = placer.place_class(&class, &mut orch)?;
+/// assert_eq!(decision.launched.len(), 1); // cold start: one new firewall
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlinePlacer {
+    loads: BTreeMap<InstanceId, f64>,
+}
+
+impl OnlinePlacer {
+    /// Creates a placer with no committed load.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the load tracker from an existing instance assignment (so the
+    /// placer respects what the global engine already committed).
+    pub fn from_assignment(assignment: &crate::rules::InstanceAssignment) -> Self {
+        let mut loads = BTreeMap::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, &id) in assignment.entries() {
+            seen.insert(id);
+        }
+        for id in seen {
+            loads.insert(id, assignment.load_mbps(id));
+        }
+        OnlinePlacer { loads }
+    }
+
+    /// Committed load of an instance (Mbps).
+    pub fn load_mbps(&self, id: InstanceId) -> f64 {
+        self.loads.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Places one arriving class, launching instances through the
+    /// orchestrator where needed and committing the class's load.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::JumboClass`] when the class exceeds a single
+    /// instance's capacity, [`OnlineError::NoCapacity`] when the path has
+    /// no feasible assignment.
+    pub fn place_class(
+        &mut self,
+        class: &EquivalenceClass,
+        orch: &mut ResourceOrchestrator,
+    ) -> Result<OnlineDecision, OnlineError> {
+        for &nf in class.chain.nfs() {
+            let cap = VnfSpec::of(nf).capacity_mbps;
+            if class.rate_mbps > cap {
+                return Err(OnlineError::JumboClass {
+                    nf,
+                    rate_mbps: class.rate_mbps,
+                });
+            }
+        }
+        // Retry loop: launching may invalidate a later stage's plan; each
+        // retry forbids the failed (stage, position) cell.
+        let mut forbidden: std::collections::BTreeSet<(usize, usize)> = Default::default();
+        for _attempt in 0..(class.path.len() * class.chain.len() + 1) {
+            let Some(positions) = self.solve_dp(class, orch, &forbidden) else {
+                return Err(OnlineError::NoCapacity);
+            };
+            match self.realise(class, orch, &positions) {
+                Ok(decision) => return Ok(decision),
+                Err(cell) => {
+                    forbidden.insert(cell);
+                }
+            }
+        }
+        Err(OnlineError::NoCapacity)
+    }
+
+    /// DP over (stage, position); returns the chosen position per stage.
+    fn solve_dp(
+        &self,
+        class: &EquivalenceClass,
+        orch: &ResourceOrchestrator,
+        forbidden: &std::collections::BTreeSet<(usize, usize)>,
+    ) -> Option<Vec<usize>> {
+        let plen = class.path.len();
+        let clen = class.chain.len();
+        const INF: u32 = u32::MAX / 2;
+        // cost[j][i]: 0 reuse, 1 launch, INF impossible.
+        let mut cell = vec![vec![INF; plen]; clen];
+        for (j, &nf) in class.chain.nfs().iter().enumerate() {
+            let spec = VnfSpec::of(nf);
+            #[allow(clippy::needless_range_loop)] // index form mirrors the DP
+            for i in 0..plen {
+                if forbidden.contains(&(j, i)) {
+                    continue;
+                }
+                let v = class.path.nodes()[i];
+                let reusable = orch.instances_at(v, nf).into_iter().any(|id| {
+                    self.load_mbps(id) + class.rate_mbps <= spec.capacity_mbps + 1e-9
+                });
+                if reusable {
+                    cell[j][i] = 0;
+                } else if orch
+                    .available(v)
+                    .is_some_and(|a| spec.resources().fits_in(&a))
+                {
+                    cell[j][i] = 1;
+                }
+            }
+        }
+        // dp[j][i] = cell[j][i] + min over i' <= i of dp[j-1][i'].
+        let mut dp = vec![vec![INF; plen]; clen];
+        dp[0].clone_from_slice(&cell[0]);
+        for j in 1..clen {
+            let mut best_prev = INF;
+            #[allow(clippy::needless_range_loop)] // index form mirrors the DP
+            for i in 0..plen {
+                best_prev = best_prev.min(dp[j - 1][i]);
+                if cell[j][i] < INF && best_prev < INF {
+                    dp[j][i] = cell[j][i] + best_prev;
+                }
+            }
+        }
+        // Reconstruct: earliest positions with minimal total cost.
+        let total = *dp[clen - 1].iter().min()?;
+        if total >= INF {
+            return None;
+        }
+        let mut positions = vec![0usize; clen];
+        let mut remaining = total;
+        let mut upper = plen - 1;
+        for j in (0..clen).rev() {
+            // Find the earliest i <= upper achieving the remaining cost
+            // with a feasible prefix.
+            let mut chosen = None;
+            #[allow(clippy::needless_range_loop)] // index form mirrors the DP
+            for i in 0..=upper {
+                let prefix_ok = if j == 0 {
+                    cell[j][i] < INF
+                } else {
+                    (0..=i).any(|i2| dp[j - 1][i2] < INF)
+                };
+                if !prefix_ok || cell[j][i] >= INF {
+                    continue;
+                }
+                let prev_min = if j == 0 {
+                    0
+                } else {
+                    (0..=i).map(|i2| dp[j - 1][i2]).min().unwrap_or(INF)
+                };
+                if prev_min < INF && cell[j][i] + prev_min == remaining {
+                    chosen = Some((i, prev_min));
+                    break;
+                }
+            }
+            let (i, prev_min) = chosen?;
+            positions[j] = i;
+            remaining = prev_min;
+            upper = i;
+        }
+        Some(positions)
+    }
+
+    /// Executes a DP plan: reuses or launches per stage. On a launch
+    /// failure returns the offending `(stage, position)` cell so the DP can
+    /// be retried without it.
+    fn realise(
+        &mut self,
+        class: &EquivalenceClass,
+        orch: &mut ResourceOrchestrator,
+        positions: &[usize],
+    ) -> Result<OnlineDecision, (usize, usize)> {
+        let mut stage_instances = Vec::with_capacity(positions.len());
+        let mut launched = Vec::new();
+        let mut committed: Vec<(InstanceId, f64)> = Vec::new();
+        for (j, (&i, &nf)) in positions.iter().zip(class.chain.nfs()).enumerate() {
+            let v = class.path.nodes()[i];
+            let spec = VnfSpec::of(nf);
+            let reuse = orch
+                .instances_at(v, nf)
+                .into_iter()
+                .filter(|&id| {
+                    self.load_mbps(id) + class.rate_mbps <= spec.capacity_mbps + 1e-9
+                })
+                .min_by(|&a, &b| {
+                    self.load_mbps(a)
+                        .partial_cmp(&self.load_mbps(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            let id = match reuse {
+                Some(id) => id,
+                None => match orch.launch(v, nf) {
+                    Ok(id) => {
+                        launched.push(id);
+                        id
+                    }
+                    Err(_) => {
+                        // Roll every commitment of this attempt back.
+                        for (cid, load) in committed {
+                            let entry = self.loads.entry(cid).or_insert(0.0);
+                            *entry = (*entry - load).max(0.0);
+                        }
+                        for lid in launched {
+                            let _ = orch.teardown(lid);
+                        }
+                        return Err((j, i));
+                    }
+                },
+            };
+            *self.loads.entry(id).or_insert(0.0) += class.rate_mbps;
+            committed.push((id, class.rate_mbps));
+            stage_instances.push(id);
+        }
+        Ok(OnlineDecision {
+            stage_instances,
+            launched,
+            stage_positions: positions.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{ClassConfig, ClassId, ClassSet};
+    use crate::policy::PolicyChain;
+    use apple_nf::NfType;
+    use apple_topology::{zoo, NodeId, Path};
+    use apple_traffic::{Flow, GravityModel};
+
+    fn class_on_line(rate: f64, chain: Vec<NfType>) -> EquivalenceClass {
+        EquivalenceClass {
+            id: ClassId(0),
+            path: Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap(),
+            chain: PolicyChain::new(chain).unwrap(),
+            rate_mbps: rate,
+            src_prefix: (Flow::prefix_of(NodeId(0)), 24),
+            dst_prefix: (Flow::prefix_of(NodeId(2)), 24),
+            proto: None,
+            dst_ports: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cold_start_launches_one_per_stage() {
+        let topo = zoo::line(3);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut placer = OnlinePlacer::new();
+        let class = class_on_line(100.0, vec![NfType::Firewall, NfType::Ids]);
+        let d = placer.place_class(&class, &mut orch).unwrap();
+        assert_eq!(d.stage_instances.len(), 2);
+        assert_eq!(d.launched.len(), 2);
+        assert!(d.stage_positions.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn second_class_reuses_slack() {
+        let topo = zoo::line(3);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut placer = OnlinePlacer::new();
+        let class = class_on_line(100.0, vec![NfType::Firewall]);
+        let first = placer.place_class(&class, &mut orch).unwrap();
+        let second = placer.place_class(&class, &mut orch).unwrap();
+        assert!(second.launched.is_empty(), "should reuse the slack instance");
+        assert_eq!(second.stage_instances, first.stage_instances);
+        assert_eq!(placer.load_mbps(first.stage_instances[0]), 200.0);
+    }
+
+    #[test]
+    fn capacity_exhaustion_launches_fresh() {
+        let topo = zoo::line(3);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut placer = OnlinePlacer::new();
+        // 900 Mbps firewalls: two 500 Mbps classes cannot share.
+        let class = class_on_line(500.0, vec![NfType::Firewall]);
+        let a = placer.place_class(&class, &mut orch).unwrap();
+        let b = placer.place_class(&class, &mut orch).unwrap();
+        assert_eq!(b.launched.len(), 1);
+        assert_ne!(a.stage_instances, b.stage_instances);
+    }
+
+    #[test]
+    fn jumbo_class_rejected() {
+        let topo = zoo::line(3);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut placer = OnlinePlacer::new();
+        let class = class_on_line(2_000.0, vec![NfType::Firewall]);
+        assert!(matches!(
+            placer.place_class(&class, &mut orch),
+            Err(OnlineError::JumboClass { .. })
+        ));
+    }
+
+    #[test]
+    fn no_capacity_surfaces() {
+        // 2-core hosts cannot run anything but NAT; an IDS chain fails.
+        let topo = zoo::line(3);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 2);
+        let mut placer = OnlinePlacer::new();
+        let class = class_on_line(100.0, vec![NfType::Ids]);
+        assert_eq!(
+            placer.place_class(&class, &mut orch),
+            Err(OnlineError::NoCapacity)
+        );
+    }
+
+    #[test]
+    fn order_constraint_respected_under_reuse() {
+        // An existing IDS at position 0 and firewall at position 2 must NOT
+        // be combined for chain FW -> IDS (IDS would come first); the placer
+        // must launch to keep order.
+        let topo = zoo::line(3);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let ids0 = orch.launch(NodeId(0), NfType::Ids).unwrap();
+        let fw2 = orch.launch(NodeId(2), NfType::Firewall).unwrap();
+        let mut placer = OnlinePlacer::new();
+        let class = class_on_line(100.0, vec![NfType::Firewall, NfType::Ids]);
+        let d = placer.place_class(&class, &mut orch).unwrap();
+        assert!(d.stage_positions[0] <= d.stage_positions[1]);
+        let uses_bad_combo =
+            d.stage_instances == vec![fw2, ids0];
+        assert!(!uses_bad_combo, "order violated by reuse");
+    }
+
+    #[test]
+    fn seeded_from_global_assignment() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(1_500.0, 51).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 8,
+                ..Default::default()
+            },
+        );
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = crate::engine::OptimizationEngine::new(Default::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let plan = crate::subclass::SubclassPlan::derive(
+            &classes,
+            &placement,
+            crate::subclass::SplitStrategy::PrefixSplit,
+        );
+        let prog =
+            crate::rules::generate(&topo, &classes, &plan, &placement, &mut orch).unwrap();
+        let placer = OnlinePlacer::from_assignment(&prog.assignment);
+        // Loads seeded: at least one instance carries load.
+        let any_loaded = prog
+            .assignment
+            .entries()
+            .any(|(_, &id)| placer.load_mbps(id) > 0.0);
+        assert!(any_loaded);
+    }
+}

@@ -1,0 +1,287 @@
+//! The Resource Orchestrator: APPLE hosts, resource accounting, and VNF
+//! instance lifecycle (Fig. 1, middleware between control plane and VMs).
+//!
+//! Every switch has an attached APPLE host (the paper assumes 64 cores per
+//! host in §IX-A). The orchestrator tracks available resources `A_v`,
+//! launches instances on behalf of the Optimization Engine, and reports
+//! availability back to it.
+
+use apple_nf::{InstanceId, NfType, ResourceVector, VnfInstance, VnfSpec};
+use apple_topology::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors returned by orchestration operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrchestratorError {
+    /// The switch has no APPLE host.
+    NoHost(usize),
+    /// The host lacks resources for the requested instance.
+    InsufficientResources {
+        /// Switch whose host was asked.
+        switch: usize,
+        /// What the instance needs.
+        needed: ResourceVector,
+        /// What is left.
+        available: ResourceVector,
+    },
+    /// Unknown instance id.
+    UnknownInstance(InstanceId),
+}
+
+impl fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestratorError::NoHost(s) => write!(f, "switch {s} has no APPLE host"),
+            OrchestratorError::InsufficientResources {
+                switch,
+                needed,
+                available,
+            } => write!(
+                f,
+                "host at switch {switch} cannot fit {needed} (only {available} left)"
+            ),
+            OrchestratorError::UnknownInstance(id) => write!(f, "unknown instance {id}"),
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+/// One APPLE host: capacity and the instances it runs.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Switch this host hangs off.
+    pub switch: NodeId,
+    /// Total hardware resources.
+    pub capacity: ResourceVector,
+    /// Resources currently committed to instances.
+    pub used: ResourceVector,
+}
+
+impl Host {
+    /// Available resources `A_v`.
+    pub fn available(&self) -> ResourceVector {
+        self.capacity.saturating_sub(self.used)
+    }
+}
+
+/// The Resource Orchestrator.
+///
+/// # Example
+///
+/// ```
+/// use apple_core::orchestrator::ResourceOrchestrator;
+/// use apple_nf::NfType;
+/// use apple_topology::{zoo, NodeId};
+///
+/// let topo = zoo::internet2();
+/// let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+/// let id = orch.launch(NodeId(0), NfType::Firewall)?;
+/// assert_eq!(orch.instance(id).unwrap().nf(), NfType::Firewall);
+/// # Ok::<(), apple_core::orchestrator::OrchestratorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResourceOrchestrator {
+    hosts: BTreeMap<usize, Host>,
+    instances: BTreeMap<InstanceId, VnfInstance>,
+    next_id: u64,
+}
+
+impl ResourceOrchestrator {
+    /// Creates an orchestrator with one host per switch, each with
+    /// `cores` CPU cores (the paper uses 64) and memory sized generously so
+    /// cores are the binding resource.
+    pub fn with_uniform_hosts(topo: &apple_topology::Topology, cores: u32) -> Self {
+        let hosts = topo
+            .graph
+            .node_ids()
+            .map(|n| {
+                (
+                    n.0,
+                    Host {
+                        switch: n,
+                        capacity: ResourceVector::new(cores, cores * 4096),
+                        used: ResourceVector::zero(),
+                    },
+                )
+            })
+            .collect();
+        ResourceOrchestrator {
+            hosts,
+            instances: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Available resources at the host of switch `v` (what the engine polls).
+    pub fn available(&self, v: NodeId) -> Option<ResourceVector> {
+        self.hosts.get(&v.0).map(Host::available)
+    }
+
+    /// All hosts, keyed by switch index.
+    pub fn hosts(&self) -> &BTreeMap<usize, Host> {
+        &self.hosts
+    }
+
+    /// Launches an instance of `nf` on the host at `v`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::NoHost`] or
+    /// [`OrchestratorError::InsufficientResources`].
+    pub fn launch(&mut self, v: NodeId, nf: NfType) -> Result<InstanceId, OrchestratorError> {
+        let host = self
+            .hosts
+            .get_mut(&v.0)
+            .ok_or(OrchestratorError::NoHost(v.0))?;
+        let needed = VnfSpec::of(nf).resources();
+        let available = host.available();
+        if !needed.fits_in(&available) {
+            return Err(OrchestratorError::InsufficientResources {
+                switch: v.0,
+                needed,
+                available,
+            });
+        }
+        host.used += needed;
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        self.instances.insert(id, VnfInstance::new(id, nf, v.0));
+        Ok(id)
+    }
+
+    /// Tears an instance down, releasing its resources.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::UnknownInstance`].
+    pub fn teardown(&mut self, id: InstanceId) -> Result<(), OrchestratorError> {
+        let inst = self
+            .instances
+            .remove(&id)
+            .ok_or(OrchestratorError::UnknownInstance(id))?;
+        let host = self
+            .hosts
+            .get_mut(&inst.host_switch())
+            .expect("instances always reference existing hosts");
+        host.used = host.used.saturating_sub(inst.spec().resources());
+        Ok(())
+    }
+
+    /// Shared access to an instance.
+    pub fn instance(&self, id: InstanceId) -> Option<&VnfInstance> {
+        self.instances.get(&id)
+    }
+
+    /// Mutable access to an instance (load updates).
+    pub fn instance_mut(&mut self, id: InstanceId) -> Option<&mut VnfInstance> {
+        self.instances.get_mut(&id)
+    }
+
+    /// All instances, ordered by id.
+    pub fn instances(&self) -> impl Iterator<Item = &VnfInstance> {
+        self.instances.values()
+    }
+
+    /// Instances of `nf` on the host at `v`, ordered by id.
+    pub fn instances_at(&self, v: NodeId, nf: NfType) -> Vec<InstanceId> {
+        self.instances
+            .values()
+            .filter(|i| i.host_switch() == v.0 && i.nf() == nf)
+            .map(|i| i.id())
+            .collect()
+    }
+
+    /// Total cores committed across all hosts — the Fig. 11 metric.
+    pub fn total_cores_used(&self) -> u32 {
+        self.hosts.values().map(|h| h.used.cores).sum()
+    }
+
+    /// Number of live instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apple_topology::zoo;
+
+    #[test]
+    fn launch_commits_resources() {
+        let topo = zoo::internet2();
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let before = orch.available(NodeId(2)).unwrap();
+        let id = orch.launch(NodeId(2), NfType::Ids).unwrap();
+        let after = orch.available(NodeId(2)).unwrap();
+        assert_eq!(before.cores - after.cores, 8);
+        assert_eq!(orch.instance(id).unwrap().host_switch(), 2);
+        assert_eq!(orch.total_cores_used(), 8);
+    }
+
+    #[test]
+    fn teardown_releases_resources() {
+        let topo = zoo::internet2();
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let id = orch.launch(NodeId(0), NfType::Nat).unwrap();
+        orch.teardown(id).unwrap();
+        assert_eq!(orch.available(NodeId(0)).unwrap().cores, 64);
+        assert_eq!(orch.instance_count(), 0);
+        assert_eq!(
+            orch.teardown(id),
+            Err(OrchestratorError::UnknownInstance(id))
+        );
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 8);
+        // 8 cores fit two firewalls (4 each), not three.
+        orch.launch(NodeId(0), NfType::Firewall).unwrap();
+        orch.launch(NodeId(0), NfType::Firewall).unwrap();
+        let err = orch.launch(NodeId(0), NfType::Firewall);
+        assert!(matches!(
+            err,
+            Err(OrchestratorError::InsufficientResources { switch: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_host_rejected() {
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 8);
+        assert_eq!(
+            orch.launch(NodeId(9), NfType::Nat),
+            Err(OrchestratorError::NoHost(9))
+        );
+    }
+
+    #[test]
+    fn instances_at_filters() {
+        let topo = zoo::line(3);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let a = orch.launch(NodeId(1), NfType::Firewall).unwrap();
+        let _b = orch.launch(NodeId(1), NfType::Nat).unwrap();
+        let c = orch.launch(NodeId(1), NfType::Firewall).unwrap();
+        assert_eq!(orch.instances_at(NodeId(1), NfType::Firewall), vec![a, c]);
+        assert!(orch.instances_at(NodeId(0), NfType::Firewall).is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let a = orch.launch(NodeId(0), NfType::Nat).unwrap();
+        let b = orch.launch(NodeId(1), NfType::Nat).unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = OrchestratorError::NoHost(4);
+        assert!(e.to_string().contains("switch 4"));
+    }
+}

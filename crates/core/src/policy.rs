@@ -1,0 +1,193 @@
+//! NF policies: the policy chains `C_h = <c^j_h>` flows must traverse.
+//!
+//! Because no public corpus of real NF policies exists, §IX-A of the paper
+//! synthesises chains over four NF types (firewall, proxy, NAT, IDS) based
+//! on middlebox deployment studies and the IETF SFC data-center use cases.
+//! We do the same: a small library of realistic chains, assigned to traffic
+//! classes deterministically.
+
+use apple_nf::NfType;
+use std::fmt;
+
+/// An ordered NF policy chain, e.g. `firewall → IDS → proxy`.
+///
+/// Chains never repeat an NF type: the paper's index function `i(C, h, n)`
+/// assumes each NF appears at most once per chain, and §V-B assumes a
+/// packet never traverses the same instance twice.
+///
+/// # Example
+///
+/// ```
+/// use apple_core::PolicyChain;
+/// use apple_nf::NfType;
+///
+/// let chain = PolicyChain::new(vec![NfType::Firewall, NfType::Ids])?;
+/// assert_eq!(chain.len(), 2);
+/// assert_eq!(chain.position(NfType::Ids), Some(1));
+/// # Ok::<(), apple_core::policy::PolicyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PolicyChain {
+    nfs: Vec<NfType>,
+}
+
+/// Errors constructing a policy chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// Chains must name at least one NF.
+    Empty,
+    /// The same NF type appeared twice.
+    Duplicate(NfType),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::Empty => write!(f, "policy chain must contain at least one NF"),
+            PolicyError::Duplicate(n) => write!(f, "NF {n} appears twice in the chain"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl PolicyChain {
+    /// Builds a chain, rejecting empty or duplicated sequences.
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::Empty`] and [`PolicyError::Duplicate`].
+    pub fn new(nfs: Vec<NfType>) -> Result<PolicyChain, PolicyError> {
+        if nfs.is_empty() {
+            return Err(PolicyError::Empty);
+        }
+        for (i, n) in nfs.iter().enumerate() {
+            if nfs[..i].contains(n) {
+                return Err(PolicyError::Duplicate(*n));
+            }
+        }
+        Ok(PolicyChain { nfs })
+    }
+
+    /// The NFs in traversal order.
+    pub fn nfs(&self) -> &[NfType] {
+        &self.nfs
+    }
+
+    /// Chain length — the paper's `|C_h|` / `C(h)`.
+    pub fn len(&self) -> usize {
+        self.nfs.len()
+    }
+
+    /// Chains are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Position of `nf` in the chain — the paper's `i(C, h, n)`.
+    pub fn position(&self, nf: NfType) -> Option<usize> {
+        self.nfs.iter().position(|&n| n == nf)
+    }
+
+    /// Whether the chain uses `nf`.
+    pub fn contains(&self, nf: NfType) -> bool {
+        self.position(nf).is_some()
+    }
+
+    /// The synthetic policy library of §IX-A: chains observed in middlebox
+    /// deployment studies and the SFC data-center use cases, over the four
+    /// NFs of Table IV.
+    pub fn library() -> Vec<PolicyChain> {
+        let chains: [&[NfType]; 5] = [
+            &[NfType::Firewall, NfType::Ids],
+            &[NfType::Firewall, NfType::Proxy],
+            &[NfType::Nat, NfType::Firewall],
+            &[NfType::Firewall, NfType::Ids, NfType::Proxy],
+            &[NfType::Nat, NfType::Firewall, NfType::Ids],
+        ];
+        chains
+            .iter()
+            .map(|c| PolicyChain::new(c.to_vec()).expect("library chains are valid"))
+            .collect()
+    }
+
+    /// Deterministically assigns a library chain to an OD pair — the stand-
+    /// in for operator-specified per-class policies.
+    pub fn assign(src: usize, dst: usize) -> PolicyChain {
+        let lib = Self::library();
+        // Mix the pair into a stable index (FNV-ish).
+        let mut h = 0xcbf29ce484222325u64;
+        for b in [src as u64, dst as u64, 0x9e37] {
+            h ^= b;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        lib[(h % lib.len() as u64) as usize].clone()
+    }
+}
+
+impl fmt::Display for PolicyChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, n) in self.nfs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert_eq!(PolicyChain::new(vec![]), Err(PolicyError::Empty));
+        assert_eq!(
+            PolicyChain::new(vec![NfType::Firewall, NfType::Firewall]),
+            Err(PolicyError::Duplicate(NfType::Firewall))
+        );
+    }
+
+    #[test]
+    fn position_matches_order() {
+        let c = PolicyChain::new(vec![NfType::Nat, NfType::Firewall, NfType::Ids]).unwrap();
+        assert_eq!(c.position(NfType::Nat), Some(0));
+        assert_eq!(c.position(NfType::Ids), Some(2));
+        assert_eq!(c.position(NfType::Proxy), None);
+        assert!(c.contains(NfType::Firewall));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn library_is_valid_and_varied() {
+        let lib = PolicyChain::library();
+        assert!(lib.len() >= 4);
+        let lens: Vec<usize> = lib.iter().map(PolicyChain::len).collect();
+        assert!(lens.contains(&2) && lens.contains(&3));
+    }
+
+    #[test]
+    fn assign_is_deterministic_and_covers_library() {
+        let a = PolicyChain::assign(3, 9);
+        let b = PolicyChain::assign(3, 9);
+        assert_eq!(a, b);
+        // Over many pairs, more than one chain must be chosen.
+        let mut seen = std::collections::BTreeSet::new();
+        for s in 0..10 {
+            for d in 0..10 {
+                if s != d {
+                    seen.insert(PolicyChain::assign(s, d));
+                }
+            }
+        }
+        assert!(seen.len() >= 3, "assignment not varied: {}", seen.len());
+    }
+
+    #[test]
+    fn display_format() {
+        let c = PolicyChain::new(vec![NfType::Firewall, NfType::Ids]).unwrap();
+        assert_eq!(c.to_string(), "Firewall -> IDS");
+    }
+}

@@ -1,0 +1,446 @@
+//! Operator policy specifications — a small text format for the NF
+//! policies of §I ("a network operator may specify a policy that requires
+//! all http traffic follow the policy chain: firewall → IDS → web proxy").
+//!
+//! One policy per line:
+//!
+//! ```text
+//! # name [weight]: [proto N,] [dst_port P1,P2,...] => nf -> nf -> ...
+//! policy http 0.5: dst_port 80,8080 => firewall -> ids -> proxy
+//! policy dns: proto 17, dst_port 53 => firewall
+//! default => nat -> firewall
+//! ```
+//!
+//! * `weight` (optional) is the fraction of a traffic aggregate this class
+//!   of traffic represents; weights are normalised over matching rules.
+//! * `default` catches traffic no rule matches.
+//!
+//! [`PolicySpec::classify`] maps a flow to its chain;
+//! [`crate::classes::ClassSet::build_with_policies`] expands each OD pair
+//! into one equivalence class per matching policy, splitting the pair's
+//! rate by the weights — the operator-driven alternative to the synthetic
+//! per-pair chain assignment.
+
+use crate::policy::{PolicyChain, PolicyError};
+use apple_nf::NfType;
+use apple_traffic::Flow;
+use std::fmt;
+
+/// One parsed policy rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRule {
+    /// Rule name (diagnostics).
+    pub name: String,
+    /// Relative traffic weight (normalised across the spec).
+    pub weight: f64,
+    /// Optional protocol requirement (6 = TCP, 17 = UDP).
+    pub proto: Option<u8>,
+    /// Destination ports; empty = any.
+    pub dst_ports: Vec<u16>,
+    /// The chain to enforce.
+    pub chain: PolicyChain,
+}
+
+impl PolicyRule {
+    /// Whether the rule matches a flow.
+    pub fn matches(&self, flow: &Flow) -> bool {
+        self.proto.is_none_or(|p| flow.proto == p)
+            && (self.dst_ports.is_empty() || self.dst_ports.contains(&flow.dst_port))
+    }
+}
+
+/// A full policy specification.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicySpec {
+    rules: Vec<PolicyRule>,
+    default: Option<PolicyChain>,
+}
+
+/// One normalised traffic share with its chain and transport predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedPolicy {
+    /// The chain to enforce.
+    pub chain: PolicyChain,
+    /// Normalised traffic fraction.
+    pub weight: f64,
+    /// Required protocol, if any.
+    pub proto: Option<u8>,
+    /// Destination ports (empty = any).
+    pub dst_ports: Vec<u16>,
+}
+
+/// Errors parsing a policy spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// Line didn't match the grammar.
+    Syntax { line: usize, reason: String },
+    /// Unknown NF name in a chain.
+    UnknownNf { line: usize, name: String },
+    /// The chain itself was invalid (empty / duplicate NF).
+    Chain { line: usize, error: PolicyError },
+    /// Two rules share a name.
+    DuplicateName { line: usize, name: String },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Syntax { line, reason } => write!(f, "line {line}: {reason}"),
+            SpecError::UnknownNf { line, name } => {
+                write!(f, "line {line}: unknown network function `{name}`")
+            }
+            SpecError::Chain { line, error } => write!(f, "line {line}: {error}"),
+            SpecError::DuplicateName { line, name } => {
+                write!(f, "line {line}: duplicate policy name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_nf(token: &str) -> Option<NfType> {
+    match token.to_ascii_lowercase().as_str() {
+        "firewall" | "fw" => Some(NfType::Firewall),
+        "proxy" => Some(NfType::Proxy),
+        "nat" => Some(NfType::Nat),
+        "ids" => Some(NfType::Ids),
+        _ => None,
+    }
+}
+
+fn parse_chain(text: &str, line: usize) -> Result<PolicyChain, SpecError> {
+    let mut nfs = Vec::new();
+    for token in text.split("->") {
+        let token = token.trim();
+        if token.is_empty() {
+            return Err(SpecError::Syntax {
+                line,
+                reason: "empty NF in chain".into(),
+            });
+        }
+        let nf = parse_nf(token).ok_or_else(|| SpecError::UnknownNf {
+            line,
+            name: token.to_string(),
+        })?;
+        nfs.push(nf);
+    }
+    PolicyChain::new(nfs).map_err(|error| SpecError::Chain { line, error })
+}
+
+impl PolicySpec {
+    /// Parses a specification.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SpecError`] variant; comments (`#`) and blank lines are
+    /// skipped.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use apple_core::policy_spec::PolicySpec;
+    ///
+    /// let spec = PolicySpec::parse(
+    ///     "policy http: dst_port 80 => firewall -> ids -> proxy\n\
+    ///      default => nat -> firewall",
+    /// )?;
+    /// assert_eq!(spec.rules().len(), 1);
+    /// assert!(spec.default_chain().is_some());
+    /// # Ok::<(), apple_core::policy_spec::SpecError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<PolicySpec, SpecError> {
+        let mut spec = PolicySpec::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("default") {
+                let rest = rest.trim();
+                let chain_text = rest.strip_prefix("=>").ok_or_else(|| SpecError::Syntax {
+                    line,
+                    reason: "default needs `=> chain`".into(),
+                })?;
+                spec.default = Some(parse_chain(chain_text, line)?);
+                continue;
+            }
+            let Some(rest) = trimmed.strip_prefix("policy ") else {
+                return Err(SpecError::Syntax {
+                    line,
+                    reason: "expected `policy` or `default`".into(),
+                });
+            };
+            let (head, chain_text) = rest.split_once("=>").ok_or_else(|| SpecError::Syntax {
+                line,
+                reason: "missing `=>`".into(),
+            })?;
+            let (name_part, match_part) = match head.split_once(':') {
+                Some((n, m)) => (n.trim(), m.trim()),
+                None => (head.trim(), ""),
+            };
+            // name [weight]
+            let mut name_tokens = name_part.split_whitespace();
+            let name = name_tokens
+                .next()
+                .ok_or_else(|| SpecError::Syntax {
+                    line,
+                    reason: "missing policy name".into(),
+                })?
+                .to_string();
+            let weight = match name_tokens.next() {
+                Some(w) => w.parse::<f64>().ok().filter(|w| *w > 0.0).ok_or_else(|| {
+                    SpecError::Syntax {
+                        line,
+                        reason: format!("bad weight `{w}`"),
+                    }
+                })?,
+                None => 1.0,
+            };
+            if spec.rules.iter().any(|r| r.name == name) {
+                return Err(SpecError::DuplicateName { line, name });
+            }
+            // match criteria: comma/space separated `proto N` and
+            // `dst_port P1,P2`.
+            let mut proto = None;
+            let mut dst_ports = Vec::new();
+            let mut tokens = match_part
+                .split([',', ' '])
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .peekable();
+            while let Some(tok) = tokens.next() {
+                match tok {
+                    "proto" => {
+                        let v = tokens.next().ok_or_else(|| SpecError::Syntax {
+                            line,
+                            reason: "proto needs a number".into(),
+                        })?;
+                        proto = Some(v.parse().map_err(|_| SpecError::Syntax {
+                            line,
+                            reason: format!("bad proto `{v}`"),
+                        })?);
+                    }
+                    "dst_port" => {
+                        // Consume following numeric tokens as ports.
+                        while let Some(&next) = tokens.peek() {
+                            match next.parse::<u16>() {
+                                Ok(p) => {
+                                    dst_ports.push(p);
+                                    tokens.next();
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        if dst_ports.is_empty() {
+                            return Err(SpecError::Syntax {
+                                line,
+                                reason: "dst_port needs at least one port".into(),
+                            });
+                        }
+                    }
+                    other => {
+                        return Err(SpecError::Syntax {
+                            line,
+                            reason: format!("unknown match criterion `{other}`"),
+                        })
+                    }
+                }
+            }
+            spec.rules.push(PolicyRule {
+                name,
+                weight,
+                proto,
+                dst_ports,
+                chain: parse_chain(chain_text, line)?,
+            });
+        }
+        Ok(spec)
+    }
+
+    /// The parsed rules, in order.
+    pub fn rules(&self) -> &[PolicyRule] {
+        &self.rules
+    }
+
+    /// The default chain, if any.
+    pub fn default_chain(&self) -> Option<&PolicyChain> {
+        self.default.as_ref()
+    }
+
+    /// First-match classification of a flow (falling back to the default).
+    pub fn classify(&self, flow: &Flow) -> Option<&PolicyChain> {
+        self.rules
+            .iter()
+            .find(|r| r.matches(flow))
+            .map(|r| &r.chain)
+            .or(self.default.as_ref())
+    }
+
+    /// Normalised traffic shares for aggregate expansion: every rule plus
+    /// the default (which absorbs the residual weight 1.0 when present).
+    /// Each entry keeps the rule's transport predicate so classes built
+    /// from it can be matched in the data plane. Used by
+    /// [`crate::classes::ClassSet::build_with_policies`].
+    pub fn weighted_policies(&self) -> Vec<WeightedPolicy> {
+        let mut out: Vec<WeightedPolicy> = self
+            .rules
+            .iter()
+            .map(|r| WeightedPolicy {
+                chain: r.chain.clone(),
+                weight: r.weight,
+                proto: r.proto,
+                dst_ports: r.dst_ports.clone(),
+            })
+            .collect();
+        if let Some(d) = &self.default {
+            out.push(WeightedPolicy {
+                chain: d.clone(),
+                weight: 1.0,
+                proto: None,
+                dst_ports: Vec::new(),
+            });
+        }
+        let total: f64 = out.iter().map(|p| p.weight).sum();
+        if total > 0.0 {
+            for p in &mut out {
+                p.weight /= total;
+            }
+        }
+        out
+    }
+
+    /// `(chain, normalised weight)` pairs — the predicate-free view of
+    /// [`PolicySpec::weighted_policies`].
+    pub fn weighted_chains(&self) -> Vec<(PolicyChain, f64)> {
+        self.weighted_policies()
+            .into_iter()
+            .map(|p| (p.chain, p.weight))
+            .collect()
+    }
+
+    /// A representative spec mirroring the paper's intro example plus SFC
+    /// data-center use cases.
+    pub fn example() -> PolicySpec {
+        PolicySpec::parse(
+            "policy http 0.45: dst_port 80,8080 => firewall -> ids -> proxy\n\
+             policy https 0.3: dst_port 443 => firewall -> ids\n\
+             policy dns 0.05: proto 17, dst_port 53 => firewall\n\
+             default => nat -> firewall",
+        )
+        .expect("example spec is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apple_topology::NodeId;
+
+    fn flow(proto: u8, dst_port: u16) -> Flow {
+        Flow {
+            src_ip: 0x0a010101,
+            dst_ip: 0x0a020202,
+            src_port: 40_000,
+            dst_port,
+            proto,
+            rate_mbps: 1.0,
+            ingress: NodeId(0),
+            egress: NodeId(1),
+        }
+    }
+
+    #[test]
+    fn parses_the_paper_example() {
+        let spec = PolicySpec::parse(
+            "# the §I example\npolicy http: dst_port 80 => firewall -> ids -> proxy",
+        )
+        .unwrap();
+        assert_eq!(spec.rules().len(), 1);
+        let chain = spec.classify(&flow(6, 80)).unwrap();
+        assert_eq!(
+            chain.nfs(),
+            &[NfType::Firewall, NfType::Ids, NfType::Proxy]
+        );
+        // Non-http traffic has no policy (no default).
+        assert!(spec.classify(&flow(6, 22)).is_none());
+    }
+
+    #[test]
+    fn default_catches_everything_else() {
+        let spec = PolicySpec::example();
+        let c = spec.classify(&flow(6, 2_222)).unwrap();
+        assert_eq!(c.nfs(), &[NfType::Nat, NfType::Firewall]);
+    }
+
+    #[test]
+    fn proto_and_port_both_required() {
+        let spec = PolicySpec::example();
+        // TCP port 53 is NOT dns (dns rule wants proto 17) and falls to the
+        // default.
+        let c = spec.classify(&flow(6, 53)).unwrap();
+        assert_eq!(c.nfs(), &[NfType::Nat, NfType::Firewall]);
+        let c2 = spec.classify(&flow(17, 53)).unwrap();
+        assert_eq!(c2.nfs(), &[NfType::Firewall]);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let spec = PolicySpec::parse(
+            "policy a: dst_port 80 => firewall\n\
+             policy b: dst_port 80 => ids",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.classify(&flow(6, 80)).unwrap().nfs(),
+            &[NfType::Firewall]
+        );
+    }
+
+    #[test]
+    fn weights_normalised() {
+        let spec = PolicySpec::example();
+        let chains = spec.weighted_chains();
+        let total: f64 = chains.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(chains.len(), 4); // 3 rules + default
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            PolicySpec::parse("policy x: dst_port 80 => frobnicator"),
+            Err(SpecError::UnknownNf { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("policy x: dst_port 80 => firewall -> firewall"),
+            Err(SpecError::Chain { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("nonsense line"),
+            Err(SpecError::Syntax { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("policy a: dst_port 80 => ids\npolicy a: dst_port 81 => ids"),
+            Err(SpecError::DuplicateName { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("policy x -2: dst_port 80 => ids"),
+            Err(SpecError::Syntax { .. })
+        ));
+        assert!(matches!(
+            PolicySpec::parse("policy x: dst_port => ids"),
+            Err(SpecError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn aliases_and_case_insensitive() {
+        let spec = PolicySpec::parse("policy x: dst_port 80 => FW -> IDS").unwrap();
+        assert_eq!(
+            spec.rules()[0].chain.nfs(),
+            &[NfType::Firewall, NfType::Ids]
+        );
+    }
+}

@@ -1,0 +1,1049 @@
+//! The Rule Generator: turns a placement + sub-class plan into the concrete
+//! data plane of §V-B — Table III TCAM programs on physical switches and
+//! `<InPort, class, sub-class>` rules on host vSwitches — and accounts for
+//! TCAM usage with and without the tagging scheme (Fig. 10).
+
+use crate::classes::{ClassId, ClassSet};
+use crate::engine::Placement;
+use crate::orchestrator::{OrchestratorError, ResourceOrchestrator};
+use crate::subclass::{SplitStrategy, SubclassPlan};
+use apple_dataplane::packet::HostTag;
+use apple_dataplane::switch::{PhysicalSwitch, VPort, VSwitch, VSwitchRule};
+use apple_dataplane::tcam::{Action, MatchSpec, TcamRule};
+use apple_dataplane::walk::NetworkWalker;
+use apple_nf::{InstanceId, NfType, VnfSpec};
+use apple_topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from rule generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleGenError {
+    /// The plan used consistent hashing, which hardware switches cannot
+    /// match on (the paper's implementation uses prefix splitting for the
+    /// same reason).
+    NeedsPrefixSplit,
+    /// Instance launch failed while realising the placement.
+    Orchestration(OrchestratorError),
+    /// A switch's APPLE rules exceed its TCAM budget.
+    TcamBudgetExceeded {
+        /// The over-budget switch.
+        switch: usize,
+        /// Entries the program needs there.
+        entries: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for RuleGenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleGenError::NeedsPrefixSplit => write!(
+                f,
+                "rule generation requires prefix-split sub-classes (hardware cannot hash)"
+            ),
+            RuleGenError::Orchestration(e) => write!(f, "orchestration failed: {e}"),
+            RuleGenError::TcamBudgetExceeded {
+                switch,
+                entries,
+                budget,
+            } => write!(
+                f,
+                "switch {switch} needs {entries} TCAM entries but the budget is {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuleGenError {}
+
+impl From<OrchestratorError> for RuleGenError {
+    fn from(e: OrchestratorError) -> Self {
+        RuleGenError::Orchestration(e)
+    }
+}
+
+/// Whether the switch hardware supports flow-table pipelining (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TcamMode {
+    /// Table III semantics with two pipelined tables (the normal case).
+    #[default]
+    Pipelined,
+    /// No pipelining: the APPLE table and the routing table are merged by
+    /// cross-product, multiplying the TCAM footprint — the paper's stated
+    /// fallback for switches without pipeline support.
+    CrossProduct,
+}
+
+/// Rule-generation options.
+#[derive(Debug, Clone)]
+pub struct RuleGenConfig {
+    /// TCAM accounting mode.
+    pub tcam_mode: TcamMode,
+    /// §X: allocate *global* sub-class tags for classes whose chain
+    /// contains a header-rewriting NF, and match only on the tag downstream
+    /// — prefix classification would break after the rewrite.
+    pub global_tags: bool,
+    /// Model the header rewrite itself in the packet walker (source NAT
+    /// moves sources into the 11/8 pool). Disabling this together with
+    /// `global_tags` reproduces the naive-broken configuration the §X
+    /// discussion warns about.
+    pub model_rewrites: bool,
+    /// Routing-table size per switch used by the cross-product accounting;
+    /// 0 means "one rule per destination switch" (n − 1).
+    pub routing_rules_per_switch: usize,
+    /// Classification compression: install the sub-class with the most
+    /// prefix rules as a single lower-priority *catch-all* for its class
+    /// (the other sub-classes' higher-priority rules carve out their
+    /// shares). Standard TCAM default-rule optimisation; semantics are
+    /// unchanged.
+    pub compress_classification: bool,
+    /// Per-switch TCAM entry budget for APPLE rules (0 = unlimited). TCAM
+    /// is the "power-hungry and expensive" resource of §III; exceeding a
+    /// hardware budget is a hard deployment error, not a soft metric.
+    pub tcam_budget_per_switch: usize,
+}
+
+impl Default for RuleGenConfig {
+    fn default() -> Self {
+        RuleGenConfig {
+            tcam_mode: TcamMode::Pipelined,
+            global_tags: true,
+            model_rewrites: true,
+            routing_rules_per_switch: 0,
+            compress_classification: true,
+            tcam_budget_per_switch: 0,
+        }
+    }
+}
+
+/// Which VNF instance serves each (class, sub-class, chain stage).
+#[derive(Debug, Clone, Default)]
+pub struct InstanceAssignment {
+    map: BTreeMap<(ClassId, u16, usize), InstanceId>,
+    /// Offered load per instance in Mbps (sum of assigned sub-class rates).
+    load: BTreeMap<InstanceId, f64>,
+}
+
+impl InstanceAssignment {
+    /// Instance serving `(class, sub-class, stage)`.
+    pub fn instance(&self, class: ClassId, sub: u16, stage: usize) -> Option<InstanceId> {
+        self.map.get(&(class, sub, stage)).copied()
+    }
+
+    /// Offered load of an instance in Mbps.
+    pub fn load_mbps(&self, id: InstanceId) -> f64 {
+        self.load.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// All `(class, sub, stage) → instance` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&(ClassId, u16, usize), &InstanceId)> {
+        self.map.iter()
+    }
+}
+
+/// TCAM accounting for Fig. 10.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TcamReport {
+    /// Entries per switch with the tagging scheme.
+    pub tagged_per_switch: BTreeMap<usize, usize>,
+    /// Total entries with the tagging scheme.
+    pub tagged_total: usize,
+    /// Estimated total entries without tagging (per-hop header
+    /// classification; replicated across ECMP siblings on multipath
+    /// topologies).
+    pub untagged_total: usize,
+    /// Estimated total entries when the switch cannot pipeline and the
+    /// APPLE table must be cross-producted with the routing table (§V-B).
+    pub cross_product_total: usize,
+}
+
+impl TcamReport {
+    /// The Fig. 10 metric: untagged / tagged.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.tagged_total == 0 {
+            0.0
+        } else {
+            self.untagged_total as f64 / self.tagged_total as f64
+        }
+    }
+
+    /// How much more TCAM the cross-product fallback needs than the
+    /// pipelined layout.
+    pub fn cross_product_penalty(&self) -> f64 {
+        if self.tagged_total == 0 {
+            0.0
+        } else {
+            self.cross_product_total as f64 / self.tagged_total as f64
+        }
+    }
+
+    /// Estimated TCAM power draw in watts at `milliwatts_per_entry` —
+    /// §III calls TCAM "a power-hungry and expensive resource"; published
+    /// measurements put searched 36-bit entries around 10–15 mW each.
+    pub fn power_watts(&self, milliwatts_per_entry: f64) -> f64 {
+        self.tagged_total as f64 * milliwatts_per_entry / 1_000.0
+    }
+
+    /// Power the untagged deployment would draw at the same per-entry
+    /// cost — the Fig. 10 savings expressed in watts.
+    pub fn untagged_power_watts(&self, milliwatts_per_entry: f64) -> f64 {
+        self.untagged_total as f64 * milliwatts_per_entry / 1_000.0
+    }
+}
+
+/// The generated data plane: programmed walker + assignment + accounting.
+#[derive(Debug, Clone)]
+pub struct DataPlaneProgram {
+    /// Programmed switches and hosts, ready to walk packets.
+    pub walker: NetworkWalker,
+    /// Instance serving each sub-class stage.
+    pub assignment: InstanceAssignment,
+    /// TCAM accounting.
+    pub tcam: TcamReport,
+}
+
+/// Generates the data plane with default options (pipelined TCAM, global
+/// tags for header-rewriting chains, rewrites modelled).
+///
+/// # Errors
+///
+/// Same as [`generate_with`].
+pub fn generate(
+    topo: &Topology,
+    classes: &ClassSet,
+    plan: &SubclassPlan,
+    placement: &Placement,
+    orch: &mut ResourceOrchestrator,
+) -> Result<DataPlaneProgram, RuleGenError> {
+    generate_with(topo, classes, plan, placement, orch, &RuleGenConfig::default())
+}
+
+/// Generates the data plane from classes, sub-classes and a placement.
+///
+/// The orchestrator is mutated: instances are launched according to the
+/// placement's `q` counts.
+///
+/// # Errors
+///
+/// [`RuleGenError::NeedsPrefixSplit`] when the plan lacks prefix covers,
+/// [`RuleGenError::Orchestration`] when instance launch fails.
+pub fn generate_with(
+    topo: &Topology,
+    classes: &ClassSet,
+    plan: &SubclassPlan,
+    placement: &Placement,
+    orch: &mut ResourceOrchestrator,
+    config: &RuleGenConfig,
+) -> Result<DataPlaneProgram, RuleGenError> {
+    if plan.strategy() != SplitStrategy::PrefixSplit {
+        return Err(RuleGenError::NeedsPrefixSplit);
+    }
+    // §X: classes whose chain rewrites headers get globally-unique
+    // sub-class tags (allocated from the top half of the tag space so they
+    // never collide with per-class local ids).
+    let mut global_tag: BTreeMap<(ClassId, u16), u16> = BTreeMap::new();
+    if config.global_tags {
+        let mut next: u16 = 0x8000;
+        for s in plan.subclasses() {
+            let class = classes.class(s.class).expect("plan refers to known classes");
+            let rewrites = class
+                .chain
+                .nfs()
+                .iter()
+                .any(|&nf| VnfSpec::of(nf).rewrites_headers());
+            if rewrites {
+                global_tag.insert((s.class, s.id), next);
+                next = next.checked_add(1).expect("fewer than 32k rewritten sub-classes");
+            }
+        }
+    }
+    let tag_of = |class: ClassId, sub: u16| -> u16 {
+        global_tag.get(&(class, sub)).copied().unwrap_or(sub)
+    };
+    // 1. Launch instances per q.
+    for (v, nf, count) in placement.q_entries() {
+        for _ in 0..count {
+            orch.launch(v, nf)?;
+        }
+    }
+    // 2. Assign sub-class stages to instances (best-fit decreasing by
+    //    load).
+    let assignment = assign_instances(classes, plan, orch);
+
+    // 3. Program physical switches.
+    let mut walker = NetworkWalker::new();
+    let mut switches: BTreeMap<usize, PhysicalSwitch> = topo
+        .graph
+        .node_ids()
+        .map(|n| (n.0, PhysicalSwitch::new(n.0, false)))
+        .collect();
+    // Host-match + pass-by rules.
+    let hosts_in_use: std::collections::BTreeSet<usize> = orch
+        .instances()
+        .map(apple_nf::VnfInstance::host_switch)
+        .collect();
+    for (id, sw) in switches.iter_mut() {
+        if hosts_in_use.contains(id) {
+            sw.has_host = true;
+            sw.install_host_match();
+        }
+        sw.install_pass_by();
+    }
+    // Ingress classification rules per sub-class (Table III rows 2 and 3).
+    // With compression, the sub-class owning the most prefix rules becomes
+    // a single lower-priority catch-all over the whole class /24; its
+    // siblings' higher-priority rules carve out their shares.
+    let mut catch_all: BTreeMap<ClassId, u16> = BTreeMap::new();
+    if config.compress_classification {
+        let mut best: BTreeMap<ClassId, (u16, usize)> = BTreeMap::new();
+        for s in plan.subclasses() {
+            let entry = best.entry(s.class).or_insert((s.id, 0));
+            if s.prefixes.len() > entry.1 {
+                *entry = (s.id, s.prefixes.len());
+            }
+        }
+        // Only worth it when the elected sub-class has more than one rule.
+        for (class, (sid, count)) in best {
+            if count > 1 {
+                catch_all.insert(class, sid);
+            }
+        }
+    }
+    for s in plan.subclasses() {
+        let class = classes.class(s.class).expect("plan refers to known classes");
+        let ingress = class.path.first().0;
+        let positions = s.host_positions();
+        let first_pos = positions.first().copied();
+        let sw = switches.get_mut(&ingress).expect("ingress switch exists");
+        let tag = tag_of(s.class, s.id);
+        // Transport predicates from operator policies make a class more
+        // specific than its same-pair siblings; specificity lifts the
+        // priority so e.g. the http class wins over the pair's default.
+        let specificity = class_specificity(class);
+        let actions = match first_pos {
+            // Row 2: first processing host hangs off the ingress switch.
+            Some(0) => vec![Action::SetSubclassTag(tag), Action::ForwardToHost],
+            // Row 3: tag sub-class + next host, continue forwarding.
+            Some(i) => vec![
+                Action::SetSubclassTag(tag),
+                Action::SetHostTag(HostTag::Host(class.path.nodes()[i].0 as u16)),
+                Action::GotoNextTable,
+            ],
+            // Chain fully satisfied elsewhere (cannot happen: chains are
+            // non-empty), mark finished defensively.
+            None => vec![
+                Action::SetSubclassTag(tag),
+                Action::SetHostTag(HostTag::Fin),
+                Action::GotoNextTable,
+            ],
+        };
+        if catch_all.get(&s.class) == Some(&s.id) {
+            // Catch-all rule(s) over the class's whole source /24, one per
+            // transport variant.
+            for variant in predicate_variants(class) {
+                let spec = apply_variant(
+                    MatchSpec::any()
+                        .host_tag(HostTag::Empty)
+                        .src(class.src_prefix.0, class.src_prefix.1)
+                        .dst(class.dst_prefix.0, class.dst_prefix.1),
+                    variant,
+                );
+                sw.apple_table.install(TcamRule {
+                    // Specificity dominates the exact/catch-all split: a
+                    // specific class's catch-all must still beat a
+                    // same-pair wildcard class's exact rules.
+                    priority: 1_000 * specificity + 150,
+                    spec,
+                    actions: actions.clone(),
+                    label: format!("classify {}/s{} (catch-all)", s.class, s.id),
+                });
+            }
+            continue;
+        }
+        for &(addr, len) in &s.prefixes {
+            for variant in predicate_variants(class) {
+                let spec = apply_variant(
+                    MatchSpec::any()
+                        .host_tag(HostTag::Empty)
+                        .src(addr, len)
+                        .dst(class.dst_prefix.0, class.dst_prefix.1),
+                    variant,
+                );
+                sw.apple_table.install(TcamRule {
+                    priority: 1_000 * specificity + 200,
+                    spec,
+                    actions: actions.clone(),
+                    label: format!("classify {}/s{}", s.class, s.id),
+                });
+            }
+        }
+    }
+
+    // 4. Program vSwitches. vSwitch lookup is first-match, so sub-classes
+    //    of transport-specific classes install before wildcard siblings of
+    //    the same OD pair (a port-80 packet must hit the http rules, not
+    //    the pair's default).
+    let mut vswitches: BTreeMap<usize, VSwitch> = hosts_in_use
+        .iter()
+        .map(|&v| (v, VSwitch::new(v)))
+        .collect();
+    let mut ordered: Vec<&crate::subclass::Subclass> = plan.subclasses().iter().collect();
+    ordered.sort_by_key(|s| {
+        let class = classes.class(s.class).expect("plan refers to known classes");
+        std::cmp::Reverse(class_specificity(class))
+    });
+    for s in ordered {
+        let class = classes.class(s.class).expect("plan refers to known classes");
+        let tag = tag_of(s.class, s.id);
+        // Globally-tagged sub-classes match on the tag alone: their header
+        // prefixes stop being valid once the rewriting NF has run (§X).
+        let global = global_tag.contains_key(&(s.class, s.id));
+        let base_spec = if global {
+            MatchSpec::any()
+        } else {
+            MatchSpec::any()
+                .src(class.src_prefix.0, class.src_prefix.1)
+                .dst(class.dst_prefix.0, class.dst_prefix.1)
+        };
+        // Global tags are unique, so no transport variant is needed to
+        // disambiguate; header-matched rules need one per variant.
+        let variants: Vec<Variant> = if global {
+            vec![(None, None)]
+        } else {
+            predicate_variants(class)
+        };
+        let positions = s.host_positions();
+        for (pi, &pos) in positions.iter().enumerate() {
+            let v = class.path.nodes()[pos].0;
+            let stages = s.stages_at(pos);
+            let insts: Vec<InstanceId> = stages
+                .iter()
+                .map(|&j| {
+                    assignment
+                        .instance(s.class, s.id, j)
+                        .expect("assignment covers every stage")
+                })
+                .collect();
+            let vs = vswitches.get_mut(&v).expect("hosts in use have vswitches");
+            // Exit tag: next host on the path, or Fin.
+            let exit_tag = match positions.get(pi + 1) {
+                Some(&next) => HostTag::Host(class.path.nodes()[next].0 as u16),
+                None => HostTag::Fin,
+            };
+            for &variant in &variants {
+                let class_spec = apply_variant(base_spec, variant);
+                let mut port = VPort::Network;
+                for (k, &inst) in insts.iter().enumerate() {
+                    vs.install(VSwitchRule {
+                        in_port: port,
+                        spec: class_spec,
+                        subclass: Some(tag),
+                        set_host_tag: None,
+                        set_subclass_tag: None,
+                        verdict: apple_dataplane::switch::VSwitchVerdict::ToVnf(inst),
+                        label: format!("{}/s{} stage{}", s.class, s.id, stages[k]),
+                    });
+                    port = VPort::FromVnf(inst);
+                }
+                vs.install(VSwitchRule {
+                    in_port: port,
+                    spec: class_spec,
+                    subclass: Some(tag),
+                    set_host_tag: Some(exit_tag),
+                    set_subclass_tag: None,
+                    verdict: apple_dataplane::switch::VSwitchVerdict::ToNetwork,
+                    label: format!("{}/s{} exit@v{v}", s.class, s.id),
+                });
+            }
+        }
+    }
+
+    // 5. Accounting + assembly. The pass-by rule is the table-miss default
+    //    (costs no TCAM entry), so it is excluded from the count.
+    let mut tagged_per_switch = BTreeMap::new();
+    for (id, sw) in &switches {
+        let billable = sw
+            .apple_table
+            .iter()
+            .filter(|r| r.label != "pass-by")
+            .count();
+        tagged_per_switch.insert(*id, billable);
+    }
+    let tagged_total = tagged_per_switch.values().sum();
+    // §V-B fallback: without pipelining, every APPLE entry is multiplied by
+    // the routing table it must be cross-producted with.
+    let routing_rules = if config.routing_rules_per_switch == 0 {
+        topo.graph.node_count().saturating_sub(1)
+    } else {
+        config.routing_rules_per_switch
+    };
+    if config.tcam_budget_per_switch > 0 {
+        // A switch without pipelining must fit the cross-product, not just
+        // the APPLE table.
+        let factor = match config.tcam_mode {
+            TcamMode::Pipelined => 1,
+            TcamMode::CrossProduct => routing_rules.max(1),
+        };
+        for (&switch, &entries) in &tagged_per_switch {
+            let billable = entries * factor;
+            if billable > config.tcam_budget_per_switch {
+                return Err(RuleGenError::TcamBudgetExceeded {
+                    switch,
+                    entries: billable,
+                    budget: config.tcam_budget_per_switch,
+                });
+            }
+        }
+    }
+    let untagged_total =
+        untagged_estimate(topo, classes, plan, config.compress_classification);
+    let cross_product_total: usize = tagged_per_switch
+        .values()
+        .map(|&billable| billable * routing_rules.max(1))
+        .sum();
+    for (_, sw) in switches {
+        walker.add_switch(sw);
+    }
+    for (_, vs) in vswitches {
+        walker.add_host(vs);
+    }
+    // Register header-rewriting instances so walks exercise the §X
+    // behaviour.
+    if config.model_rewrites {
+        for (&(class, _sub, stage), &inst) in assignment.entries() {
+            let nf = classes
+                .class(class)
+                .expect("assignment refers to known classes")
+                .chain
+                .nfs()[stage];
+            if VnfSpec::of(nf).rewrites_headers() {
+                walker.add_rewriter(inst);
+            }
+        }
+    }
+    Ok(DataPlaneProgram {
+        walker,
+        assignment,
+        tcam: TcamReport {
+            tagged_per_switch,
+            tagged_total,
+            untagged_total,
+            cross_product_total,
+        },
+    })
+}
+
+/// One transport-predicate variant: `(proto, dst_port)` with `None` =
+/// wildcard. A class with N ports needs N TCAM rules per prefix — real
+/// hardware pays the same.
+type Variant = (Option<u8>, Option<u16>);
+
+/// The transport variants of a class's predicate.
+fn predicate_variants(class: &crate::classes::EquivalenceClass) -> Vec<Variant> {
+    if class.dst_ports.is_empty() {
+        vec![(class.proto, None)]
+    } else {
+        class
+            .dst_ports
+            .iter()
+            .map(|&p| (class.proto, Some(p)))
+            .collect()
+    }
+}
+
+/// Applies a variant to a match spec.
+fn apply_variant(mut spec: MatchSpec, variant: Variant) -> MatchSpec {
+    if let Some(p) = variant.0 {
+        spec = spec.proto(p);
+    }
+    if let Some(port) = variant.1 {
+        spec = spec.dst_port(port);
+    }
+    spec
+}
+
+/// Priority bump for classes with transport predicates: proto +1, ports
+/// +2 — specific classes must beat same-pair wildcard classes.
+fn class_specificity(class: &crate::classes::EquivalenceClass) -> u16 {
+    u16::from(class.proto.is_some()) + 2 * u16::from(!class.dst_ports.is_empty())
+}
+
+/// Best-fit-decreasing assignment of sub-class stage loads to instances.
+fn assign_instances(
+    classes: &ClassSet,
+    plan: &SubclassPlan,
+    orch: &ResourceOrchestrator,
+) -> InstanceAssignment {
+    // Collect (load, class, sub, stage, switch, nf) jobs.
+    struct Job {
+        load: f64,
+        class: ClassId,
+        sub: u16,
+        stage: usize,
+        switch: usize,
+        nf: NfType,
+    }
+    let mut jobs = Vec::new();
+    for s in plan.subclasses() {
+        let class = classes.class(s.class).expect("plan refers to known classes");
+        for (j, &pos) in s.stage_positions.iter().enumerate() {
+            jobs.push(Job {
+                load: class.rate_mbps * s.fraction(),
+                class: s.class,
+                sub: s.id,
+                stage: j,
+                switch: class.path.nodes()[pos].0,
+                nf: class.chain.nfs()[j],
+            });
+        }
+    }
+    jobs.sort_by(|a, b| b.load.partial_cmp(&a.load).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut asg = InstanceAssignment::default();
+    for job in jobs {
+        let cands = orch.instances_at(NodeId(job.switch), job.nf);
+        let cap = VnfSpec::of(job.nf).capacity_mbps;
+        // Best fit: the fullest instance that still fits; else least loaded.
+        let mut best_fit: Option<(InstanceId, f64)> = None;
+        let mut least: Option<(InstanceId, f64)> = None;
+        for id in cands {
+            let l = asg.load_mbps(id);
+            if l + job.load <= cap + 1e-6 {
+                match best_fit {
+                    Some((_, bl)) if bl >= l => {}
+                    _ => best_fit = Some((id, l)),
+                }
+            }
+            match least {
+                Some((_, ll)) if ll <= l => {}
+                _ => least = Some((id, l)),
+            }
+        }
+        let chosen = best_fit.or(least);
+        if let Some((id, _)) = chosen {
+            *asg.load.entry(id).or_insert(0.0) += job.load;
+            asg.map.insert((job.class, job.sub, job.stage), id);
+        }
+        // A missing instance means the placement omitted q for a used
+        // (switch, NF) — the engine's constraints prevent this; leave the
+        // map entry absent so the walker surfaces it loudly.
+    }
+    asg
+}
+
+/// TCAM cost without the tagging scheme.
+///
+/// Without host/sub-class tags a switch cannot tell whether a packet has
+/// already been processed, so the sub-class classification rules must be
+/// present at **every switch on the flow's path** (the "duplicated
+/// classifications" §V-B avoids). On multipath topologies they are further
+/// replicated across all ECMP sibling paths of the OD pair, because the
+/// hash-selected path is unknown to the controller — the Fig. 10 reason
+/// UNIV1 benefits most.
+fn untagged_estimate(
+    topo: &Topology,
+    classes: &ClassSet,
+    plan: &SubclassPlan,
+    compress: bool,
+) -> usize {
+    // ECMP sibling count per OD pair.
+    let mut siblings: BTreeMap<(NodeId, NodeId), usize> = BTreeMap::new();
+    for c in classes {
+        *siblings.entry(c.od_pair()).or_insert(0) += 1;
+    }
+    // Per-class rule counts, with the same default-rule compression the
+    // tagging scheme benefits from (fair comparison).
+    let mut per_class: BTreeMap<ClassId, (usize, usize)> = BTreeMap::new(); // (total, max)
+    for s in plan.subclasses() {
+        let class = classes.class(s.class).expect("plan refers to known classes");
+        let variants = class.dst_ports.len().max(1);
+        let rules = s.prefixes.len().max(1) * variants;
+        let entry = per_class.entry(s.class).or_insert((0, 0));
+        entry.0 += rules;
+        entry.1 = entry.1.max(rules);
+    }
+    let mut total = 0usize;
+    for (class_id, (rules_total, rules_max)) in per_class {
+        let class = classes.class(class_id).expect("plan refers to known classes");
+        let rules = if compress && rules_max > 1 {
+            rules_total - rules_max + 1
+        } else {
+            rules_total
+        };
+        let hops = class.path.len();
+        let replicas = if topo.multipath {
+            siblings.get(&class.od_pair()).copied().unwrap_or(1)
+        } else {
+            1
+        };
+        total += rules * hops * replicas;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ClassConfig;
+    use crate::engine::{EngineConfig, OptimizationEngine};
+    use apple_dataplane::packet::Packet;
+    use apple_topology::zoo;
+    use apple_traffic::GravityModel;
+
+    fn build(topo: &Topology, total_mbps: f64, max_classes: usize) -> (ClassSet, DataPlaneProgram) {
+        let tm = GravityModel::new(total_mbps, 17).base_matrix(topo);
+        let classes = ClassSet::build(
+            topo,
+            &tm,
+            &ClassConfig {
+                max_classes,
+                ..Default::default()
+            },
+        );
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+        let prog = generate(topo, &classes, &plan, &placement, &mut orch).unwrap();
+        (classes, prog)
+    }
+
+    #[test]
+    fn hash_plans_rejected() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(1_000.0, 1).base_matrix(&topo);
+        let classes = ClassSet::build(&topo, &tm, &ClassConfig { max_classes: 5, ..Default::default() });
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::ConsistentHash);
+        let err = generate(&topo, &classes, &plan, &placement, &mut orch);
+        assert!(matches!(err, Err(RuleGenError::NeedsPrefixSplit)));
+    }
+
+    #[test]
+    fn every_class_walks_its_chain_in_order() {
+        let topo = zoo::internet2();
+        let (classes, prog) = build(&topo, 2_000.0, 12);
+        for class in &classes {
+            // Walk a representative packet: first host in the class's /24.
+            let p = Packet::new(
+                class.src_prefix.0 | 1,
+                class.dst_prefix.0 | 1,
+                40_000,
+                80,
+                6,
+            );
+            let rec = prog.walker.walk(p, &class.path).unwrap();
+            // Policy enforcement: NF sequence matches the chain.
+            let nfs: Vec<NfType> = rec
+                .instances
+                .iter()
+                .map(|&id| {
+                    // Look the NF up through the assignment's reverse map.
+                    prog.assignment
+                        .entries()
+                        .find(|(_, &i)| i == id)
+                        .map(|((c, _, j), _)| {
+                            classes.class(*c).unwrap().chain.nfs()[*j]
+                        })
+                        .expect("walked instances come from the assignment")
+                })
+                .collect();
+            assert_eq!(
+                nfs,
+                class.chain.nfs().to_vec(),
+                "chain mismatch for {} ({})",
+                class.id,
+                class.chain
+            );
+            // Interference freedom: the switch trajectory equals the path.
+            let expect: Vec<usize> = class.path.iter().map(|n| n.0).collect();
+            assert_eq!(rec.switches, expect);
+            // Completion: packet tagged Fin.
+            assert_eq!(rec.packet.host_tag, HostTag::Fin);
+        }
+    }
+
+    #[test]
+    fn tagging_reduces_tcam() {
+        let topo = zoo::internet2();
+        let (_, prog) = build(&topo, 2_000.0, 12);
+        assert!(prog.tcam.tagged_total > 0);
+        assert!(
+            prog.tcam.reduction_ratio() > 1.0,
+            "tagging must reduce TCAM: {:?}",
+            prog.tcam
+        );
+    }
+
+    #[test]
+    fn univ1_reduction_larger_than_backbone() {
+        let i2 = zoo::internet2();
+        let (_, pi2) = build(&i2, 2_000.0, 12);
+        let dc = zoo::univ1();
+        let (_, pdc) = build(&dc, 2_000.0, 24);
+        assert!(
+            pdc.tcam.reduction_ratio() > pi2.tcam.reduction_ratio(),
+            "UNIV1 {} <= Internet2 {}",
+            pdc.tcam.reduction_ratio(),
+            pi2.tcam.reduction_ratio()
+        );
+    }
+
+    #[test]
+    fn instance_loads_within_capacity() {
+        let topo = zoo::internet2();
+        let (_, prog) = build(&topo, 2_000.0, 12);
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, &id) in prog.assignment.entries() {
+            seen.insert(id);
+        }
+        for id in seen {
+            let load = prog.assignment.load_mbps(id);
+            // Capacity is at most 900 Mbps (the largest in Table IV); a 2 %
+            // sliver of slack covers 1/256 sub-class quantisation plus
+            // best-fit fragmentation.
+            assert!(load <= 900.0 * 1.02, "instance {id} overloaded: {load}");
+        }
+    }
+
+    /// Builds a deployment with a single NAT -> Firewall class so the §X
+    /// header-rewrite machinery is exercised deterministically.
+    fn nat_deployment(config: &RuleGenConfig) -> (ClassSet, DataPlaneProgram) {
+        use crate::classes::{ClassId, EquivalenceClass};
+        use crate::policy::PolicyChain;
+        use apple_topology::Path;
+        use apple_traffic::Flow;
+        let topo = zoo::line(3);
+        let path = Path::new(vec![NodeId(0), NodeId(1), NodeId(2)]).unwrap();
+        let class = EquivalenceClass {
+            id: ClassId(0),
+            path,
+            chain: PolicyChain::new(vec![NfType::Nat, NfType::Firewall]).unwrap(),
+            rate_mbps: 200.0,
+            src_prefix: (Flow::prefix_of(NodeId(0)), 24),
+            dst_prefix: (Flow::prefix_of(NodeId(2)), 24),
+            proto: None,
+            dst_ports: Vec::new(),
+        };
+        let classes = ClassSet::from_classes(vec![class]);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+        let prog =
+            super::generate_with(&topo, &classes, &plan, &placement, &mut orch, config).unwrap();
+        (classes, prog)
+    }
+
+    #[test]
+    fn rewriting_chain_completes_with_global_tags() {
+        let (classes, prog) = nat_deployment(&RuleGenConfig::default());
+        let class = &classes.classes()[0];
+        let p = Packet::new(class.src_prefix.0 | 1, class.dst_prefix.0 | 1, 1, 80, 6);
+        let rec = prog.walker.walk(p, &class.path).unwrap();
+        assert_eq!(rec.instances.len(), 2, "chain incomplete");
+        assert_eq!(rec.packet.host_tag, HostTag::Fin);
+        // The NAT actually rewrote the source out of the class prefix.
+        assert_ne!(rec.packet.src_ip & 0xffff_ff00, class.src_prefix.0);
+        // And the sub-class tag is from the global space.
+        assert!(rec.packet.subclass_tag.unwrap() >= 0x8000);
+    }
+
+    #[test]
+    fn rewriting_chain_breaks_without_global_tags() {
+        // The §X failure mode: prefix-matched vSwitch rules cannot match a
+        // NAT-rewritten packet when the NAT and a later stage sit at
+        // different hosts. With one class on a line topology the engine may
+        // co-locate both stages (in-host chaining dodges the problem), so
+        // assert the weaker, always-true statement: either the walk fails,
+        // or it only survived because every stage shared one host.
+        let cfg = RuleGenConfig {
+            global_tags: false,
+            ..RuleGenConfig::default()
+        };
+        let (classes, prog) = nat_deployment(&cfg);
+        let class = &classes.classes()[0];
+        let p = Packet::new(class.src_prefix.0 | 1, class.dst_prefix.0 | 1, 1, 80, 6);
+        match prog.walker.walk(p, &class.path) {
+            Err(_) => {} // prefix classification broke downstream, as §X warns
+            Ok(rec) => {
+                let hosts: std::collections::BTreeSet<usize> = rec
+                    .instances
+                    .iter()
+                    .filter_map(|&id| {
+                        prog.assignment
+                            .entries()
+                            .find(|(_, &i)| i == id)
+                            .map(|_| 0usize)
+                    })
+                    .collect();
+                // All stages in one host: the packet never re-entered a
+                // prefix-matching rule after the rewrite.
+                assert!(hosts.len() <= 1, "walk should have failed across hosts");
+            }
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_tables_without_changing_semantics() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(2_000.0, 17).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 12,
+                ..Default::default()
+            },
+        );
+        let build_with = |compress: bool| {
+            let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+            let placement = OptimizationEngine::new(EngineConfig::default())
+                .place(&classes, &orch)
+                .unwrap();
+            let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+            super::generate_with(
+                &topo,
+                &classes,
+                &plan,
+                &placement,
+                &mut orch,
+                &RuleGenConfig {
+                    compress_classification: compress,
+                    ..RuleGenConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let on = build_with(true);
+        let off = build_with(false);
+        assert!(
+            on.tcam.tagged_total <= off.tcam.tagged_total,
+            "compression grew the table: {} vs {}",
+            on.tcam.tagged_total,
+            off.tcam.tagged_total
+        );
+        // Semantics: identical walks either way.
+        for class in &classes {
+            let p = Packet::new(class.src_prefix.0 | 200, class.dst_prefix.0 | 3, 5, 80, 6);
+            let a = on.walker.walk(p, &class.path).unwrap();
+            let b = off.walker.walk(p, &class.path).unwrap();
+            assert_eq!(a.switches, b.switches);
+            assert_eq!(a.packet.host_tag, HostTag::Fin);
+            assert_eq!(b.packet.host_tag, HostTag::Fin);
+        }
+    }
+
+    #[test]
+    fn power_scales_with_entries() {
+        let topo = zoo::internet2();
+        let (_, prog) = build(&topo, 2_000.0, 12);
+        let t = &prog.tcam;
+        let p = t.power_watts(12.0);
+        assert!((p - t.tagged_total as f64 * 0.012).abs() < 1e-12);
+        assert!(t.untagged_power_watts(12.0) > p, "tagging must save power");
+    }
+
+    #[test]
+    fn tcam_budget_enforced() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(2_000.0, 18).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 12,
+                ..Default::default()
+            },
+        );
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+        // A budget of 1 entry per switch is impossible (ingress switches
+        // carry multiple classification rules).
+        let err = super::generate_with(
+            &topo,
+            &classes,
+            &plan,
+            &placement,
+            &mut orch,
+            &RuleGenConfig {
+                tcam_budget_per_switch: 1,
+                ..RuleGenConfig::default()
+            },
+        );
+        assert!(
+            matches!(err, Err(RuleGenError::TcamBudgetExceeded { budget: 1, .. })),
+            "{err:?}"
+        );
+        // A generous budget passes.
+        let mut orch2 = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let ok = super::generate_with(
+            &topo,
+            &classes,
+            &plan,
+            &placement,
+            &mut orch2,
+            &RuleGenConfig {
+                tcam_budget_per_switch: 10_000,
+                ..RuleGenConfig::default()
+            },
+        );
+        assert!(ok.is_ok());
+        // The same budget can fail when the switch cannot pipeline: the
+        // cross-product (×11 on Internet2) must fit instead.
+        let mut orch3 = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let ok_entries = ok.unwrap().tcam.tagged_per_switch.values().copied().max().unwrap();
+        let cp = super::generate_with(
+            &topo,
+            &classes,
+            &plan,
+            &placement,
+            &mut orch3,
+            &RuleGenConfig {
+                tcam_mode: TcamMode::CrossProduct,
+                tcam_budget_per_switch: ok_entries, // fits pipelined, not ×11
+                ..RuleGenConfig::default()
+            },
+        );
+        assert!(
+            matches!(cp, Err(RuleGenError::TcamBudgetExceeded { .. })),
+            "{cp:?}"
+        );
+    }
+
+    #[test]
+    fn cross_product_accounting_multiplies() {
+        let topo = zoo::internet2();
+        let (_, prog) = build(&topo, 2_000.0, 12);
+        let t = &prog.tcam;
+        assert_eq!(
+            t.cross_product_total,
+            t.tagged_per_switch
+                .values()
+                .map(|b| b * (topo.graph.node_count() - 1))
+                .sum::<usize>()
+        );
+        assert!(t.cross_product_penalty() > 1.0);
+    }
+
+    #[test]
+    fn unpoliced_traffic_passes_untouched() {
+        let topo = zoo::internet2();
+        let (classes, prog) = build(&topo, 2_000.0, 12);
+        // Source outside any class prefix.
+        let path = &classes.classes()[0].path;
+        let p = Packet::new(0xc0a80001, 0xc0a80002, 1, 2, 6);
+        let rec = prog.walker.walk(p, path).unwrap();
+        assert!(rec.instances.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Make-before-break transitions between placements.
+//!
+//! §VI handles large time-scale dynamics by "periodically running the
+//! Optimization Engine and placing VNF instances accordingly". Swapping
+//! placements naively would strand traffic (Fig. 7 shows what happens when
+//! rules point at VMs that are not ready), so transitions are staged:
+//!
+//! 1. **launch** — boot every instance the new placement adds (boots run in
+//!    parallel; ClickOS ≈ 4.2 s through OpenStack, ordinary VMs longer),
+//! 2. **re-rule** — once everything is up, install the new classification
+//!    and vSwitch rules (≈ 70 ms, switches updated in parallel),
+//! 3. **teardown** — cancel instances only the old placement used.
+//!
+//! At every instant each (switch, NF) keeps at least
+//! `min(old count, new count)` live instances — the make-before-break
+//! invariant the tests assert.
+
+use crate::engine::Placement;
+use crate::orchestrator::{OrchestratorError, ResourceOrchestrator};
+use apple_nf::{NfType, TimingModel, VnfSpec};
+use apple_topology::NodeId;
+use std::collections::BTreeMap;
+
+/// A staged transition between two placements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionPlan {
+    /// Instances to launch: `(switch, NF, how many)`.
+    pub launches: Vec<(NodeId, NfType, u32)>,
+    /// Instances to tear down after the switch-over.
+    pub teardowns: Vec<(NodeId, NfType, u32)>,
+    /// Instances common to both placements (left untouched).
+    pub kept: u32,
+    /// Estimated milliseconds until the new instances are all ready
+    /// (parallel boots → the slowest one dominates).
+    pub boot_ms: u64,
+    /// Estimated milliseconds for the rule switch-over.
+    pub rule_install_ms: u64,
+}
+
+impl TransitionPlan {
+    /// End-to-end estimated duration: boots, then rules (teardown is
+    /// off the critical path).
+    pub fn total_ms(&self) -> u64 {
+        self.boot_ms + self.rule_install_ms
+    }
+
+    /// Total instances launched.
+    pub fn launch_count(&self) -> u32 {
+        self.launches.iter().map(|&(_, _, c)| c).sum()
+    }
+
+    /// Total instances torn down.
+    pub fn teardown_count(&self) -> u32 {
+        self.teardowns.iter().map(|&(_, _, c)| c).sum()
+    }
+}
+
+/// Computes the staged transition from `old` to `new`.
+///
+/// Boot estimates come from the timing model: the slowest launched VM
+/// bounds the make-before-break wait (ClickOS ≈ 4.2 s, ordinary VM 30 s).
+pub fn plan_transition(
+    old: &Placement,
+    new: &Placement,
+    timing: &mut TimingModel,
+) -> TransitionPlan {
+    let mut old_q: BTreeMap<(usize, NfType), u32> = BTreeMap::new();
+    for (v, nf, c) in old.q_entries() {
+        old_q.insert((v.0, nf), c);
+    }
+    let mut new_q: BTreeMap<(usize, NfType), u32> = BTreeMap::new();
+    for (v, nf, c) in new.q_entries() {
+        new_q.insert((v.0, nf), c);
+    }
+    let mut launches = Vec::new();
+    let mut teardowns = Vec::new();
+    let mut kept = 0u32;
+    let keys: std::collections::BTreeSet<(usize, NfType)> =
+        old_q.keys().chain(new_q.keys()).copied().collect();
+    let mut slowest_boot = 0u64;
+    for key in keys {
+        let before = old_q.get(&key).copied().unwrap_or(0);
+        let after = new_q.get(&key).copied().unwrap_or(0);
+        kept += before.min(after);
+        if after > before {
+            let count = after - before;
+            launches.push((NodeId(key.0), key.1, count));
+            let clickos = VnfSpec::of(key.1).clickos;
+            for _ in 0..count {
+                slowest_boot = slowest_boot.max(timing.provision(clickos, false));
+            }
+        } else if before > after {
+            teardowns.push((NodeId(key.0), key.1, before - after));
+        }
+    }
+    TransitionPlan {
+        launches,
+        teardowns,
+        kept,
+        boot_ms: slowest_boot,
+        rule_install_ms: timing.rule_install(),
+    }
+}
+
+/// Executes a transition on the orchestrator: launches first, teardowns
+/// last, preserving the make-before-break invariant.
+///
+/// # Errors
+///
+/// Propagates launch failures ([`OrchestratorError`]); on failure nothing
+/// is torn down (the old placement keeps working).
+pub fn apply_transition(
+    plan: &TransitionPlan,
+    orch: &mut ResourceOrchestrator,
+) -> Result<(), OrchestratorError> {
+    let mut launched = Vec::new();
+    for &(v, nf, count) in &plan.launches {
+        for _ in 0..count {
+            match orch.launch(v, nf) {
+                Ok(id) => launched.push(id),
+                Err(e) => {
+                    // Roll back this transition's launches; the old
+                    // placement remains intact.
+                    for id in launched {
+                        let _ = orch.teardown(id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+    for &(v, nf, count) in &plan.teardowns {
+        // Tear down the highest-id (most recently launched, but not the
+        // ones this transition just created) instances of this kind.
+        let fresh: std::collections::BTreeSet<_> = launched.iter().copied().collect();
+        let victims: Vec<_> = orch
+            .instances_at(v, nf)
+            .into_iter()
+            .filter(|id| !fresh.contains(id))
+            .rev()
+            .take(count as usize)
+            .collect();
+        for id in victims {
+            let _ = orch.teardown(id);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{ClassConfig, ClassSet};
+    use crate::engine::{EngineConfig, OptimizationEngine};
+    use apple_topology::zoo;
+    use apple_traffic::GravityModel;
+
+    fn place(load: f64, seed: u64) -> (ClassSet, Placement, ResourceOrchestrator) {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(load, seed).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 12,
+                ..Default::default()
+            },
+        );
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        (classes, placement, orch)
+    }
+
+    #[test]
+    fn identical_placements_need_nothing() {
+        let (_, p, _) = place(2_000.0, 81);
+        let mut timing = TimingModel::paper(0);
+        let plan = plan_transition(&p, &p, &mut timing);
+        assert!(plan.launches.is_empty());
+        assert!(plan.teardowns.is_empty());
+        assert_eq!(plan.kept, p.total_instances());
+        assert_eq!(plan.boot_ms, 0);
+    }
+
+    #[test]
+    fn growth_launches_shrink_tears_down() {
+        let (_, low, _) = place(1_500.0, 82);
+        let (_, high, _) = place(4_500.0, 82);
+        let mut timing = TimingModel::paper(0);
+        let up = plan_transition(&low, &high, &mut timing);
+        assert!(up.launch_count() > 0, "growing load must launch");
+        assert_eq!(
+            up.kept + up.launch_count(),
+            high.total_instances(),
+            "accounting broken"
+        );
+        let down = plan_transition(&high, &low, &mut timing);
+        assert!(down.teardown_count() > 0, "shrinking load must tear down");
+        assert_eq!(down.kept + down.teardown_count(), high.total_instances());
+    }
+
+    #[test]
+    fn boot_estimate_reflects_vm_kind() {
+        let (_, low, _) = place(1_500.0, 83);
+        let (_, high, _) = place(4_500.0, 83);
+        let mut timing = TimingModel::paper(0);
+        let plan = plan_transition(&low, &high, &mut timing);
+        if plan
+            .launches
+            .iter()
+            .any(|&(_, nf, _)| !VnfSpec::of(nf).clickos)
+        {
+            assert_eq!(plan.boot_ms, 30_000, "ordinary VM dominates the wait");
+        } else if plan.launch_count() > 0 {
+            assert!((3_900..=4_600).contains(&plan.boot_ms));
+        }
+        assert_eq!(plan.rule_install_ms, 70);
+        assert_eq!(plan.total_ms(), plan.boot_ms + 70);
+    }
+
+    #[test]
+    fn apply_preserves_make_before_break() {
+        let topo = zoo::internet2();
+        let (_, low, _) = place(1_500.0, 84);
+        let (_, high, _) = place(4_500.0, 84);
+        // Start from an orchestrator realising `low`.
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        for (v, nf, c) in low.q_entries() {
+            for _ in 0..c {
+                orch.launch(v, nf).unwrap();
+            }
+        }
+        let mut timing = TimingModel::paper(0);
+        let plan = plan_transition(&low, &high, &mut timing);
+        apply_transition(&plan, &mut orch).unwrap();
+        // Final state realises `high` exactly.
+        for (v, nf, c) in high.q_entries() {
+            assert_eq!(
+                orch.instances_at(v, nf).len() as u32,
+                c,
+                "wrong count at {v}/{nf}"
+            );
+        }
+        assert_eq!(orch.instance_count() as u32, high.total_instances());
+    }
+
+    #[test]
+    fn failed_transition_rolls_back() {
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 8);
+        // Old: one firewall at s0 (4 cores). New demands three firewalls
+        // (12 cores) — impossible on an 8-core host.
+        let before = orch.launch(NodeId(0), NfType::Firewall).unwrap();
+        let plan = TransitionPlan {
+            launches: vec![(NodeId(0), NfType::Firewall, 3)],
+            teardowns: vec![],
+            kept: 1,
+            boot_ms: 0,
+            rule_install_ms: 70,
+        };
+        assert!(apply_transition(&plan, &mut orch).is_err());
+        // The pre-existing instance survived, nothing leaked.
+        assert_eq!(orch.instance_count(), 1);
+        assert!(orch.instance(before).is_some());
+    }
+}

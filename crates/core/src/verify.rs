@@ -1,0 +1,280 @@
+//! Placement validation: mechanical checks that a [`Placement`] satisfies
+//! the paper's formulation, Eq. (2)–(8).
+//!
+//! Tests, benches and the transition planner all need "is this placement
+//! actually legal?" as a primitive; this module is the single source of
+//! truth for it. Each violated condition is reported with enough context to
+//! debug the engine.
+
+use crate::classes::ClassSet;
+use crate::engine::Placement;
+use crate::orchestrator::ResourceOrchestrator;
+use apple_nf::{NfType, ResourceVector, VnfSpec};
+use apple_topology::NodeId;
+use std::fmt;
+
+/// One violated formulation condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Eq. (3): stage `j` overtakes stage `j−1` at path position `i`.
+    OrderViolated {
+        /// Class index.
+        class: usize,
+        /// Path position.
+        position: usize,
+        /// Chain stage that overtook its predecessor.
+        stage: usize,
+        /// Cumulative portion of the predecessor.
+        sigma_prev: f64,
+        /// Cumulative portion of the stage.
+        sigma: f64,
+    },
+    /// Eq. (4): a stage does not process 100 % of the class.
+    CoverageShort {
+        /// Class index.
+        class: usize,
+        /// Chain stage.
+        stage: usize,
+        /// Total fraction placed.
+        total: f64,
+    },
+    /// Eq. (5): offered load exceeds `Cap_n · q[v][n]`.
+    CapacityExceeded {
+        /// Switch index.
+        switch: usize,
+        /// NF type.
+        nf: NfType,
+        /// Offered load in Mbps.
+        offered: f64,
+        /// Available capacity in Mbps.
+        capacity: f64,
+    },
+    /// Eq. (6): a host's committed resources exceed its capacity.
+    ResourcesExceeded {
+        /// Switch index.
+        switch: usize,
+        /// What the placement needs there.
+        needed: ResourceVector,
+        /// What the host has.
+        capacity: ResourceVector,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OrderViolated {
+                class,
+                position,
+                stage,
+                sigma_prev,
+                sigma,
+            } => write!(
+                f,
+                "class {class}: stage {stage} overtakes its predecessor at position {position} ({sigma:.4} > {sigma_prev:.4})"
+            ),
+            Violation::CoverageShort { class, stage, total } => write!(
+                f,
+                "class {class}: stage {stage} covers only {total:.4} of the traffic"
+            ),
+            Violation::CapacityExceeded {
+                switch,
+                nf,
+                offered,
+                capacity,
+            } => write!(
+                f,
+                "switch {switch}: {nf} offered {offered:.1} Mbps > capacity {capacity:.1}"
+            ),
+            Violation::ResourcesExceeded {
+                switch,
+                needed,
+                capacity,
+            } => write!(f, "switch {switch}: placement needs {needed} > host {capacity}"),
+        }
+    }
+}
+
+/// Checks a placement against Eq. (2)–(8) and the hosts' resources.
+/// Returns every violation found (empty = valid). `tol` is the numeric
+/// slack for the fractional conditions (1e-6 is appropriate for LP
+/// output).
+pub fn verify_placement(
+    classes: &ClassSet,
+    placement: &Placement,
+    orch: &ResourceOrchestrator,
+    tol: f64,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    for (h, c) in classes.iter().enumerate() {
+        let plen = c.path.len();
+        let clen = c.chain.len();
+        // Eq. (3): cumulative dominance, and Eq. (4): full coverage.
+        let mut sigma = vec![0.0f64; clen];
+        for i in 0..plen {
+            #[allow(clippy::needless_range_loop)] // sigma[j] += d(h, i, j)
+            for j in 0..clen {
+                sigma[j] += placement.d(h, i, j);
+            }
+            for j in 1..clen {
+                if sigma[j] > sigma[j - 1] + tol {
+                    out.push(Violation::OrderViolated {
+                        class: h,
+                        position: i,
+                        stage: j,
+                        sigma_prev: sigma[j - 1],
+                        sigma: sigma[j],
+                    });
+                }
+            }
+        }
+        for (j, &total) in sigma.iter().enumerate() {
+            if (total - 1.0).abs() > tol.max(1e-6) {
+                out.push(Violation::CoverageShort {
+                    class: h,
+                    stage: j,
+                    total,
+                });
+            }
+        }
+    }
+
+    // Eq. (5): capacity per (switch, NF).
+    for (&v, host) in orch.hosts() {
+        let mut needed = ResourceVector::zero();
+        for nf in NfType::all() {
+            let mut offered = 0.0;
+            for (h, c) in classes.iter().enumerate() {
+                if let (Some(i), Some(j)) =
+                    (c.path.index_of(NodeId(v)), c.chain.position(nf))
+                {
+                    offered += c.rate_mbps * placement.d(h, i, j);
+                }
+            }
+            let q = placement.q(NodeId(v), nf);
+            let capacity = VnfSpec::of(nf).capacity_mbps * f64::from(q);
+            if offered > capacity + tol * c_scale(offered) {
+                out.push(Violation::CapacityExceeded {
+                    switch: v,
+                    nf,
+                    offered,
+                    capacity,
+                });
+            }
+            needed += VnfSpec::of(nf).resources().times(q);
+        }
+        // Eq. (6): host resources.
+        if !needed.fits_in(&host.capacity) {
+            out.push(Violation::ResourcesExceeded {
+                switch: v,
+                needed,
+                capacity: host.capacity,
+            });
+        }
+    }
+    out
+}
+
+fn c_scale(offered: f64) -> f64 {
+    offered.abs().max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::{ClassConfig, ClassSet};
+    use crate::engine::{EngineConfig, OptimizationEngine};
+    use apple_topology::zoo;
+    use apple_traffic::GravityModel;
+
+    fn solved() -> (ClassSet, Placement, ResourceOrchestrator) {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(2_500.0, 71).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 15,
+                ..Default::default()
+            },
+        );
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        (classes, placement, orch)
+    }
+
+    #[test]
+    fn engine_output_is_valid() {
+        let (classes, placement, orch) = solved();
+        let violations = verify_placement(&classes, &placement, &orch, 1e-6);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn exact_output_is_valid_too() {
+        let topo = zoo::line(3);
+        let tm = GravityModel::new(400.0, 72).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 3,
+                ..Default::default()
+            },
+        );
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig {
+            exact: true,
+            ..Default::default()
+        })
+        .place(&classes, &orch)
+        .unwrap();
+        assert!(verify_placement(&classes, &placement, &orch, 1e-6).is_empty());
+    }
+
+    #[test]
+    fn tampered_q_reports_capacity() {
+        let (classes, placement, orch) = solved();
+        // Rebuild a placement-like report by zeroing all q: every (v, nf)
+        // with load must now violate capacity. We simulate by checking with
+        // a fresh orchestrator and an empty placement via the engine's
+        // structure — simplest route: verify against a different (smaller)
+        // class set rate.
+        let doubled = {
+            let mut cs = Vec::new();
+            for c in &classes {
+                let mut c2 = c.clone();
+                c2.rate_mbps *= 50.0;
+                cs.push(c2);
+            }
+            ClassSet::from_classes(cs)
+        };
+        let violations = verify_placement(&doubled, &placement, &orch, 1e-6);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::CapacityExceeded { .. })),
+            "expected capacity violations, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = Violation::CoverageShort {
+            class: 3,
+            stage: 1,
+            total: 0.5,
+        };
+        assert!(v.to_string().contains("class 3"));
+        let v2 = Violation::CapacityExceeded {
+            switch: 4,
+            nf: NfType::Ids,
+            offered: 700.0,
+            capacity: 600.0,
+        };
+        assert!(v2.to_string().contains("IDS"));
+    }
+}

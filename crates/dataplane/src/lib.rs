@@ -1,0 +1,43 @@
+//! SDN data-plane substrate: TCAM tables, the APPLE tagging pipeline, and a
+//! packet-walk engine.
+//!
+//! §V-B of the paper introduces a two-field tagging scheme so that expensive
+//! header classification happens **once, at the ingress switch**:
+//!
+//! * a **host ID** tag names the next APPLE host that must process the
+//!   packet (or `Fin` when the policy chain is complete),
+//! * a **sub-class ID** tag pins the packet to the VNF-instance sequence
+//!   its sub-class was assigned (IDs are local to a class and may be
+//!   multiplexed across classes).
+//!
+//! Table III gives the physical-switch TCAM layout (host match →
+//! classification → pass-by), and vSwitches inside APPLE hosts match
+//! `<InPort, class, sub-class>` to steer packets across VNF instances.
+//! This crate implements those tables and provides
+//! [`walk::NetworkWalker`], which replays a packet across its forwarding
+//! path and records the VNF instances traversed — the oracle used by the
+//! policy-enforcement property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use apple_dataplane::packet::{HostTag, Packet};
+//!
+//! let mut p = Packet::new(0x0a010101, 0x0a020202, 1234, 80, 6);
+//! assert_eq!(p.host_tag, HostTag::Empty);
+//! p.subclass_tag = Some(3);
+//! assert_eq!(p.subclass_tag, Some(3));
+//! ```
+
+pub mod counters;
+pub mod packet;
+pub mod switch;
+pub mod tcam;
+pub mod walk;
+
+pub use counters::PortCounters;
+
+pub use packet::{HostTag, Packet};
+pub use switch::{PhysicalSwitch, VSwitch, VSwitchRule};
+pub use tcam::{Action, MatchSpec, TcamRule, TcamTable};
+pub use walk::{NetworkWalker, WalkError, WalkRecord};

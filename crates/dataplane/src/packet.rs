@@ -1,0 +1,140 @@
+//! Packets with the APPLE tag fields.
+//!
+//! A tag is an identifier written into otherwise-unused header bits (the
+//! paper suggests the 6-bit DS field and the 12-bit VLAN ID). APPLE uses
+//! two fields: the **host ID** of the next APPLE host to process the packet
+//! (or `Fin` once the chain is complete) and the **sub-class ID** within
+//! the packet's class.
+
+use std::fmt;
+
+/// The host-ID tag field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HostTag {
+    /// Freshly entered the network: not yet classified.
+    #[default]
+    Empty,
+    /// Next APPLE host (identified by the switch it is attached to) that
+    /// must process this packet.
+    Host(u16),
+    /// All required VNF instances have processed the packet.
+    Fin,
+}
+
+impl fmt::Display for HostTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostTag::Empty => write!(f, "-"),
+            HostTag::Host(h) => write!(f, "h{h}"),
+            HostTag::Fin => write!(f, "Fin"),
+        }
+    }
+}
+
+/// A packet as seen by the data plane: 5-tuple plus the two tag fields.
+///
+/// # Example
+///
+/// ```
+/// use apple_dataplane::packet::{HostTag, Packet};
+///
+/// let p = Packet::new(0x0a010105, 0x0a020207, 40000, 443, 6);
+/// assert_eq!(p.host_tag, HostTag::Empty);
+/// assert_eq!(p.subclass_tag, None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// IPv4 source address.
+    pub src_ip: u32,
+    /// IPv4 destination address.
+    pub dst_ip: u32,
+    /// Transport source port.
+    pub src_port: u16,
+    /// Transport destination port.
+    pub dst_port: u16,
+    /// IP protocol (6 = TCP, 17 = UDP).
+    pub proto: u8,
+    /// Host-ID tag field.
+    pub host_tag: HostTag,
+    /// Sub-class tag field (`None` = untagged). The value is local to the
+    /// packet's class and remains unchanged across the network.
+    pub subclass_tag: Option<u16>,
+}
+
+impl Packet {
+    /// Creates an untagged packet.
+    pub fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, proto: u8) -> Packet {
+        Packet {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+            host_tag: HostTag::Empty,
+            subclass_tag: None,
+        }
+    }
+
+    /// Whether the packet still needs NF processing.
+    pub fn needs_processing(&self) -> bool {
+        !matches!(self.host_tag, HostTag::Fin)
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}.{}.{}.{}:{} -> {}.{}.{}.{}:{} p{} tag({},{})]",
+            self.src_ip >> 24,
+            (self.src_ip >> 16) & 0xff,
+            (self.src_ip >> 8) & 0xff,
+            self.src_ip & 0xff,
+            self.src_port,
+            self.dst_ip >> 24,
+            (self.dst_ip >> 16) & 0xff,
+            (self.dst_ip >> 8) & 0xff,
+            self.dst_ip & 0xff,
+            self.dst_port,
+            self.proto,
+            self.host_tag,
+            self.subclass_tag.map_or("-".to_string(), |s| s.to_string()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_packet_untagged() {
+        let p = Packet::new(1, 2, 3, 4, 6);
+        assert_eq!(p.host_tag, HostTag::Empty);
+        assert_eq!(p.subclass_tag, None);
+        assert!(p.needs_processing());
+    }
+
+    #[test]
+    fn fin_means_done() {
+        let mut p = Packet::new(1, 2, 3, 4, 6);
+        p.host_tag = HostTag::Fin;
+        assert!(!p.needs_processing());
+    }
+
+    #[test]
+    fn display_contains_tags() {
+        let mut p = Packet::new(0x0a000001, 0x0a000002, 10, 20, 17);
+        p.host_tag = HostTag::Host(3);
+        p.subclass_tag = Some(7);
+        let s = p.to_string();
+        assert!(s.contains("h3") && s.contains(",7)"), "{s}");
+    }
+
+    #[test]
+    fn host_tag_display() {
+        assert_eq!(HostTag::Empty.to_string(), "-");
+        assert_eq!(HostTag::Host(9).to_string(), "h9");
+        assert_eq!(HostTag::Fin.to_string(), "Fin");
+    }
+}

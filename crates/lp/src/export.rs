@@ -1,0 +1,156 @@
+//! CPLEX LP-format export.
+//!
+//! The paper solves its formulation with CPLEX; this writer produces the
+//! same text format so any model built here can be cross-checked against
+//! CPLEX/GLPK/HiGHS or inspected by hand. (The reproduction's own simplex
+//! is the solver of record — the export exists for debugging and external
+//! validation.)
+
+use crate::model::{Cmp, Model, Sense};
+use std::fmt::Write as _;
+
+impl Model {
+    /// Serialises the model in CPLEX LP format.
+    ///
+    /// Variable names are sanitised (`[^A-Za-z0-9_]` → `_`) and made unique
+    /// by suffixing the variable index, since LP format forbids many
+    /// characters Rust identifiers allow.
+    pub fn to_lp_format(&self) -> String {
+        let name = |i: usize| -> String {
+            let raw: String = self.vars[i]
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                .collect();
+            format!("{raw}_{i}")
+        };
+        let mut out = String::new();
+        out.push_str(match self.sense {
+            Sense::Min => "Minimize\n obj:",
+            Sense::Max => "Maximize\n obj:",
+        });
+        let mut first = true;
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.obj != 0.0 {
+                let sign = if v.obj >= 0.0 && !first { " +" } else { " " };
+                let _ = write!(out, "{sign}{} {}", trim_num(v.obj), name(i));
+                first = false;
+            }
+        }
+        if first {
+            out.push_str(" 0");
+        }
+        out.push_str("\nSubject To\n");
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let norm = c.expr.normalized();
+            let _ = write!(out, " c{ci}:");
+            let mut first = true;
+            for &(v, coeff) in norm.terms() {
+                let sign = if coeff >= 0.0 && !first { " +" } else { " " };
+                let _ = write!(out, "{sign}{} {}", trim_num(coeff), name(v.index()));
+                first = false;
+            }
+            if first {
+                out.push_str(" 0");
+            }
+            let op = match c.cmp {
+                Cmp::Le => "<=",
+                Cmp::Ge => ">=",
+                Cmp::Eq => "=",
+            };
+            let _ = writeln!(out, " {op} {}", trim_num(c.rhs - norm.constant_value()));
+        }
+        out.push_str("Bounds\n");
+        for (i, v) in self.vars.iter().enumerate() {
+            let n = name(i);
+            match (v.lower.is_finite(), v.upper.is_finite()) {
+                (true, true) => {
+                    let _ = writeln!(out, " {} <= {n} <= {}", trim_num(v.lower), trim_num(v.upper));
+                }
+                (true, false) => {
+                    let _ = writeln!(out, " {n} >= {}", trim_num(v.lower));
+                }
+                (false, true) => {
+                    let _ = writeln!(out, " -inf <= {n} <= {}", trim_num(v.upper));
+                }
+                (false, false) => {
+                    let _ = writeln!(out, " {n} free");
+                }
+            }
+        }
+        let ints: Vec<String> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| name(i))
+            .collect();
+        if !ints.is_empty() {
+            out.push_str("General\n");
+            for n in ints {
+                let _ = writeln!(out, " {n}");
+            }
+        }
+        out.push_str("End\n");
+        out
+    }
+}
+
+/// Formats a float without trailing zeros (LP files get long otherwise).
+fn trim_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_structure() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 5.0, 1.0);
+        let q = m.add_int_var("q v", 0.0, f64::INFINITY, 2.5);
+        m.add_constraint([(x, 1.0), (q, -3.0)], Cmp::Ge, 1.0).unwrap();
+        let text = m.to_lp_format();
+        assert!(text.starts_with("Minimize"));
+        assert!(text.contains("Subject To"));
+        assert!(text.contains(" c0:"));
+        assert!(text.contains(">= 1"));
+        assert!(text.contains("Bounds"));
+        assert!(text.contains("0 <= x_0 <= 5"));
+        assert!(text.contains("q_v_1 >= 0"), "{text}");
+        assert!(text.contains("General"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn maximise_and_free_variables() {
+        let mut m = Model::new(Sense::Max);
+        let _x = m.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let text = m.to_lp_format();
+        assert!(text.starts_with("Maximize"));
+        assert!(text.contains("free"));
+    }
+
+    #[test]
+    fn numbers_trimmed() {
+        assert_eq!(trim_num(3.0), "3");
+        assert_eq!(trim_num(-2.0), "-2");
+        assert_eq!(trim_num(0.5), "0.5");
+    }
+
+    #[test]
+    fn constant_folded_into_rhs() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let expr = crate::model::LinExpr::new().term(x, 1.0).constant(2.0);
+        m.add_constraint(expr, Cmp::Le, 5.0).unwrap();
+        let text = m.to_lp_format();
+        // x + 2 <= 5 becomes x <= 3.
+        assert!(text.contains("<= 3"), "{text}");
+    }
+}

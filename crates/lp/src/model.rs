@@ -1,0 +1,424 @@
+//! Modelling layer: variables, linear expressions, constraints.
+
+use crate::solution::LpError;
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Minimise the objective (APPLE minimises total VNF instances).
+    Min,
+    /// Maximise the objective.
+    Max,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmp::Le => write!(f, "<="),
+            Cmp::Ge => write!(f, ">="),
+            Cmp::Eq => write!(f, "=="),
+        }
+    }
+}
+
+/// Handle to a decision variable in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Dense index of this variable within its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Built via [`LinExpr::new`] / [`LinExpr::term`] or the `+` / `*`
+/// operators.
+///
+/// # Example
+///
+/// ```
+/// use apple_lp::{LinExpr, Model, Sense};
+/// let mut m = Model::new(Sense::Min);
+/// let x = m.add_var("x", 0.0, 1.0, 1.0);
+/// let e = LinExpr::new().term(x, 2.0).constant(1.0);
+/// assert_eq!(e.terms().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(Var, f64)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// Creates the zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `coeff · var` to the expression (builder style).
+    pub fn term(mut self, var: Var, coeff: f64) -> Self {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// Adds a constant offset (builder style).
+    pub fn constant(mut self, c: f64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    /// The `(variable, coefficient)` pairs, unaggregated.
+    pub fn terms(&self) -> &[(Var, f64)] {
+        &self.terms
+    }
+
+    /// The constant offset.
+    pub fn constant_value(&self) -> f64 {
+        self.constant
+    }
+
+    /// Collapses duplicate variables and drops zero coefficients.
+    pub fn normalized(&self) -> LinExpr {
+        let mut sorted = self.terms.clone();
+        sorted.sort_by_key(|(v, _)| *v);
+        let mut out: Vec<(Var, f64)> = Vec::with_capacity(sorted.len());
+        for (v, c) in sorted {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|(_, c)| *c != 0.0);
+        LinExpr {
+            terms: out,
+            constant: self.constant,
+        }
+    }
+
+    /// Evaluates the expression against a dense assignment.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(v, c)| c * x.get(v.0).copied().unwrap_or(0.0))
+            .sum::<f64>()
+            + self.constant
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        LinExpr::new().term(v, 1.0)
+    }
+}
+
+impl<const N: usize> From<[(Var, f64); N]> for LinExpr {
+    fn from(terms: [(Var, f64); N]) -> Self {
+        LinExpr {
+            terms: terms.to_vec(),
+            constant: 0.0,
+        }
+    }
+}
+
+impl From<Vec<(Var, f64)>> for LinExpr {
+    fn from(terms: Vec<(Var, f64)>) -> Self {
+        LinExpr {
+            terms,
+            constant: 0.0,
+        }
+    }
+}
+
+impl From<&[(Var, f64)]> for LinExpr {
+    fn from(terms: &[(Var, f64)]) -> Self {
+        LinExpr {
+            terms: terms.to_vec(),
+            constant: 0.0,
+        }
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: f64) -> LinExpr {
+        for (_, c) in &mut self.terms {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+/// One row of the model.
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub expr: LinExpr,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// Metadata of a variable.
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub obj: f64,
+    pub integer: bool,
+}
+
+/// An LP / MILP model under construction.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimisation direction.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]` and objective
+    /// coefficient `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`, either bound is NaN, or `lower` is
+    /// `+∞` / `upper` is `-∞`.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64, obj: f64) -> Var {
+        self.push_var(name.into(), lower, upper, obj, false)
+    }
+
+    /// Adds an integer variable (used for APPLE's instance counts `q^v_n`).
+    /// The LP relaxation treats it as continuous; [`Model::solve_ilp`]
+    /// enforces integrality.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Model::add_var`].
+    pub fn add_int_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        obj: f64,
+    ) -> Var {
+        self.push_var(name.into(), lower, upper, obj, true)
+    }
+
+    fn push_var(&mut self, name: String, lower: f64, upper: f64, obj: f64, integer: bool) -> Var {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound on {name}");
+        assert!(lower <= upper, "empty domain [{lower}, {upper}] on {name}");
+        assert!(
+            lower < f64::INFINITY && upper > f64::NEG_INFINITY,
+            "unbounded-empty domain on {name}"
+        );
+        let v = Var(self.vars.len());
+        self.vars.push(VarDef {
+            name,
+            lower,
+            upper,
+            obj,
+            integer,
+        });
+        v
+    }
+
+    /// Adds the constraint `expr cmp rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVar`] if the expression references a
+    /// variable from another model, and [`LpError::BadCoefficient`] for
+    /// non-finite coefficients or right-hand sides.
+    pub fn add_constraint(
+        &mut self,
+        expr: impl Into<LinExpr>,
+        cmp: Cmp,
+        rhs: f64,
+    ) -> Result<(), LpError> {
+        let expr = expr.into();
+        for &(v, c) in expr.terms() {
+            if v.0 >= self.vars.len() {
+                return Err(LpError::UnknownVar(v.0));
+            }
+            if !c.is_finite() {
+                return Err(LpError::BadCoefficient);
+            }
+        }
+        if !rhs.is_finite() || !expr.constant_value().is_finite() {
+            return Err(LpError::BadCoefficient);
+        }
+        self.constraints.push(Constraint { expr, cmp, rhs });
+        Ok(())
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variables flagged integer.
+    pub fn integer_vars(&self) -> Vec<Var> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.integer)
+            .map(|(i, _)| Var(i))
+            .collect()
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// Checks a dense assignment against every constraint and bound,
+    /// returning the largest violation (0.0 when feasible).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (i, d) in self.vars.iter().enumerate() {
+            let xi = x.get(i).copied().unwrap_or(0.0);
+            worst = worst.max(d.lower - xi).max(xi - d.upper);
+        }
+        for c in &self.constraints {
+            let lhs = c.expr.eval(x);
+            let viol = match c.cmp {
+                Cmp::Le => lhs - c.rhs,
+                Cmp::Ge => c.rhs - lhs,
+                Cmp::Eq => (lhs - c.rhs).abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst.max(0.0)
+    }
+
+    /// Objective value of a dense assignment.
+    pub fn objective_of(&self, x: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.obj * x.get(i).copied().unwrap_or(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builder_and_eval() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 10.0, 1.0);
+        let y = m.add_var("y", 0.0, 10.0, 1.0);
+        let e = LinExpr::new().term(x, 2.0).term(y, -1.0).constant(3.0);
+        assert_eq!(e.eval(&[1.0, 4.0]), 2.0 - 4.0 + 3.0);
+    }
+
+    #[test]
+    fn normalize_collapses_duplicates() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        let e = LinExpr::new().term(x, 2.0).term(x, 3.0).term(x, -5.0);
+        assert!(e.normalized().terms().is_empty());
+    }
+
+    #[test]
+    fn operators() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        let y = m.add_var("y", 0.0, 1.0, 0.0);
+        let e = (LinExpr::from(x) + LinExpr::from(y)) * 2.0;
+        assert_eq!(e.eval(&[1.0, 1.0]), 4.0);
+    }
+
+    #[test]
+    fn unknown_var_rejected() {
+        let mut m1 = Model::new(Sense::Min);
+        let mut m2 = Model::new(Sense::Min);
+        let _x1 = m1.add_var("x", 0.0, 1.0, 0.0);
+        let foreign = Var(5);
+        let err = m2.add_constraint([(foreign, 1.0)], Cmp::Le, 1.0);
+        assert_eq!(err, Err(LpError::UnknownVar(5)));
+    }
+
+    #[test]
+    fn bad_coefficient_rejected() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 1.0, 0.0);
+        assert_eq!(
+            m.add_constraint([(x, f64::NAN)], Cmp::Le, 1.0),
+            Err(LpError::BadCoefficient)
+        );
+        assert_eq!(
+            m.add_constraint([(x, 1.0)], Cmp::Le, f64::INFINITY),
+            Err(LpError::BadCoefficient)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new(Sense::Min);
+        m.add_var("x", 2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn violation_checker() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 0.5).unwrap();
+        assert_eq!(m.max_violation(&[0.7]), 0.0);
+        assert!((m.max_violation(&[0.2]) - 0.3).abs() < 1e-12);
+        assert!((m.max_violation(&[1.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_vars_listed() {
+        let mut m = Model::new(Sense::Min);
+        let _x = m.add_var("x", 0.0, 1.0, 0.0);
+        let q = m.add_int_var("q", 0.0, 9.0, 1.0);
+        assert_eq!(m.integer_vars(), vec![q]);
+        assert_eq!(m.var_name(q), "q");
+    }
+}

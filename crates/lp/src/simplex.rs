@@ -1,0 +1,713 @@
+//! Dense two-phase primal simplex.
+//!
+//! The instances APPLE produces are small-to-medium (a few thousand rows and
+//! columns at the 79-switch AS-3679 scale), so a dense tableau with Dantzig
+//! pricing is the right complexity/robustness trade-off. Anti-cycling is
+//! handled by falling back to Bland's rule once the pivot count passes a
+//! degeneracy threshold.
+//!
+//! Standard-form conversion:
+//!
+//! * variables are shifted by their lower bound so every variable is `≥ 0`;
+//! * finite upper bounds become explicit `≤` rows;
+//! * `≤` rows gain a slack, `≥` rows a surplus, and any row without a ready
+//!   basic column gains a phase-1 artificial variable.
+
+use crate::model::{Cmp, Model, Sense};
+use crate::solution::{LpError, Solution, SolveStats};
+use std::time::Instant;
+
+/// Tuning knobs for the simplex solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SimplexOptions {
+    /// Hard pivot limit across both phases; `0` means automatic
+    /// (`200 · (rows + cols) + 10_000`).
+    pub max_pivots: usize,
+    /// Feasibility / optimality tolerance.
+    pub tolerance: f64,
+    /// Pivot count after which pricing switches from Dantzig to Bland's
+    /// rule; `0` means automatic (`20 · rows + 200`).
+    pub bland_after: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_pivots: 0,
+            tolerance: 1e-9,
+            bland_after: 0,
+        }
+    }
+}
+
+/// Internal dense tableau.
+struct Tableau {
+    /// rows × (cols + 1); last column is the RHS.
+    a: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    /// basis[row] = column currently basic in that row.
+    basis: Vec<usize>,
+    /// cost row (reduced costs), length cols + 1; last entry is -objective.
+    cost: Vec<f64>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * (self.cols + 1) + c]
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    /// Performs a pivot on (row, col): row scaled so the pivot becomes 1,
+    /// then eliminated from every other row and the cost row.
+    fn pivot(&mut self, prow: usize, pcol: usize) {
+        let w = self.cols + 1;
+        let pval = self.at(prow, pcol);
+        debug_assert!(pval.abs() > 1e-12, "pivot on (near-)zero element");
+        let inv = 1.0 / pval;
+        {
+            let row = &mut self.a[prow * w..(prow + 1) * w];
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        }
+        // Copy pivot row to avoid aliasing during elimination.
+        let prow_copy: Vec<f64> = self.a[prow * w..(prow + 1) * w].to_vec();
+        for r in 0..self.rows {
+            if r == prow {
+                continue;
+            }
+            let factor = self.at(r, pcol);
+            if factor != 0.0 {
+                let row = &mut self.a[r * w..(r + 1) * w];
+                for (x, p) in row.iter_mut().zip(&prow_copy) {
+                    *x -= factor * p;
+                }
+                row[pcol] = 0.0; // kill residual rounding noise
+            }
+        }
+        let cfac = self.cost[pcol];
+        if cfac != 0.0 {
+            for (x, p) in self.cost.iter_mut().zip(&prow_copy) {
+                *x -= cfac * p;
+            }
+            self.cost[pcol] = 0.0;
+        }
+        self.basis[prow] = pcol;
+    }
+
+    /// Chooses the entering column: Dantzig (most negative reduced cost)
+    /// or Bland (first negative) depending on `bland`.
+    fn entering(&self, tol: f64, bland: bool, allowed: usize) -> Option<usize> {
+        if bland {
+            (0..allowed).find(|&c| self.cost[c] < -tol)
+        } else {
+            let mut best = None;
+            let mut best_val = -tol;
+            for c in 0..allowed {
+                if self.cost[c] < best_val {
+                    best_val = self.cost[c];
+                    best = Some(c);
+                }
+            }
+            best
+        }
+    }
+
+    /// Ratio test: row minimising rhs / a[r][col] over positive pivots,
+    /// ties broken by smallest basis column (lexicographic, for Bland
+    /// compatibility).
+    fn leaving(&self, col: usize, tol: f64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.rows {
+            let a = self.at(r, col);
+            if a > tol {
+                let ratio = self.rhs(r) / a;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - tol
+                            || ((ratio - bratio).abs() <= tol && self.basis[r] < self.basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+}
+
+/// Result of standard-form conversion: mapping info to reconstruct original
+/// variable values.
+struct StandardForm {
+    tableau: Tableau,
+    /// Number of structural (shifted original) columns.
+    n_struct: usize,
+    /// Lower bound shift per original variable.
+    shifts: Vec<f64>,
+    /// Original objective coefficients per structural column (in Min sense).
+    obj: Vec<f64>,
+    /// Sign flip applied to the objective (for Max problems).
+    obj_flip: f64,
+    /// First artificial column index (artificials occupy the tail).
+    art_start: usize,
+    /// Per model-constraint row: the column whose final reduced cost
+    /// reveals the row's dual, and the multiplier converting it
+    /// (`y_i = mult · cost[col]`). Only the first `constraints.len()` rows
+    /// (bound rows appended afterwards are excluded).
+    dual_probe: Vec<(usize, f64)>,
+}
+
+fn build_standard_form(model: &Model) -> StandardForm {
+    let n_struct = model.vars.len();
+    let shifts: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+    let obj_flip = match model.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    let obj: Vec<f64> = model.vars.iter().map(|v| v.obj * obj_flip).collect();
+
+    // Gather rows: model constraints plus finite upper bounds.
+    // Each row: (terms over structural cols, cmp, rhs) with rhs already
+    // adjusted for shifts and expression constants.
+    struct Row {
+        terms: Vec<(usize, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.constraints.len());
+    for c in &model.constraints {
+        let norm = c.expr.normalized();
+        let mut rhs = c.rhs - norm.constant_value();
+        let mut terms = Vec::with_capacity(norm.terms().len());
+        for &(v, coeff) in norm.terms() {
+            rhs -= coeff * shifts[v.index()];
+            terms.push((v.index(), coeff));
+        }
+        rows.push(Row {
+            terms,
+            cmp: c.cmp,
+            rhs,
+        });
+    }
+    for (i, v) in model.vars.iter().enumerate() {
+        if v.upper.is_finite() && v.upper > v.lower {
+            rows.push(Row {
+                terms: vec![(i, 1.0)],
+                cmp: Cmp::Le,
+                rhs: v.upper - v.lower,
+            });
+        } else if v.upper == v.lower {
+            rows.push(Row {
+                terms: vec![(i, 1.0)],
+                cmp: Cmp::Eq,
+                rhs: 0.0,
+            });
+        }
+    }
+
+    let m = rows.len();
+    // Count slack columns.
+    let n_slack = rows
+        .iter()
+        .filter(|r| matches!(r.cmp, Cmp::Le | Cmp::Ge))
+        .count();
+
+    // Column layout: [structural | slacks | artificials]; artificials are
+    // allocated lazily below.
+    let mut slack_col = n_struct;
+    let mut need_artificial = Vec::with_capacity(m);
+    let cols_noart = n_struct + n_slack;
+
+    // First pass to learn per-row slack column & whether artificial needed.
+    struct RowMeta {
+        slack: Option<(usize, f64)>, // (col, sign)
+        negate: bool,
+    }
+    let mut metas = Vec::with_capacity(m);
+    for r in &rows {
+        let negate = r.rhs < 0.0;
+        // After optional negation the cmp flips for Le/Ge.
+        let eff_cmp = match (r.cmp, negate) {
+            (Cmp::Le, true) => Cmp::Ge,
+            (Cmp::Ge, true) => Cmp::Le,
+            (c, _) => c,
+        };
+        let slack = match r.cmp {
+            Cmp::Le | Cmp::Ge => {
+                let col = slack_col;
+                slack_col += 1;
+                // Slack sign in the *original* row orientation.
+                let sign = if r.cmp == Cmp::Le { 1.0 } else { -1.0 };
+                Some((col, sign))
+            }
+            Cmp::Eq => None,
+        };
+        // A row provides its own basic column only when, after negation,
+        // the slack coefficient is +1 (i.e. an effective Le row).
+        let self_basic = matches!(eff_cmp, Cmp::Le) && slack.is_some();
+        need_artificial.push(!self_basic);
+        metas.push(RowMeta { slack, negate });
+    }
+    let n_art = need_artificial.iter().filter(|&&b| b).count();
+    let cols = cols_noart + n_art;
+
+    let w = cols + 1;
+    let mut a = vec![0.0; m * w];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_next = cols_noart;
+    let n_model_rows = model.constraints.len();
+    let mut dual_probe = Vec::with_capacity(n_model_rows);
+    for (ri, (row, meta)) in rows.iter().zip(&metas).enumerate() {
+        let sgn = if meta.negate { -1.0 } else { 1.0 };
+        for &(ci, coeff) in &row.terms {
+            a[ri * w + ci] += sgn * coeff;
+        }
+        if let Some((col, ssign)) = meta.slack {
+            a[ri * w + col] = sgn * ssign;
+        }
+        a[ri * w + cols] = sgn * row.rhs;
+        debug_assert!(a[ri * w + cols] >= -1e-12);
+        let mut art_col = None;
+        if need_artificial[ri] {
+            a[ri * w + art_next] = 1.0;
+            basis[ri] = art_next;
+            art_col = Some(art_next);
+            art_next += 1;
+        } else {
+            let (col, _) = meta.slack.expect("self-basic rows have slacks");
+            basis[ri] = col;
+        }
+        // Dual probe for model rows: the reduced cost of a column with a
+        // single non-zero in this row reveals the dual. Slack columns have
+        // tableau coefficient sgn·ssign; artificials have +1.
+        if ri < n_model_rows {
+            match (meta.slack, art_col) {
+                (Some((col, ssign)), _) => dual_probe.push((col, -1.0 / ssign)),
+                (None, Some(col)) => dual_probe.push((col, -sgn)),
+                (None, None) => unreachable!("every row has a slack or an artificial"),
+            }
+        }
+    }
+
+    let tableau = Tableau {
+        a,
+        rows: m,
+        cols,
+        basis,
+        cost: vec![0.0; w],
+    };
+    StandardForm {
+        tableau,
+        n_struct,
+        shifts,
+        obj,
+        obj_flip,
+        art_start: cols_noart,
+        dual_probe,
+    }
+}
+
+impl Model {
+    /// Solves the LP relaxation (integrality flags ignored) with default
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`] or
+    /// [`LpError::IterationLimit`].
+    pub fn solve_lp(&self) -> Result<Solution, LpError> {
+        self.solve_lp_with(SimplexOptions::default())
+    }
+
+    /// Solves the LP relaxation with explicit solver options.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`] or
+    /// [`LpError::IterationLimit`].
+    pub fn solve_lp_with(&self, opts: SimplexOptions) -> Result<Solution, LpError> {
+        let start = Instant::now();
+        let mut sf = build_standard_form(self);
+        let t = &mut sf.tableau;
+        let tol = opts.tolerance;
+        let max_pivots = if opts.max_pivots == 0 {
+            200 * (t.rows + t.cols) + 10_000
+        } else {
+            opts.max_pivots
+        };
+        let bland_after = if opts.bland_after == 0 {
+            20 * t.rows + 200
+        } else {
+            opts.bland_after
+        };
+        let mut pivots = 0usize;
+
+        // ---- Phase 1: minimise the sum of artificials. ----
+        let has_artificials = t.cols > sf.art_start;
+        let mut phase1_pivots = 0usize;
+        if has_artificials {
+            // cost = sum of artificial columns ⇒ reduced cost row is
+            // -(sum of rows whose basis is artificial).
+            let w = t.cols + 1;
+            let mut cost = vec![0.0; w];
+            #[allow(clippy::needless_range_loop)] // index form mirrors the math
+            for c in sf.art_start..t.cols {
+                cost[c] = 1.0;
+            }
+            // Price out basic artificials.
+            for r in 0..t.rows {
+                if t.basis[r] >= sf.art_start {
+                    #[allow(clippy::needless_range_loop)] // cost[c] -= A[r][c]
+                    for c in 0..w {
+                        cost[c] -= t.at(r, c);
+                    }
+                }
+            }
+            t.cost = cost;
+            run_phase(t, tol, max_pivots, bland_after, &mut pivots, t.cols)?;
+            phase1_pivots = pivots;
+            let phase1_obj = -t.cost[t.cols];
+            if phase1_obj > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Drive artificials out of the basis where possible.
+            for r in 0..t.rows {
+                if t.basis[r] >= sf.art_start {
+                    let piv = (0..sf.art_start).find(|&c| t.at(r, c).abs() > 1e-7);
+                    if let Some(c) = piv {
+                        t.pivot(r, c);
+                        pivots += 1;
+                    }
+                    // Rows still basic in an artificial are redundant
+                    // (zero row); leaving them is harmless because the
+                    // artificial stays at value ~0 and phase 2 restricts
+                    // entering columns to non-artificials.
+                }
+            }
+        }
+
+        // ---- Phase 2: original objective. ----
+        let w = t.cols + 1;
+        let mut cost = vec![0.0; w];
+        cost[..sf.n_struct].copy_from_slice(&sf.obj);
+        // Price out the current basis.
+        for r in 0..t.rows {
+            let b = t.basis[r];
+            let cb = if b < sf.n_struct { sf.obj[b] } else { 0.0 };
+            if cb != 0.0 {
+                #[allow(clippy::needless_range_loop)] // cost[c] -= c_B * A[r][c]
+                for c in 0..w {
+                    cost[c] -= cb * t.at(r, c);
+                }
+            }
+        }
+        t.cost = cost;
+        run_phase(t, tol, max_pivots, bland_after, &mut pivots, sf.art_start)?;
+
+        // Extract solution.
+        let mut x = sf.shifts.clone();
+        for r in 0..t.rows {
+            let b = t.basis[r];
+            if b < sf.n_struct {
+                x[b] += t.rhs(r);
+            }
+        }
+        let objective = self.objective_of(&x);
+        let _ = sf.obj_flip; // direction already folded into sf.obj
+        // Dual extraction: each model row's multiplier from the final
+        // reduced cost of its probe column (see StandardForm::dual_probe).
+        // Duals are reported for the min-oriented problem; for Max models
+        // callers negate.
+        let duals: Vec<f64> = sf
+            .dual_probe
+            .iter()
+            .map(|&(col, mult)| mult * t.cost[col])
+            .collect();
+        let stats = SolveStats {
+            pivots,
+            phase1_pivots,
+            elapsed: start.elapsed(),
+        };
+        let mut sol = Solution::new(x, objective, stats);
+        sol.set_duals(duals);
+        Ok(sol)
+    }
+}
+
+/// Runs simplex iterations until optimality, unboundedness or limits.
+/// `allowed` restricts entering columns to indices `< allowed` (used to
+/// forbid artificials in phase 2).
+fn run_phase(
+    t: &mut Tableau,
+    tol: f64,
+    max_pivots: usize,
+    bland_after: usize,
+    pivots: &mut usize,
+    allowed: usize,
+) -> Result<(), LpError> {
+    loop {
+        if *pivots >= max_pivots {
+            return Err(LpError::IterationLimit);
+        }
+        let bland = *pivots >= bland_after;
+        let Some(col) = t.entering(tol, bland, allowed) else {
+            return Ok(()); // optimal
+        };
+        let Some(row) = t.leaving(col, tol) else {
+            return Err(LpError::Unbounded);
+        };
+        t.pivot(row, col);
+        *pivots += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn trivial_min_at_bounds() {
+        // min x, 0 <= x <= 5: optimum 0 without any constraint rows.
+        let mut m = Model::new(Sense::Min);
+        let _x = m.add_var("x", 0.0, 5.0, 1.0);
+        let s = m.solve_lp().unwrap();
+        assert_close(s.objective(), 0.0);
+    }
+
+    #[test]
+    fn basic_max_problem() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 → (4,0), obj 12.
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 4.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Le, 6.0).unwrap();
+        let s = m.solve_lp().unwrap();
+        assert_close(s.objective(), 12.0);
+        assert_close(s.value(x), 4.0);
+        assert_close(s.value(y), 0.0);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2 → x=10? obj: min 2x+3y with
+        // y=0, x=10 → 20.
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 2.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0)
+            .unwrap();
+        let s = m.solve_lp().unwrap();
+        assert_close(s.objective(), 20.0);
+        assert_close(s.value(x), 10.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y == 4, x - y == 1 → y=1, x=2, obj 3.
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0)
+            .unwrap();
+        let s = m.solve_lp().unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 1.0);
+        assert_close(s.objective(), 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 5.0).unwrap();
+        assert_eq!(m.solve_lp(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Max);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 1.0).unwrap();
+        assert_eq!(m.solve_lp(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // x - y <= -2 with min x, y <= 3 → x >= y - ... : feasible needs
+        // y >= x + 2; min x = 0 with y in [2,3].
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, 3.0, 0.0);
+        m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Le, -2.0)
+            .unwrap();
+        let s = m.solve_lp().unwrap();
+        assert_close(s.value(x), 0.0);
+        assert!(s.value(y) >= 2.0 - 1e-7);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x + y with x >= 3, y >= 4, x + y >= 10 → obj 10.
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 3.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 4.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0)
+            .unwrap();
+        let s = m.solve_lp().unwrap();
+        assert_close(s.objective(), 10.0);
+        assert!(m.max_violation(s.values()) < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 2.5, 2.5, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0).unwrap();
+        let s = m.solve_lp().unwrap();
+        assert_close(s.value(x), 2.5);
+        assert_close(s.value(y), 1.5);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic cycling-prone example (Beale); Bland fallback must
+        // terminate it.
+        let mut m = Model::new(Sense::Min);
+        let x1 = m.add_var("x1", 0.0, f64::INFINITY, -0.75);
+        let x2 = m.add_var("x2", 0.0, f64::INFINITY, 150.0);
+        let x3 = m.add_var("x3", 0.0, f64::INFINITY, -0.02);
+        let x4 = m.add_var("x4", 0.0, f64::INFINITY, 6.0);
+        m.add_constraint(
+            [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Cmp::Le,
+            0.0,
+        )
+        .unwrap();
+        m.add_constraint(
+            [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Cmp::Le,
+            0.0,
+        )
+        .unwrap();
+        m.add_constraint([(x3, 1.0)], Cmp::Le, 1.0).unwrap();
+        let s = m.solve_lp().unwrap();
+        assert_close(s.objective(), -0.05);
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // x + y == 2 stated twice: redundant row must not break phase 1.
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0).unwrap();
+        let s = m.solve_lp().unwrap();
+        assert_close(s.objective(), 2.0);
+        assert_close(s.value(x), 2.0);
+    }
+
+    #[test]
+    fn duals_satisfy_strong_duality_on_covering_lp() {
+        // min x + 2y s.t. x + y >= 3 → x=3, y=0, dual y1 = 1 (binding),
+        // objective = y·b = 3.
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0).unwrap();
+        let s = m.solve_lp().unwrap();
+        let duals = s.duals().expect("simplex solutions carry duals");
+        assert_eq!(duals.len(), 1);
+        assert_close(duals[0], 1.0);
+        assert_close(duals[0] * 3.0, s.objective());
+    }
+
+    #[test]
+    fn duals_zero_for_slack_constraints() {
+        // min x s.t. x >= 1 (binding), x + 0y <= 100 (slack).
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 1.0).unwrap();
+        m.add_constraint([(x, 1.0)], Cmp::Le, 100.0).unwrap();
+        let s = m.solve_lp().unwrap();
+        let duals = s.duals().unwrap();
+        assert_close(duals[0], 1.0);
+        assert_close(duals[1], 0.0); // complementary slackness
+    }
+
+    #[test]
+    fn duals_for_equality_rows() {
+        // min x + y s.t. x + y == 2 → binding equality with dual 1.
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0).unwrap();
+        let s = m.solve_lp().unwrap();
+        let duals = s.duals().unwrap();
+        assert_close(duals[0] * 2.0, s.objective());
+    }
+
+    #[test]
+    fn duals_predict_objective_sensitivity() {
+        // Perturb a binding RHS by eps; the objective must move by y·eps.
+        let build = |rhs: f64| {
+            let mut m = Model::new(Sense::Min);
+            let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
+            let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
+            m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, rhs).unwrap();
+            m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Ge, 6.0).unwrap();
+            m
+        };
+        let base = build(5.0).solve_lp().unwrap();
+        let dual = base.duals().unwrap()[0];
+        let bumped = build(5.5).solve_lp().unwrap();
+        assert_close(bumped.objective() - base.objective(), dual * 0.5);
+    }
+
+    #[test]
+    fn solution_is_feasible_property() {
+        // Deterministic pseudo-random LPs: whatever comes back must satisfy
+        // all constraints to tolerance.
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
+        };
+        for trial in 0..20 {
+            let mut m = Model::new(Sense::Min);
+            let n = 3 + (trial % 4);
+            let vars: Vec<_> = (0..n)
+                .map(|i| m.add_var(format!("x{i}"), 0.0, 10.0, next()))
+                .collect();
+            for _ in 0..n {
+                let terms: Vec<_> = vars.iter().map(|&v| (v, next())).collect();
+                m.add_constraint(terms, Cmp::Ge, next() * 3.0).unwrap();
+            }
+            match m.solve_lp() {
+                Ok(s) => assert!(
+                    m.max_violation(s.values()) < 1e-6,
+                    "trial {trial}: violation {}",
+                    m.max_violation(s.values())
+                ),
+                Err(LpError::Infeasible) => {}
+                Err(e) => panic!("trial {trial}: unexpected {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Model inspection helpers: size statistics and a human-readable
+//! `Display` for debugging the engine's generated formulations.
+
+use crate::model::{Cmp, Model};
+use std::fmt;
+
+/// Size statistics of a model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Total decision variables.
+    pub vars: usize,
+    /// Variables flagged integer.
+    pub int_vars: usize,
+    /// Constraint rows.
+    pub rows: usize,
+    /// `≤` rows.
+    pub le_rows: usize,
+    /// `≥` rows.
+    pub ge_rows: usize,
+    /// `=` rows.
+    pub eq_rows: usize,
+    /// Non-zero coefficients across all rows.
+    pub nonzeros: usize,
+}
+
+impl ModelStats {
+    /// Fill density: non-zeros / (rows × vars); 0 for empty models.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.vars == 0 {
+            0.0
+        } else {
+            self.nonzeros as f64 / (self.rows * self.vars) as f64
+        }
+    }
+}
+
+impl Model {
+    /// Computes size statistics.
+    pub fn stats(&self) -> ModelStats {
+        let mut s = ModelStats {
+            vars: self.vars.len(),
+            int_vars: self.vars.iter().filter(|v| v.integer).count(),
+            rows: self.constraints.len(),
+            ..Default::default()
+        };
+        for c in &self.constraints {
+            match c.cmp {
+                Cmp::Le => s.le_rows += 1,
+                Cmp::Ge => s.ge_rows += 1,
+                Cmp::Eq => s.eq_rows += 1,
+            }
+            s.nonzeros += c.expr.normalized().terms().len();
+        }
+        s
+    }
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vars ({} integer), {} rows ({}<= {}>= {}=), {} non-zeros ({:.2}% dense)",
+            self.vars,
+            self.int_vars,
+            self.rows,
+            self.le_rows,
+            self.ge_rows,
+            self.eq_rows,
+            self.nonzeros,
+            self.density() * 100.0
+        )
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Model[{}]", self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    #[test]
+    fn stats_count_everything() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let q = m.add_int_var("q", 0.0, 9.0, 1.0);
+        m.add_constraint([(x, 1.0), (q, 2.0)], Cmp::Le, 3.0).unwrap();
+        m.add_constraint([(x, 1.0)], Cmp::Ge, 0.5).unwrap();
+        m.add_constraint([(q, 1.0)], Cmp::Eq, 2.0).unwrap();
+        let s = m.stats();
+        assert_eq!(s.vars, 2);
+        assert_eq!(s.int_vars, 1);
+        assert_eq!(s.rows, 3);
+        assert_eq!((s.le_rows, s.ge_rows, s.eq_rows), (1, 1, 1));
+        assert_eq!(s.nonzeros, 4);
+        assert!((s.density() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped_from_nonzeros() {
+        let mut m = Model::new(Sense::Min);
+        let x = m.add_var("x", 0.0, 1.0, 1.0);
+        let y = m.add_var("y", 0.0, 1.0, 1.0);
+        m.add_constraint([(x, 1.0), (y, 0.0)], Cmp::Le, 1.0).unwrap();
+        assert_eq!(m.stats().nonzeros, 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut m = Model::new(Sense::Max);
+        let _ = m.add_var("x", 0.0, 1.0, 1.0);
+        let text = m.to_string();
+        assert!(text.contains("1 vars"));
+        assert!(text.contains("0 rows"));
+    }
+
+    #[test]
+    fn empty_model_density_zero() {
+        let m = Model::new(Sense::Min);
+        assert_eq!(m.stats().density(), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the simplex and branch-and-bound solvers.
+//!
+//! The key invariants:
+//! 1. any solution returned by `solve_lp` satisfies every constraint and
+//!    bound (feasibility),
+//! 2. the LP optimum is a valid bound for the ILP optimum (relaxation),
+//! 3. `solve_ilp` returns integral values for integer variables,
+//! 4. on covering-style problems (the shape APPLE generates) the LP
+//!    objective never exceeds the ILP objective for minimisation.
+
+use apple_lp::{BranchConfig, Cmp, LpError, Model, Sense};
+use proptest::prelude::*;
+
+/// A generated covering problem: min Σ c_j x_j s.t. A x >= b, 0 <= x <= ub.
+#[derive(Debug, Clone)]
+struct Covering {
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    upper: f64,
+}
+
+fn covering_strategy() -> impl Strategy<Value = Covering> {
+    let n = 2usize..6;
+    let m = 1usize..6;
+    (n, m).prop_flat_map(|(n, m)| {
+        let costs = proptest::collection::vec(0.1f64..10.0, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(0.0f64..5.0, n),
+                0.0f64..8.0,
+            ),
+            m,
+        );
+        (costs, rows, 1.0f64..30.0).prop_map(|(costs, rows, upper)| Covering {
+            costs,
+            rows,
+            upper,
+        })
+    })
+}
+
+fn build(c: &Covering, integer: bool) -> Model {
+    let mut model = Model::new(Sense::Min);
+    let vars: Vec<_> = c
+        .costs
+        .iter()
+        .enumerate()
+        .map(|(i, &cost)| {
+            if integer {
+                model.add_int_var(format!("x{i}"), 0.0, c.upper, cost)
+            } else {
+                model.add_var(format!("x{i}"), 0.0, c.upper, cost)
+            }
+        })
+        .collect();
+    for (coeffs, rhs) in &c.rows {
+        let terms: Vec<_> = vars.iter().zip(coeffs).map(|(&v, &k)| (v, k)).collect();
+        model
+            .add_constraint(terms, Cmp::Ge, *rhs)
+            .expect("finite coefficients");
+    }
+    model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lp_solutions_are_feasible(c in covering_strategy()) {
+        let model = build(&c, false);
+        match model.solve_lp() {
+            Ok(sol) => {
+                prop_assert!(model.max_violation(sol.values()) < 1e-6,
+                    "violation {}", model.max_violation(sol.values()));
+                // Objective must agree with the assignment.
+                let recomputed = model.objective_of(sol.values());
+                prop_assert!((recomputed - sol.objective()).abs() < 1e-6);
+            }
+            Err(LpError::Infeasible) => {
+                // Acceptable: a row may demand more than upper bounds allow.
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn ilp_is_integral_and_bounded_by_lp(c in covering_strategy()) {
+        let lp_model = build(&c, false);
+        let ilp_model = build(&c, true);
+        let lp = lp_model.solve_lp();
+        let ilp = ilp_model.solve_ilp(BranchConfig::default());
+        match (lp, ilp) {
+            (Ok(lp), Ok((ilp, _))) => {
+                // Relaxation bound.
+                prop_assert!(ilp.objective() >= lp.objective() - 1e-6,
+                    "ilp {} < lp {}", ilp.objective(), lp.objective());
+                // Integrality.
+                for v in ilp_model.integer_vars() {
+                    let x = ilp.value(v);
+                    prop_assert!((x - x.round()).abs() < 1e-5, "fractional {x}");
+                }
+                // Feasibility of the integral point.
+                prop_assert!(ilp_model.max_violation(ilp.values()) < 1e-6);
+            }
+            (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+            (Ok(_), Err(LpError::Infeasible)) => {
+                // LP feasible but no integer point within bounds: possible
+                // when upper bounds are tight and fractional.
+            }
+            (lp, ilp) => prop_assert!(false, "inconsistent: lp={lp:?} ilp={ilp:?}"),
+        }
+    }
+
+    #[test]
+    fn ceiling_rounding_is_feasible_when_slack_allows(c in covering_strategy()) {
+        // APPLE's rounding step ceils the fractional q; for pure covering
+        // constraints (non-negative coefficients) ceiling can only help.
+        let model = build(&c, false);
+        if let Ok(sol) = model.solve_lp() {
+            let rounded: Vec<f64> = sol.values().iter().map(|x| x.ceil()).collect();
+            let ok_bounds = rounded.iter().all(|&x| x <= c.upper + 1e-9);
+            if ok_bounds {
+                // Every Ge row with non-negative coefficients stays satisfied.
+                prop_assert!(model.max_violation(&rounded) < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! The VNF catalog — Table IV of the paper, plus resource vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// The four network function types used throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NfType {
+    /// Stateless packet filter (ClickOS, 4 cores, 900 Mbps).
+    Firewall,
+    /// Web proxy (ordinary VM, 4 cores, 900 Mbps).
+    Proxy,
+    /// Network address translation (ClickOS, 2 cores, 900 Mbps).
+    Nat,
+    /// Intrusion detection system (ordinary VM, 8 cores, 600 Mbps).
+    Ids,
+}
+
+impl NfType {
+    /// All catalog entries in a stable order.
+    pub fn all() -> [NfType; 4] {
+        [NfType::Firewall, NfType::Proxy, NfType::Nat, NfType::Ids]
+    }
+
+    /// Dense index (0..4) for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            NfType::Firewall => 0,
+            NfType::Proxy => 1,
+            NfType::Nat => 2,
+            NfType::Ids => 3,
+        }
+    }
+
+    /// Inverse of [`NfType::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    pub fn from_index(i: usize) -> NfType {
+        Self::all()[i]
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NfType::Firewall => "Firewall",
+            NfType::Proxy => "Proxy",
+            NfType::Nat => "NAT",
+            NfType::Ids => "IDS",
+        }
+    }
+}
+
+impl fmt::Display for NfType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A hardware resource requirement / availability vector — the paper's
+/// `R_n` and `A_v`. Components are CPU cores and memory.
+///
+/// # Example
+///
+/// ```
+/// use apple_nf::ResourceVector;
+///
+/// let host = ResourceVector::new(64, 131_072);
+/// let vnf = ResourceVector::new(4, 2_048);
+/// assert!(vnf.fits_in(&host));
+/// assert_eq!((host - vnf).cores, 60);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct ResourceVector {
+    /// CPU cores.
+    pub cores: u32,
+    /// Memory in MiB.
+    pub memory_mib: u32,
+}
+
+impl ResourceVector {
+    /// Creates a resource vector.
+    pub fn new(cores: u32, memory_mib: u32) -> Self {
+        ResourceVector { cores, memory_mib }
+    }
+
+    /// The zero vector.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Component-wise `self ≤ other`.
+    pub fn fits_in(&self, other: &ResourceVector) -> bool {
+        self.cores <= other.cores && self.memory_mib <= other.memory_mib
+    }
+
+    /// Component-wise saturating subtraction.
+    pub fn saturating_sub(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cores: self.cores.saturating_sub(rhs.cores),
+            memory_mib: self.memory_mib.saturating_sub(rhs.memory_mib),
+        }
+    }
+
+    /// Scales the vector by an instance count.
+    pub fn times(self, k: u32) -> ResourceVector {
+        ResourceVector {
+            cores: self.cores * k,
+            memory_mib: self.memory_mib * k,
+        }
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cores: self.cores + rhs.cores,
+            memory_mib: self.memory_mib + rhs.memory_mib,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, rhs: ResourceVector) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ResourceVector {
+    type Output = ResourceVector;
+    /// # Panics
+    ///
+    /// Panics (in debug) on underflow; use
+    /// [`ResourceVector::saturating_sub`] when the result may be negative.
+    fn sub(self, rhs: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            cores: self.cores - rhs.cores,
+            memory_mib: self.memory_mib - rhs.memory_mib,
+        }
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}c/{}MiB", self.cores, self.memory_mib)
+    }
+}
+
+/// The data-sheet of one VNF type — one row of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VnfSpec {
+    /// Which NF this describes.
+    pub nf: NfType,
+    /// CPU cores required per instance (`R_n`).
+    pub cores: u32,
+    /// Memory per instance in MiB (not in Table IV; sized so cores are the
+    /// binding resource, as in the paper's 64-core-host experiments).
+    pub memory_mib: u32,
+    /// Throughput capacity per instance in Mbps (`Cap_n`).
+    pub capacity_mbps: f64,
+    /// Whether the NF runs in a ClickOS unikernel (fast boot / reconfig).
+    pub clickos: bool,
+}
+
+impl VnfSpec {
+    /// Returns the Table IV row for `nf`.
+    pub fn of(nf: NfType) -> VnfSpec {
+        match nf {
+            NfType::Firewall => VnfSpec {
+                nf,
+                cores: 4,
+                memory_mib: 1024,
+                capacity_mbps: 900.0,
+                clickos: true,
+            },
+            NfType::Proxy => VnfSpec {
+                nf,
+                cores: 4,
+                memory_mib: 4096,
+                capacity_mbps: 900.0,
+                clickos: false,
+            },
+            NfType::Nat => VnfSpec {
+                nf,
+                cores: 2,
+                memory_mib: 512,
+                capacity_mbps: 900.0,
+                clickos: true,
+            },
+            NfType::Ids => VnfSpec {
+                nf,
+                cores: 8,
+                memory_mib: 8192,
+                capacity_mbps: 600.0,
+                clickos: false,
+            },
+        }
+    }
+
+    /// The full catalog in [`NfType::all`] order.
+    pub fn catalog() -> [VnfSpec; 4] {
+        [
+            VnfSpec::of(NfType::Firewall),
+            VnfSpec::of(NfType::Proxy),
+            VnfSpec::of(NfType::Nat),
+            VnfSpec::of(NfType::Ids),
+        ]
+    }
+
+    /// Resource requirement vector `R_n`.
+    pub fn resources(&self) -> ResourceVector {
+        ResourceVector::new(self.cores, self.memory_mib)
+    }
+
+    /// Whether this NF rewrites packet headers (source NAT does). §X of
+    /// the paper: such NFs invalidate prefix-based sub-class
+    /// classification downstream, requiring global sub-class tags.
+    pub fn rewrites_headers(&self) -> bool {
+        matches!(self.nf, NfType::Nat)
+    }
+
+    /// Capacity in packets per second assuming `packet_bytes`-byte packets
+    /// (the paper's prototype uses 1500 B UDP packets).
+    pub fn capacity_pps(&self, packet_bytes: u32) -> f64 {
+        self.capacity_mbps * 1e6 / (f64::from(packet_bytes) * 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_rows() {
+        let fw = VnfSpec::of(NfType::Firewall);
+        assert_eq!((fw.cores, fw.capacity_mbps, fw.clickos), (4, 900.0, true));
+        let px = VnfSpec::of(NfType::Proxy);
+        assert_eq!((px.cores, px.capacity_mbps, px.clickos), (4, 900.0, false));
+        let nat = VnfSpec::of(NfType::Nat);
+        assert_eq!((nat.cores, nat.capacity_mbps, nat.clickos), (2, 900.0, true));
+        let ids = VnfSpec::of(NfType::Ids);
+        assert_eq!((ids.cores, ids.capacity_mbps, ids.clickos), (8, 600.0, false));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for nf in NfType::all() {
+            assert_eq!(NfType::from_index(nf.index()), nf);
+        }
+    }
+
+    #[test]
+    fn resource_vector_arithmetic() {
+        let a = ResourceVector::new(8, 100);
+        let b = ResourceVector::new(3, 40);
+        assert_eq!(a + b, ResourceVector::new(11, 140));
+        assert_eq!(a - b, ResourceVector::new(5, 60));
+        assert_eq!(b.saturating_sub(a), ResourceVector::zero());
+        assert_eq!(b.times(3), ResourceVector::new(9, 120));
+        assert!(b.fits_in(&a));
+        assert!(!a.fits_in(&b));
+    }
+
+    #[test]
+    fn capacity_pps_for_1500b() {
+        // 900 Mbps at 1500 B = 75 Kpps.
+        let fw = VnfSpec::of(NfType::Firewall);
+        assert!((fw.capacity_pps(1500) - 75_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NfType::Ids.to_string(), "IDS");
+        assert_eq!(ResourceVector::new(4, 1024).to_string(), "4c/1024MiB");
+    }
+
+    #[test]
+    fn only_nat_rewrites_headers() {
+        assert!(VnfSpec::of(NfType::Nat).rewrites_headers());
+        assert!(!VnfSpec::of(NfType::Firewall).rewrites_headers());
+        assert!(!VnfSpec::of(NfType::Ids).rewrites_headers());
+        assert!(!VnfSpec::of(NfType::Proxy).rewrites_headers());
+    }
+
+    #[test]
+    fn catalog_covers_all_types() {
+        let cat = VnfSpec::catalog();
+        assert_eq!(cat.len(), 4);
+        for (spec, nf) in cat.iter().zip(NfType::all()) {
+            assert_eq!(spec.nf, nf);
+        }
+    }
+}

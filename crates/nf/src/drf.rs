@@ -1,0 +1,264 @@
+//! Dominant Resource Fairness for VNF instances sharing an APPLE host —
+//! the §X extension ("to integrate a max-min fair multi-resource scheduler
+//! [25] for policy enforcement would be our future work").
+//!
+//! Hypervisors schedule CPU and memory independently and statically; when
+//! VNF instances contend for multiple resources (CPU cycles, memory
+//! bandwidth, NIC bandwidth) a max-min fair allocation over *dominant
+//! shares* (DRF, Ghodsi et al.) gives each instance the largest possible
+//! share of its bottleneck resource without starving others.
+//!
+//! [`drf_allocate`] computes the continuous (fluid) DRF allocation by
+//! water-filling: scale every demand vector by a common dominant-share
+//! level until some resource saturates, freeze the saturated users, and
+//! continue with the rest.
+
+/// A demand vector: how much of each resource one unit of an instance's
+/// work consumes. Resources are positional (e.g. `[cpu, memory, nic]`).
+pub type Demand = Vec<f64>;
+
+/// Result of a DRF allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrfAllocation {
+    /// Work units granted per instance (same order as the demands).
+    pub units: Vec<f64>,
+    /// Dominant share per instance (fraction of its bottleneck resource).
+    pub dominant_shares: Vec<f64>,
+    /// Resource utilisation after allocation, per resource.
+    pub utilisation: Vec<f64>,
+}
+
+/// Computes the continuous DRF allocation for `demands` under `capacity`.
+///
+/// Instances with all-zero demand receive zero units. Demands and
+/// capacities must be non-negative and dimensions must agree.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree, any value is negative/non-finite, or
+/// `capacity` has a zero entry while some demand needs that resource.
+///
+/// # Example
+///
+/// ```
+/// use apple_nf::drf::drf_allocate;
+///
+/// // The classic DRF example: 9 CPUs & 18 GB; user A needs <1 CPU, 4 GB>
+/// // per task, user B <3 CPU, 1 GB>. DRF gives A 3 tasks and B 2 tasks
+/// // (equal dominant shares of 2/3).
+/// let alloc = drf_allocate(&[vec![1.0, 4.0], vec![3.0, 1.0]], &[9.0, 18.0]);
+/// assert!((alloc.units[0] - 3.0).abs() < 1e-9);
+/// assert!((alloc.units[1] - 2.0).abs() < 1e-9);
+/// ```
+pub fn drf_allocate(demands: &[Demand], capacity: &[f64]) -> DrfAllocation {
+    let r = capacity.len();
+    for (i, d) in demands.iter().enumerate() {
+        assert_eq!(d.len(), r, "demand {i} has wrong dimension");
+        assert!(
+            d.iter().all(|&x| x.is_finite() && x >= 0.0),
+            "demand {i} has invalid entries"
+        );
+    }
+    assert!(
+        capacity.iter().all(|&c| c.is_finite() && c >= 0.0),
+        "capacity has invalid entries"
+    );
+    for (k, &c) in capacity.iter().enumerate() {
+        if c == 0.0 {
+            assert!(
+                demands.iter().all(|d| d[k] == 0.0),
+                "resource {k} has zero capacity but non-zero demand"
+            );
+        }
+    }
+
+    let n = demands.len();
+    // Dominant demand per unit of work: max_k d_ik / C_k.
+    let dominant: Vec<f64> = demands
+        .iter()
+        .map(|d| {
+            d.iter()
+                .zip(capacity)
+                .filter(|(_, &c)| c > 0.0)
+                .map(|(&x, &c)| x / c)
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
+
+    let mut units = vec![0.0; n];
+    let mut frozen = vec![false; n];
+    let mut remaining: Vec<f64> = capacity.to_vec();
+    // Users with zero dominant demand take nothing.
+    for i in 0..n {
+        if dominant[i] == 0.0 {
+            frozen[i] = true;
+        }
+    }
+
+    // Water-filling: raise the common dominant share s; user i consumes
+    // (s / dominant_i) * d_ik of resource k. Find the level at which the
+    // first resource saturates, freeze the users bound by it, repeat.
+    let mut level = 0.0f64; // current dominant share of active users
+    for _round in 0..n + 1 {
+        let active: Vec<usize> = (0..n).filter(|&i| !frozen[i]).collect();
+        if active.is_empty() {
+            break;
+        }
+        // Per-resource consumption rate per unit of dominant-share level.
+        let mut rate = vec![0.0f64; r];
+        for &i in &active {
+            for k in 0..r {
+                rate[k] += demands[i][k] / dominant[i];
+            }
+        }
+        // How much further can the level rise before a resource runs out?
+        let mut delta = f64::INFINITY;
+        for k in 0..r {
+            if rate[k] > 1e-15 {
+                delta = delta.min(remaining[k] / rate[k]);
+            }
+        }
+        if !delta.is_finite() || delta <= 1e-15 {
+            // Saturated: freeze everyone still active.
+            for &i in &active {
+                frozen[i] = true;
+            }
+            break;
+        }
+        level += delta;
+        for k in 0..r {
+            remaining[k] = (remaining[k] - delta * rate[k]).max(0.0);
+        }
+        for &i in &active {
+            units[i] = level / dominant[i];
+        }
+        // Freeze users bound by a saturated resource.
+        let saturated: Vec<usize> = (0..r)
+            .filter(|&k| remaining[k] <= 1e-9 * capacity[k].max(1.0))
+            .collect();
+        if saturated.is_empty() {
+            continue;
+        }
+        for &i in &active {
+            if saturated.iter().any(|&k| demands[i][k] > 0.0) {
+                frozen[i] = true;
+            }
+        }
+    }
+
+    let dominant_shares: Vec<f64> = (0..n).map(|i| units[i] * dominant[i]).collect();
+    let utilisation: Vec<f64> = (0..r)
+        .map(|k| {
+            if capacity[k] > 0.0 {
+                demands
+                    .iter()
+                    .zip(&units)
+                    .map(|(d, &u)| d[k] * u)
+                    .sum::<f64>()
+                    / capacity[k]
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    DrfAllocation {
+        units,
+        dominant_shares,
+        utilisation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn classic_drf_example() {
+        let alloc = drf_allocate(&[vec![1.0, 4.0], vec![3.0, 1.0]], &[9.0, 18.0]);
+        assert!(close(alloc.units[0], 3.0), "{:?}", alloc);
+        assert!(close(alloc.units[1], 2.0), "{:?}", alloc);
+        // Equal dominant shares (2/3 each).
+        assert!(close(alloc.dominant_shares[0], alloc.dominant_shares[1]));
+    }
+
+    #[test]
+    fn single_user_takes_bottleneck() {
+        let alloc = drf_allocate(&[vec![2.0, 1.0]], &[10.0, 10.0]);
+        assert!(close(alloc.units[0], 5.0)); // CPU-bound
+        assert!(close(alloc.utilisation[0], 1.0));
+        assert!(alloc.utilisation[1] < 1.0);
+    }
+
+    #[test]
+    fn identical_users_split_evenly() {
+        let d = vec![vec![1.0, 1.0]; 4];
+        let alloc = drf_allocate(&d, &[8.0, 8.0]);
+        for u in &alloc.units {
+            assert!(close(*u, 2.0));
+        }
+    }
+
+    #[test]
+    fn pareto_efficiency_some_resource_saturated() {
+        let alloc = drf_allocate(
+            &[vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, 1.0]],
+            &[12.0, 12.0],
+        );
+        assert!(
+            alloc.utilisation.iter().any(|&u| u > 0.999),
+            "no resource saturated: {:?}",
+            alloc.utilisation
+        );
+        // Feasibility.
+        for &u in &alloc.utilisation {
+            assert!(u <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_min_fairness_on_dominant_shares() {
+        // A user's dominant share can exceed another's only if the other is
+        // capped by its own bottleneck (here: all share both resources, so
+        // shares equalise).
+        let alloc = drf_allocate(
+            &[vec![1.0, 3.0], vec![3.0, 1.0], vec![2.0, 2.0]],
+            &[30.0, 30.0],
+        );
+        let s = &alloc.dominant_shares;
+        assert!(close(s[0], s[1]) && close(s[1], s[2]), "{s:?}");
+    }
+
+    #[test]
+    fn zero_demand_user_gets_zero() {
+        let alloc = drf_allocate(&[vec![0.0, 0.0], vec![1.0, 1.0]], &[4.0, 4.0]);
+        assert!(close(alloc.units[0], 0.0));
+        assert!(close(alloc.units[1], 4.0));
+    }
+
+    #[test]
+    fn asymmetric_freeze_releases_leftover() {
+        // User A only needs CPU, user B only memory: both take all of their
+        // resource.
+        let alloc = drf_allocate(&[vec![1.0, 0.0], vec![0.0, 1.0]], &[6.0, 9.0]);
+        assert!(close(alloc.units[0], 6.0));
+        assert!(close(alloc.units[1], 9.0));
+        assert!(close(alloc.utilisation[0], 1.0));
+        assert!(close(alloc.utilisation[1], 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn dimension_mismatch_panics() {
+        drf_allocate(&[vec![1.0]], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn zero_capacity_with_demand_panics() {
+        drf_allocate(&[vec![1.0, 1.0]], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Overload / loss-rate model — Fig. 6 of the paper.
+//!
+//! The prototype measured a ClickOS passive monitor and found that loss rate
+//! is governed by the packet *receiving rate*, largely independent of packet
+//! size, soaring once the rate passes the instance's processing capacity.
+//! APPLE therefore defines overload by a rate threshold (8.5 Kpps for the
+//! monitor) with a roll-back threshold (4 Kpps) for hysteresis.
+//!
+//! We model the loss curve as an M/M/1/K-style saturation: negligible loss
+//! below a knee located slightly under capacity, then loss → `1 − cap/rate`
+//! asymptotically (the fluid limit of a saturated queue).
+
+/// Loss-rate model for a VNF instance.
+///
+/// # Example
+///
+/// ```
+/// use apple_nf::OverloadModel;
+///
+/// let m = OverloadModel::passive_monitor();
+/// assert!(m.loss_rate(1_000.0) < 0.01);   // far below capacity
+/// assert!(m.loss_rate(20_000.0) > 0.4);   // deeply saturated
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadModel {
+    /// Sustainable processing capacity in packets per second.
+    pub capacity_pps: f64,
+    /// Fraction of capacity where the loss knee begins (queueing starts to
+    /// bite slightly before full saturation). 0.9 in the prototype fit.
+    pub knee: f64,
+    /// Overload trip threshold in pps (8.5 Kpps in §VIII-E).
+    pub trip_pps: f64,
+    /// Roll-back threshold in pps (4 Kpps in §VIII-E).
+    pub clear_pps: f64,
+}
+
+impl OverloadModel {
+    /// The ClickOS passive monitor of the prototype experiments: capacity
+    /// ≈ 10 Kpps, trip at 8.5 Kpps, clear at 4 Kpps.
+    pub fn passive_monitor() -> OverloadModel {
+        OverloadModel {
+            capacity_pps: 10_000.0,
+            knee: 0.9,
+            trip_pps: 8_500.0,
+            clear_pps: 4_000.0,
+        }
+    }
+
+    /// Builds a model for an arbitrary capacity, with thresholds scaled the
+    /// same way the prototype chose them (trip at 85 % of capacity, clear
+    /// at 40 %).
+    pub fn for_capacity(capacity_pps: f64) -> OverloadModel {
+        OverloadModel {
+            capacity_pps,
+            knee: 0.9,
+            trip_pps: 0.85 * capacity_pps,
+            clear_pps: 0.40 * capacity_pps,
+        }
+    }
+
+    /// Loss rate (0..1) at a given packet receiving rate.
+    ///
+    /// Below the knee the loss is essentially zero; past capacity it
+    /// approaches the fluid limit `1 − capacity/rate`; between the knee and
+    /// capacity a smooth quadratic ramp connects the two regimes.
+    pub fn loss_rate(&self, rx_pps: f64) -> f64 {
+        if rx_pps <= 0.0 {
+            return 0.0;
+        }
+        let knee_pps = self.knee * self.capacity_pps;
+        if rx_pps <= knee_pps {
+            0.0
+        } else if rx_pps <= self.capacity_pps {
+            // Quadratic ramp from 0 at the knee to the fluid-limit slope at
+            // capacity; small (≲1 %) losses in this band.
+            let t = (rx_pps - knee_pps) / (self.capacity_pps - knee_pps);
+            0.01 * t * t
+        } else {
+            // Fluid limit, continuous with the 1 % knee value.
+            (1.0 - self.capacity_pps / rx_pps).max(0.01)
+        }
+    }
+
+    /// Throughput actually delivered at a given offered rate.
+    pub fn goodput_pps(&self, rx_pps: f64) -> f64 {
+        rx_pps * (1.0 - self.loss_rate(rx_pps))
+    }
+
+    /// Whether a measured rate is above the overload trip threshold.
+    pub fn is_overloaded(&self, rx_pps: f64) -> bool {
+        rx_pps > self.trip_pps
+    }
+
+    /// Whether a measured rate is below the roll-back threshold.
+    pub fn is_cleared(&self, rx_pps: f64) -> bool {
+        rx_pps <= self.clear_pps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_zero_loss() {
+        let m = OverloadModel::passive_monitor();
+        assert_eq!(m.loss_rate(0.0), 0.0);
+        assert_eq!(m.loss_rate(-5.0), 0.0);
+    }
+
+    #[test]
+    fn loss_monotone_in_rate() {
+        let m = OverloadModel::passive_monitor();
+        let mut prev = 0.0;
+        for r in (0..40).map(|i| i as f64 * 500.0) {
+            let l = m.loss_rate(r);
+            assert!(l >= prev - 1e-12, "loss dropped at {r}");
+            assert!((0.0..=1.0).contains(&l));
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn saturation_approaches_fluid_limit() {
+        let m = OverloadModel::passive_monitor();
+        let l = m.loss_rate(100_000.0);
+        assert!((l - 0.9).abs() < 0.01, "expected ~90 % loss, got {l}");
+    }
+
+    #[test]
+    fn goodput_capped_at_capacity() {
+        let m = OverloadModel::passive_monitor();
+        for r in [12_000.0, 20_000.0, 50_000.0] {
+            let g = m.goodput_pps(r);
+            assert!(g <= m.capacity_pps * 1.01, "goodput {g} exceeds capacity");
+        }
+    }
+
+    #[test]
+    fn prototype_thresholds() {
+        let m = OverloadModel::passive_monitor();
+        assert!(m.is_overloaded(10_000.0));
+        assert!(!m.is_overloaded(8_000.0));
+        assert!(m.is_cleared(3_000.0));
+        assert!(!m.is_cleared(5_000.0));
+    }
+
+    #[test]
+    fn hysteresis_band_exists() {
+        // Rates between clear and trip are neither overloaded nor cleared —
+        // the band that prevents flapping.
+        let m = OverloadModel::for_capacity(75_000.0);
+        let mid = (m.clear_pps + m.trip_pps) / 2.0;
+        assert!(!m.is_overloaded(mid));
+        assert!(!m.is_cleared(mid));
+        assert!(m.clear_pps < m.trip_pps);
+    }
+
+    #[test]
+    fn loss_continuous_at_capacity() {
+        let m = OverloadModel::passive_monitor();
+        let below = m.loss_rate(m.capacity_pps * 0.9999);
+        let above = m.loss_rate(m.capacity_pps * 1.0001);
+        assert!((below - above).abs() < 0.002);
+    }
+}

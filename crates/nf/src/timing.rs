@@ -1,0 +1,152 @@
+//! Control-plane timing model — the latencies measured in §VII–VIII.
+//!
+//! The prototype found that while a bare ClickOS VM boots on Xen in ~30 ms,
+//! booting through the full OpenStack + OpenDaylight pipeline takes 3.9 to
+//! 4.6 seconds (average 4.2 s) because networking orchestration dominates.
+//! Installing forwarding rules into Open vSwitch takes ~70 ms; reconfiguring
+//! an already-running ClickOS VM into a different NF takes ~30 ms. These
+//! constants drive every failover experiment (Figs 7–9, 12).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Milliseconds; all timing-model arithmetic happens at this granularity.
+pub type Millis = u64;
+
+/// The latencies the control plane pays for each management operation.
+///
+/// # Example
+///
+/// ```
+/// use apple_nf::TimingModel;
+///
+/// let mut t = TimingModel::paper(7);
+/// let boot = t.sample_openstack_boot();
+/// assert!((3_900..=4_600).contains(&boot));
+/// assert_eq!(t.rule_install(), 70);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    /// Minimum observed OpenStack-orchestrated ClickOS boot (ms).
+    pub boot_min_ms: Millis,
+    /// Maximum observed OpenStack-orchestrated ClickOS boot (ms).
+    pub boot_max_ms: Millis,
+    /// Bare-Xen ClickOS boot (ms) — cited from the ClickOS paper.
+    pub bare_boot_ms: Millis,
+    /// Forwarding-rule installation into Open vSwitch (ms).
+    pub rule_install_ms: Millis,
+    /// Reconfiguration of an existing ClickOS VM into a new NF (ms).
+    pub reconfigure_ms: Millis,
+    /// Conservative wait used by the "wait for five seconds" strategy of
+    /// §VIII-C (ms).
+    pub safe_wait_ms: Millis,
+    /// Boot time for a normal (non-ClickOS) VM (ms); proxies and IDS run in
+    /// ordinary VMs, which boot considerably slower.
+    pub normal_vm_boot_ms: Millis,
+    rng: StdRng,
+}
+
+impl TimingModel {
+    /// The paper's measured constants, with a deterministic RNG for boot
+    /// jitter.
+    pub fn paper(seed: u64) -> TimingModel {
+        TimingModel {
+            boot_min_ms: 3_900,
+            boot_max_ms: 4_600,
+            bare_boot_ms: 30,
+            rule_install_ms: 70,
+            reconfigure_ms: 30,
+            safe_wait_ms: 5_000,
+            normal_vm_boot_ms: 30_000,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples an OpenStack-orchestrated ClickOS boot time, uniform over
+    /// the observed 3.9–4.6 s range.
+    pub fn sample_openstack_boot(&mut self) -> Millis {
+        self.rng.gen_range(self.boot_min_ms..=self.boot_max_ms)
+    }
+
+    /// Mean OpenStack boot time (the paper reports 4.2 s).
+    pub fn mean_openstack_boot(&self) -> Millis {
+        (self.boot_min_ms + self.boot_max_ms) / 2
+    }
+
+    /// Rule-installation latency.
+    pub fn rule_install(&self) -> Millis {
+        self.rule_install_ms
+    }
+
+    /// ClickOS reconfiguration latency.
+    pub fn reconfigure(&self) -> Millis {
+        self.reconfigure_ms
+    }
+
+    /// Latency for making a *new* instance of an NF usable, depending on
+    /// whether it runs in ClickOS and whether a spare ClickOS VM can simply
+    /// be reconfigured.
+    pub fn provision(&mut self, clickos: bool, spare_available: bool) -> Millis {
+        if clickos && spare_available {
+            self.reconfigure_ms
+        } else if clickos {
+            self.sample_openstack_boot()
+        } else {
+            self.normal_vm_boot_ms
+        }
+    }
+
+    /// Converts a [`Millis`] value to a [`Duration`].
+    pub fn to_duration(ms: Millis) -> Duration {
+        Duration::from_millis(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_samples_in_observed_range() {
+        let mut t = TimingModel::paper(1);
+        for _ in 0..100 {
+            let b = t.sample_openstack_boot();
+            assert!((3_900..=4_600).contains(&b));
+        }
+    }
+
+    #[test]
+    fn mean_matches_paper() {
+        let t = TimingModel::paper(1);
+        assert_eq!(t.mean_openstack_boot(), 4_250);
+        // Paper reports "average of 4.2 seconds" over 10 runs.
+        assert!((t.mean_openstack_boot() as i64 - 4_200).abs() < 100);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TimingModel::paper(9);
+        let mut b = TimingModel::paper(9);
+        for _ in 0..10 {
+            assert_eq!(a.sample_openstack_boot(), b.sample_openstack_boot());
+        }
+    }
+
+    #[test]
+    fn provisioning_prefers_reconfigure() {
+        let mut t = TimingModel::paper(2);
+        assert_eq!(t.provision(true, true), 30);
+        let boot = t.provision(true, false);
+        assert!(boot >= 3_900);
+        assert_eq!(t.provision(false, true), 30_000); // normal VMs can't reconfig
+    }
+
+    #[test]
+    fn micro_latencies() {
+        let t = TimingModel::paper(3);
+        assert_eq!(t.rule_install(), 70);
+        assert_eq!(t.reconfigure(), 30);
+        assert_eq!(TimingModel::to_duration(70), Duration::from_millis(70));
+    }
+}

@@ -1,0 +1,170 @@
+//! Counter-driven overload detection — the controller-side half of §VII-B.
+//!
+//! The Dynamic Handler never sees packet rates directly: it polls the
+//! vSwitch per-port counters ([`apple_dataplane::PortCounters`]), derives
+//! per-instance rates by differencing, and applies the hysteresis
+//! thresholds of the overload model. This module packages that poll loop so
+//! the replay and the tests share one detection implementation.
+
+use apple_dataplane::PortCounters;
+use apple_nf::{InstanceId, OverloadModel};
+use std::collections::BTreeMap;
+
+/// Detection events a poll can emit per instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionEvent {
+    /// Rate crossed the trip threshold — send an overloading notification.
+    Tripped,
+    /// Rate fell to/below the clear threshold — roll back.
+    Cleared,
+}
+
+/// The polling detector.
+#[derive(Debug, Clone)]
+pub struct CounterDetector {
+    previous: PortCounters,
+    /// Overload model per instance (capacity/thresholds differ by NF).
+    models: BTreeMap<InstanceId, OverloadModel>,
+    /// Instances currently flagged overloaded.
+    flagged: std::collections::BTreeSet<InstanceId>,
+    /// Poll interval in seconds.
+    poll_secs: f64,
+}
+
+impl CounterDetector {
+    /// Creates a detector polling every `poll_secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poll_secs` is not positive.
+    pub fn new(poll_secs: f64) -> CounterDetector {
+        assert!(poll_secs > 0.0, "poll interval must be positive");
+        CounterDetector {
+            previous: PortCounters::new(),
+            models: BTreeMap::new(),
+            flagged: Default::default(),
+            poll_secs,
+        }
+    }
+
+    /// Registers the overload model for an instance (from its Table IV
+    /// spec); unregistered instances are ignored by polls.
+    pub fn register(&mut self, id: InstanceId, model: OverloadModel) {
+        self.models.insert(id, model);
+    }
+
+    /// Forgets an instance (e.g. after teardown).
+    pub fn unregister(&mut self, id: InstanceId) {
+        self.models.remove(&id);
+        self.flagged.remove(&id);
+    }
+
+    /// One poll: derive rates from counter deltas, update hysteresis
+    /// state, and return the events that fired.
+    pub fn poll(&mut self, counters: &PortCounters) -> Vec<(InstanceId, DetectionEvent)> {
+        let rates = counters.instance_rates_pps(&self.previous, self.poll_secs);
+        let mut events = Vec::new();
+        for (&id, model) in &self.models {
+            let rate = rates.get(&id).copied().unwrap_or(0.0);
+            if !self.flagged.contains(&id) && model.is_overloaded(rate) {
+                self.flagged.insert(id);
+                events.push((id, DetectionEvent::Tripped));
+            } else if self.flagged.contains(&id) && model.is_cleared(rate) {
+                self.flagged.remove(&id);
+                events.push((id, DetectionEvent::Cleared));
+            }
+        }
+        self.previous = counters.clone();
+        events
+    }
+
+    /// Instances currently flagged overloaded.
+    pub fn flagged(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.flagged.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apple_dataplane::packet::Packet;
+    use apple_dataplane::walk::WalkRecord;
+
+    fn record(inst: u64) -> WalkRecord {
+        WalkRecord {
+            switches: vec![0],
+            instances: vec![InstanceId(inst)],
+            hosts_visited: vec![0],
+            packet: Packet::new(1, 2, 3, 4, 17),
+        }
+    }
+
+    #[test]
+    fn trip_and_clear_cycle() {
+        let mut det = CounterDetector::new(1.0);
+        det.register(InstanceId(1), OverloadModel::passive_monitor());
+        let mut counters = PortCounters::new();
+
+        // 1 Kpps: quiet.
+        counters.observe_many(&record(1), 1_000);
+        assert!(det.poll(&counters).is_empty());
+
+        // 10 Kpps: trips.
+        counters.observe_many(&record(1), 10_000);
+        let events = det.poll(&counters);
+        assert_eq!(events, vec![(InstanceId(1), DetectionEvent::Tripped)]);
+        assert_eq!(det.flagged().count(), 1);
+
+        // 6 Kpps: hysteresis band — still flagged, no event.
+        counters.observe_many(&record(1), 6_000);
+        assert!(det.poll(&counters).is_empty());
+        assert_eq!(det.flagged().count(), 1);
+
+        // 1 Kpps: clears.
+        counters.observe_many(&record(1), 1_000);
+        let events = det.poll(&counters);
+        assert_eq!(events, vec![(InstanceId(1), DetectionEvent::Cleared)]);
+        assert_eq!(det.flagged().count(), 0);
+    }
+
+    #[test]
+    fn no_retrigger_while_flagged() {
+        let mut det = CounterDetector::new(1.0);
+        det.register(InstanceId(2), OverloadModel::passive_monitor());
+        let mut counters = PortCounters::new();
+        counters.observe_many(&record(2), 20_000);
+        assert_eq!(det.poll(&counters).len(), 1);
+        counters.observe_many(&record(2), 20_000);
+        assert!(det.poll(&counters).is_empty(), "re-trip while flagged");
+    }
+
+    #[test]
+    fn unregistered_instances_ignored() {
+        let mut det = CounterDetector::new(1.0);
+        let mut counters = PortCounters::new();
+        counters.observe_many(&record(3), 50_000);
+        assert!(det.poll(&counters).is_empty());
+    }
+
+    #[test]
+    fn unregister_clears_flag() {
+        let mut det = CounterDetector::new(1.0);
+        det.register(InstanceId(4), OverloadModel::passive_monitor());
+        let mut counters = PortCounters::new();
+        counters.observe_many(&record(4), 10_000);
+        det.poll(&counters);
+        det.unregister(InstanceId(4));
+        assert_eq!(det.flagged().count(), 0);
+    }
+
+    #[test]
+    fn subsecond_polls_scale_rates() {
+        let mut det = CounterDetector::new(0.1); // 100 ms polls
+        det.register(InstanceId(5), OverloadModel::passive_monitor());
+        let mut counters = PortCounters::new();
+        // 900 packets in 100 ms = 9 Kpps > 8.5 Kpps trip.
+        counters.observe_many(&record(5), 900);
+        let events = det.poll(&counters);
+        assert_eq!(events, vec![(InstanceId(5), DetectionEvent::Tripped)]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Discrete-event simulation driving APPLE end-to-end — the substrate that
+//! replaces the paper's OpenStack/ClickOS/Open vSwitch/OpenDaylight testbed
+//! (see DESIGN.md §2). All control-plane latencies come from the prototype
+//! measurements in §VII–VIII: 3.9–4.6 s OpenStack ClickOS boot, 70 ms rule
+//! installation, 30 ms ClickOS reconfiguration.
+//!
+//! * [`events`] — a time-ordered event queue,
+//! * [`metrics`] — time-series collectors and summary statistics,
+//! * [`replay`] — the Fig. 12 experiment: replay a traffic-matrix series
+//!   against a planned deployment, with or without fast failover, and
+//!   record the network-wide packet-loss rate over time,
+//! * [`failover_lab`] — the prototype micro-experiments: Fig. 7
+//!   (throughput collapse during a naive failover), Fig. 8 (20 MB transfer
+//!   time CDFs for the three strategies), Fig. 9 (overload detection
+//!   timeline).
+//!
+//! # Example
+//!
+//! ```
+//! use apple_sim::failover_lab::{detection_timeline, DetectorConfig};
+//!
+//! let timeline = detection_timeline(&DetectorConfig::paper());
+//! assert!(timeline.iter().any(|p| p.helper_active));
+//! ```
+
+pub mod detector;
+pub mod events;
+pub mod failover_lab;
+pub mod metrics;
+pub mod packet_replay;
+pub mod replay;
+
+pub use metrics::{Series, Summary};
+pub use replay::{ReplayConfig, ReplayOutcome};

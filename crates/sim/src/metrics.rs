@@ -1,0 +1,202 @@
+//! Time-series collectors and summary statistics for the experiments.
+
+use std::fmt;
+
+/// A named time series of `(t, value)` samples.
+///
+/// # Example
+///
+/// ```
+/// use apple_sim::metrics::Series;
+///
+/// let mut s = Series::new("loss");
+/// s.push(0.0, 0.01);
+/// s.push(1.0, 0.03);
+/// assert_eq!(s.len(), 2);
+/// assert!((s.mean() - 0.02).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    name: String,
+    samples: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, t: f64, value: f64) {
+        self.samples.push((t, value));
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|(_, v)| v).sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Maximum value (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+
+    /// Values-only view.
+    pub fn values(&self) -> Vec<f64> {
+        self.samples.iter().map(|(_, v)| *v).collect()
+    }
+
+    /// Full summary of the values.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.values())
+    }
+}
+
+/// Five-number-ish summary used for boxplot-style reporting (Fig. 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    /// Smallest value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample set (all zeros when empty).
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        Summary {
+            min: v[0],
+            p25: q(0.25),
+            p50: q(0.50),
+            p75: q(0.75),
+            max: *v.last().expect("non-empty"),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.3} / p25 {:.3} / median {:.3} / p75 {:.3} / max {:.3} (mean {:.3})",
+            self.min, self.p25, self.p50, self.p75, self.max, self.mean
+        )
+    }
+}
+
+/// Empirical CDF points `(value, cumulative fraction)` — Fig. 8's format.
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_stats() {
+        let mut s = Series::new("x");
+        for (i, v) in [3.0, 1.0, 2.0].iter().enumerate() {
+            s.push(i as f64, *v);
+        }
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.name(), "x");
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = Series::new("e");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.summary(), Summary::default());
+    }
+
+    #[test]
+    fn summary_quartiles() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let c = cdf(&[5.0, 1.0, 3.0]);
+        assert_eq!(c.len(), 3);
+        assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn summary_display_readable() {
+        let s = Summary::of(&[1.0, 2.0]);
+        let out = s.to_string();
+        assert!(out.contains("median"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Topology analysis: centrality and distance statistics.
+//!
+//! APPLE's placement gravitates toward switches many paths share; these
+//! metrics quantify that structure. The steering baseline also uses
+//! centrality to pick middlebox rack locations, and DESIGN.md's workload
+//! notes lean on diameter / mean path length per topology.
+
+use crate::graph::{Graph, NodeId};
+use crate::spf::dijkstra;
+
+/// Distance statistics of a connected graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceStats {
+    /// Longest shortest-path hop count.
+    pub diameter_hops: usize,
+    /// Mean shortest-path hop count over ordered pairs.
+    pub mean_hops: f64,
+    /// Number of connected ordered pairs considered.
+    pub pairs: usize,
+}
+
+impl Graph {
+    /// Shortest-path betweenness centrality per switch (unnormalised pair
+    /// counts; endpoints excluded). Uses the deterministic single shortest
+    /// path per pair — matching how the rest of the framework routes.
+    pub fn betweenness(&self) -> Vec<f64> {
+        let mut score = vec![0.0; self.node_count()];
+        for s in self.node_ids() {
+            let Ok(tree) = dijkstra(self, s) else { continue };
+            for d in self.node_ids() {
+                if s == d {
+                    continue;
+                }
+                if let Some(path) = tree.path_to(d) {
+                    for n in &path.nodes()[1..path.len().saturating_sub(1)] {
+                        score[n.0] += 1.0;
+                    }
+                }
+            }
+        }
+        score
+    }
+
+    /// The `k` most-central switches (descending betweenness, ties by id).
+    pub fn central_nodes(&self, k: usize) -> Vec<NodeId> {
+        let score = self.betweenness();
+        let mut nodes: Vec<NodeId> = self.node_ids().collect();
+        nodes.sort_by(|a, b| {
+            score[b.0]
+                .partial_cmp(&score[a.0])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        nodes.truncate(k);
+        nodes
+    }
+
+    /// Hop-count distance statistics over all connected ordered pairs.
+    /// Returns `None` for graphs with fewer than two nodes.
+    pub fn distance_stats(&self) -> Option<DistanceStats> {
+        if self.node_count() < 2 {
+            return None;
+        }
+        let mut diameter = 0usize;
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for s in self.node_ids() {
+            let tree = dijkstra(self, s).ok()?;
+            for d in self.node_ids() {
+                if s == d {
+                    continue;
+                }
+                if let Some(p) = tree.path_to(d) {
+                    diameter = diameter.max(p.hops());
+                    total += p.hops();
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            return None;
+        }
+        Some(DistanceStats {
+            diameter_hops: diameter,
+            mean_hops: total as f64 / pairs as f64,
+            pairs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn line_centrality_peaks_in_middle() {
+        let t = zoo::line(5);
+        let b = t.graph.betweenness();
+        // Middle node (index 2) lies on the most paths.
+        let max_idx = (0..5).max_by(|&a, &bx| b[a].partial_cmp(&b[bx]).unwrap()).unwrap();
+        assert_eq!(max_idx, 2);
+        // Endpoints relay nothing.
+        assert_eq!(b[0], 0.0);
+        assert_eq!(b[4], 0.0);
+    }
+
+    #[test]
+    fn star_hub_is_most_central() {
+        let t = zoo::star(6);
+        let central = t.graph.central_nodes(1);
+        assert_eq!(central, vec![NodeId(0)]);
+        // Hub relays every leaf pair: 6*5 ordered pairs.
+        assert_eq!(t.graph.betweenness()[0], 30.0);
+    }
+
+    #[test]
+    fn univ1_cores_most_central() {
+        let t = zoo::univ1();
+        let central = t.graph.central_nodes(2);
+        let names: Vec<&str> = central
+            .iter()
+            .map(|&n| t.graph.node(n).unwrap().name.as_str())
+            .collect();
+        assert!(names.contains(&"core0") || names.contains(&"core1"));
+    }
+
+    #[test]
+    fn distance_stats_line() {
+        let t = zoo::line(4);
+        let s = t.graph.distance_stats().unwrap();
+        assert_eq!(s.diameter_hops, 3);
+        assert_eq!(s.pairs, 12);
+        // Mean hops of a 4-line: (1*6 + 2*4 + 3*2) / 12 = 20/12.
+        assert!((s.mean_hops - 20.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_none() {
+        let t = zoo::line(1);
+        assert!(t.graph.distance_stats().is_none());
+        let mut g = Graph::new();
+        g.add_node("a", 0);
+        g.add_node("b", 0);
+        assert!(g.distance_stats().is_none()); // disconnected, zero pairs
+    }
+
+    #[test]
+    fn evaluation_topologies_have_sane_diameters() {
+        assert_eq!(zoo::internet2().graph.distance_stats().unwrap().diameter_hops, 5);
+        assert!(zoo::geant().graph.distance_stats().unwrap().diameter_hops <= 6);
+        assert_eq!(zoo::univ1().graph.distance_stats().unwrap().diameter_hops, 2);
+    }
+}

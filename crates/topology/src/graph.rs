@@ -1,0 +1,372 @@
+//! Core graph model: switches (nodes) and links with capacities.
+//!
+//! The graph is stored as an undirected multigraph with an adjacency list.
+//! Every undirected link is addressable in both directions; helper methods
+//! expose a directed view where each undirected link counts twice (this is
+//! how the GEANT data set arrives at "74 links" for 37 physical adjacencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a switch in the topology.
+///
+/// Node ids are dense indices in `0..node_count()`. They are assigned in
+/// insertion order by [`Graph::add_node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of an undirected link.
+///
+/// Link ids are dense indices in `0..undirected_link_count()`, assigned in
+/// insertion order by [`Graph::add_link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LinkId(pub usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Errors returned by graph mutation and query operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A link id referenced a link that does not exist.
+    UnknownLink(LinkId),
+    /// An attempt to add a self-loop, which the model forbids.
+    SelfLoop(NodeId),
+    /// A duplicate link between the same pair of nodes.
+    DuplicateLink(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::DuplicateLink(a, b) => {
+                write!(f, "duplicate link between {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A node (SDN switch) record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Human-readable name, e.g. a PoP city for backbone topologies.
+    pub name: String,
+    /// Tier label for structured topologies (0 = core, 1 = aggregation /
+    /// edge, ...). Backbone topologies use tier 0 everywhere.
+    pub tier: u8,
+}
+
+/// An undirected link record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Capacity in Mbps (informational; APPLE's optimization constrains VNF
+    /// capacity, not link bandwidth, but the traffic generator scales rates
+    /// relative to link capacity).
+    pub capacity_mbps: f64,
+    /// Routing weight (IGP metric). Shortest paths minimise the sum of
+    /// weights; ties are broken deterministically by node id.
+    pub weight: f64,
+}
+
+/// An undirected multigraph of switches and links.
+///
+/// # Example
+///
+/// ```
+/// use apple_topology::{Graph, NodeId};
+///
+/// let mut g = Graph::new();
+/// let a = g.add_node("a", 0);
+/// let b = g.add_node("b", 0);
+/// let l = g.add_link(a, b, 10_000.0, 1.0).unwrap();
+/// assert_eq!(g.link(l).unwrap().capacity_mbps, 10_000.0);
+/// assert_eq!(g.neighbors(a).collect::<Vec<_>>(), vec![b]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// adjacency[node] = sorted map neighbor -> link id.
+    adjacency: Vec<BTreeMap<NodeId, LinkId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a switch and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, tier: u8) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            tier,
+        });
+        self.adjacency.push(BTreeMap::new());
+        id
+    }
+
+    /// Adds an undirected link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if either endpoint does not exist,
+    /// [`GraphError::SelfLoop`] if `a == b`, and
+    /// [`GraphError::DuplicateLink`] if the pair is already connected.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_mbps: f64,
+        weight: f64,
+    ) -> Result<LinkId, GraphError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if self.adjacency[a.0].contains_key(&b) {
+            return Err(GraphError::DuplicateLink(a, b));
+        }
+        let id = LinkId(self.links.len());
+        self.links.push(Link {
+            a,
+            b,
+            capacity_mbps,
+            weight,
+        });
+        self.adjacency[a.0].insert(b, id);
+        self.adjacency[b.0].insert(a, id);
+        Ok(id)
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), GraphError> {
+        if n.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownNode(n))
+        }
+    }
+
+    /// Number of switches.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected links.
+    pub fn undirected_link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of directed links (twice the undirected count). Data sets such
+    /// as TOTEM/GEANT report this figure.
+    pub fn directed_link_count(&self) -> usize {
+        self.links.len() * 2
+    }
+
+    /// Returns the node record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] for out-of-range ids.
+    pub fn node(&self, id: NodeId) -> Result<&Node, GraphError> {
+        self.nodes.get(id.0).ok_or(GraphError::UnknownNode(id))
+    }
+
+    /// Returns the link record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownLink`] for out-of-range ids.
+    pub fn link(&self, id: LinkId) -> Result<&Link, GraphError> {
+        self.links.get(id.0).ok_or(GraphError::UnknownLink(id))
+    }
+
+    /// Returns the link connecting `a` and `b`, if one exists.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adjacency.get(a.0)?.get(&b).copied()
+    }
+
+    /// Iterates over all node ids in ascending order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates over all link ids in ascending order.
+    pub fn link_ids(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len()).map(LinkId)
+    }
+
+    /// Iterates over the neighbors of `n` in ascending node-id order.
+    ///
+    /// Unknown nodes yield an empty iterator.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency
+            .get(n.0)
+            .into_iter()
+            .flat_map(|m| m.keys().copied())
+    }
+
+    /// Iterates over `(neighbor, link)` pairs of `n` in ascending node-id
+    /// order.
+    pub fn incident(&self, n: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
+        self.adjacency
+            .get(n.0)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
+    }
+
+    /// Degree of a node (0 for unknown nodes).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency.get(n.0).map_or(0, BTreeMap::len)
+    }
+
+    /// Looks a node up by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Checks whether the graph is connected (empty graphs count as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for nb in self.neighbors(n) {
+                if !seen[nb.0] {
+                    seen[nb.0] = true;
+                    count += 1;
+                    stack.push(nb);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node("a", 0);
+        let b = g.add_node("b", 0);
+        let c = g.add_node("c", 0);
+        g.add_link(a, b, 100.0, 1.0).unwrap();
+        g.add_link(b, c, 100.0, 1.0).unwrap();
+        g.add_link(a, c, 100.0, 1.0).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn add_and_count() {
+        let (g, ..) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.undirected_link_count(), 3);
+        assert_eq!(g.directed_link_count(), 6);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node("a", 0);
+        assert_eq!(g.add_link(a, a, 1.0, 1.0), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn duplicate_link_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node("a", 0);
+        let b = g.add_node("b", 0);
+        g.add_link(a, b, 1.0, 1.0).unwrap();
+        assert_eq!(
+            g.add_link(b, a, 1.0, 1.0),
+            Err(GraphError::DuplicateLink(b, a))
+        );
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node("a", 0);
+        let ghost = NodeId(9);
+        assert_eq!(
+            g.add_link(a, ghost, 1.0, 1.0),
+            Err(GraphError::UnknownNode(ghost))
+        );
+        assert!(g.node(ghost).is_err());
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.neighbors(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.degree(b), 2);
+    }
+
+    #[test]
+    fn link_between_symmetric() {
+        let (g, a, b, _) = triangle();
+        assert_eq!(g.link_between(a, b), g.link_between(b, a));
+        assert!(g.link_between(a, NodeId(99)).is_none());
+    }
+
+    #[test]
+    fn node_by_name_found() {
+        let (g, _, b, _) = triangle();
+        assert_eq!(g.node_by_name("b"), Some(b));
+        assert_eq!(g.node_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn connectivity() {
+        let (g, ..) = triangle();
+        assert!(g.is_connected());
+        let mut g2 = Graph::new();
+        g2.add_node("x", 0);
+        g2.add_node("y", 0);
+        assert!(!g2.is_connected());
+        assert!(Graph::new().is_connected());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NodeId(3).to_string(), "s3");
+        assert_eq!(LinkId(4).to_string(), "l4");
+        let err = GraphError::SelfLoop(NodeId(1));
+        assert!(err.to_string().contains("self-loop"));
+    }
+}

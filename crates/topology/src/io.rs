@@ -1,0 +1,224 @@
+//! Topology serialisation: a plain edge-list text format (round-trippable)
+//! and Graphviz DOT export for visual inspection.
+//!
+//! The edge-list format, one record per line:
+//!
+//! ```text
+//! # comment
+//! node <name> <tier>
+//! link <name-a> <name-b> <capacity-mbps> <weight>
+//! ```
+
+use crate::graph::{Graph, GraphError};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors parsing the edge-list format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Line did not match any record type.
+    BadRecord { line: usize, content: String },
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: &'static str },
+    /// A link referenced an undeclared node.
+    UnknownNode { line: usize, name: String },
+    /// The resulting graph rejected a link (self-loop / duplicate).
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadRecord { line, content } => {
+                write!(f, "line {line}: unrecognised record `{content}`")
+            }
+            ParseError::BadNumber { line, field } => {
+                write!(f, "line {line}: invalid number in field `{field}`")
+            }
+            ParseError::UnknownNode { line, name } => {
+                write!(f, "line {line}: link references undeclared node `{name}`")
+            }
+            ParseError::Graph(e) => write!(f, "graph rejected record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<GraphError> for ParseError {
+    fn from(e: GraphError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+impl Graph {
+    /// Serialises the graph to the edge-list format.
+    pub fn to_edge_list(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# apple-topology edge list\n");
+        for id in self.node_ids() {
+            let n = self.node(id).expect("iterating valid ids");
+            let _ = writeln!(out, "node {} {}", n.name, n.tier);
+        }
+        for lid in self.link_ids() {
+            let l = self.link(lid).expect("iterating valid ids");
+            let a = &self.node(l.a).expect("valid endpoint").name;
+            let b = &self.node(l.b).expect("valid endpoint").name;
+            let _ = writeln!(out, "link {a} {b} {} {}", l.capacity_mbps, l.weight);
+        }
+        out
+    }
+
+    /// Parses a graph from the edge-list format.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ParseError`] variant; parsing is strict (unknown records are
+    /// rejected rather than skipped).
+    pub fn from_edge_list(text: &str) -> Result<Graph, ParseError> {
+        let mut g = Graph::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            match fields.next() {
+                Some("node") => {
+                    let name = fields.next().ok_or_else(|| ParseError::BadRecord {
+                        line,
+                        content: trimmed.to_string(),
+                    })?;
+                    let tier: u8 = fields
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or(ParseError::BadNumber { line, field: "tier" })?;
+                    g.add_node(name, tier);
+                }
+                Some("link") => {
+                    let a_name = fields.next().ok_or_else(|| ParseError::BadRecord {
+                        line,
+                        content: trimmed.to_string(),
+                    })?;
+                    let b_name = fields.next().ok_or_else(|| ParseError::BadRecord {
+                        line,
+                        content: trimmed.to_string(),
+                    })?;
+                    let cap: f64 = fields
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or(ParseError::BadNumber { line, field: "capacity" })?;
+                    let weight: f64 = fields
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or(ParseError::BadNumber { line, field: "weight" })?;
+                    let a = g.node_by_name(a_name).ok_or_else(|| ParseError::UnknownNode {
+                        line,
+                        name: a_name.to_string(),
+                    })?;
+                    let b = g.node_by_name(b_name).ok_or_else(|| ParseError::UnknownNode {
+                        line,
+                        name: b_name.to_string(),
+                    })?;
+                    g.add_link(a, b, cap, weight)?;
+                }
+                _ => {
+                    return Err(ParseError::BadRecord {
+                        line,
+                        content: trimmed.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Graphviz DOT export (undirected), tiers rendered as shapes.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("graph topology {\n");
+        for id in self.node_ids() {
+            let n = self.node(id).expect("iterating valid ids");
+            let shape = if n.tier == 0 { "box" } else { "ellipse" };
+            let _ = writeln!(out, "  \"{}\" [shape={shape}];", n.name);
+        }
+        for lid in self.link_ids() {
+            let l = self.link(lid).expect("iterating valid ids");
+            let a = &self.node(l.a).expect("valid endpoint").name;
+            let b = &self.node(l.b).expect("valid endpoint").name;
+            let _ = writeln!(out, "  \"{a}\" -- \"{b}\" [label=\"{}\"];", l.weight);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn round_trip_internet2() {
+        let original = zoo::internet2().graph;
+        let text = original.to_edge_list();
+        let parsed = Graph::from_edge_list(&text).unwrap();
+        assert_eq!(parsed.node_count(), original.node_count());
+        assert_eq!(parsed.undirected_link_count(), original.undirected_link_count());
+        for id in original.node_ids() {
+            assert_eq!(
+                parsed.node(id).unwrap().name,
+                original.node(id).unwrap().name
+            );
+        }
+        for lid in original.link_ids() {
+            let a = original.link(lid).unwrap();
+            let b = parsed.link(lid).unwrap();
+            assert_eq!((a.a, a.b, a.weight), (b.a, b.b, b.weight));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# hello\n\nnode a 0\nnode b 1\n link a b 100 1.5 \n";
+        let g = Graph::from_edge_list(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.link(crate::LinkId(0)).unwrap().weight, 1.5);
+    }
+
+    #[test]
+    fn bad_record_rejected() {
+        let err = Graph::from_edge_list("frobnicate x y").unwrap_err();
+        assert!(matches!(err, ParseError::BadRecord { line: 1, .. }));
+        assert!(err.to_string().contains("unrecognised"));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let err = Graph::from_edge_list("node a zero").unwrap_err();
+        assert!(matches!(err, ParseError::BadNumber { field: "tier", .. }));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let err = Graph::from_edge_list("node a 0\nlink a ghost 1 1").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownNode { line: 2, .. }));
+    }
+
+    #[test]
+    fn duplicate_link_propagates_graph_error() {
+        let err =
+            Graph::from_edge_list("node a 0\nnode b 0\nlink a b 1 1\nlink b a 1 1").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(GraphError::DuplicateLink(..))));
+    }
+
+    #[test]
+    fn dot_export_contains_all_elements() {
+        let g = zoo::univ1().graph;
+        let dot = g.to_dot();
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.contains("\"core0\" [shape=box]"));
+        assert!(dot.contains("\"edge0\" [shape=ellipse]"));
+        assert!(dot.matches("--").count() == g.undirected_link_count());
+    }
+}

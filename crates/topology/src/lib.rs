@@ -1,0 +1,43 @@
+//! Network topology substrate for the APPLE NFV orchestration reproduction.
+//!
+//! APPLE (Li & Qian, ICDCS 2016) is evaluated on four topologies:
+//!
+//! * **Internet2** — a 12-node / 15-link research backbone (campus network
+//!   representative),
+//! * **GEANT** — the 23-node / 74-directed-link European research network
+//!   (enterprise representative, from the TOTEM data set),
+//! * **UNIV1** — a 23-node / 43-link two-tier campus data center,
+//! * **AS-3679** — a 79-node / 147-link Rocketfuel router-level ISP map
+//!   (used only to show solver scalability; synthesised here).
+//!
+//! This crate provides the graph model, shortest-path machinery (Dijkstra,
+//! Yen's k-shortest paths, ECMP enumeration) and deterministic builders for
+//! all four topologies, plus generic generators used by tests and ablations.
+//!
+//! # Example
+//!
+//! ```
+//! use apple_topology::{zoo, NodeId};
+//!
+//! let topo = zoo::internet2();
+//! assert_eq!(topo.graph.node_count(), 12);
+//! assert_eq!(topo.graph.undirected_link_count(), 15);
+//! let path = topo
+//!     .graph
+//!     .shortest_path(NodeId(0), NodeId(7))
+//!     .expect("backbone is connected");
+//! assert_eq!(path.first(), NodeId(0));
+//! assert_eq!(path.last(), NodeId(7));
+//! ```
+
+pub mod analysis;
+pub mod graph;
+pub mod io;
+pub mod ksp;
+pub mod path;
+pub mod spf;
+pub mod zoo;
+
+pub use graph::{Graph, GraphError, LinkId, NodeId};
+pub use path::Path;
+pub use zoo::{Topology, TopologyKind};

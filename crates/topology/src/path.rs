@@ -1,0 +1,215 @@
+//! Forwarding paths: the `P_h = <p^i_h>` sequences of the paper.
+//!
+//! A [`Path`] is a loop-free sequence of switches. APPLE's interference
+//! freedom property means paths are *inputs* computed by other control-plane
+//! applications (routing / traffic engineering) and are never modified by
+//! the orchestrator; this module therefore only offers construction and
+//! inspection, no rewriting.
+
+use crate::graph::{Graph, NodeId};
+use std::fmt;
+
+/// Errors produced when validating a path against a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// Paths must contain at least one switch.
+    Empty,
+    /// The same switch appeared twice (forwarding loop).
+    Loop(NodeId),
+    /// Two consecutive switches are not adjacent in the graph.
+    NotAdjacent(NodeId, NodeId),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "path must contain at least one switch"),
+            PathError::Loop(n) => write!(f, "switch {n} appears twice on the path"),
+            PathError::NotAdjacent(a, b) => {
+                write!(f, "consecutive switches {a} and {b} are not adjacent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A loop-free forwarding path through the network.
+///
+/// # Example
+///
+/// ```
+/// use apple_topology::{NodeId, Path};
+///
+/// let p = Path::new(vec![NodeId(0), NodeId(3), NodeId(5)]).unwrap();
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.index_of(NodeId(3)), Some(1));
+/// assert_eq!(p.hops(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Builds a path from a switch sequence, checking it is non-empty and
+    /// loop-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::Empty`] for an empty sequence and
+    /// [`PathError::Loop`] when a switch repeats.
+    pub fn new(nodes: Vec<NodeId>) -> Result<Self, PathError> {
+        if nodes.is_empty() {
+            return Err(PathError::Empty);
+        }
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(PathError::Loop(w[0]));
+            }
+        }
+        Ok(Path { nodes })
+    }
+
+    /// Builds a path and additionally verifies adjacency against `graph`.
+    ///
+    /// # Errors
+    ///
+    /// All [`PathError`] variants are possible.
+    pub fn new_in(graph: &Graph, nodes: Vec<NodeId>) -> Result<Self, PathError> {
+        let p = Self::new(nodes)?;
+        for w in p.nodes.windows(2) {
+            if graph.link_between(w[0], w[1]).is_none() {
+                return Err(PathError::NotAdjacent(w[0], w[1]));
+            }
+        }
+        Ok(p)
+    }
+
+    /// The switches in traversal order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of switches on the path — the paper's `|P_h|` / `P(h)`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A path is never empty, but the conventional method is provided.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of links traversed (`len() - 1`).
+    pub fn hops(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Ingress switch.
+    pub fn first(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Egress switch.
+    pub fn last(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// Position of `v` on the path — the paper's `i(P, h, v)`.
+    pub fn index_of(&self, v: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == v)
+    }
+
+    /// Whether switch `v` lies on the path.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.index_of(v).is_some()
+    }
+
+    /// Iterates over the switches.
+    pub fn iter(&self) -> std::slice::Iter<'_, NodeId> {
+        self.nodes.iter()
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "->")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Path {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Path::new(vec![]), Err(PathError::Empty));
+    }
+
+    #[test]
+    fn rejects_loop() {
+        let err = Path::new(vec![NodeId(1), NodeId(2), NodeId(1)]);
+        assert_eq!(err, Err(PathError::Loop(NodeId(1))));
+    }
+
+    #[test]
+    fn single_node_path_ok() {
+        let p = Path::new(vec![NodeId(4)]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.first(), p.last());
+    }
+
+    #[test]
+    fn adjacency_checked() {
+        let mut g = Graph::new();
+        let a = g.add_node("a", 0);
+        let b = g.add_node("b", 0);
+        let c = g.add_node("c", 0);
+        g.add_link(a, b, 1.0, 1.0).unwrap();
+        assert!(Path::new_in(&g, vec![a, b]).is_ok());
+        assert_eq!(
+            Path::new_in(&g, vec![a, c]),
+            Err(PathError::NotAdjacent(a, c))
+        );
+    }
+
+    #[test]
+    fn index_and_contains() {
+        let p = Path::new(vec![NodeId(5), NodeId(2), NodeId(9)]).unwrap();
+        assert_eq!(p.index_of(NodeId(9)), Some(2));
+        assert!(p.contains(NodeId(2)));
+        assert!(!p.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn display_format() {
+        let p = Path::new(vec![NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(p.to_string(), "s1->s2");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PathError::Empty.to_string().contains("at least one"));
+        assert!(PathError::Loop(NodeId(3)).to_string().contains("twice"));
+    }
+}

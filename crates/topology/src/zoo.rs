@@ -1,0 +1,610 @@
+//! Deterministic builders for the four evaluation topologies of the paper
+//! plus generic generators used in tests and ablations.
+//!
+//! * [`internet2`] — 12 nodes / 15 links (campus representative),
+//! * [`geant`] — 23 nodes / 37 undirected (74 directed) links (enterprise),
+//! * [`univ1`] — 23 nodes / 43 links, 2-tier campus data center,
+//! * [`as3679`] — 79 nodes / 147 links, synthetic Rocketfuel-shaped ISP map.
+//!
+//! The Rocketfuel AS-3679 map is not redistributable, so [`as3679`] grows a
+//! preferential-attachment backbone with the same node/link counts — Table V
+//! of the paper only exercises solver scaling with topology size, which this
+//! preserves (see DESIGN.md §2).
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which evaluation topology a [`Topology`] instance was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// 12-node Internet2/Abilene-style research backbone.
+    Internet2,
+    /// 23-node GEANT European research network.
+    Geant,
+    /// 23-node two-tier campus data center (UNIV1 in Benson et al.).
+    Univ1,
+    /// 79-node synthetic Rocketfuel-style ISP (AS-3679 shaped).
+    As3679,
+    /// Synthetic topology from one of the generic generators.
+    Synthetic,
+}
+
+impl TopologyKind {
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Internet2 => "Internet2",
+            TopologyKind::Geant => "GEANT",
+            TopologyKind::Univ1 => "UNIV1",
+            TopologyKind::As3679 => "AS-3679",
+            TopologyKind::Synthetic => "Synthetic",
+        }
+    }
+
+    /// The three topologies used in the steady-state experiments (Figs
+    /// 10–12). AS-3679 is used only for solve-time scaling (Table V).
+    pub fn evaluation_trio() -> [TopologyKind; 3] {
+        [
+            TopologyKind::Internet2,
+            TopologyKind::Geant,
+            TopologyKind::Univ1,
+        ]
+    }
+
+    /// All four topologies, as used in Table V.
+    pub fn all() -> [TopologyKind; 4] {
+        [
+            TopologyKind::Internet2,
+            TopologyKind::Geant,
+            TopologyKind::Univ1,
+            TopologyKind::As3679,
+        ]
+    }
+
+    /// Builds this topology deterministically.
+    pub fn build(self) -> Topology {
+        match self {
+            TopologyKind::Internet2 => internet2(),
+            TopologyKind::Geant => geant(),
+            TopologyKind::Univ1 => univ1(),
+            TopologyKind::As3679 => as3679(),
+            TopologyKind::Synthetic => line(4),
+        }
+    }
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named topology: the graph plus metadata the rest of the framework needs.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Which evaluation topology this is.
+    pub kind: TopologyKind,
+    /// The switch/link graph.
+    pub graph: Graph,
+    /// Switches that can attach traffic sources/sinks (all of them for
+    /// backbones; edge tier only for the data center).
+    pub edge_nodes: Vec<NodeId>,
+    /// Whether routing should spread over equal-cost multipaths (true for
+    /// the data center, false for the backbones).
+    pub multipath: bool,
+}
+
+impl Topology {
+    /// Human-readable one-line summary, e.g. `GEANT: 23 nodes, 74 links`.
+    pub fn summary(&self) -> String {
+        // GEANT's public data set counts directed links; the other three
+        // count undirected, matching the paper's Table V row values.
+        let links = if self.kind == TopologyKind::Geant {
+            self.graph.directed_link_count()
+        } else {
+            self.graph.undirected_link_count()
+        };
+        format!(
+            "{}: {} nodes, {} links",
+            self.kind.name(),
+            self.graph.node_count(),
+            links
+        )
+    }
+}
+
+/// Builds the 12-node / 15-link Internet2-style research backbone.
+///
+/// Node names follow the classic Abilene/Internet2 PoP cities. Links are
+/// OC-192 (10 Gbps) with unit IGP weight.
+pub fn internet2() -> Topology {
+    let cities = [
+        "Seattle",      // 0
+        "Sunnyvale",    // 1
+        "LosAngeles",   // 2
+        "SaltLakeCity", // 3
+        "Denver",       // 4
+        "KansasCity",   // 5
+        "Houston",      // 6
+        "Chicago",      // 7
+        "Indianapolis", // 8
+        "Atlanta",      // 9
+        "WashingtonDC", // 10
+        "NewYork",      // 11
+    ];
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = cities.iter().map(|c| g.add_node(*c, 0)).collect();
+    let links = [
+        (0, 1),
+        (0, 4),
+        (1, 2),
+        (1, 3),
+        (2, 6),
+        (3, 4),
+        (4, 5),
+        (5, 6),
+        (5, 7),
+        (6, 9),
+        (7, 8),
+        (7, 11),
+        (8, 9),
+        (9, 10),
+        (10, 11),
+    ];
+    for (a, b) in links {
+        g.add_link(ids[a], ids[b], 10_000.0, 1.0)
+            .expect("static link table is valid");
+    }
+    debug_assert!(g.is_connected());
+    let edge_nodes = g.node_ids().collect();
+    Topology {
+        kind: TopologyKind::Internet2,
+        graph: g,
+        edge_nodes,
+        multipath: false,
+    }
+}
+
+/// Builds the 23-node GEANT European research network with 37 undirected
+/// (74 directed) links, matching the TOTEM data set's counts.
+pub fn geant() -> Topology {
+    let pops = [
+        "AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU", "IE", "IL", "IT", "LU",
+        "NL", "NY", "PL", "PT", "SE", "SI", "SK", "UK", "DE2",
+    ];
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = pops.iter().map(|c| g.add_node(*c, 0)).collect();
+    // A GEANT-shaped mesh: a dense western core (DE/FR/UK/NL/IT/CH) with
+    // stub national PoPs, 37 undirected adjacencies in total.
+    let links = [
+        (0, 2),  // AT-CH
+        (0, 3),  // AT-CZ
+        (0, 4),  // AT-DE
+        (0, 9),  // AT-HU
+        (0, 12), // AT-IT
+        (0, 19), // AT-SI
+        (1, 4),  // BE-DE
+        (1, 6),  // BE-FR
+        (1, 14), // BE-NL
+        (2, 4),  // CH-DE
+        (2, 6),  // CH-FR
+        (2, 12), // CH-IT
+        (3, 4),  // CZ-DE
+        (3, 16), // CZ-PL
+        (3, 20), // CZ-SK
+        (4, 6),  // DE-FR
+        (4, 14), // DE-NL
+        (4, 18), // DE-SE
+        (4, 15), // DE-NY
+        (4, 22), // DE-DE2
+        (5, 6),  // ES-FR
+        (5, 12), // ES-IT
+        (5, 17), // ES-PT
+        (6, 13), // FR-LU
+        (6, 21), // FR-UK
+        (7, 12), // GR-IT
+        (7, 0),  // GR-AT
+        (8, 9),  // HR-HU
+        (8, 19), // HR-SI
+        (9, 20), // HU-SK
+        (10, 21), // IE-UK
+        (11, 12), // IL-IT
+        (11, 15), // IL-NY
+        (14, 21), // NL-UK
+        (15, 21), // NY-UK
+        (16, 4),  // PL-DE
+        (18, 14), // SE-NL
+    ];
+    for (a, b) in links {
+        g.add_link(ids[a], ids[b], 10_000.0, 1.0)
+            .expect("static link table is valid");
+    }
+    debug_assert_eq!(g.undirected_link_count(), 37);
+    debug_assert!(g.is_connected());
+    let edge_nodes = g.node_ids().collect();
+    Topology {
+        kind: TopologyKind::Geant,
+        graph: g,
+        edge_nodes,
+        multipath: false,
+    }
+}
+
+/// Builds UNIV1, a 2-tier campus data center: 2 core switches and 21 edge
+/// switches, 43 links (each edge dual-homed to both cores, plus a core-core
+/// link). All edge↔core links have equal weight so every edge-to-edge pair
+/// has two equal-cost paths — the multipath behaviour Fig. 10 leans on.
+pub fn univ1() -> Topology {
+    let mut g = Graph::new();
+    let core0 = g.add_node("core0", 0);
+    let core1 = g.add_node("core1", 0);
+    let mut edges = Vec::new();
+    for i in 0..21 {
+        let e = g.add_node(format!("edge{i}"), 1);
+        edges.push(e);
+    }
+    g.add_link(core0, core1, 40_000.0, 1.0)
+        .expect("core link valid");
+    for &e in &edges {
+        g.add_link(e, core0, 10_000.0, 1.0).expect("uplink valid");
+        g.add_link(e, core1, 10_000.0, 1.0).expect("uplink valid");
+    }
+    debug_assert_eq!(g.node_count(), 23);
+    debug_assert_eq!(g.undirected_link_count(), 43);
+    Topology {
+        kind: TopologyKind::Univ1,
+        graph: g,
+        edge_nodes: edges,
+        multipath: true,
+    }
+}
+
+/// Builds a 79-node / 147-link synthetic ISP topology shaped like the
+/// Rocketfuel AS-3679 router-level map: a well-connected backbone of 12
+/// routers plus preferential-attachment access routers.
+///
+/// Deterministic (fixed seed) so Table V timings are reproducible.
+pub fn as3679() -> Topology {
+    const NODES: usize = 79;
+    const LINKS: usize = 147;
+    const BACKBONE: usize = 12;
+    let mut rng = StdRng::seed_from_u64(0x3679);
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..NODES)
+        .map(|i| {
+            let tier = if i < BACKBONE { 0 } else { 1 };
+            g.add_node(format!("r{i}"), tier)
+        })
+        .collect();
+    // Backbone ring + chords.
+    for i in 0..BACKBONE {
+        let j = (i + 1) % BACKBONE;
+        g.add_link(ids[i], ids[j], 10_000.0, 1.0)
+            .expect("ring link valid");
+    }
+    for i in 0..BACKBONE / 2 {
+        g.add_link(ids[i], ids[i + BACKBONE / 2], 10_000.0, 1.0)
+            .expect("chord link valid");
+    }
+    // Access routers: attach each to 1–2 existing routers, preferring high
+    // degree (preferential attachment), then sprinkle extra links until the
+    // target count is reached.
+    for i in BACKBONE..NODES {
+        let attach = pick_preferential(&g, &ids[..i], &mut rng);
+        g.add_link(ids[i], attach, 2_500.0, 1.0)
+            .expect("access link valid");
+    }
+    let mut guard = 0;
+    while g.undirected_link_count() < LINKS && guard < 100_000 {
+        guard += 1;
+        let a = ids[rng.gen_range(0..NODES)];
+        let b = pick_preferential(&g, &ids, &mut rng);
+        if a != b && g.link_between(a, b).is_none() {
+            g.add_link(a, b, 2_500.0, 1.0).expect("extra link valid");
+        }
+    }
+    debug_assert_eq!(g.node_count(), NODES);
+    debug_assert_eq!(g.undirected_link_count(), LINKS);
+    debug_assert!(g.is_connected());
+    let edge_nodes = g.node_ids().collect();
+    Topology {
+        kind: TopologyKind::As3679,
+        graph: g,
+        edge_nodes,
+        multipath: false,
+    }
+}
+
+fn pick_preferential(g: &Graph, candidates: &[NodeId], rng: &mut StdRng) -> NodeId {
+    let total: usize = candidates.iter().map(|&n| g.degree(n) + 1).sum();
+    let mut target = rng.gen_range(0..total);
+    for &n in candidates {
+        let w = g.degree(n) + 1;
+        if target < w {
+            return n;
+        }
+        target -= w;
+    }
+    *candidates.last().expect("candidates non-empty")
+}
+
+/// Builds a simple line topology of `n` switches (used by unit tests and
+/// the quickstart example).
+pub fn line(n: usize) -> Topology {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("n{i}"), 0)).collect();
+    for w in ids.windows(2) {
+        g.add_link(w[0], w[1], 10_000.0, 1.0)
+            .expect("line links valid");
+    }
+    Topology {
+        kind: TopologyKind::Synthetic,
+        graph: g,
+        edge_nodes: ids,
+        multipath: false,
+    }
+}
+
+/// Builds a star topology with one hub and `leaves` leaf switches.
+pub fn star(leaves: usize) -> Topology {
+    let mut g = Graph::new();
+    let hub = g.add_node("hub", 0);
+    let mut edge_nodes = Vec::new();
+    for i in 0..leaves {
+        let l = g.add_node(format!("leaf{i}"), 1);
+        g.add_link(hub, l, 10_000.0, 1.0).expect("star links valid");
+        edge_nodes.push(l);
+    }
+    Topology {
+        kind: TopologyKind::Synthetic,
+        graph: g,
+        edge_nodes,
+        multipath: false,
+    }
+}
+
+/// Builds a `k`-ary fat-tree (k even): `k` pods of `k/2` edge + `k/2`
+/// aggregation switches, plus `(k/2)²` core switches. The canonical
+/// data-center fabric; used by extension experiments beyond the paper's
+/// 2-tier UNIV1.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or `< 2`.
+pub fn fat_tree(k: usize) -> Topology {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+    let half = k / 2;
+    let mut g = Graph::new();
+    let cores: Vec<NodeId> = (0..half * half)
+        .map(|i| g.add_node(format!("core{i}"), 0))
+        .collect();
+    let mut edges = Vec::new();
+    for pod in 0..k {
+        let aggs: Vec<NodeId> = (0..half)
+            .map(|a| g.add_node(format!("agg{pod}_{a}"), 1))
+            .collect();
+        let pod_edges: Vec<NodeId> = (0..half)
+            .map(|e| g.add_node(format!("edge{pod}_{e}"), 2))
+            .collect();
+        for (ai, &agg) in aggs.iter().enumerate() {
+            // Each aggregation switch connects to `half` cores: the ai-th
+            // group of cores.
+            for c in 0..half {
+                g.add_link(agg, cores[ai * half + c], 10_000.0, 1.0)
+                    .expect("fat-tree core links valid");
+            }
+            for &e in &pod_edges {
+                g.add_link(agg, e, 10_000.0, 1.0)
+                    .expect("fat-tree pod links valid");
+            }
+        }
+        edges.extend(pod_edges);
+    }
+    debug_assert!(g.is_connected());
+    Topology {
+        kind: TopologyKind::Synthetic,
+        graph: g,
+        edge_nodes: edges,
+        multipath: true,
+    }
+}
+
+/// Builds a Jellyfish-style random regular-ish topology: `n` switches each
+/// aiming for degree `d`, wired uniformly at random (deterministic per
+/// seed). Edge nodes are all switches.
+///
+/// # Panics
+///
+/// Panics if `n < d + 1` or `d < 2`.
+pub fn jellyfish(n: usize, d: usize, seed: u64) -> Topology {
+    assert!(d >= 2 && n > d, "need n > d >= 2");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4a45_4c4c_0059_u64);
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("j{i}"), 0)).collect();
+    // Random spanning tree for connectivity, then random pairing until
+    // degrees fill or attempts run out.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        g.add_link(ids[i], ids[j], 10_000.0, 1.0)
+            .expect("tree links valid");
+    }
+    let mut guard = 0;
+    while guard < 50_000 {
+        guard += 1;
+        let open: Vec<NodeId> = ids.iter().copied().filter(|&v| g.degree(v) < d).collect();
+        if open.len() < 2 {
+            break;
+        }
+        let a = open[rng.gen_range(0..open.len())];
+        let b = open[rng.gen_range(0..open.len())];
+        if a != b && g.link_between(a, b).is_none() {
+            g.add_link(a, b, 10_000.0, 1.0).expect("random links valid");
+        }
+    }
+    Topology {
+        kind: TopologyKind::Synthetic,
+        graph: g,
+        edge_nodes: ids,
+        multipath: true,
+    }
+}
+
+/// Builds a random connected Waxman-style topology with `n` nodes and
+/// roughly `avg_degree * n / 2` links. Deterministic for a given seed.
+pub fn random_connected(n: usize, avg_degree: f64, seed: u64) -> Topology {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("w{i}"), 0)).collect();
+    // Random spanning tree first (guarantees connectivity).
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        g.add_link(ids[i], ids[j], 10_000.0, 1.0)
+            .expect("tree links valid");
+    }
+    let target = ((avg_degree * n as f64) / 2.0).round() as usize;
+    let mut guard = 0;
+    while g.undirected_link_count() < target && guard < 100_000 {
+        guard += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && g.link_between(ids[a], ids[b]).is_none() {
+            g.add_link(ids[a], ids[b], 10_000.0, 1.0)
+                .expect("extra links valid");
+        }
+    }
+    let edge_nodes = g.node_ids().collect();
+    Topology {
+        kind: TopologyKind::Synthetic,
+        graph: g,
+        edge_nodes,
+        multipath: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internet2_counts_match_paper() {
+        let t = internet2();
+        assert_eq!(t.graph.node_count(), 12);
+        assert_eq!(t.graph.undirected_link_count(), 15);
+        assert!(t.graph.is_connected());
+        assert_eq!(t.summary(), "Internet2: 12 nodes, 15 links");
+    }
+
+    #[test]
+    fn geant_counts_match_paper() {
+        let t = geant();
+        assert_eq!(t.graph.node_count(), 23);
+        assert_eq!(t.graph.directed_link_count(), 74);
+        assert!(t.graph.is_connected());
+        assert_eq!(t.summary(), "GEANT: 23 nodes, 74 links");
+    }
+
+    #[test]
+    fn univ1_counts_match_paper() {
+        let t = univ1();
+        assert_eq!(t.graph.node_count(), 23);
+        assert_eq!(t.graph.undirected_link_count(), 43);
+        assert!(t.graph.is_connected());
+        assert!(t.multipath);
+        // Every edge pair has two equal-cost paths through the two cores.
+        let e0 = t.edge_nodes[0];
+        let e1 = t.edge_nodes[1];
+        let ecmp = crate::ksp::ecmp_paths(&t.graph, e0, e1, 8);
+        assert_eq!(ecmp.len(), 2);
+    }
+
+    #[test]
+    fn as3679_counts_match_paper() {
+        let t = as3679();
+        assert_eq!(t.graph.node_count(), 79);
+        assert_eq!(t.graph.undirected_link_count(), 147);
+        assert!(t.graph.is_connected());
+    }
+
+    #[test]
+    fn as3679_is_deterministic() {
+        let a = as3679();
+        let b = as3679();
+        for id in a.graph.link_ids() {
+            let la = a.graph.link(id).unwrap();
+            let lb = b.graph.link(id).unwrap();
+            assert_eq!((la.a, la.b), (lb.a, lb.b));
+        }
+    }
+
+    #[test]
+    fn kind_build_roundtrip() {
+        for kind in TopologyKind::all() {
+            let t = kind.build();
+            assert_eq!(t.kind, kind);
+            assert!(t.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn generic_generators() {
+        let l = line(5);
+        assert_eq!(l.graph.undirected_link_count(), 4);
+        let s = star(6);
+        assert_eq!(s.graph.node_count(), 7);
+        assert_eq!(s.graph.degree(NodeId(0)), 6);
+        let r = random_connected(30, 3.0, 7);
+        assert!(r.graph.is_connected());
+        assert!(r.graph.undirected_link_count() >= 29);
+    }
+
+    #[test]
+    fn fat_tree_k4_structure() {
+        let t = fat_tree(4);
+        // k=4: 4 cores + 4 pods x (2 agg + 2 edge) = 20 switches.
+        assert_eq!(t.graph.node_count(), 20);
+        // Links: 4 pods x 2 agg x (2 core + 2 edge) = 32.
+        assert_eq!(t.graph.undirected_link_count(), 32);
+        assert!(t.graph.is_connected());
+        assert_eq!(t.edge_nodes.len(), 8);
+        assert!(t.multipath);
+        // Cross-pod edge pairs have multiple equal-cost paths.
+        let ecmp = crate::ksp::ecmp_paths(&t.graph, t.edge_nodes[0], t.edge_nodes[7], 8);
+        assert!(ecmp.len() >= 2, "fat-tree should be multipath: {}", ecmp.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn fat_tree_rejects_odd_arity() {
+        fat_tree(3);
+    }
+
+    #[test]
+    fn jellyfish_respects_degree_budget() {
+        let t = jellyfish(20, 4, 9);
+        assert!(t.graph.is_connected());
+        // Spanning-tree construction can exceed d at a few unlucky nodes;
+        // the random-pairing phase must respect it.
+        let over: usize = t
+            .graph
+            .node_ids()
+            .filter(|&v| t.graph.degree(v) > 6)
+            .count();
+        assert_eq!(over, 0, "degrees ballooned");
+        // Deterministic per seed.
+        let t2 = jellyfish(20, 4, 9);
+        assert_eq!(
+            t.graph.undirected_link_count(),
+            t2.graph.undirected_link_count()
+        );
+    }
+
+    #[test]
+    fn univ1_edges_are_tier1() {
+        let t = univ1();
+        for &e in &t.edge_nodes {
+            assert_eq!(t.graph.node(e).unwrap().tier, 1);
+        }
+    }
+}

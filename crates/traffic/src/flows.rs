@@ -1,0 +1,203 @@
+//! Flow-level expansion of OD-pair aggregates.
+//!
+//! APPLE's policy enforcement is ultimately per-flow (sub-class assignment
+//! hashes or prefix-splits individual flows), so tests and the data-plane
+//! walker need concrete flows. Each OD pair expands into a set of flows with
+//! source addresses drawn from a per-node /24 prefix, letting the prefix
+//! splitter of §V-A carve sub-classes like `10.1.1.128/25`.
+
+use apple_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A single flow: IPv4-style 5-tuple plus its offered rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Source address.
+    pub src_ip: u32,
+    /// Destination address.
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// 6 = TCP, 17 = UDP.
+    pub proto: u8,
+    /// Offered rate in Mbps.
+    pub rate_mbps: f64,
+    /// Ingress switch.
+    pub ingress: NodeId,
+    /// Egress switch.
+    pub egress: NodeId,
+}
+
+impl Flow {
+    /// The /24 prefix assigned to a switch's attached hosts: `10.N.N.0/24`
+    /// encoded as `0x0A_NN_NN_00` (N = switch index, so prefixes are
+    /// disjoint per switch for indices < 256).
+    pub fn prefix_of(node: NodeId) -> u32 {
+        let n = (node.0 as u32) & 0xff;
+        0x0a00_0000 | (n << 16) | (n << 8)
+    }
+
+    /// Formats an address dotted-quad for diagnostics.
+    pub fn fmt_ip(ip: u32) -> String {
+        format!(
+            "{}.{}.{}.{}",
+            ip >> 24,
+            (ip >> 16) & 0xff,
+            (ip >> 8) & 0xff,
+            ip & 0xff
+        )
+    }
+}
+
+impl fmt::Display for Flow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto {} ({:.2} Mbps)",
+            Flow::fmt_ip(self.src_ip),
+            self.src_port,
+            Flow::fmt_ip(self.dst_ip),
+            self.dst_port,
+            self.proto,
+            self.rate_mbps
+        )
+    }
+}
+
+/// A set of flows expanded from OD aggregates.
+///
+/// # Example
+///
+/// ```
+/// use apple_topology::NodeId;
+/// use apple_traffic::FlowSet;
+///
+/// let fs = FlowSet::expand(NodeId(1), NodeId(2), 100.0, 8, 42);
+/// assert_eq!(fs.flows().len(), 8);
+/// let total: f64 = fs.flows().iter().map(|f| f.rate_mbps).sum();
+/// assert!((total - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlowSet {
+    flows: Vec<Flow>,
+}
+
+impl FlowSet {
+    /// Expands one OD aggregate of `rate_mbps` into `count` flows with
+    /// heavy-tailed (Zipf-ish) per-flow shares; deterministic per seed.
+    pub fn expand(src: NodeId, dst: NodeId, rate_mbps: f64, count: usize, seed: u64) -> FlowSet {
+        if count == 0 || rate_mbps <= 0.0 {
+            return FlowSet::default();
+        }
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ ((src.0 as u64) << 32) ^ dst.0 as u64);
+        // Zipf-like shares 1/k^0.8, normalised.
+        let shares: Vec<f64> = (1..=count).map(|k| 1.0 / (k as f64).powf(0.8)).collect();
+        let sum: f64 = shares.iter().sum();
+        let src_prefix = Flow::prefix_of(src);
+        let dst_prefix = Flow::prefix_of(dst);
+        let flows = shares
+            .iter()
+            .map(|w| {
+                let host: u32 = rng.gen_range(1..255);
+                let dhost: u32 = rng.gen_range(1..255);
+                Flow {
+                    src_ip: src_prefix | host,
+                    dst_ip: dst_prefix | dhost,
+                    src_port: rng.gen_range(1024..u16::MAX),
+                    dst_port: *[80u16, 443, 53, 8080, 22]
+                        .get(rng.gen_range(0..5))
+                        .expect("index in range"),
+                    proto: if rng.gen_bool(0.8) { 6 } else { 17 },
+                    rate_mbps: rate_mbps * w / sum,
+                    ingress: src,
+                    egress: dst,
+                }
+            })
+            .collect();
+        FlowSet { flows }
+    }
+
+    /// The flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Merges another set into this one.
+    pub fn extend(&mut self, other: FlowSet) {
+        self.flows.extend(other.flows);
+    }
+
+    /// Total offered rate.
+    pub fn total_mbps(&self) -> f64 {
+        self.flows.iter().map(|f| f.rate_mbps).sum()
+    }
+}
+
+impl FromIterator<Flow> for FlowSet {
+    fn from_iter<T: IntoIterator<Item = Flow>>(iter: T) -> Self {
+        FlowSet {
+            flows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_preserves_rate() {
+        let fs = FlowSet::expand(NodeId(3), NodeId(4), 250.0, 16, 1);
+        assert_eq!(fs.flows().len(), 16);
+        assert!((fs.total_mbps() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn src_ips_in_node_prefix() {
+        let fs = FlowSet::expand(NodeId(7), NodeId(2), 10.0, 8, 2);
+        let prefix = Flow::prefix_of(NodeId(7));
+        for f in fs.flows() {
+            assert_eq!(f.src_ip & 0xffff_ff00, prefix);
+            assert_eq!(f.ingress, NodeId(7));
+        }
+    }
+
+    #[test]
+    fn prefixes_disjoint_per_node() {
+        assert_ne!(Flow::prefix_of(NodeId(1)), Flow::prefix_of(NodeId(2)));
+    }
+
+    #[test]
+    fn heavy_tail_shares() {
+        let fs = FlowSet::expand(NodeId(0), NodeId(1), 100.0, 10, 3);
+        let first = fs.flows()[0].rate_mbps;
+        let last = fs.flows()[9].rate_mbps;
+        assert!(first > 2.0 * last, "shares not heavy-tailed");
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert!(FlowSet::expand(NodeId(0), NodeId(1), 0.0, 5, 0).flows().is_empty());
+        assert!(FlowSet::expand(NodeId(0), NodeId(1), 5.0, 0, 0).flows().is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = FlowSet::expand(NodeId(0), NodeId(1), 5.0, 4, 9);
+        let b = FlowSet::expand(NodeId(0), NodeId(1), 5.0, 4, 9);
+        assert_eq!(a.flows(), b.flows());
+    }
+
+    #[test]
+    fn display_formats_dotted_quad() {
+        assert_eq!(Flow::fmt_ip(0x0a010203), "10.1.2.3");
+        let fs = FlowSet::expand(NodeId(1), NodeId(2), 5.0, 1, 0);
+        let s = fs.flows()[0].to_string();
+        assert!(s.contains("->") && s.contains("Mbps"));
+    }
+}

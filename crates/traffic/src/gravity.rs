@@ -1,0 +1,166 @@
+//! Gravity-model base traffic matrices.
+//!
+//! The gravity model is the standard synthesis for backbone traffic
+//! matrices (it is also what FNSS uses for the paper's AS-3679 series):
+//! the rate from `s` to `d` is proportional to `mass(s) · mass(d)`, with
+//! masses drawn log-normally to create the heavy spatial skew real networks
+//! show.
+
+use crate::matrix::TrafficMatrix;
+use apple_topology::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gravity-model generator.
+///
+/// # Example
+///
+/// ```
+/// use apple_topology::zoo;
+/// use apple_traffic::GravityModel;
+///
+/// let topo = zoo::geant();
+/// let tm = GravityModel::new(2_000.0, 0).base_matrix(&topo);
+/// assert!((tm.total() - 2_000.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GravityModel {
+    /// Target network-wide total offered load in Mbps.
+    pub total_mbps: f64,
+    /// Log-normal sigma of the node masses; larger values mean stronger
+    /// skew. 0.8 approximates published backbone TM skew.
+    pub mass_sigma: f64,
+    seed: u64,
+}
+
+impl GravityModel {
+    /// Creates a generator producing matrices whose entries sum to
+    /// `total_mbps`.
+    pub fn new(total_mbps: f64, seed: u64) -> Self {
+        GravityModel {
+            total_mbps,
+            mass_sigma: 0.8,
+            seed,
+        }
+    }
+
+    /// Deterministic per-node masses (log-normal).
+    pub fn masses(&self, topo: &Topology) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e3779b97f4a7c15);
+        topo.edge_nodes
+            .iter()
+            .map(|_| {
+                // Box-Muller from two uniforms for a normal sample.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (self.mass_sigma * z).exp()
+            })
+            .collect()
+    }
+
+    /// Generates the base (mean-level) traffic matrix over the topology's
+    /// edge nodes, normalised so the total equals `total_mbps`.
+    pub fn base_matrix(&self, topo: &Topology) -> TrafficMatrix {
+        let n = topo.graph.node_count();
+        let masses = self.masses(topo);
+        let mut tm = TrafficMatrix::zeros(n);
+        let mut weight_sum = 0.0;
+        for (i, &s) in topo.edge_nodes.iter().enumerate() {
+            for (j, &d) in topo.edge_nodes.iter().enumerate() {
+                if s != d {
+                    weight_sum += masses[i] * masses[j];
+                    let _ = (s, d);
+                }
+            }
+        }
+        if weight_sum == 0.0 {
+            return tm;
+        }
+        for (i, &s) in topo.edge_nodes.iter().enumerate() {
+            for (j, &d) in topo.edge_nodes.iter().enumerate() {
+                if s != d {
+                    let w = masses[i] * masses[j] / weight_sum;
+                    tm.set(s, d, self.total_mbps * w);
+                }
+            }
+        }
+        tm
+    }
+
+    /// Pairs `(src, dst)` ranked by descending gravity weight — used to pick
+    /// the "heavy" classes for burst injection.
+    pub fn ranked_pairs(&self, topo: &Topology) -> Vec<(NodeId, NodeId)> {
+        let tm = self.base_matrix(topo);
+        let mut pairs: Vec<(NodeId, NodeId, f64)> = tm.entries().collect();
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.into_iter().map(|(s, d, _)| (s, d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apple_topology::zoo;
+
+    #[test]
+    fn total_is_normalised() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(5_000.0, 3).base_matrix(&topo);
+        assert!((tm.total() - 5_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let topo = zoo::internet2();
+        let a = GravityModel::new(1_000.0, 7).base_matrix(&topo);
+        let b = GravityModel::new(1_000.0, 7).base_matrix(&topo);
+        assert_eq!(a, b);
+        let c = GravityModel::new(1_000.0, 8).base_matrix(&topo);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn diagonal_zero_everywhere() {
+        let topo = zoo::geant();
+        let tm = GravityModel::new(1_000.0, 1).base_matrix(&topo);
+        for id in topo.graph.node_ids() {
+            assert_eq!(tm.rate(id, id), 0.0);
+        }
+    }
+
+    #[test]
+    fn skew_exists() {
+        // Log-normal masses must produce a visibly skewed matrix: the max
+        // entry should be several times the mean entry.
+        let topo = zoo::geant();
+        let tm = GravityModel::new(1_000.0, 2).base_matrix(&topo);
+        let n_pairs = (topo.edge_nodes.len() * (topo.edge_nodes.len() - 1)) as f64;
+        let mean = tm.total() / n_pairs;
+        assert!(tm.max_rate() > 3.0 * mean, "matrix not skewed enough");
+    }
+
+    #[test]
+    fn univ1_only_uses_edge_nodes() {
+        // Cores are not traffic sources in the data center.
+        let topo = zoo::univ1();
+        let tm = GravityModel::new(1_000.0, 4).base_matrix(&topo);
+        let core0 = topo.graph.node_by_name("core0").unwrap();
+        for d in topo.graph.node_ids() {
+            assert_eq!(tm.rate(core0, d), 0.0);
+            assert_eq!(tm.rate(d, core0), 0.0);
+        }
+    }
+
+    #[test]
+    fn ranked_pairs_descending() {
+        let topo = zoo::internet2();
+        let gm = GravityModel::new(1_000.0, 5);
+        let tm = gm.base_matrix(&topo);
+        let pairs = gm.ranked_pairs(&topo);
+        assert!(!pairs.is_empty());
+        for w in pairs.windows(2) {
+            assert!(tm.rate(w[0].0, w[0].1) >= tm.rate(w[1].0, w[1].1));
+        }
+    }
+}

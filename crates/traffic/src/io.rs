@@ -1,0 +1,163 @@
+//! Traffic-matrix serialisation: a CSV-like text format compatible with how
+//! public TM archives (Abilene, TOTEM) distribute their snapshots — one
+//! `src,dst,rate` record per non-zero entry, with a size header.
+//!
+//! ```text
+//! # apple-traffic matrix
+//! size,12
+//! 0,3,142.5
+//! 0,7,12.25
+//! ```
+//!
+//! [`TrafficMatrix::from_csv`]/[`TrafficMatrix::to_csv`] round-trip exactly;
+//! [`crate::series::TmSeries`] snapshots can be dumped one file per
+//! snapshot, which is the layout the Abilene archive uses.
+
+use crate::matrix::TrafficMatrix;
+use apple_topology::NodeId;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors parsing the matrix CSV format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TmParseError {
+    /// The `size,N` header is missing or malformed.
+    MissingHeader,
+    /// A record had the wrong number of fields or bad numbers.
+    BadRecord { line: usize },
+    /// An index was outside the declared size, or a rate invalid.
+    BadEntry { line: usize },
+}
+
+impl fmt::Display for TmParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmParseError::MissingHeader => write!(f, "missing `size,N` header"),
+            TmParseError::BadRecord { line } => write!(f, "line {line}: malformed record"),
+            TmParseError::BadEntry { line } => {
+                write!(f, "line {line}: entry out of range or invalid rate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TmParseError {}
+
+impl TrafficMatrix {
+    /// Serialises the matrix (non-zero entries only).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("# apple-traffic matrix\n");
+        let _ = writeln!(out, "size,{}", self.size());
+        for (s, d, r) in self.entries() {
+            let _ = writeln!(out, "{},{},{}", s.0, d.0, r);
+        }
+        out
+    }
+
+    /// Parses a matrix from the CSV format.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TmParseError`] variant; comments (`#`) and blank lines are
+    /// skipped.
+    pub fn from_csv(text: &str) -> Result<TrafficMatrix, TmParseError> {
+        let mut tm: Option<TrafficMatrix> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+            match (&mut tm, fields.as_slice()) {
+                (None, ["size", n]) => {
+                    let n: usize = n.parse().map_err(|_| TmParseError::BadRecord { line })?;
+                    tm = Some(TrafficMatrix::zeros(n));
+                }
+                (None, _) => return Err(TmParseError::MissingHeader),
+                (Some(m), [s, d, r]) => {
+                    let s: usize = s.parse().map_err(|_| TmParseError::BadRecord { line })?;
+                    let d: usize = d.parse().map_err(|_| TmParseError::BadRecord { line })?;
+                    let r: f64 = r.parse().map_err(|_| TmParseError::BadRecord { line })?;
+                    if s >= m.size() || d >= m.size() || !r.is_finite() || r < 0.0 || s == d {
+                        return Err(TmParseError::BadEntry { line });
+                    }
+                    m.set(NodeId(s), NodeId(d), r);
+                }
+                (Some(_), _) => return Err(TmParseError::BadRecord { line }),
+            }
+        }
+        tm.ok_or(TmParseError::MissingHeader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gravity::GravityModel;
+    use apple_topology::zoo;
+
+    #[test]
+    fn round_trip_exact() {
+        let topo = zoo::internet2();
+        let original = GravityModel::new(3_000.0, 12).base_matrix(&topo);
+        let text = original.to_csv();
+        let parsed = TrafficMatrix::from_csv(&text).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn empty_matrix_round_trips() {
+        let tm = TrafficMatrix::zeros(5);
+        let parsed = TrafficMatrix::from_csv(&tm.to_csv()).unwrap();
+        assert_eq!(parsed, tm);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(
+            TrafficMatrix::from_csv("0,1,5.0"),
+            Err(TmParseError::MissingHeader)
+        );
+        assert_eq!(TrafficMatrix::from_csv(""), Err(TmParseError::MissingHeader));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let text = "size,3\n0,9,5.0";
+        assert_eq!(
+            TrafficMatrix::from_csv(text),
+            Err(TmParseError::BadEntry { line: 2 })
+        );
+    }
+
+    #[test]
+    fn self_traffic_rejected() {
+        let text = "size,3\n1,1,5.0";
+        assert_eq!(
+            TrafficMatrix::from_csv(text),
+            Err(TmParseError::BadEntry { line: 2 })
+        );
+    }
+
+    #[test]
+    fn malformed_record_rejected() {
+        let text = "size,3\n0,1";
+        assert_eq!(
+            TrafficMatrix::from_csv(text),
+            Err(TmParseError::BadRecord { line: 2 })
+        );
+        let text2 = "size,3\n0,1,abc";
+        assert_eq!(
+            TrafficMatrix::from_csv(text2),
+            Err(TmParseError::BadRecord { line: 2 })
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_tolerated() {
+        let text = "# hi\nsize,2\n\n 0 , 1 , 7.5 \n";
+        let tm = TrafficMatrix::from_csv(text).unwrap();
+        assert_eq!(tm.rate(NodeId(0), NodeId(1)), 7.5);
+    }
+}

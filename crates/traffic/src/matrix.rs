@@ -1,0 +1,222 @@
+//! Dense origin–destination traffic matrices (rates in Mbps).
+
+use apple_topology::NodeId;
+use std::fmt;
+
+/// A dense N×N traffic matrix; entry `(s, d)` is the aggregate rate from
+/// switch `s` to switch `d` in Mbps. The diagonal is always zero.
+///
+/// # Example
+///
+/// ```
+/// use apple_traffic::TrafficMatrix;
+/// use apple_topology::NodeId;
+///
+/// let mut tm = TrafficMatrix::zeros(3);
+/// tm.set(NodeId(0), NodeId(2), 120.0);
+/// assert_eq!(tm.rate(NodeId(0), NodeId(2)), 120.0);
+/// assert_eq!(tm.total(), 120.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMatrix {
+    n: usize,
+    rates: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Creates an all-zero N×N matrix.
+    pub fn zeros(n: usize) -> Self {
+        TrafficMatrix {
+            n,
+            rates: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of switches.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Rate from `s` to `d` in Mbps (0.0 for out-of-range indices).
+    pub fn rate(&self, s: NodeId, d: NodeId) -> f64 {
+        if s.0 < self.n && d.0 < self.n {
+            self.rates[s.0 * self.n + d.0]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sets the rate from `s` to `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range, the rate is negative /
+    /// non-finite, or `s == d` with a non-zero rate (self-traffic never
+    /// crosses the network).
+    pub fn set(&mut self, s: NodeId, d: NodeId, mbps: f64) {
+        assert!(s.0 < self.n && d.0 < self.n, "index out of range");
+        assert!(mbps.is_finite() && mbps >= 0.0, "rate must be finite and >= 0");
+        assert!(s != d || mbps == 0.0, "self-traffic must be zero");
+        self.rates[s.0 * self.n + d.0] = mbps;
+    }
+
+    /// Adds to the rate from `s` to `d` (clamping at zero).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`TrafficMatrix::set`], except negative deltas
+    /// are allowed.
+    pub fn add(&mut self, s: NodeId, d: NodeId, delta_mbps: f64) {
+        let cur = self.rate(s, d);
+        self.set(s, d, (cur + delta_mbps).max(0.0));
+    }
+
+    /// Sum of all entries (total offered load in Mbps).
+    pub fn total(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+
+    /// Largest single entry.
+    pub fn max_rate(&self) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Iterates over the non-zero `(src, dst, rate)` entries in row-major
+    /// order.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (0..self.n).flat_map(move |s| {
+            (0..self.n).filter_map(move |d| {
+                let r = self.rates[s * self.n + d];
+                if r > 0.0 {
+                    Some((NodeId(s), NodeId(d), r))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Per-source totals (row sums).
+    pub fn egress_totals(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|s| self.rates[s * self.n..(s + 1) * self.n].iter().sum())
+            .collect()
+    }
+
+    /// Component-wise mean of a set of matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats` is empty or the sizes differ.
+    pub fn mean_of(mats: &[TrafficMatrix]) -> TrafficMatrix {
+        assert!(!mats.is_empty(), "mean of zero matrices");
+        let n = mats[0].n;
+        let mut out = TrafficMatrix::zeros(n);
+        for m in mats {
+            assert_eq!(m.n, n, "matrix size mismatch");
+            for i in 0..n * n {
+                out.rates[i] += m.rates[i];
+            }
+        }
+        let k = mats.len() as f64;
+        for r in &mut out.rates {
+            *r /= k;
+        }
+        out
+    }
+
+    /// Scales every entry by `k`.
+    pub fn scaled(&self, k: f64) -> TrafficMatrix {
+        let mut out = self.clone();
+        for r in &mut out.rates {
+            *r *= k;
+        }
+        out
+    }
+}
+
+impl fmt::Display for TrafficMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "TrafficMatrix {}x{} (total {:.1} Mbps)", self.n, self.n, self.total())?;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                write!(f, "{:8.1}", self.rates[s * self.n + d])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_total() {
+        let mut tm = TrafficMatrix::zeros(4);
+        tm.set(NodeId(1), NodeId(2), 50.0);
+        tm.set(NodeId(3), NodeId(0), 25.0);
+        assert_eq!(tm.rate(NodeId(1), NodeId(2)), 50.0);
+        assert_eq!(tm.total(), 75.0);
+        assert_eq!(tm.max_rate(), 50.0);
+    }
+
+    #[test]
+    fn out_of_range_reads_zero() {
+        let tm = TrafficMatrix::zeros(2);
+        assert_eq!(tm.rate(NodeId(5), NodeId(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-traffic")]
+    fn self_traffic_rejected() {
+        let mut tm = TrafficMatrix::zeros(2);
+        tm.set(NodeId(1), NodeId(1), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_rate_rejected() {
+        let mut tm = TrafficMatrix::zeros(2);
+        tm.set(NodeId(0), NodeId(1), -3.0);
+    }
+
+    #[test]
+    fn add_clamps_at_zero() {
+        let mut tm = TrafficMatrix::zeros(2);
+        tm.set(NodeId(0), NodeId(1), 5.0);
+        tm.add(NodeId(0), NodeId(1), -10.0);
+        assert_eq!(tm.rate(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn entries_skip_zeros() {
+        let mut tm = TrafficMatrix::zeros(3);
+        tm.set(NodeId(0), NodeId(1), 1.0);
+        tm.set(NodeId(2), NodeId(0), 2.0);
+        let e: Vec<_> = tm.entries().collect();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0], (NodeId(0), NodeId(1), 1.0));
+    }
+
+    #[test]
+    fn mean_and_scale() {
+        let mut a = TrafficMatrix::zeros(2);
+        a.set(NodeId(0), NodeId(1), 10.0);
+        let mut b = TrafficMatrix::zeros(2);
+        b.set(NodeId(0), NodeId(1), 30.0);
+        let m = TrafficMatrix::mean_of(&[a, b]);
+        assert_eq!(m.rate(NodeId(0), NodeId(1)), 20.0);
+        assert_eq!(m.scaled(0.5).total(), 10.0);
+    }
+
+    #[test]
+    fn egress_totals_row_sums() {
+        let mut tm = TrafficMatrix::zeros(3);
+        tm.set(NodeId(0), NodeId(1), 1.0);
+        tm.set(NodeId(0), NodeId(2), 2.0);
+        tm.set(NodeId(1), NodeId(0), 4.0);
+        assert_eq!(tm.egress_totals(), vec![3.0, 4.0, 0.0]);
+    }
+}

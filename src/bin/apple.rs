@@ -1,0 +1,267 @@
+//! `apple` — command-line front end to the APPLE reproduction.
+//!
+//! ```text
+//! apple topo   <TOPO> [--dot | --edges | --stats]
+//! apple plan   <TOPO> [--load MBPS] [--classes K] [--seed S]
+//! apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S]
+//! apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
+//! ```
+//!
+//! `<TOPO>` is `internet2`, `geant`, `univ1`, `as3679`, `fat-tree:K`, or
+//! `jellyfish:N:D`.
+
+use apple_nfv::core::classes::{ClassConfig, ClassSet};
+use apple_nfv::core::controller::{Apple, AppleConfig};
+use apple_nfv::core::engine::OptimizationEngine;
+use apple_nfv::core::orchestrator::ResourceOrchestrator;
+use apple_nfv::sim::replay::{replay, ReplayConfig};
+use apple_nfv::topology::{zoo, Topology};
+use apple_nfv::traffic::{GravityModel, SeriesConfig, TmSeries};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  apple topo   <TOPO> [--dot | --edges | --stats]
+  apple plan   <TOPO> [--load MBPS] [--classes K] [--seed S]
+  apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S]
+  apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
+
+TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D";
+
+/// Parsed optional flags.
+struct Flags {
+    load: f64,
+    classes: usize,
+    seed: u64,
+    snapshots: usize,
+    failover: bool,
+    dot: bool,
+    edges: bool,
+    stats: bool,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags {
+            load: 2_000.0,
+            classes: 20,
+            seed: 0,
+            snapshots: 96,
+            failover: true,
+            dot: false,
+            edges: false,
+            stats: false,
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--load" => f.load = num("--load")?.parse().map_err(|_| "bad --load")?,
+            "--classes" => f.classes = num("--classes")?.parse().map_err(|_| "bad --classes")?,
+            "--seed" => f.seed = num("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--snapshots" => {
+                f.snapshots = num("--snapshots")?.parse().map_err(|_| "bad --snapshots")?
+            }
+            "--no-failover" => f.failover = false,
+            "--dot" => f.dot = true,
+            "--edges" => f.edges = true,
+            "--stats" => f.stats = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(f)
+}
+
+fn parse_topo(spec: &str) -> Result<Topology, String> {
+    match spec {
+        "internet2" => Ok(zoo::internet2()),
+        "geant" => Ok(zoo::geant()),
+        "univ1" => Ok(zoo::univ1()),
+        "as3679" => Ok(zoo::as3679()),
+        other => {
+            if let Some(k) = other.strip_prefix("fat-tree:") {
+                let k: usize = k.parse().map_err(|_| "bad fat-tree arity")?;
+                if k < 2 || !k.is_multiple_of(2) {
+                    return Err("fat-tree arity must be even and >= 2".into());
+                }
+                Ok(zoo::fat_tree(k))
+            } else if let Some(nd) = other.strip_prefix("jellyfish:") {
+                let parts: Vec<&str> = nd.split(':').collect();
+                if parts.len() != 2 {
+                    return Err("jellyfish wants N:D".into());
+                }
+                let n: usize = parts[0].parse().map_err(|_| "bad jellyfish N")?;
+                let d: usize = parts[1].parse().map_err(|_| "bad jellyfish D")?;
+                if d < 2 || n <= d {
+                    return Err("jellyfish needs N > D >= 2".into());
+                }
+                Ok(zoo::jellyfish(n, d, 0))
+            } else {
+                Err(format!("unknown topology `{other}`"))
+            }
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "topo" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            if flags.dot {
+                print!("{}", topo.graph.to_dot());
+            } else if flags.edges {
+                print!("{}", topo.graph.to_edge_list());
+            } else {
+                println!("{}", topo.summary());
+                if flags.stats {
+                    if let Some(s) = topo.graph.distance_stats() {
+                        println!(
+                            "diameter {} hops, mean path {:.2} hops over {} pairs",
+                            s.diameter_hops, s.mean_hops, s.pairs
+                        );
+                    }
+                    let central = topo.graph.central_nodes(3);
+                    let names: Vec<String> = central
+                        .iter()
+                        .map(|&n| topo.graph.node(n).map(|x| x.name.clone()).unwrap_or_default())
+                        .collect();
+                    println!("most central switches: {}", names.join(", "));
+                }
+            }
+            Ok(())
+        }
+        "plan" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
+            let apple = Apple::plan(
+                &topo,
+                &tm,
+                &AppleConfig {
+                    classes: ClassConfig {
+                        max_classes: flags.classes,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            println!("{}", topo.summary());
+            println!(
+                "classes: {}   instances: {}   cores: {}   solve: {:?}",
+                apple.classes().len(),
+                apple.placement().total_instances(),
+                apple.placement().total_cores(),
+                apple.placement().solve_time()
+            );
+            println!(
+                "TCAM: {} tagged / {} untagged ({:.2}x reduction), cross-product {}",
+                apple.program().tcam.tagged_total,
+                apple.program().tcam.untagged_total,
+                apple.program().tcam.reduction_ratio(),
+                apple.program().tcam.cross_product_total
+            );
+            println!("placement:");
+            for (v, nf, count) in apple.placement().q_entries() {
+                let name = topo
+                    .graph
+                    .node(v)
+                    .map(|n| n.name.clone())
+                    .unwrap_or_else(|_| v.to_string());
+                println!("  {name:<12} {nf:<9} x{count}");
+            }
+            Ok(())
+        }
+        "replay" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let series = TmSeries::generate(
+                &topo,
+                &SeriesConfig {
+                    snapshots: flags.snapshots,
+                    total_mbps: flags.load,
+                    ..SeriesConfig::paper(flags.seed)
+                },
+            );
+            let out = replay(
+                &topo,
+                &series,
+                &ReplayConfig {
+                    apple: AppleConfig {
+                        classes: ClassConfig {
+                            max_classes: flags.classes,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    },
+                    fast_failover: flags.failover,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "{} snapshots, fast failover {}",
+                flags.snapshots,
+                if flags.failover { "on" } else { "off" }
+            );
+            println!(
+                "mean loss {:.4}  peak loss {:.4}  notifications {}  helpers {}  peak extra cores {}",
+                out.loss.mean(),
+                out.loss.max(),
+                out.notifications,
+                out.helpers_spawned,
+                out.peak_helper_cores
+            );
+            Ok(())
+        }
+        "export-lp" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
+            let classes = ClassSet::build(
+                &topo,
+                &tm,
+                &ClassConfig {
+                    max_classes: flags.classes,
+                    ..Default::default()
+                },
+            );
+            let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+            let engine = OptimizationEngine::new(Default::default());
+            print!("{}", engine.export_lp(&classes, &orch));
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

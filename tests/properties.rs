@@ -1,0 +1,164 @@
+//! Property-based tests for the three Table I guarantees, over randomly
+//! generated topologies and traffic matrices.
+//!
+//! For every planned deployment:
+//! 1. **Policy enforcement** — every class's representative packets
+//!    traverse exactly the class's chain, in order;
+//! 2. **Interference freedom** — the switch trajectory equals the routing
+//!    path, always;
+//! 3. **Isolation** — committed host resources are exactly the sum of
+//!    per-instance requirement vectors (no sharing).
+
+use apple_nfv::core::classes::ClassConfig;
+use apple_nfv::core::controller::{Apple, AppleConfig};
+use apple_nfv::core::engine::EngineError;
+use apple_nfv::dataplane::packet::{HostTag, Packet};
+use apple_nfv::topology::zoo;
+use apple_nfv::traffic::GravityModel;
+use proptest::prelude::*;
+
+fn plan_random(
+    nodes: usize,
+    degree: f64,
+    topo_seed: u64,
+    tm_seed: u64,
+    classes: usize,
+) -> Result<Apple, EngineError> {
+    let topo = zoo::random_connected(nodes, degree, topo_seed);
+    let tm = GravityModel::new(1_500.0, tm_seed).base_matrix(&topo);
+    Apple::plan(
+        &topo,
+        &tm,
+        &AppleConfig {
+            classes: ClassConfig {
+                max_classes: classes,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn three_properties_hold_on_random_networks(
+        nodes in 4usize..14,
+        degree in 2.0f64..3.5,
+        topo_seed in 0u64..1_000,
+        tm_seed in 0u64..1_000,
+        host_octet in 1u32..255,
+    ) {
+        let apple = match plan_random(nodes, degree, topo_seed, tm_seed, 10) {
+            Ok(a) => a,
+            // Tiny random topologies can be genuinely infeasible; that is
+            // not a property violation.
+            Err(EngineError::Infeasible) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("plan failed: {e}"))),
+        };
+        for class in apple.classes() {
+            let p = Packet::new(
+                class.src_prefix.0 | host_octet,
+                class.dst_prefix.0 | 1,
+                9_999,
+                443,
+                6,
+            );
+            let rec = apple
+                .program()
+                .walker
+                .walk(p, &class.path)
+                .map_err(|e| TestCaseError::fail(format!("walk failed: {e}")))?;
+
+            // 1. Policy enforcement.
+            let nfs: Vec<_> = rec
+                .instances
+                .iter()
+                .filter_map(|&id| apple.orchestrator().instance(id).map(|i| i.nf()))
+                .collect();
+            prop_assert_eq!(
+                &nfs[..], class.chain.nfs(),
+                "class {} chain violated", class.id
+            );
+            prop_assert_eq!(rec.packet.host_tag, HostTag::Fin);
+
+            // 2. Interference freedom.
+            let expect: Vec<usize> = class.path.iter().map(|n| n.0).collect();
+            prop_assert_eq!(rec.switches, expect, "path changed for {}", class.id);
+        }
+
+        // 3. Isolation.
+        let committed: u32 = apple
+            .orchestrator()
+            .hosts()
+            .values()
+            .map(|h| h.used.cores)
+            .sum();
+        let per_instance: u32 = apple
+            .orchestrator()
+            .instances()
+            .map(|i| i.spec().cores)
+            .sum();
+        prop_assert_eq!(committed, per_instance, "resource sharing detected");
+    }
+
+    #[test]
+    fn subclass_fractions_partition_every_class(
+        topo_seed in 0u64..500,
+        tm_seed in 0u64..500,
+    ) {
+        let apple = match plan_random(8, 2.5, topo_seed, tm_seed, 8) {
+            Ok(a) => a,
+            Err(_) => return Ok(()),
+        };
+        for class in apple.classes() {
+            let subs = apple.subclasses().of_class(class.id);
+            let total: f64 = subs.iter().map(|s| s.fraction()).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "class {} covered {total}", class.id);
+            // Prefix covers are disjoint inside the class /24.
+            let mut covered = [false; 256];
+            for s in &subs {
+                for &(addr, len) in &s.prefixes {
+                    let start = (addr & 0xff) as usize;
+                    let count = 1usize << (32 - len);
+                    #[allow(clippy::needless_range_loop)] // asserting per index
+                    for u in start..start + count {
+                        prop_assert!(!covered[u], "overlapping prefixes in {}", class.id);
+                        covered[u] = true;
+                    }
+                }
+            }
+            prop_assert!(covered.iter().all(|&b| b), "class {} /24 not covered", class.id);
+        }
+    }
+
+    #[test]
+    fn capacity_holds_after_rounding(
+        topo_seed in 0u64..500,
+        tm_seed in 0u64..500,
+    ) {
+        let apple = match plan_random(10, 2.5, topo_seed, tm_seed, 12) {
+            Ok(a) => a,
+            Err(_) => return Ok(()),
+        };
+        // No instance is assigned more than its Table IV capacity.
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, &id) in apple.program().assignment.entries() {
+            seen.insert(id);
+        }
+        for id in seen {
+            let load = apple.program().assignment.load_mbps(id);
+            let cap = apple
+                .orchestrator()
+                .instance(id)
+                .expect("assigned instances exist")
+                .spec()
+                .capacity_mbps;
+            // Sub-class fractions are quantised to 1/256 and packed
+            // best-fit; fragmentation can overflow an instance by a sliver,
+            // far inside the 15 % headroom below the overload threshold.
+            prop_assert!(load <= cap * 1.02, "instance {id} loaded {load} > {cap}");
+        }
+    }
+}
