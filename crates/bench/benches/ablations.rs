@@ -7,14 +7,16 @@
 //! * `subclass_split` — consistent hashing vs prefix splitting
 //!   (sub-class derivation cost; rule-count impact is printed by `fig10`),
 //! * `consolidation` — the LP-guided descent's cost at increasing budgets.
+//!
+//! Telemetry snapshot: `target/telemetry/ablations.json`.
 
+use apple_bench::harness::Bench;
 use apple_core::classes::{ClassConfig, ClassSet};
 use apple_core::engine::{EngineConfig, OptimizationEngine};
 use apple_core::orchestrator::ResourceOrchestrator;
 use apple_core::subclass::{SplitStrategy, SubclassPlan};
 use apple_topology::zoo;
 use apple_traffic::GravityModel;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn small_problem(max_classes: usize) -> (ClassSet, ResourceOrchestrator) {
     let topo = zoo::internet2();
@@ -31,9 +33,7 @@ fn small_problem(max_classes: usize) -> (ClassSet, ResourceOrchestrator) {
     (classes, orch)
 }
 
-fn bench_lp_vs_exact(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lp_round_vs_exact");
-    group.sample_size(10);
+fn bench_lp_vs_exact(bench: &Bench) {
     let (classes, orch) = small_problem(6);
     for (label, exact) in [("lp_round", false), ("exact_bnb", true)] {
         let engine = OptimizationEngine::new(EngineConfig {
@@ -41,20 +41,13 @@ fn bench_lp_vs_exact(c: &mut Criterion) {
             consolidation_attempts: 0,
             ..Default::default()
         });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &(classes.clone(), orch.clone()),
-            |b, (classes, orch)| {
-                b.iter(|| engine.place(classes, orch).expect("feasible"))
-            },
-        );
+        bench.iter(&format!("lp_round_vs_exact.{label}"), || {
+            engine.place(&classes, &orch).expect("feasible")
+        });
     }
-    group.finish();
 }
 
-fn bench_aggregation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aggregation_granularity");
-    group.sample_size(10);
+fn bench_aggregation(bench: &Bench) {
     // More classes = finer granularity; §IV-A argues coarse classes keep
     // the optimisation input small.
     for classes_n in [10usize, 40, 132] {
@@ -63,19 +56,13 @@ fn bench_aggregation(c: &mut Criterion) {
             consolidation_attempts: 0,
             ..Default::default()
         });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(classes_n),
-            &(classes, orch),
-            |b, (classes, orch)| {
-                b.iter(|| engine.place(classes, orch).expect("feasible"))
-            },
-        );
+        bench.iter(&format!("aggregation_granularity.{classes_n}"), || {
+            engine.place(&classes, &orch).expect("feasible")
+        });
     }
-    group.finish();
 }
 
-fn bench_subclass_split(c: &mut Criterion) {
-    let mut group = c.benchmark_group("subclass_split");
+fn bench_subclass_split(bench: &Bench) {
     let (classes, orch) = small_problem(20);
     let placement = OptimizationEngine::new(EngineConfig::default())
         .place(&classes, &orch)
@@ -84,72 +71,55 @@ fn bench_subclass_split(c: &mut Criterion) {
         ("consistent_hash", SplitStrategy::ConsistentHash),
         ("prefix_split", SplitStrategy::PrefixSplit),
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(label),
-            &strategy,
-            |b, &strategy| {
-                b.iter(|| SubclassPlan::derive(&classes, &placement, strategy))
-            },
-        );
+        bench.iter(&format!("subclass_split.{label}"), || {
+            SubclassPlan::derive(&classes, &placement, strategy)
+        });
     }
-    group.finish();
 }
 
-fn bench_consolidation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("consolidation_budget");
-    group.sample_size(10);
+fn bench_consolidation(bench: &Bench) {
     let (classes, orch) = small_problem(30);
     for attempts in [0usize, 8, 24] {
         let engine = OptimizationEngine::new(EngineConfig {
             consolidation_attempts: attempts,
             ..Default::default()
         });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(attempts),
-            &(classes.clone(), orch.clone()),
-            |b, (classes, orch)| {
-                b.iter(|| engine.place(classes, orch).expect("feasible"))
-            },
-        );
+        bench.iter(&format!("consolidation_budget.{attempts}"), || {
+            engine.place(&classes, &orch).expect("feasible")
+        });
     }
-    group.finish();
 }
 
-fn bench_online_vs_global(c: &mut Criterion) {
+fn bench_online_vs_global(bench: &Bench) {
     use apple_core::online::OnlinePlacer;
-    let mut group = c.benchmark_group("online_vs_global");
-    group.sample_size(10);
     let (classes, orch) = small_problem(20);
     // Global: one engine run over all classes.
     let engine = OptimizationEngine::new(EngineConfig {
         consolidation_attempts: 0,
         ..Default::default()
     });
-    group.bench_function("global_batch", |b| {
-        b.iter(|| engine.place(&classes, &orch).expect("feasible"))
+    bench.iter("online_vs_global.global_batch", || {
+        engine.place(&classes, &orch).expect("feasible")
     });
     // Online: stream the same classes one at a time.
-    group.bench_function("online_stream", |b| {
-        b.iter(|| {
-            let mut placer = OnlinePlacer::new();
-            let mut orch = orch.clone();
-            for class in &classes {
-                placer
-                    .place_class(class, &mut orch)
-                    .expect("online placement feasible");
-            }
-            orch.instance_count()
-        })
+    bench.iter("online_vs_global.online_stream", || {
+        let mut placer = OnlinePlacer::new();
+        let mut orch = orch.clone();
+        for class in &classes {
+            placer
+                .place_class(class, &mut orch)
+                .expect("online placement feasible");
+        }
+        orch.instance_count()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_lp_vs_exact,
-    bench_aggregation,
-    bench_subclass_split,
-    bench_consolidation,
-    bench_online_vs_global
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new("ablations");
+    bench_lp_vs_exact(&bench);
+    bench_aggregation(&bench);
+    bench_subclass_split(&bench);
+    bench_consolidation(&bench);
+    bench_online_vs_global(&bench);
+    bench.finish().expect("snapshot written");
+}

@@ -1,15 +1,16 @@
 //! Data-plane micro-benches: TCAM lookup, switch pipeline processing, and
 //! full packet walks — the per-packet costs behind every experiment.
+//! Telemetry snapshot: `target/telemetry/dataplane.json`.
 
 use apple_bench::apple_config;
+use apple_bench::harness::Bench;
 use apple_core::controller::Apple;
 use apple_dataplane::packet::Packet;
 use apple_dataplane::tcam::{Action, MatchSpec, TcamRule, TcamTable};
 use apple_topology::TopologyKind;
 use apple_traffic::GravityModel;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_tcam_lookup(c: &mut Criterion) {
+fn bench_tcam_lookup(bench: &Bench) {
     let mut table = TcamTable::new();
     for i in 0..256u16 {
         table.install(TcamRule {
@@ -21,15 +22,15 @@ fn bench_tcam_lookup(c: &mut Criterion) {
     }
     let hit_early = Packet::new(0x0aff_0001, 1, 2, 3, 6);
     let miss = Packet::new(0x0b00_0001, 1, 2, 3, 6);
-    c.bench_function("tcam_lookup_256_hit", |b| {
-        b.iter(|| table.lookup(std::hint::black_box(&hit_early)))
+    bench.iter("tcam_lookup_256_hit", || {
+        table.lookup(std::hint::black_box(&hit_early))
     });
-    c.bench_function("tcam_lookup_256_miss", |b| {
-        b.iter(|| table.lookup(std::hint::black_box(&miss)))
+    bench.iter("tcam_lookup_256_miss", || {
+        table.lookup(std::hint::black_box(&miss))
     });
 }
 
-fn bench_packet_walk(c: &mut Criterion) {
+fn bench_packet_walk(bench: &Bench) {
     let kind = TopologyKind::Internet2;
     let topo = kind.build();
     let tm = GravityModel::new(2_000.0, 4).base_matrix(&topo);
@@ -40,16 +41,18 @@ fn bench_packet_walk(c: &mut Criterion) {
     let class = &apple.classes().classes()[0];
     let packet = Packet::new(class.src_prefix.0 | 5, class.dst_prefix.0 | 5, 999, 80, 6);
     let path = class.path.clone();
-    c.bench_function("packet_walk_policed_class", |b| {
-        b.iter(|| {
-            apple
-                .program()
-                .walker
-                .walk(std::hint::black_box(packet), &path)
-                .expect("programmed data plane walks cleanly")
-        })
+    bench.iter("packet_walk_policed_class", || {
+        apple
+            .program()
+            .walker
+            .walk(std::hint::black_box(packet), &path)
+            .expect("programmed data plane walks cleanly")
     });
 }
 
-criterion_group!(benches, bench_tcam_lookup, bench_packet_walk);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new("dataplane");
+    bench_tcam_lookup(&bench);
+    bench_packet_walk(&bench);
+    bench.finish().expect("snapshot written");
+}

@@ -1,18 +1,18 @@
-//! Criterion bench behind Table V: Optimization Engine solve time per
-//! topology. Run with `cargo bench --bench solve_time`; the printed
-//! Criterion estimates are the Table V rows at bench scale (smaller class
-//! budgets than the `table5` binary so the bench stays fast).
+//! Bench behind Table V: Optimization Engine solve time per topology. Run
+//! with `cargo bench --bench solve_time`; the printed estimates are the
+//! Table V rows at bench scale (smaller class budgets than the `table5`
+//! binary so the bench stays fast). A telemetry snapshot with the raw
+//! timing histograms lands in `target/telemetry/solve_time.json`.
 
+use apple_bench::harness::Bench;
 use apple_core::classes::{ClassConfig, ClassSet};
 use apple_core::engine::{EngineConfig, OptimizationEngine};
 use apple_core::orchestrator::ResourceOrchestrator;
 use apple_topology::TopologyKind;
 use apple_traffic::GravityModel;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("optimization_engine");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::new("solve_time");
     for (kind, classes_budget) in [
         (TopologyKind::Internet2, 20usize),
         (TopologyKind::Geant, 30),
@@ -36,20 +36,11 @@ fn bench_solve(c: &mut Criterion) {
             consolidation_attempts: 0,
             ..Default::default()
         });
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &(classes, orch),
-            |b, (classes, orch)| {
-                b.iter(|| {
-                    engine
-                        .place(std::hint::black_box(classes), orch)
-                        .expect("bench instances are feasible")
-                })
-            },
-        );
+        bench.iter(&format!("optimization_engine.{}", kind.name()), || {
+            engine
+                .place(std::hint::black_box(&classes), &orch)
+                .expect("bench instances are feasible")
+        });
     }
-    group.finish();
+    bench.finish().expect("snapshot written");
 }
-
-criterion_group!(benches, bench_solve);
-criterion_main!(benches);

@@ -1,34 +1,33 @@
-//! Criterion bench behind Fig. 10: end-to-end rule generation (the tagging
-//! scheme) and the TCAM accounting, per topology.
+//! Bench behind Fig. 10: end-to-end rule generation (the tagging scheme)
+//! and the TCAM accounting, per topology. Telemetry snapshot:
+//! `target/telemetry/tcam_usage.json`.
 
 use apple_bench::apple_config;
+use apple_bench::harness::Bench;
 use apple_core::controller::Apple;
+use apple_telemetry::Recorder;
 use apple_topology::TopologyKind;
 use apple_traffic::GravityModel;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_rulegen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rule_generation");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::new("tcam_usage");
     for kind in TopologyKind::evaluation_trio() {
         let topo = kind.build();
         let tm = GravityModel::new(2_000.0, 2).base_matrix(&topo);
         let mut cfg = apple_config(kind);
         cfg.classes.max_classes = 20; // keep the bench under a second/iter
         cfg.engine.consolidation_attempts = 0;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &(topo, tm),
-            |b, (topo, tm)| {
-                b.iter(|| {
-                    let apple = Apple::plan(topo, tm, &cfg).expect("feasible");
-                    std::hint::black_box(apple.program().tcam.reduction_ratio())
-                })
-            },
+        bench.iter(&format!("rule_generation.{}", kind.name()), || {
+            let apple = Apple::plan(&topo, &tm, &cfg).expect("feasible");
+            std::hint::black_box(apple.program().tcam.reduction_ratio())
+        });
+        // Record the achieved reduction ratio beside the timings so the
+        // snapshot doubles as a Fig. 10 data point.
+        let apple = Apple::plan(&topo, &tm, &cfg).expect("feasible");
+        bench.recorder().gauge(
+            &format!("tcam.reduction_ratio.{}", kind.name()),
+            apple.program().tcam.reduction_ratio(),
         );
     }
-    group.finish();
+    bench.finish().expect("snapshot written");
 }
-
-criterion_group!(benches, bench_rulegen);
-criterion_main!(benches);

@@ -23,10 +23,7 @@ fn main() {
                 let wo = row.without_failover.loss.samples();
                 let hc = row.with_failover.helper_cores.samples();
                 for i in (0..w.len()).step_by(6) {
-                    println!(
-                        "{:>6}{:>14.4}{:>14.4}{:>14.0}",
-                        i, w[i].1, wo[i].1, hc[i].1
-                    );
+                    println!("{:>6}{:>14.4}{:>14.4}{:>14.0}", i, w[i].1, wo[i].1, hc[i].1);
                 }
                 println!(
                     "mean loss: {:.4} (with) vs {:.4} (without); peak loss {:.4} vs {:.4}",

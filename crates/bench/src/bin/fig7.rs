@@ -10,8 +10,15 @@ use apple_sim::failover_lab::naive_failover_throughput;
 
 fn main() {
     let timing = TimingModel::paper(0);
-    println!("micro-measurements (§VIII): rule install {} ms, ClickOS reconfigure {} ms,", timing.rule_install(), timing.reconfigure());
-    println!("OpenStack ClickOS boot 3.9–4.6 s (mean {} ms)", timing.mean_openstack_boot());
+    println!(
+        "micro-measurements (§VIII): rule install {} ms, ClickOS reconfigure {} ms,",
+        timing.rule_install(),
+        timing.reconfigure()
+    );
+    println!(
+        "OpenStack ClickOS boot 3.9–4.6 s (mean {} ms)",
+        timing.mean_openstack_boot()
+    );
     println!();
     println!("Fig. 7 — UDP throughput during naive failover (10 Kpps offered)");
     hr();

@@ -22,7 +22,11 @@ fn main() {
                 "Interference freedom",
                 mark(check.interference_free)
             );
-            println!("{:<28}{:>12}", "Isolation (VM per VNF)", mark(check.isolation));
+            println!(
+                "{:<28}{:>12}",
+                "Isolation (VM per VNF)",
+                mark(check.isolation)
+            );
             hr();
             println!(
                 "steering baseline (StEERING/SIMPLE style): {:.0}% of classes re-routed",

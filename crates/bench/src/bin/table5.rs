@@ -47,5 +47,7 @@ fn main() {
     }
     hr();
     println!("paper reference: Internet2 0.029 s / GEANT 0.1 s / UNIV1 0.235 s / AS-3679 3.013 s");
-    println!("(absolute numbers differ — our simplex is not CPLEX — the scaling shape is the result)");
+    println!(
+        "(absolute numbers differ — our simplex is not CPLEX — the scaling shape is the result)"
+    );
 }

@@ -1,0 +1,108 @@
+//! Minimal micro-benchmark runner backed by the telemetry crate.
+//!
+//! Replaces the external Criterion dependency: each case runs a short
+//! warmup, then a fixed number of timed samples recorded into a
+//! [`MemoryRecorder`] histogram (`bench.<case>`, milliseconds). Summary
+//! lines print as the bench runs, and [`Bench::finish`] writes the full
+//! telemetry snapshot as JSON next to the other bench artifacts
+//! (`target/telemetry/<name>.json`) so runs can be diffed.
+
+use apple_telemetry::{MemoryRecorder, Recorder};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A named micro-benchmark session.
+pub struct Bench {
+    name: String,
+    samples: usize,
+    rec: MemoryRecorder,
+}
+
+impl Bench {
+    /// Starts a session; `name` becomes the snapshot file stem.
+    pub fn new(name: &str) -> Bench {
+        println!("bench: {name}");
+        Bench {
+            name: name.to_string(),
+            samples: 10,
+            rec: MemoryRecorder::new(),
+        }
+    }
+
+    /// Overrides the number of timed samples per case (default 10).
+    pub fn samples(mut self, n: usize) -> Bench {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// The recorder backing this session, for cases that want to record
+    /// extra metrics (e.g. instance counts) beside the timings.
+    pub fn recorder(&self) -> &MemoryRecorder {
+        &self.rec
+    }
+
+    /// Times `f`: one warmup call, then `samples` timed calls recorded
+    /// into the `bench.<case>` histogram in milliseconds.
+    pub fn iter<R>(&self, case: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let metric = format!("bench.{case}");
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.rec
+                .observe(&metric, start.elapsed().as_secs_f64() * 1e3);
+        }
+        let snap = self.rec.snapshot();
+        let h = snap.histogram(&metric).expect("just recorded");
+        println!(
+            "  {case:<40} mean {:>10.3} ms   p50 {:>10.3} ms   min {:>10.3} ms   ({} samples)",
+            h.mean().unwrap_or(0.0),
+            h.p50,
+            h.min,
+            h.count
+        );
+    }
+
+    /// Writes the telemetry snapshot to `target/telemetry/<name>.json` and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the directory or file.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let dir = snapshot_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.rec.snapshot().to_json())?;
+        println!("telemetry snapshot: {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Directory bench snapshots land in: `$CARGO_TARGET_DIR/telemetry`,
+/// defaulting to the workspace `target/telemetry`. Cargo runs bench
+/// executables with the *package* directory as cwd, so the fallback must
+/// be anchored to the manifest, not the cwd.
+pub fn snapshot_dir() -> PathBuf {
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        })
+        .join("telemetry")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_the_requested_sample_count() {
+        let bench = Bench::new("harness-selftest").samples(4);
+        bench.iter("noop", || 1 + 1);
+        let snap = bench.recorder().snapshot();
+        assert_eq!(snap.histogram("bench.noop").unwrap().count, 4);
+    }
+}

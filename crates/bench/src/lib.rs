@@ -1,6 +1,7 @@
 //! Shared experiment harness: each function regenerates the data behind one
 //! table or figure of the paper. The `src/bin/*` binaries print the rows;
-//! the Criterion benches in `benches/` time the hot paths.
+//! the benches in `benches/` time the hot paths with the [`harness`]
+//! micro-bench runner and snapshot their telemetry as JSON.
 //!
 //! Experiment ↔ module map (see DESIGN.md §4 and EXPERIMENTS.md):
 //!
@@ -16,7 +17,11 @@
 //! | Fig. 11   | [`fig11_core_usage`] |
 //! | Fig. 12   | [`fig12_loss_series`] |
 
-use apple_core::baselines::{ingress_per_class, steering_consolidation, SteeringPlan, TrafficSteering};
+pub mod harness;
+
+use apple_core::baselines::{
+    ingress_per_class, steering_consolidation, SteeringPlan, TrafficSteering,
+};
 use apple_core::classes::{ClassConfig, ClassSet};
 use apple_core::controller::{Apple, AppleConfig};
 use apple_core::engine::{EngineConfig, EngineError, OptimizationEngine};
@@ -175,7 +180,10 @@ pub fn table1_tradeoff(seed: u64) -> Option<(u32, SteeringPlan)> {
     let placement = OptimizationEngine::new(apple_config(topo.kind).engine)
         .place(&classes, &orch)
         .ok()?;
-    Some((placement.total_cores(), steering_consolidation(&topo, &classes)))
+    Some((
+        placement.total_cores(),
+        steering_consolidation(&topo, &classes),
+    ))
 }
 
 // --------------------------------------------------------------------
@@ -222,8 +230,8 @@ pub fn table5_row(kind: TopologyKind, trials: usize) -> Result<SolveRow, EngineE
         );
         classes_n = classes.len();
         let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
-        let placement = OptimizationEngine::new(apple_config(kind).engine)
-            .place(&classes, &orch)?;
+        let placement =
+            OptimizationEngine::new(apple_config(kind).engine).place(&classes, &orch)?;
         total += placement.solve_time();
         instances = placement.total_instances();
     }
@@ -342,7 +350,11 @@ pub fn fig10_power(kind: TopologyKind) -> Result<(&'static str, f64, f64), Engin
     let tm = GravityModel::new(offered_load(kind), 1_000).base_matrix(&topo);
     let apple = Apple::plan(&topo, &tm, &apple_config(kind))?;
     let t = &apple.program().tcam;
-    Ok((kind.name(), t.power_watts(12.0), t.untagged_power_watts(12.0)))
+    Ok((
+        kind.name(),
+        t.power_watts(12.0),
+        t.untagged_power_watts(12.0),
+    ))
 }
 
 // --------------------------------------------------------------------
@@ -392,8 +404,8 @@ pub fn fig11_core_usage(kind: TopologyKind, trials: usize) -> Result<CoreRow, En
             },
         );
         let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
-        let placement = OptimizationEngine::new(apple_config(kind).engine)
-            .place(&classes, &orch)?;
+        let placement =
+            OptimizationEngine::new(apple_config(kind).engine).place(&classes, &orch)?;
         apple_total += f64::from(placement.total_cores());
         ingress_total += f64::from(ingress_per_class(&classes).total_cores());
     }

@@ -281,7 +281,10 @@ mod tests {
         let classes = classes_for(&topo, 33, 20);
         let steering = TrafficSteering::with_central_sites(&topo);
         let (changed_frac, extra_hops) = steering.interference(&topo, &classes);
-        assert!(changed_frac > 0.5, "steering barely interfered: {changed_frac}");
+        assert!(
+            changed_frac > 0.5,
+            "steering barely interfered: {changed_frac}"
+        );
         assert!(extra_hops > 0.0);
     }
 

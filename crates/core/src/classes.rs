@@ -15,6 +15,7 @@
 //! switch combined with the destination-side /24).
 
 use crate::policy::PolicyChain;
+use apple_nf::NfType;
 use apple_topology::{ksp, NodeId, Path, Topology};
 use apple_traffic::{Flow, TrafficMatrix};
 use std::fmt;
@@ -158,6 +159,12 @@ impl ClassSet {
         ClassSet { classes }
     }
 
+    /// The `(chain, predicates)` signature distinguishing policy kinds for
+    /// diversity-preserving truncation.
+    fn policy_kind(c: &EquivalenceClass) -> (Vec<NfType>, Option<u8>, Vec<u16>) {
+        (c.chain.nfs().to_vec(), c.proto, c.dst_ports.clone())
+    }
+
     /// Builds classes from an operator [`PolicySpec`]
     /// (crate::policy_spec::PolicySpec): each OD pair expands into one
     /// class per weighted chain (rule + default), splitting the pair's
@@ -210,7 +217,48 @@ impl ClassSet {
         });
         if cfg.max_classes > 0 && classes.len() > cfg.max_classes {
             let total: f64 = classes.iter().map(|c| c.rate_mbps).sum();
-            classes.truncate(cfg.max_classes);
+            // A policy whose classes are all truncated away would silently
+            // stop being enforced — a Table I violation. Keep the heaviest
+            // classes overall, but guarantee every policy kind at least one
+            // surviving representative by swapping its heaviest class in
+            // for the lightest class of an over-represented kind.
+            let all_kinds: std::collections::BTreeSet<_> =
+                classes.iter().map(Self::policy_kind).collect();
+            let mut dropped = classes.split_off(cfg.max_classes);
+            let mut kept_counts = std::collections::BTreeMap::new();
+            for c in &classes {
+                *kept_counts.entry(Self::policy_kind(c)).or_insert(0usize) += 1;
+            }
+            for kind in &all_kinds {
+                if kept_counts.contains_key(kind) {
+                    continue;
+                }
+                // Heaviest dropped class of the missing kind (`dropped` is
+                // still sorted rate-descending).
+                let Some(take) = dropped.iter().position(|c| Self::policy_kind(c) == *kind) else {
+                    continue;
+                };
+                // Lightest kept class whose kind keeps other representatives.
+                let Some(evict) = classes
+                    .iter()
+                    .rposition(|c| kept_counts[&Self::policy_kind(c)] > 1)
+                else {
+                    break; // budget smaller than the number of kinds
+                };
+                *kept_counts
+                    .get_mut(&Self::policy_kind(&classes[evict]))
+                    .expect("kind counted") -= 1;
+                classes[evict] = dropped.remove(take);
+                *kept_counts.entry(kind.clone()).or_insert(0) += 1;
+            }
+            // Swaps may break the rate-descending order; restore it.
+            classes.sort_by(|a, b| {
+                b.rate_mbps
+                    .partial_cmp(&a.rate_mbps)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.path.nodes().cmp(b.path.nodes()))
+                    .then_with(|| a.chain.nfs().cmp(b.chain.nfs()))
+            });
             let kept: f64 = classes.iter().map(|c| c.rate_mbps).sum();
             if kept > 0.0 {
                 let scale = total / kept;
@@ -419,10 +467,7 @@ mod tests {
         assert!((cs.total_rate_mbps() - tm.total()).abs() < 1e-6);
         // A pair's classes split the pair rate by the spec weights.
         let (s, d, rate) = tm.entries().next().unwrap();
-        let pair_classes: Vec<_> = cs
-            .iter()
-            .filter(|c| c.od_pair() == (s, d))
-            .collect();
+        let pair_classes: Vec<_> = cs.iter().filter(|c| c.od_pair() == (s, d)).collect();
         assert_eq!(pair_classes.len(), 4);
         let total: f64 = pair_classes.iter().map(|c| c.rate_mbps).sum();
         assert!((total - rate).abs() < 1e-9);

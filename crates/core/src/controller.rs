@@ -59,12 +59,39 @@ impl Apple {
         tm: &TrafficMatrix,
         config: &AppleConfig,
     ) -> Result<Apple, EngineError> {
-        let classes = ClassSet::build(topo, tm, &config.classes);
-        let mut orchestrator =
-            ResourceOrchestrator::with_uniform_hosts(topo, config.host_cores());
+        Apple::plan_recorded(topo, tm, config, &apple_telemetry::NOOP)
+    }
+
+    /// [`Apple::plan`] with telemetry: classes / placement / sub-class /
+    /// rule-generation stages run under `apple.classes`, `engine.*` (via
+    /// [`OptimizationEngine::place_recorded`]), `apple.subclass` and
+    /// `apple.rules` spans, and the resulting deployment's headline numbers
+    /// are gauged (`apple.classes_built`, `tcam.rules_installed`,
+    /// `tcam.reduction_ratio`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Apple::plan`].
+    pub fn plan_recorded(
+        topo: &Topology,
+        tm: &TrafficMatrix,
+        config: &AppleConfig,
+        rec: &dyn apple_telemetry::Recorder,
+    ) -> Result<Apple, EngineError> {
+        use apple_telemetry::RecorderExt;
+        let classes = {
+            let _s = rec.span("apple.classes");
+            ClassSet::build(topo, tm, &config.classes)
+        };
+        rec.gauge("apple.classes_built", classes.len() as f64);
+        let mut orchestrator = ResourceOrchestrator::with_uniform_hosts(topo, config.host_cores());
         let engine = OptimizationEngine::new(config.engine.clone());
-        let placement = engine.place(&classes, &orchestrator)?;
-        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+        let placement = engine.place_recorded(&classes, &orchestrator, rec)?;
+        let plan = {
+            let _s = rec.span("apple.subclass");
+            SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit)
+        };
+        let _rules_span = rec.span("apple.rules");
         let program = match generate(topo, &classes, &plan, &placement, &mut orchestrator) {
             Ok(p) => p,
             Err(RuleGenError::NeedsPrefixSplit) => {
@@ -80,6 +107,9 @@ impl Apple {
                 unreachable!("plan() does not set a TCAM budget")
             }
         };
+        drop(_rules_span);
+        rec.gauge("tcam.rules_installed", program.tcam.tagged_total as f64);
+        rec.gauge("tcam.reduction_ratio", program.tcam.reduction_ratio());
         Ok(Apple {
             classes,
             placement,

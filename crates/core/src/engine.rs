@@ -22,6 +22,7 @@ use crate::classes::ClassSet;
 use crate::orchestrator::ResourceOrchestrator;
 use apple_lp::{BranchConfig, Cmp, LpError, Model, Sense, SimplexOptions, Var};
 use apple_nf::{NfType, VnfSpec};
+use apple_telemetry::{Recorder, RecorderExt, NOOP};
 use apple_topology::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -44,7 +45,10 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::NoClasses => write!(f, "no traffic classes to place VNFs for"),
             EngineError::Infeasible => {
-                write!(f, "placement infeasible: insufficient host resources or capacity")
+                write!(
+                    f,
+                    "placement infeasible: insufficient host resources or capacity"
+                )
             }
             EngineError::Solver(e) => write!(f, "LP solver error: {e}"),
         }
@@ -226,6 +230,26 @@ impl OptimizationEngine {
         classes: &ClassSet,
         orch: &ResourceOrchestrator,
     ) -> Result<Placement, EngineError> {
+        self.place_recorded(classes, orch, &NOOP)
+    }
+
+    /// [`OptimizationEngine::place`] with telemetry: wraps the run in an
+    /// `engine.place` span with `engine.build` / `engine.solve` /
+    /// `engine.round` / `engine.consolidate` child phases, records every
+    /// simplex run's pivots and per-phase timings under the `lp` prefix,
+    /// counts repair rounds, and gauges the final `engine.rounding_gap`,
+    /// `engine.lp_objective` and `engine.total_instances`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OptimizationEngine::place`].
+    pub fn place_recorded(
+        &self,
+        classes: &ClassSet,
+        orch: &ResourceOrchestrator,
+        rec: &dyn Recorder,
+    ) -> Result<Placement, EngineError> {
+        let _total = rec.span("engine.place");
         if classes.is_empty() {
             return Err(EngineError::NoClasses);
         }
@@ -233,22 +257,47 @@ impl OptimizationEngine {
         let no_caps = BTreeMap::new();
 
         if self.config.exact {
-            let (model, vmap) = self.build_model(classes, orch, QMode::Variables(&no_caps));
+            let (model, vmap) = {
+                let _s = rec.span("engine.build");
+                self.build_model(classes, orch, QMode::Variables(&no_caps))
+            };
+            let _s = rec.span("engine.solve");
             let (sol, _stats) = model.solve_ilp(BranchConfig {
                 simplex: self.config.simplex,
                 ..BranchConfig::default()
             })?;
-            let placement =
-                self.extract(classes, &vmap, sol.values(), sol.objective(), start, sol.stats().pivots);
+            sol.stats().record(rec, "lp");
+            let placement = self.extract(
+                classes,
+                &vmap,
+                sol.values(),
+                sol.objective(),
+                start,
+                sol.stats().pivots,
+            );
+            rec.gauge("engine.rounding_gap", placement.rounding_gap());
+            rec.gauge("engine.lp_objective", placement.lp_objective());
+            rec.gauge(
+                "engine.total_instances",
+                f64::from(placement.total_instances()),
+            );
             return Ok(placement);
         }
 
         // LP relaxation + ceiling + resource repair.
         let mut extra_caps: BTreeMap<(usize, usize), u32> = BTreeMap::new();
         for _round in 0..=self.config.max_repair_rounds {
-            let (model, vmap) = self.build_model(classes, orch, QMode::Variables(&extra_caps));
-            let sol = model.solve_lp_with(self.config.simplex)?;
+            let (model, vmap) = {
+                let _s = rec.span("engine.build");
+                self.build_model(classes, orch, QMode::Variables(&extra_caps))
+            };
+            let sol = {
+                let _s = rec.span("engine.solve");
+                model.solve_lp_with(self.config.simplex)?
+            };
+            sol.stats().record(rec, "lp");
             let lp_obj = sol.objective();
+            let round_span = rec.span("engine.round");
             // Ceil the q variables.
             let mut q_ceil: BTreeMap<(usize, usize), u32> = BTreeMap::new();
             for (&key, &var) in &vmap.q_vars {
@@ -261,7 +310,9 @@ impl OptimizationEngine {
                 let mut used = apple_nf::ResourceVector::zero();
                 for (&(qv, nf_idx), &count) in &q_ceil {
                     if qv == v {
-                        used += VnfSpec::of(NfType::from_index(nf_idx)).resources().times(count);
+                        used += VnfSpec::of(NfType::from_index(nf_idx))
+                            .resources()
+                            .times(count);
                     }
                 }
                 if !used.fits_in(&host.capacity) {
@@ -269,11 +320,14 @@ impl OptimizationEngine {
                 }
             }
             if violations.is_empty() {
+                drop(round_span);
                 let pivots = sol.stats().pivots;
                 // LP-guided descent: try to decrement under-utilised
                 // instances while a d-feasibility LP still succeeds.
-                let (q_final, d_values, d_vmap) =
-                    self.consolidate(classes, orch, q_ceil, &sol, &vmap);
+                let (q_final, d_values, d_vmap) = {
+                    let _s = rec.span("engine.consolidate");
+                    self.consolidate(classes, orch, q_ceil, &sol, &vmap, rec)
+                };
                 let mut placement = match (d_values, d_vmap) {
                     (Some(values), Some(vm)) => {
                         self.extract(classes, &vm, &values, lp_obj, start, pivots)
@@ -287,24 +341,25 @@ impl OptimizationEngine {
                     .collect();
                 placement.total_instances = placement.q.values().sum();
                 placement.solve_time = start.elapsed();
+                rec.gauge("engine.rounding_gap", placement.rounding_gap());
+                rec.gauge("engine.lp_objective", placement.lp_objective());
+                rec.gauge(
+                    "engine.total_instances",
+                    f64::from(placement.total_instances()),
+                );
                 return Ok(placement);
             }
+            rec.counter("engine.repair_rounds", 1);
             // Repair: at each violating host, cap fractional q at their LP
             // floors (largest fractional part first) until the projected
             // core overshoot is covered, forcing the next solve to shift
             // load elsewhere.
             for v in violations {
-                let host_caps = orch
-                    .hosts()
-                    .get(&v)
-                    .map(|h| h.capacity.cores)
-                    .unwrap_or(0);
+                let host_caps = orch.hosts().get(&v).map(|h| h.capacity.cores).unwrap_or(0);
                 let mut used: u32 = q_ceil
                     .iter()
                     .filter(|(&(qv, _), _)| qv == v)
-                    .map(|(&(_, nf_idx), &c)| {
-                        VnfSpec::of(NfType::from_index(nf_idx)).cores * c
-                    })
+                    .map(|(&(_, nf_idx), &c)| VnfSpec::of(NfType::from_index(nf_idx)).cores * c)
                     .sum();
                 let mut fracs: Vec<((usize, usize), f64)> = vmap
                     .q_vars
@@ -336,12 +391,9 @@ impl OptimizationEngine {
                     }
                     let var = vmap.q_vars[&key];
                     let floor = sol.value(var).floor().max(0.0) as u32;
-                    let cap = extra_caps
-                        .get(&key)
-                        .map_or(floor, |&old| old.min(floor));
+                    let cap = extra_caps.get(&key).map_or(floor, |&old| old.min(floor));
                     extra_caps.insert(key, cap);
-                    used = used
-                        .saturating_sub(VnfSpec::of(NfType::from_index(key.1)).cores);
+                    used = used.saturating_sub(VnfSpec::of(NfType::from_index(key.1)).cores);
                 }
             }
         }
@@ -361,6 +413,7 @@ impl OptimizationEngine {
         mut q: BTreeMap<(usize, usize), u32>,
         lp_sol: &apple_lp::Solution,
         vmap: &VarMap,
+        rec: &dyn Recorder,
     ) -> (
         BTreeMap<(usize, usize), u32>,
         Option<Vec<f64>>,
@@ -389,8 +442,7 @@ impl OptimizationEngine {
                             _ => d_of(lp_sol.values(), vmap, h, i, clen, j),
                         };
                         if d > 1e-9 {
-                            *load.entry((node.0, nf.index())).or_insert(0.0) +=
-                                c.rate_mbps * d;
+                            *load.entry((node.0, nf.index())).or_insert(0.0) += c.rate_mbps * d;
                         }
                     }
                 }
@@ -402,8 +454,7 @@ impl OptimizationEngine {
                 .iter()
                 .filter(|(_, &c)| c > 0)
                 .filter_map(|(&key, &c)| {
-                    let cap =
-                        VnfSpec::of(NfType::from_index(key.1)).capacity_mbps * f64::from(c);
+                    let cap = VnfSpec::of(NfType::from_index(key.1)).capacity_mbps * f64::from(c);
                     let util = load.get(&key).copied().unwrap_or(0.0) / cap.max(1e-9);
                     (util < 0.75).then_some((key, util))
                 })
@@ -420,10 +471,13 @@ impl OptimizationEngine {
                     break;
                 }
                 budget -= 1;
+                rec.counter("engine.consolidation_solves", 1);
                 let mut q_try = q.clone();
                 *q_try.get_mut(&key).expect("candidate exists") -= 1;
                 let (model, vm) = self.build_model(classes, orch, QMode::Fixed(&q_try));
                 if let Ok(sol) = model.solve_lp_with(self.config.simplex) {
+                    sol.stats().record(rec, "lp");
+                    rec.counter("engine.consolidation_removed", 1);
                     q = q_try;
                     d_values = Some(sol.values().to_vec());
                     d_map = Some(vm);
@@ -524,12 +578,7 @@ impl OptimizationEngine {
             let mut grid = Vec::with_capacity(plen * clen);
             for i in 0..plen {
                 for j in 0..clen {
-                    grid.push(model.add_var(
-                        format!("d_c{}_{i}_{j}", c.id.0),
-                        0.0,
-                        1.0,
-                        0.0,
-                    ));
+                    grid.push(model.add_var(format!("d_c{}_{i}_{j}", c.id.0), 0.0, 1.0, 0.0));
                 }
             }
             d_vars.push(grid);
@@ -744,9 +793,7 @@ mod tests {
             for nf in NfType::all() {
                 let mut offered = 0.0;
                 for (h, c) in classes.iter().enumerate() {
-                    if let (Some(i), Some(j)) =
-                        (c.path.index_of(NodeId(v)), c.chain.position(nf))
-                    {
+                    if let (Some(i), Some(j)) = (c.path.index_of(NodeId(v)), c.chain.position(nf)) {
                         offered += c.rate_mbps * p.d(h, i, j);
                     }
                 }
@@ -819,10 +866,7 @@ mod tests {
         assert!(p.solve_time().as_nanos() > 0);
         // Multiplexing: fewer instances than sum of per-class lower bounds
         // placed independently (instances are shared across classes).
-        let naive: u32 = classes
-            .iter()
-            .map(|c| c.chain.len() as u32)
-            .sum();
+        let naive: u32 = classes.iter().map(|c| c.chain.len() as u32).sum();
         assert!(
             p.total_instances() < naive,
             "no multiplexing: {} vs naive {}",
@@ -830,5 +874,4 @@ mod tests {
             naive
         );
     }
-
 }

@@ -22,6 +22,7 @@
 use crate::classes::{ClassId, ClassSet};
 use crate::orchestrator::{OrchestratorError, ResourceOrchestrator};
 use apple_nf::{InstanceId, NfType, VnfSpec};
+use apple_telemetry::{Recorder, RecorderExt};
 use apple_topology::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -122,7 +123,9 @@ impl DynamicHandler {
     ) -> DynamicHandler {
         let mut shares = Vec::new();
         for s in plan.subclasses() {
-            let class = classes.class(s.class).expect("plan refers to known classes");
+            let class = classes
+                .class(s.class)
+                .expect("plan refers to known classes");
             let instances: Vec<InstanceId> = (0..class.chain.len())
                 .filter_map(|j| assignment.instance(s.class, s.id, j))
                 .collect();
@@ -225,9 +228,7 @@ impl DynamicHandler {
                 .shares
                 .iter()
                 .enumerate()
-                .filter(|(i, s)| {
-                    *i != vi && s.class == class && !s.instances.contains(&inst)
-                })
+                .filter(|(i, s)| *i != vi && s.class == class && !s.instances.contains(&inst))
                 .min_by(|(_, a), (_, b)| {
                     let la = self.instance_load(a.instances[0], rates);
                     let lb = self.instance_load(b.instances[0], rates);
@@ -267,7 +268,9 @@ impl DynamicHandler {
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
         {
             let class_id = self.shares[vi].class;
-            let class = classes.class(class_id).expect("shares refer to known classes");
+            let class = classes
+                .class(class_id)
+                .expect("shares refer to known classes");
             let rate = rates.get(&class_id).copied().unwrap_or(0.0);
             // The replacement serves the overloaded instance's stage.
             let stage = self.shares[vi]
@@ -291,8 +294,7 @@ impl DynamicHandler {
             let hi = if stage + 1 == self.shares[vi].instances.len() {
                 class.path.len() - 1
             } else {
-                pos_of(self.shares[vi].instances[stage + 1])
-                    .unwrap_or(class.path.len() - 1)
+                pos_of(self.shares[vi].instances[stage + 1]).unwrap_or(class.path.len() - 1)
             };
 
             // 1. Existing instance with slack.
@@ -397,15 +399,68 @@ impl DynamicHandler {
         }
     }
 
+    /// [`DynamicHandler::handle_overload`] with telemetry: times the call
+    /// (`span.failover.handle_overload`) and counts the outcome —
+    /// `failover.rebalanced` / `failover.reassigned` /
+    /// `failover.helpers_spawned` / `failover.held` / `failover.noop` —
+    /// plus `failover.subclasses_rebalanced` and the live
+    /// `failover.helper_cores` gauge.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicHandler::handle_overload`].
+    pub fn handle_overload_recorded(
+        &mut self,
+        inst: InstanceId,
+        rates: &BTreeMap<ClassId, f64>,
+        classes: &ClassSet,
+        orch: &mut ResourceOrchestrator,
+        rec: &dyn Recorder,
+    ) -> Result<FailoverAction, FailoverError> {
+        let act = {
+            let _s = rec.span("failover.handle_overload");
+            self.handle_overload(inst, rates, classes, orch)?
+        };
+        match &act {
+            FailoverAction::Rebalanced {
+                relieved,
+                absorbers,
+            } => {
+                rec.counter("failover.rebalanced", 1);
+                rec.counter(
+                    "failover.subclasses_rebalanced",
+                    (relieved.len() + absorbers.len()) as u64,
+                );
+            }
+            FailoverAction::SpawnedHelper { .. } => {
+                rec.counter("failover.helpers_spawned", 1);
+                rec.gauge("failover.helper_cores", f64::from(self.helper_cores()));
+            }
+            FailoverAction::Reassigned { .. } => rec.counter("failover.reassigned", 1),
+            FailoverAction::Held => rec.counter("failover.held", 1),
+            FailoverAction::None => rec.counter("failover.noop", 1),
+        }
+        Ok(act)
+    }
+
+    /// [`DynamicHandler::roll_back`] with telemetry: counts the roll-back
+    /// (`failover.rollbacks`), the helpers it cancels
+    /// (`failover.helpers_freed`) and zeroes the `failover.helper_cores`
+    /// gauge.
+    pub fn roll_back_recorded(&mut self, orch: &mut ResourceOrchestrator, rec: &dyn Recorder) {
+        rec.counter("failover.rollbacks", 1);
+        rec.counter("failover.helpers_freed", self.helpers.len() as u64);
+        self.roll_back(orch);
+        rec.gauge("failover.helper_cores", f64::from(self.helper_cores()));
+    }
+
     /// Rolls the distribution back to the engine's baseline once overload
     /// clears (§VI: "the distribution will roll back to the normal state"),
     /// cancelling helper instances to save hardware.
     pub fn roll_back(&mut self, orch: &mut ResourceOrchestrator) {
         for (helper, _) in self.helpers.drain(..) {
             if let Some(inst) = orch.instance(helper) {
-                self.helper_cores = self
-                    .helper_cores
-                    .saturating_sub(inst.spec().cores);
+                self.helper_cores = self.helper_cores.saturating_sub(inst.spec().cores);
             }
             let _ = orch.teardown(helper);
         }
@@ -459,8 +514,7 @@ mod tests {
         let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
         let prog = generate(&topo, &classes, &plan, &placement, &mut orch).unwrap();
         let handler = DynamicHandler::from_assignment(&classes, &plan, &prog.assignment);
-        let rates: BTreeMap<ClassId, f64> =
-            classes.iter().map(|c| (c.id, c.rate_mbps)).collect();
+        let rates: BTreeMap<ClassId, f64> = classes.iter().map(|c| (c.id, c.rate_mbps)).collect();
         (classes, orch, handler, rates)
     }
 
@@ -488,43 +542,71 @@ mod tests {
             .handle_overload(victim, &rates, &classes, &mut orch)
             .unwrap();
         assert_ne!(act, FailoverAction::None);
-        assert!(handler.fractions_consistent(), "traffic lost during failover");
+        assert!(
+            handler.fractions_consistent(),
+            "traffic lost during failover"
+        );
     }
 
     #[test]
     fn helper_spawned_when_no_sibling_exists() {
-        // A burst on a single-sub-class class has no sibling to absorb:
-        // a helper must be spawned.
-        let (classes, mut orch, mut handler, mut rates) = setup();
-        // Pick a share that is its class's only one.
-        let lone = handler
-            .shares()
-            .iter()
-            .find(|s| {
-                handler
-                    .shares()
-                    .iter()
-                    .filter(|o| o.class == s.class)
-                    .count()
-                    == 1
-            })
-            .cloned();
-        if let Some(lone) = lone {
-            // Burst its class.
-            *rates.entry(lone.class).or_insert(0.0) *= 10.0;
-            let victim = lone.instances[0];
-            let act = handler
-                .handle_overload(victim, &rates, &classes, &mut orch)
-                .unwrap();
-            match act {
-                FailoverAction::SpawnedHelper { nf, .. } => {
-                    let class = classes.class(lone.class).unwrap();
-                    assert!(class.chain.contains(nf));
-                    assert!(handler.helper_cores() > 0);
-                    assert!(handler.fractions_consistent());
-                }
-                other => panic!("expected helper, got {other:?}"),
+        // A synthetic single-class deployment: one Firewall-only class on a
+        // 3-node line, so the handler holds exactly one share (no sibling)
+        // and exactly one Firewall instance (nothing to reassign to). A
+        // burst far past capacity can then only be absorbed by spawning a
+        // ClickOS helper.
+        use crate::classes::EquivalenceClass;
+        use crate::policy::PolicyChain;
+        use apple_nf::NfType;
+        use apple_topology::Path;
+        use apple_traffic::Flow;
+
+        let topo = zoo::line(3);
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let class = EquivalenceClass {
+            id: ClassId(0),
+            path: Path::new(nodes).unwrap(),
+            chain: PolicyChain::new(vec![NfType::Firewall]).unwrap(),
+            rate_mbps: 50.0,
+            src_prefix: (Flow::prefix_of(NodeId(0)), 24),
+            dst_prefix: (Flow::prefix_of(NodeId(2)), 24),
+            proto: None,
+            dst_ports: Vec::new(),
+        };
+        let classes = ClassSet::from_classes(vec![class]);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+        let prog = generate(&topo, &classes, &plan, &placement, &mut orch).unwrap();
+        let mut handler = DynamicHandler::from_assignment(&classes, &plan, &prog.assignment);
+
+        let lone = handler.shares()[0].clone();
+        assert!(
+            handler
+                .shares()
+                .iter()
+                .filter(|s| s.class == lone.class)
+                .count()
+                == 1,
+            "a 50 Mbps class must plan as a single sub-class"
+        );
+        let victim = lone.instances[0];
+        // Burst far past any single instance's capacity so neither a
+        // sibling nor an existing instance can absorb the spill.
+        let mut rates = BTreeMap::new();
+        rates.insert(lone.class, 50_000.0);
+        let act = handler
+            .handle_overload(victim, &rates, &classes, &mut orch)
+            .unwrap();
+        match act {
+            FailoverAction::SpawnedHelper { nf, .. } => {
+                assert_eq!(nf, NfType::Firewall);
+                assert!(handler.helper_cores() > 0);
+                assert!(handler.fractions_consistent());
             }
+            other => panic!("expected helper, got {other:?}"),
         }
     }
 

@@ -187,9 +187,10 @@ impl OnlinePlacer {
                     continue;
                 }
                 let v = class.path.nodes()[i];
-                let reusable = orch.instances_at(v, nf).into_iter().any(|id| {
-                    self.load_mbps(id) + class.rate_mbps <= spec.capacity_mbps + 1e-9
-                });
+                let reusable = orch
+                    .instances_at(v, nf)
+                    .into_iter()
+                    .any(|id| self.load_mbps(id) + class.rate_mbps <= spec.capacity_mbps + 1e-9);
                 if reusable {
                     cell[j][i] = 0;
                 } else if orch
@@ -271,9 +272,7 @@ impl OnlinePlacer {
             let reuse = orch
                 .instances_at(v, nf)
                 .into_iter()
-                .filter(|&id| {
-                    self.load_mbps(id) + class.rate_mbps <= spec.capacity_mbps + 1e-9
-                })
+                .filter(|&id| self.load_mbps(id) + class.rate_mbps <= spec.capacity_mbps + 1e-9)
                 .min_by(|&a, &b| {
                     self.load_mbps(a)
                         .partial_cmp(&self.load_mbps(b))
@@ -353,7 +352,10 @@ mod tests {
         let class = class_on_line(100.0, vec![NfType::Firewall]);
         let first = placer.place_class(&class, &mut orch).unwrap();
         let second = placer.place_class(&class, &mut orch).unwrap();
-        assert!(second.launched.is_empty(), "should reuse the slack instance");
+        assert!(
+            second.launched.is_empty(),
+            "should reuse the slack instance"
+        );
         assert_eq!(second.stage_instances, first.stage_instances);
         assert_eq!(placer.load_mbps(first.stage_instances[0]), 200.0);
     }
@@ -409,8 +411,7 @@ mod tests {
         let class = class_on_line(100.0, vec![NfType::Firewall, NfType::Ids]);
         let d = placer.place_class(&class, &mut orch).unwrap();
         assert!(d.stage_positions[0] <= d.stage_positions[1]);
-        let uses_bad_combo =
-            d.stage_instances == vec![fw2, ids0];
+        let uses_bad_combo = d.stage_instances == vec![fw2, ids0];
         assert!(!uses_bad_combo, "order violated by reuse");
     }
 
@@ -435,8 +436,7 @@ mod tests {
             &placement,
             crate::subclass::SplitStrategy::PrefixSplit,
         );
-        let prog =
-            crate::rules::generate(&topo, &classes, &plan, &placement, &mut orch).unwrap();
+        let prog = crate::rules::generate(&topo, &classes, &plan, &placement, &mut orch).unwrap();
         let placer = OnlinePlacer::from_assignment(&prog.assignment);
         // Loads seeded: at least one instance carries load.
         let any_loaded = prog

@@ -189,15 +189,16 @@ impl PolicySpec {
                     reason: "missing policy name".into(),
                 })?
                 .to_string();
-            let weight = match name_tokens.next() {
-                Some(w) => w.parse::<f64>().ok().filter(|w| *w > 0.0).ok_or_else(|| {
-                    SpecError::Syntax {
-                        line,
-                        reason: format!("bad weight `{w}`"),
-                    }
-                })?,
-                None => 1.0,
-            };
+            let weight =
+                match name_tokens.next() {
+                    Some(w) => w.parse::<f64>().ok().filter(|w| *w > 0.0).ok_or_else(|| {
+                        SpecError::Syntax {
+                            line,
+                            reason: format!("bad weight `{w}`"),
+                        }
+                    })?,
+                    None => 1.0,
+                };
             if spec.rules.iter().any(|r| r.name == name) {
                 return Err(SpecError::DuplicateName { line, name });
             }
@@ -359,10 +360,7 @@ mod tests {
         .unwrap();
         assert_eq!(spec.rules().len(), 1);
         let chain = spec.classify(&flow(6, 80)).unwrap();
-        assert_eq!(
-            chain.nfs(),
-            &[NfType::Firewall, NfType::Ids, NfType::Proxy]
-        );
+        assert_eq!(chain.nfs(), &[NfType::Firewall, NfType::Ids, NfType::Proxy]);
         // Non-http traffic has no policy (no default).
         assert!(spec.classify(&flow(6, 22)).is_none());
     }

@@ -217,7 +217,14 @@ pub fn generate(
     placement: &Placement,
     orch: &mut ResourceOrchestrator,
 ) -> Result<DataPlaneProgram, RuleGenError> {
-    generate_with(topo, classes, plan, placement, orch, &RuleGenConfig::default())
+    generate_with(
+        topo,
+        classes,
+        plan,
+        placement,
+        orch,
+        &RuleGenConfig::default(),
+    )
 }
 
 /// Generates the data plane from classes, sub-classes and a placement.
@@ -247,7 +254,9 @@ pub fn generate_with(
     if config.global_tags {
         let mut next: u16 = 0x8000;
         for s in plan.subclasses() {
-            let class = classes.class(s.class).expect("plan refers to known classes");
+            let class = classes
+                .class(s.class)
+                .expect("plan refers to known classes");
             let rewrites = class
                 .chain
                 .nfs()
@@ -255,13 +264,14 @@ pub fn generate_with(
                 .any(|&nf| VnfSpec::of(nf).rewrites_headers());
             if rewrites {
                 global_tag.insert((s.class, s.id), next);
-                next = next.checked_add(1).expect("fewer than 32k rewritten sub-classes");
+                next = next
+                    .checked_add(1)
+                    .expect("fewer than 32k rewritten sub-classes");
             }
         }
     }
-    let tag_of = |class: ClassId, sub: u16| -> u16 {
-        global_tag.get(&(class, sub)).copied().unwrap_or(sub)
-    };
+    let tag_of =
+        |class: ClassId, sub: u16| -> u16 { global_tag.get(&(class, sub)).copied().unwrap_or(sub) };
     // 1. Launch instances per q.
     for (v, nf, count) in placement.q_entries() {
         for _ in 0..count {
@@ -312,7 +322,9 @@ pub fn generate_with(
         }
     }
     for s in plan.subclasses() {
-        let class = classes.class(s.class).expect("plan refers to known classes");
+        let class = classes
+            .class(s.class)
+            .expect("plan refers to known classes");
         let ingress = class.path.first().0;
         let positions = s.host_positions();
         let first_pos = positions.first().copied();
@@ -385,17 +397,19 @@ pub fn generate_with(
     //    of transport-specific classes install before wildcard siblings of
     //    the same OD pair (a port-80 packet must hit the http rules, not
     //    the pair's default).
-    let mut vswitches: BTreeMap<usize, VSwitch> = hosts_in_use
-        .iter()
-        .map(|&v| (v, VSwitch::new(v)))
-        .collect();
+    let mut vswitches: BTreeMap<usize, VSwitch> =
+        hosts_in_use.iter().map(|&v| (v, VSwitch::new(v))).collect();
     let mut ordered: Vec<&crate::subclass::Subclass> = plan.subclasses().iter().collect();
     ordered.sort_by_key(|s| {
-        let class = classes.class(s.class).expect("plan refers to known classes");
+        let class = classes
+            .class(s.class)
+            .expect("plan refers to known classes");
         std::cmp::Reverse(class_specificity(class))
     });
     for s in ordered {
-        let class = classes.class(s.class).expect("plan refers to known classes");
+        let class = classes
+            .class(s.class)
+            .expect("plan refers to known classes");
         let tag = tag_of(s.class, s.id);
         // Globally-tagged sub-classes match on the tag alone: their header
         // prefixes stop being valid once the rewriting NF has run (§X).
@@ -497,8 +511,7 @@ pub fn generate_with(
             }
         }
     }
-    let untagged_total =
-        untagged_estimate(topo, classes, plan, config.compress_classification);
+    let untagged_total = untagged_estimate(topo, classes, plan, config.compress_classification);
     let cross_product_total: usize = tagged_per_switch
         .values()
         .map(|&billable| billable * routing_rules.max(1))
@@ -587,7 +600,9 @@ fn assign_instances(
     }
     let mut jobs = Vec::new();
     for s in plan.subclasses() {
-        let class = classes.class(s.class).expect("plan refers to known classes");
+        let class = classes
+            .class(s.class)
+            .expect("plan refers to known classes");
         for (j, &pos) in s.stage_positions.iter().enumerate() {
             jobs.push(Job {
                 load: class.rate_mbps * s.fraction(),
@@ -599,7 +614,11 @@ fn assign_instances(
             });
         }
     }
-    jobs.sort_by(|a, b| b.load.partial_cmp(&a.load).unwrap_or(std::cmp::Ordering::Equal));
+    jobs.sort_by(|a, b| {
+        b.load
+            .partial_cmp(&a.load)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut asg = InstanceAssignment::default();
     for job in jobs {
@@ -657,7 +676,9 @@ fn untagged_estimate(
     // tagging scheme benefits from (fair comparison).
     let mut per_class: BTreeMap<ClassId, (usize, usize)> = BTreeMap::new(); // (total, max)
     for s in plan.subclasses() {
-        let class = classes.class(s.class).expect("plan refers to known classes");
+        let class = classes
+            .class(s.class)
+            .expect("plan refers to known classes");
         let variants = class.dst_ports.len().max(1);
         let rules = s.prefixes.len().max(1) * variants;
         let entry = per_class.entry(s.class).or_insert((0, 0));
@@ -666,7 +687,9 @@ fn untagged_estimate(
     }
     let mut total = 0usize;
     for (class_id, (rules_total, rules_max)) in per_class {
-        let class = classes.class(class_id).expect("plan refers to known classes");
+        let class = classes
+            .class(class_id)
+            .expect("plan refers to known classes");
         let rules = if compress && rules_max > 1 {
             rules_total - rules_max + 1
         } else {
@@ -715,7 +738,14 @@ mod tests {
     fn hash_plans_rejected() {
         let topo = zoo::internet2();
         let tm = GravityModel::new(1_000.0, 1).base_matrix(&topo);
-        let classes = ClassSet::build(&topo, &tm, &ClassConfig { max_classes: 5, ..Default::default() });
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 5,
+                ..Default::default()
+            },
+        );
         let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
         let placement = OptimizationEngine::new(EngineConfig::default())
             .place(&classes, &orch)
@@ -748,9 +778,7 @@ mod tests {
                     prog.assignment
                         .entries()
                         .find(|(_, &i)| i == id)
-                        .map(|((c, _, j), _)| {
-                            classes.class(*c).unwrap().chain.nfs()[*j]
-                        })
+                        .map(|((c, _, j), _)| classes.class(*c).unwrap().chain.nfs()[*j])
                         .expect("walked instances come from the assignment")
                 })
                 .collect();
@@ -1002,7 +1030,14 @@ mod tests {
         // The same budget can fail when the switch cannot pipeline: the
         // cross-product (×11 on Internet2) must fit instead.
         let mut orch3 = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
-        let ok_entries = ok.unwrap().tcam.tagged_per_switch.values().copied().max().unwrap();
+        let ok_entries = ok
+            .unwrap()
+            .tcam
+            .tagged_per_switch
+            .values()
+            .copied()
+            .max()
+            .unwrap();
         let cp = super::generate_with(
             &topo,
             &classes,

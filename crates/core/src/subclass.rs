@@ -168,7 +168,11 @@ impl SubclassPlan {
             // Inverse CDF per stage at the interval's midpoint.
             let positions: Vec<usize> = cdfs
                 .iter()
-                .map(|cdf| cdf.iter().position(|&c| c > mid - 1e-12).unwrap_or(plen - 1))
+                .map(|cdf| {
+                    cdf.iter()
+                        .position(|&c| c > mid - 1e-12)
+                        .unwrap_or(plen - 1)
+                })
                 .collect();
             debug_assert!(
                 positions.windows(2).all(|p| p[0] <= p[1]),
@@ -217,7 +221,10 @@ impl SubclassPlan {
 
     /// Sub-classes of one class.
     pub fn of_class(&self, class: ClassId) -> Vec<&Subclass> {
-        self.subclasses.iter().filter(|s| s.class == class).collect()
+        self.subclasses
+            .iter()
+            .filter(|s| s.class == class)
+            .collect()
     }
 
     /// The strategy used for flow mapping.
@@ -252,7 +259,11 @@ fn dyadic_cover(lo: f64, hi: f64, base_addr: u32, base_len: u8) -> Vec<(u32, u8)
     let mut out = Vec::new();
     while start < end {
         // Largest power-of-two block aligned at `start` and fitting.
-        let align = if start == 0 { units_total } else { start & start.wrapping_neg() };
+        let align = if start == 0 {
+            units_total
+        } else {
+            start & start.wrapping_neg()
+        };
         let mut block = align.min(end - start);
         // Round block down to a power of two.
         while block & (block - 1) != 0 {
@@ -376,7 +387,11 @@ mod tests {
                     }
                 }
             }
-            assert!(covered.iter().all(|&b| b), "class {} not fully covered", c.id);
+            assert!(
+                covered.iter().all(|&b| b),
+                "class {} not fully covered",
+                c.id
+            );
         }
     }
 

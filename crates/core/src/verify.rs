@@ -146,9 +146,7 @@ pub fn verify_placement(
         for nf in NfType::all() {
             let mut offered = 0.0;
             for (h, c) in classes.iter().enumerate() {
-                if let (Some(i), Some(j)) =
-                    (c.path.index_of(NodeId(v)), c.chain.position(nf))
-                {
+                if let (Some(i), Some(j)) = (c.path.index_of(NodeId(v)), c.chain.position(nf)) {
                     offered += c.rate_mbps * placement.d(h, i, j);
                 }
             }

@@ -312,7 +312,10 @@ mod tests {
         });
         let mut p = pkt();
         p.subclass_tag = Some(1);
-        assert_eq!(vs.process(VPort::Network, &mut p), VSwitchVerdict::ToVnf(fw));
+        assert_eq!(
+            vs.process(VPort::Network, &mut p),
+            VSwitchVerdict::ToVnf(fw)
+        );
         assert_eq!(
             vs.process(VPort::FromVnf(fw), &mut p),
             VSwitchVerdict::ToVnf(ids)
@@ -368,7 +371,10 @@ mod tests {
             label: "vm-ingress".into(),
         });
         let mut p = pkt();
-        assert_eq!(vs.process(VPort::ProductionVm, &mut p), VSwitchVerdict::ToNetwork);
+        assert_eq!(
+            vs.process(VPort::ProductionVm, &mut p),
+            VSwitchVerdict::ToNetwork
+        );
         assert_eq!(p.subclass_tag, Some(9));
         assert_eq!(p.host_tag, HostTag::Host(4));
     }

@@ -79,7 +79,11 @@ impl MatchSpec {
             if len == 0 {
                 return true;
             }
-            let mask = if len >= 32 { u32::MAX } else { !(u32::MAX >> len) };
+            let mask = if len >= 32 {
+                u32::MAX
+            } else {
+                !(u32::MAX >> len)
+            };
             (ip & mask) == (addr & mask)
         }
         self.src.is_none_or(|s| prefix_match(p.src_ip, s))
@@ -158,9 +162,7 @@ impl TcamTable {
     /// Installs a rule, keeping the table sorted by descending priority
     /// (stable for equal priorities).
     pub fn install(&mut self, rule: TcamRule) {
-        let pos = self
-            .rules
-            .partition_point(|r| r.priority >= rule.priority);
+        let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
         self.rules.insert(pos, rule);
     }
 
@@ -175,6 +177,33 @@ impl TcamTable {
     /// First (highest-priority) rule matching the packet.
     pub fn lookup(&self, p: &Packet) -> Option<&TcamRule> {
         self.rules.iter().find(|r| r.spec.matches(p))
+    }
+
+    /// [`TcamTable::lookup`] with telemetry: counts `tcam.lookups` plus a
+    /// `tcam.hits` / `tcam.misses` split. The plain `lookup` stays
+    /// un-instrumented because it sits on the per-packet fast path.
+    pub fn lookup_recorded<'a>(
+        &'a self,
+        p: &Packet,
+        rec: &dyn apple_telemetry::Recorder,
+    ) -> Option<&'a TcamRule> {
+        let hit = self.lookup(p);
+        rec.counter("tcam.lookups", 1);
+        rec.counter(
+            if hit.is_some() {
+                "tcam.hits"
+            } else {
+                "tcam.misses"
+            },
+            1,
+        );
+        hit
+    }
+
+    /// Gauges the table's current occupancy (`tcam.occupancy`, in entries)
+    /// — the Fig. 10 resource the tagging scheme conserves.
+    pub fn record_occupancy(&self, rec: &dyn apple_telemetry::Recorder) {
+        rec.gauge("tcam.occupancy", self.rules.len() as f64);
     }
 
     /// Number of TCAM entries — the Fig. 10 metric.

@@ -35,7 +35,9 @@ impl fmt::Display for WalkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WalkError::NoRuleAtSwitch(s) => write!(f, "no APPLE rule matched at switch {s}"),
-            WalkError::NoHostAtSwitch(s) => write!(f, "packet punted to missing host at switch {s}"),
+            WalkError::NoHostAtSwitch(s) => {
+                write!(f, "packet punted to missing host at switch {s}")
+            }
             WalkError::VSwitchNoMatch(s) => write!(f, "vSwitch at switch {s} had no matching rule"),
             WalkError::InstanceLoop(s) => write!(f, "instance loop inside host at switch {s}"),
         }
@@ -121,7 +123,10 @@ impl NetworkWalker {
     /// Total APPLE TCAM entries across all physical switches — the Fig. 10
     /// metric.
     pub fn total_tcam_entries(&self) -> usize {
-        self.switches.values().map(PhysicalSwitch::tcam_entries).sum()
+        self.switches
+            .values()
+            .map(PhysicalSwitch::tcam_entries)
+            .sum()
     }
 
     /// Walks `packet` along `path`, applying switch and vSwitch rules, and
@@ -299,10 +304,7 @@ mod tests {
         // Remove the host: punt must fail loudly.
         w.hosts.clear();
         let p = Packet::new(0x0a010101, 0x0b000001, 1, 2, 6);
-        assert_eq!(
-            w.walk(p, &path01()),
-            Err(WalkError::NoHostAtSwitch(1))
-        );
+        assert_eq!(w.walk(p, &path01()), Err(WalkError::NoHostAtSwitch(1)));
     }
 
     #[test]
@@ -333,7 +335,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(WalkError::NoRuleAtSwitch(3).to_string().contains("switch 3"));
+        assert!(WalkError::NoRuleAtSwitch(3)
+            .to_string()
+            .contains("switch 3"));
         assert!(WalkError::InstanceLoop(1).to_string().contains("loop"));
     }
 

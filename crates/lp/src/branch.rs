@@ -196,7 +196,8 @@ mod tests {
         let mut m = Model::new(Sense::Max);
         let a = m.add_int_var("a", 0.0, 3.0, 5.0);
         let b = m.add_int_var("b", 0.0, 3.0, 4.0);
-        m.add_constraint([(a, 6.0), (b, 5.0)], Cmp::Le, 10.0).unwrap();
+        m.add_constraint([(a, 6.0), (b, 5.0)], Cmp::Le, 10.0)
+            .unwrap();
         let (s, _) = m.solve_ilp(BranchConfig::default()).unwrap();
         assert_close(s.objective(), 8.0);
         assert_close(s.value(a), 0.0);
@@ -221,7 +222,8 @@ mod tests {
         let q = m.add_int_var("q", 0.0, 10.0, 1.0);
         let d = m.add_var("d", 0.0, 10.0, 0.1);
         m.add_constraint([(d, 1.0)], Cmp::Ge, 2.5).unwrap();
-        m.add_constraint([(q, 1.0), (d, -0.5)], Cmp::Ge, 0.0).unwrap();
+        m.add_constraint([(q, 1.0), (d, -0.5)], Cmp::Ge, 0.0)
+            .unwrap();
         let (s, _) = m.solve_ilp(BranchConfig::default()).unwrap();
         assert_close(s.value(q), 2.0);
         assert_close(s.value(d), 2.5);
@@ -233,7 +235,10 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let q = m.add_int_var("q", 0.0, 10.0, 1.0);
         m.add_constraint([(q, 2.0)], Cmp::Eq, 3.0).unwrap();
-        assert_eq!(m.solve_ilp(BranchConfig::default()), Err(LpError::Infeasible));
+        assert_eq!(
+            m.solve_ilp(BranchConfig::default()),
+            Err(LpError::Infeasible)
+        );
     }
 
     #[test]
@@ -255,8 +260,10 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let q1 = m.add_int_var("q1", 0.0, 50.0, 1.0);
         let q2 = m.add_int_var("q2", 0.0, 50.0, 1.0);
-        m.add_constraint([(q1, 2.0), (q2, 1.0)], Cmp::Ge, 5.5).unwrap();
-        m.add_constraint([(q1, 1.0), (q2, 3.0)], Cmp::Ge, 7.3).unwrap();
+        m.add_constraint([(q1, 2.0), (q2, 1.0)], Cmp::Ge, 5.5)
+            .unwrap();
+        m.add_constraint([(q1, 1.0), (q2, 3.0)], Cmp::Ge, 7.3)
+            .unwrap();
         let lp = m.solve_lp().unwrap();
         let (ilp, _) = m.solve_ilp(BranchConfig::default()).unwrap();
         assert!(ilp.objective() >= lp.objective() - 1e-9);

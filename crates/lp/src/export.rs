@@ -20,7 +20,13 @@ impl Model {
             let raw: String = self.vars[i]
                 .name
                 .chars()
-                .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             format!("{raw}_{i}")
         };
@@ -65,7 +71,12 @@ impl Model {
             let n = name(i);
             match (v.lower.is_finite(), v.upper.is_finite()) {
                 (true, true) => {
-                    let _ = writeln!(out, " {} <= {n} <= {}", trim_num(v.lower), trim_num(v.upper));
+                    let _ = writeln!(
+                        out,
+                        " {} <= {n} <= {}",
+                        trim_num(v.lower),
+                        trim_num(v.upper)
+                    );
                 }
                 (true, false) => {
                     let _ = writeln!(out, " {n} >= {}", trim_num(v.lower));
@@ -114,7 +125,8 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 0.0, 5.0, 1.0);
         let q = m.add_int_var("q v", 0.0, f64::INFINITY, 2.5);
-        m.add_constraint([(x, 1.0), (q, -3.0)], Cmp::Ge, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (q, -3.0)], Cmp::Ge, 1.0)
+            .unwrap();
         let text = m.to_lp_format();
         assert!(text.starts_with("Minimize"));
         assert!(text.contains("Subject To"));

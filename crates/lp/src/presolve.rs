@@ -183,11 +183,32 @@ impl Model {
     ///
     /// Same as [`Model::solve_lp`].
     pub fn solve_lp_presolved(&self) -> Result<Solution, LpError> {
+        self.solve_lp_presolved_recorded(&apple_telemetry::NOOP)
+    }
+
+    /// [`Model::solve_lp_presolved`] with telemetry: records the number of
+    /// variables presolve eliminated (`lp.presolve.eliminated`), how often
+    /// presolve alone produced the answer (`lp.presolve.solved`), and the
+    /// inner simplex run's stats under the `lp` prefix.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve_lp`].
+    pub fn solve_lp_presolved_recorded(
+        &self,
+        rec: &dyn apple_telemetry::Recorder,
+    ) -> Result<Solution, LpError> {
         match self.presolve() {
             Presolved::Infeasible => Err(LpError::Infeasible),
-            Presolved::Solved(s) => Ok(s),
+            Presolved::Solved(s) => {
+                rec.counter("lp.presolve.eliminated", self.var_count() as u64);
+                rec.counter("lp.presolve.solved", 1);
+                Ok(s)
+            }
             Presolved::Reduced(r) => {
+                rec.counter("lp.presolve.eliminated", r.eliminated() as u64);
                 let inner = r.model.solve_lp()?;
+                inner.stats().record(rec, "lp");
                 Ok(r.lift(self, &inner))
             }
         }
@@ -205,7 +226,8 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 2.0, 2.0, 1.0);
         let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
-        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0)
+            .unwrap();
         match m.presolve() {
             Presolved::Reduced(r) => {
                 assert_eq!(r.model.var_count(), 1);

@@ -353,6 +353,7 @@ impl Model {
         // ---- Phase 1: minimise the sum of artificials. ----
         let has_artificials = t.cols > sf.art_start;
         let mut phase1_pivots = 0usize;
+        let mut phase1_elapsed = std::time::Duration::ZERO;
         if has_artificials {
             // cost = sum of artificial columns ⇒ reduced cost row is
             // -(sum of rows whose basis is artificial).
@@ -392,6 +393,7 @@ impl Model {
                     // entering columns to non-artificials.
                 }
             }
+            phase1_elapsed = start.elapsed();
         }
 
         // ---- Phase 2: original objective. ----
@@ -422,10 +424,10 @@ impl Model {
         }
         let objective = self.objective_of(&x);
         let _ = sf.obj_flip; // direction already folded into sf.obj
-        // Dual extraction: each model row's multiplier from the final
-        // reduced cost of its probe column (see StandardForm::dual_probe).
-        // Duals are reported for the min-oriented problem; for Max models
-        // callers negate.
+                             // Dual extraction: each model row's multiplier from the final
+                             // reduced cost of its probe column (see StandardForm::dual_probe).
+                             // Duals are reported for the min-oriented problem; for Max models
+                             // callers negate.
         let duals: Vec<f64> = sf
             .dual_probe
             .iter()
@@ -435,6 +437,7 @@ impl Model {
             pivots,
             phase1_pivots,
             elapsed: start.elapsed(),
+            phase1_elapsed,
         };
         let mut sol = Solution::new(x, objective, stats);
         sol.set_duals(duals);
@@ -493,8 +496,10 @@ mod tests {
         let mut m = Model::new(Sense::Max);
         let x = m.add_var("x", 0.0, f64::INFINITY, 3.0);
         let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
-        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 4.0).unwrap();
-        m.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Le, 6.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 4.0)
+            .unwrap();
+        m.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Le, 6.0)
+            .unwrap();
         let s = m.solve_lp().unwrap();
         assert_close(s.objective(), 12.0);
         assert_close(s.value(x), 4.0);
@@ -521,7 +526,8 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
         let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
-        m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0)
+            .unwrap();
         m.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0)
             .unwrap();
         let s = m.solve_lp().unwrap();
@@ -578,7 +584,8 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 2.5, 2.5, 1.0);
         let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
-        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0)
+            .unwrap();
         let s = m.solve_lp().unwrap();
         assert_close(s.value(x), 2.5);
         assert_close(s.value(y), 1.5);
@@ -616,8 +623,10 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
         let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
-        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0).unwrap();
-        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0)
+            .unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0)
+            .unwrap();
         let s = m.solve_lp().unwrap();
         assert_close(s.objective(), 2.0);
         assert_close(s.value(x), 2.0);
@@ -630,7 +639,8 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
         let y = m.add_var("y", 0.0, f64::INFINITY, 2.0);
-        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0)
+            .unwrap();
         let s = m.solve_lp().unwrap();
         let duals = s.duals().expect("simplex solutions carry duals");
         assert_eq!(duals.len(), 1);
@@ -657,7 +667,8 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 0.0, f64::INFINITY, 1.0);
         let y = m.add_var("y", 0.0, f64::INFINITY, 1.0);
-        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Eq, 2.0)
+            .unwrap();
         let s = m.solve_lp().unwrap();
         let duals = s.duals().unwrap();
         assert_close(duals[0] * 2.0, s.objective());
@@ -670,8 +681,10 @@ mod tests {
             let mut m = Model::new(Sense::Min);
             let x = m.add_var("x", 0.0, f64::INFINITY, 2.0);
             let y = m.add_var("y", 0.0, f64::INFINITY, 3.0);
-            m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, rhs).unwrap();
-            m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Ge, 6.0).unwrap();
+            m.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, rhs)
+                .unwrap();
+            m.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Ge, 6.0)
+                .unwrap();
             m
         };
         let base = build(5.0).solve_lp().unwrap();
@@ -686,7 +699,9 @@ mod tests {
         // all constraints to tolerance.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
         };
         for trial in 0..20 {

@@ -45,6 +45,32 @@ pub struct SolveStats {
     pub phase1_pivots: usize,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
+    /// Wall-clock time spent in phase 1 (zero when the initial basis was
+    /// already feasible).
+    pub phase1_elapsed: Duration,
+}
+
+impl SolveStats {
+    /// Records this run's pivots and per-phase timings under `prefix`
+    /// (conventionally `"lp"`): counters `<prefix>.pivots`,
+    /// `<prefix>.phase1_pivots` and `<prefix>.solves`, plus millisecond
+    /// histograms `<prefix>.phase1_ms` and `<prefix>.phase2_ms`.
+    pub fn record(&self, rec: &dyn apple_telemetry::Recorder, prefix: &str) {
+        if !rec.enabled() {
+            return;
+        }
+        rec.counter(&format!("{prefix}.pivots"), self.pivots as u64);
+        rec.counter(
+            &format!("{prefix}.phase1_pivots"),
+            self.phase1_pivots as u64,
+        );
+        rec.counter(&format!("{prefix}.solves"), 1);
+        rec.observe_duration(&format!("{prefix}.phase1_ms"), self.phase1_elapsed);
+        rec.observe_duration(
+            &format!("{prefix}.phase2_ms"),
+            self.elapsed.saturating_sub(self.phase1_elapsed),
+        );
+    }
 }
 
 /// An optimal (or incumbent) solution.

@@ -88,7 +88,8 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 0.0, 1.0, 1.0);
         let q = m.add_int_var("q", 0.0, 9.0, 1.0);
-        m.add_constraint([(x, 1.0), (q, 2.0)], Cmp::Le, 3.0).unwrap();
+        m.add_constraint([(x, 1.0), (q, 2.0)], Cmp::Le, 3.0)
+            .unwrap();
         m.add_constraint([(x, 1.0)], Cmp::Ge, 0.5).unwrap();
         m.add_constraint([(q, 1.0)], Cmp::Eq, 2.0).unwrap();
         let s = m.stats();
@@ -105,7 +106,8 @@ mod tests {
         let mut m = Model::new(Sense::Min);
         let x = m.add_var("x", 0.0, 1.0, 1.0);
         let y = m.add_var("y", 0.0, 1.0, 1.0);
-        m.add_constraint([(x, 1.0), (y, 0.0)], Cmp::Le, 1.0).unwrap();
+        m.add_constraint([(x, 1.0), (y, 0.0)], Cmp::Le, 1.0)
+            .unwrap();
         assert_eq!(m.stats().nonzeros, 1);
     }
 

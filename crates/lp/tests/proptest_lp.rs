@@ -1,4 +1,6 @@
-//! Property-based tests for the simplex and branch-and-bound solvers.
+//! Randomised (but fully deterministic) tests for the simplex and
+//! branch-and-bound solvers, driven by seeded `apple_rng` streams — see
+//! `tests/README.md` for the seeding convention.
 //!
 //! The key invariants:
 //! 1. any solution returned by `solve_lp` satisfies every constraint and
@@ -9,7 +11,12 @@
 //!    objective never exceeds the ILP objective for minimisation.
 
 use apple_lp::{BranchConfig, Cmp, LpError, Model, Sense};
-use proptest::prelude::*;
+use apple_rng::{Rng, SeedableRng, StdRng};
+
+/// Base seed for this file; each case perturbs it by its index so any
+/// failing case can be re-run in isolation.
+const SEED: u64 = 0x4c50_c0de;
+const CASES: u64 = 64;
 
 /// A generated covering problem: min Σ c_j x_j s.t. A x >= b, 0 <= x <= ub.
 #[derive(Debug, Clone)]
@@ -19,24 +26,21 @@ struct Covering {
     upper: f64,
 }
 
-fn covering_strategy() -> impl Strategy<Value = Covering> {
-    let n = 2usize..6;
-    let m = 1usize..6;
-    (n, m).prop_flat_map(|(n, m)| {
-        let costs = proptest::collection::vec(0.1f64..10.0, n);
-        let rows = proptest::collection::vec(
-            (
-                proptest::collection::vec(0.0f64..5.0, n),
-                0.0f64..8.0,
-            ),
-            m,
-        );
-        (costs, rows, 1.0f64..30.0).prop_map(|(costs, rows, upper)| Covering {
-            costs,
-            rows,
-            upper,
+fn covering(rng: &mut StdRng) -> Covering {
+    let n = rng.gen_range(2usize..6);
+    let m = rng.gen_range(1usize..6);
+    let costs = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
+    let rows = (0..m)
+        .map(|_| {
+            let coeffs = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+            (coeffs, rng.gen_range(0.0..8.0))
         })
-    })
+        .collect();
+    Covering {
+        costs,
+        rows,
+        upper: rng.gen_range(1.0..30.0),
+    }
 }
 
 fn build(c: &Covering, integer: bool) -> Model {
@@ -62,29 +66,39 @@ fn build(c: &Covering, integer: bool) -> Model {
     model
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lp_solutions_are_feasible(c in covering_strategy()) {
+#[test]
+fn lp_solutions_are_feasible() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(SEED ^ case);
+        let c = covering(&mut rng);
         let model = build(&c, false);
         match model.solve_lp() {
             Ok(sol) => {
-                prop_assert!(model.max_violation(sol.values()) < 1e-6,
-                    "violation {}", model.max_violation(sol.values()));
+                assert!(
+                    model.max_violation(sol.values()) < 1e-6,
+                    "case {case}: violation {}",
+                    model.max_violation(sol.values())
+                );
                 // Objective must agree with the assignment.
                 let recomputed = model.objective_of(sol.values());
-                prop_assert!((recomputed - sol.objective()).abs() < 1e-6);
+                assert!(
+                    (recomputed - sol.objective()).abs() < 1e-6,
+                    "case {case}: objective mismatch"
+                );
             }
             Err(LpError::Infeasible) => {
                 // Acceptable: a row may demand more than upper bounds allow.
             }
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("case {case}: unexpected error {e}"),
         }
     }
+}
 
-    #[test]
-    fn ilp_is_integral_and_bounded_by_lp(c in covering_strategy()) {
+#[test]
+fn ilp_is_integral_and_bounded_by_lp() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x100 + case));
+        let c = covering(&mut rng);
         let lp_model = build(&c, false);
         let ilp_model = build(&c, true);
         let lp = lp_model.solve_lp();
@@ -92,27 +106,35 @@ proptest! {
         match (lp, ilp) {
             (Ok(lp), Ok((ilp, _))) => {
                 // Relaxation bound.
-                prop_assert!(ilp.objective() >= lp.objective() - 1e-6,
-                    "ilp {} < lp {}", ilp.objective(), lp.objective());
+                assert!(
+                    ilp.objective() >= lp.objective() - 1e-6,
+                    "case {case}: ilp {} < lp {}",
+                    ilp.objective(),
+                    lp.objective()
+                );
                 // Integrality.
                 for v in ilp_model.integer_vars() {
                     let x = ilp.value(v);
-                    prop_assert!((x - x.round()).abs() < 1e-5, "fractional {x}");
+                    assert!((x - x.round()).abs() < 1e-5, "case {case}: fractional {x}");
                 }
                 // Feasibility of the integral point.
-                prop_assert!(ilp_model.max_violation(ilp.values()) < 1e-6);
+                assert!(ilp_model.max_violation(ilp.values()) < 1e-6, "case {case}");
             }
             (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
             (Ok(_), Err(LpError::Infeasible)) => {
                 // LP feasible but no integer point within bounds: possible
                 // when upper bounds are tight and fractional.
             }
-            (lp, ilp) => prop_assert!(false, "inconsistent: lp={lp:?} ilp={ilp:?}"),
+            (lp, ilp) => panic!("case {case}: inconsistent lp={lp:?} ilp={ilp:?}"),
         }
     }
+}
 
-    #[test]
-    fn ceiling_rounding_is_feasible_when_slack_allows(c in covering_strategy()) {
+#[test]
+fn ceiling_rounding_is_feasible_when_slack_allows() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x200 + case));
+        let c = covering(&mut rng);
         // APPLE's rounding step ceils the fractional q; for pure covering
         // constraints (non-negative coefficients) ceiling can only help.
         let model = build(&c, false);
@@ -121,7 +143,7 @@ proptest! {
             let ok_bounds = rounded.iter().all(|&x| x <= c.upper + 1e-9);
             if ok_bounds {
                 // Every Ge row with non-negative coefficients stays satisfied.
-                prop_assert!(model.max_violation(&rounded) < 1e-6);
+                assert!(model.max_violation(&rounded) < 1e-6, "case {case}");
             }
         }
     }

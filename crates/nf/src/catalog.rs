@@ -239,9 +239,15 @@ mod tests {
         let px = VnfSpec::of(NfType::Proxy);
         assert_eq!((px.cores, px.capacity_mbps, px.clickos), (4, 900.0, false));
         let nat = VnfSpec::of(NfType::Nat);
-        assert_eq!((nat.cores, nat.capacity_mbps, nat.clickos), (2, 900.0, true));
+        assert_eq!(
+            (nat.cores, nat.capacity_mbps, nat.clickos),
+            (2, 900.0, true)
+        );
         let ids = VnfSpec::of(NfType::Ids);
-        assert_eq!((ids.cores, ids.capacity_mbps, ids.clickos), (8, 600.0, false));
+        assert_eq!(
+            (ids.cores, ids.capacity_mbps, ids.clickos),
+            (8, 600.0, false)
+        );
     }
 
     #[test]

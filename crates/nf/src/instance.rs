@@ -199,7 +199,10 @@ mod tests {
     #[test]
     fn booting_then_ready() {
         let mut i = VnfInstance::booting(InstanceId(4), NfType::Proxy, 1, 4_200);
-        assert!(matches!(i.state(), InstanceState::Booting { ready_at_ms: 4_200 }));
+        assert!(matches!(
+            i.state(),
+            InstanceState::Booting { ready_at_ms: 4_200 }
+        ));
         assert_eq!(i.loss_rate(), 0.0);
         i.finish_boot();
         assert_eq!(i.state(), InstanceState::Running);

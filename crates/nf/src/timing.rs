@@ -7,8 +7,8 @@
 //! an already-running ClickOS VM into a different NF takes ~30 ms. These
 //! constants drive every failover experiment (Figs 7–9, 12).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, SeedableRng};
 use std::time::Duration;
 
 /// Milliseconds; all timing-model arithmetic happens at this granularity.

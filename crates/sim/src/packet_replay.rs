@@ -112,13 +112,7 @@ pub fn packet_replay(
                     }
                     // A host inside this prefix (host bits = 1 where room).
                     let host_bit = if len < 32 { 1 } else { 0 };
-                    let p = Packet::new(
-                        addr | host_bit,
-                        class.dst_prefix.0 | 9,
-                        40_000,
-                        80,
-                        6,
-                    );
+                    let p = Packet::new(addr | host_bit, class.dst_prefix.0 | 9, 40_000, 80, 6);
                     let rec = apple
                         .program()
                         .walker
@@ -143,12 +137,14 @@ pub fn packet_replay(
             let Some(inst) = apple.orchestrator().instance(id) else {
                 continue;
             };
-            let model =
-                OverloadModel::for_capacity(inst.spec().capacity_pps(cfg.packet_bytes));
+            let model = OverloadModel::for_capacity(inst.spec().capacity_pps(cfg.packet_bytes));
             offered += rate;
             lost += rate * model.loss_rate(rate);
         }
-        loss.push(tick as f64, if offered > 0.0 { lost / offered } else { 0.0 });
+        loss.push(
+            tick as f64,
+            if offered > 0.0 { lost / offered } else { 0.0 },
+        );
         prev_counters = counters.clone();
     }
     Ok(PacketReplayOutcome {

@@ -22,9 +22,11 @@ use apple_core::controller::{Apple, AppleConfig};
 use apple_core::engine::EngineError;
 use apple_core::failover::{DynamicHandler, FailoverAction};
 use apple_nf::{InstanceId, OverloadModel, TimingModel, VnfSpec};
+use apple_telemetry::{Recorder, RecorderExt, NOOP};
 use apple_topology::Topology;
 use apple_traffic::TmSeries;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 use crate::metrics::Series;
 
@@ -80,7 +82,30 @@ pub fn replay(
     series: &TmSeries,
     cfg: &ReplayConfig,
 ) -> Result<ReplayOutcome, EngineError> {
-    let apple = Apple::plan(topo, &series.mean(), &cfg.apple)?;
+    replay_recorded(topo, series, cfg, &NOOP)
+}
+
+/// [`replay`] with telemetry: wraps planning and the tick loop in
+/// `sim.plan` / `sim.replay` spans, forwards every overload notification
+/// through [`DynamicHandler::handle_overload_recorded`] (so `failover.*`
+/// counters accumulate), counts `sim.notifications`, observes helper boot
+/// delays (`sim.helper_boot_ms`) and gauges `sim.peak_helper_cores` /
+/// `sim.planned_cores` at the end of the run.
+///
+/// # Errors
+///
+/// Propagates [`EngineError`] from planning.
+pub fn replay_recorded(
+    topo: &Topology,
+    series: &TmSeries,
+    cfg: &ReplayConfig,
+    rec: &dyn Recorder,
+) -> Result<ReplayOutcome, EngineError> {
+    let apple = {
+        let _s = rec.span("sim.plan");
+        Apple::plan_recorded(topo, &series.mean(), &cfg.apple, rec)?
+    };
+    let _replay_span = rec.span("sim.replay");
     let planned_cores = apple.placement().total_cores();
     let mut handler = apple.dynamic_handler();
     let (classes, _placement, _plan, _program, mut orch) = apple.into_parts();
@@ -97,8 +122,7 @@ pub fn replay(
     for (tick, tm) in series.iter().enumerate() {
         // 1. Refresh class rates.
         let scoped = classes.with_rates_from(tm);
-        let rates: BTreeMap<ClassId, f64> =
-            scoped.iter().map(|c| (c.id, c.rate_mbps)).collect();
+        let rates: BTreeMap<ClassId, f64> = scoped.iter().map(|c| (c.id, c.rate_mbps)).collect();
 
         // Helpers finish booting.
         booting.retain(|_, ready| *ready > tick);
@@ -109,10 +133,10 @@ pub fn replay(
         let mut trips: Vec<InstanceId> = Vec::new();
         let loads = instance_loads(&handler, &rates);
         for (&inst, &mbps) in &loads {
-            let Some(vi) = orch.instance(inst) else { continue };
-            let model = OverloadModel::for_capacity(
-                vi.spec().capacity_pps(cfg.packet_bytes),
-            );
+            let Some(vi) = orch.instance(inst) else {
+                continue;
+            };
+            let model = OverloadModel::for_capacity(vi.spec().capacity_pps(cfg.packet_bytes));
             let pps = mbps * 1e6 / (f64::from(cfg.packet_bytes) * 8.0);
             // A still-booting helper forwards nothing; its share is lost
             // outright (this is why ClickOS reconfiguration matters).
@@ -137,13 +161,15 @@ pub fn replay(
         if cfg.fast_failover {
             for inst in trips {
                 notifications += 1;
-                match handler.handle_overload(inst, &rates, &scoped, &mut orch) {
+                rec.counter("sim.notifications", 1);
+                match handler.handle_overload_recorded(inst, &rates, &scoped, &mut orch, rec) {
                     Ok(FailoverAction::SpawnedHelper { instance, nf, .. }) => {
                         helpers_spawned += 1;
                         // ClickOS helpers reconfigure in ~30 ms (same
                         // tick); ordinary VMs pay a full boot.
                         let spec = VnfSpec::of(nf);
                         let delay_ms = timing.provision(spec.clickos, spec.clickos);
+                        rec.observe_duration("sim.helper_boot_ms", Duration::from_millis(delay_ms));
                         let ready = tick + (delay_ms / 1_000) as usize;
                         if ready > tick {
                             booting.insert(instance, ready);
@@ -153,12 +179,13 @@ pub fn replay(
                     Err(_) => {
                         // No capacity anywhere: the overload persists and
                         // the loss curve shows it.
+                        rec.counter("sim.failover_errors", 1);
                     }
                 }
             }
             // 5. Roll back once nothing is overloaded any more.
             if overloaded.is_empty() && handler.helper_cores() > 0 {
-                handler.roll_back(&mut orch);
+                handler.roll_back_recorded(&mut orch, rec);
             }
         }
 
@@ -171,6 +198,11 @@ pub fn replay(
         helper_cores.push(tick as f64, f64::from(handler.helper_cores()));
     }
 
+    rec.gauge(
+        "sim.peak_helper_cores",
+        f64::from(handler.peak_helper_cores()),
+    );
+    rec.gauge("sim.planned_cores", f64::from(planned_cores));
     Ok(ReplayOutcome {
         loss,
         helper_cores,

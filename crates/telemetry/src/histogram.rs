@@ -1,0 +1,308 @@
+//! Log-bucketed histogram with quantile estimation.
+//!
+//! Buckets grow geometrically by a factor of `2^(1/4)` (≈ 19 % per
+//! bucket), which keeps any quantile estimate within ~±10 % of the true
+//! value — plenty for timing and capacity metrics — while an entire
+//! histogram is a handful of sparse `(index, count)` pairs. Negative and
+//! non-finite observations are clamped into the zero bucket / dropped
+//! respectively, so instrumented code never needs to pre-validate.
+
+use std::collections::BTreeMap;
+
+/// Sub-division of each power of two: 4 buckets per octave.
+const BUCKETS_PER_OCTAVE: f64 = 4.0;
+
+/// A sparse log-bucketed histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Sparse bucket index → observation count. Index `i` covers values in
+    /// `[2^(i/4), 2^((i+1)/4))`; values `<= 0` land in the dedicated
+    /// `i64::MIN` bucket.
+    buckets: BTreeMap<i64, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            // Identity elements for min/max folding — masked by
+            // `min()`/`max()` returning `None` while `count == 0`.
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for a positive finite value.
+    fn index_of(value: f64) -> i64 {
+        if value <= 0.0 {
+            return i64::MIN;
+        }
+        (value.log2() * BUCKETS_PER_OCTAVE).floor() as i64
+    }
+
+    /// Lower bound of bucket `i` (0 for the non-positive bucket).
+    pub fn bucket_lower(i: i64) -> f64 {
+        if i == i64::MIN {
+            0.0
+        } else {
+            (i as f64 / BUCKETS_PER_OCTAVE).exp2()
+        }
+    }
+
+    /// Exclusive upper bound of bucket `i`.
+    pub fn bucket_upper(i: i64) -> f64 {
+        if i == i64::MIN {
+            0.0
+        } else {
+            ((i + 1) as f64 / BUCKETS_PER_OCTAVE).exp2()
+        }
+    }
+
+    /// Records one observation. Non-finite values are dropped.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        *self.buckets.entry(Self::index_of(value)).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) as the geometric
+    /// midpoint of the bucket containing the target rank, clamped to the
+    /// observed min/max so tails never over-shoot. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&i, &c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                let est = if i == i64::MIN {
+                    // All values here are <= 0; the observed minimum is the
+                    // only fidelity the bucket retains.
+                    self.min.min(0.0)
+                } else {
+                    // Geometric midpoint of the bucket.
+                    (Self::bucket_lower(i) * Self::bucket_upper(i)).sqrt()
+                };
+                return Some(est.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Sparse `(bucket index, count)` pairs in ascending index order.
+    pub fn buckets(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.buckets.iter().map(|(&i, &c)| (i, c))
+    }
+
+    /// Rebuilds a histogram from serialised parts (used by the JSON
+    /// round-trip). Counts are trusted; the summary fields are taken as
+    /// given rather than re-derived because bucketing is lossy.
+    pub fn from_parts(buckets: BTreeMap<i64, u64>, sum: f64, min: f64, max: f64) -> Histogram {
+        let count = buckets.values().sum();
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min: if count > 0 { min } else { f64::INFINITY },
+            max: if count > 0 { max } else { f64::NEG_INFINITY },
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (i, c) in other.buckets() {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_histogram_tracks_min_like_new() {
+        // Regression: a derived Default once initialised min to 0.0, so
+        // every histogram created via `or_default()` reported min = 0.
+        let mut h = Histogram::default();
+        h.record(7.5);
+        assert_eq!(h.min(), Some(7.5));
+        assert_eq!(h.max(), Some(7.5));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.p50(), None);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [0.001, 0.5, 1.0, 1.5, 7.3, 1024.0, 1e9] {
+            let i = Histogram::index_of(v);
+            assert!(
+                Histogram::bucket_lower(i) <= v * (1.0 + 1e-12)
+                    && v < Histogram::bucket_upper(i) * (1.0 + 1e-12),
+                "{v} outside bucket {i}: [{}, {})",
+                Histogram::bucket_lower(i),
+                Histogram::bucket_upper(i)
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exclusive_above() {
+        // 1.0 = 2^0 starts bucket 0 exactly.
+        assert_eq!(Histogram::index_of(1.0), 0);
+        // Just below 1.0 lands in bucket -1.
+        assert_eq!(Histogram::index_of(1.0 - 1e-12), -1);
+        // 2.0 = 2^1 starts bucket 4 (4 buckets per octave).
+        assert_eq!(Histogram::index_of(2.0), 4);
+    }
+
+    #[test]
+    fn non_positive_values_share_the_zero_bucket() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50(), Some(-5.0)); // clamped to observed min
+        assert_eq!(h.min(), Some(-5.0));
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_1_to_100() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(f64::from(i));
+        }
+        let p50 = h.p50().unwrap();
+        let p95 = h.p95().unwrap();
+        let p99 = h.p99().unwrap();
+        // Log-bucketed estimates: within one bucket (~19 %) of truth.
+        assert!((40.0..=62.0).contains(&p50), "p50 {p50}");
+        assert!((80.0..=100.0).contains(&p95), "p95 {p95}");
+        assert!((90.0..=100.0).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn quantiles_on_point_mass() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(42.0);
+        }
+        // Every quantile is exactly the observed value (clamped to
+        // min == max == 42).
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(42.0));
+        }
+        assert_eq!(h.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(1000.0);
+        }
+        let p50 = h.p50().unwrap();
+        let p95 = h.p95().unwrap();
+        assert!(p50 < 2.0, "p50 {p50} should sit in the low mode");
+        assert!(p95 > 800.0, "p95 {p95} should sit in the high mode");
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        let mut b = Histogram::new();
+        b.record(100.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(100.0));
+        assert_eq!(a.sum(), 101.0);
+    }
+}

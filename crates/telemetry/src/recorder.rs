@@ -1,0 +1,210 @@
+//! The `Recorder` sink trait and its two implementations.
+
+use crate::histogram::Histogram;
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A telemetry sink. Instrumented code takes `&dyn Recorder` so the
+/// implementation (and its cost) is the caller's choice.
+///
+/// Implementations must be thread-safe: hot paths record from worker
+/// threads without coordination.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the named monotonic counter.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Sets the named gauge to `value` (last write wins).
+    fn gauge(&self, name: &str, value: f64);
+
+    /// Records one observation into the named histogram.
+    fn observe(&self, name: &str, value: f64);
+
+    /// Whether this recorder keeps anything. Instrumentation uses this to
+    /// skip work whose only purpose is producing a value to record (e.g.
+    /// reading the clock for a span).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Convenience: records a duration in milliseconds.
+    fn observe_duration(&self, name: &str, d: Duration) {
+        self.observe(name, d.as_secs_f64() * 1e3);
+    }
+}
+
+/// The do-nothing recorder: every method is a no-op and
+/// [`Recorder::enabled`] is `false`, so spans skip clock reads entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+/// A shared static no-op recorder for un-instrumented call paths.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn counter(&self, _name: &str, _delta: u64) {}
+    fn gauge(&self, _name: &str, _value: f64) {}
+    fn observe(&self, _name: &str, _value: f64) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe in-memory recorder; snapshot with
+/// [`MemoryRecorder::snapshot`].
+///
+/// A single mutex guards the whole store. The instrumented paths record a
+/// handful of metrics per *solve* or per *failover episode* — not per
+/// packet — so contention is negligible; replace with sharding only if a
+/// profile ever says otherwise.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    store: Mutex<Store>,
+}
+
+impl MemoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Copies the current state into an immutable [`Snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    pub fn snapshot(&self) -> Snapshot {
+        let store = self.store.lock().expect("telemetry store poisoned");
+        Snapshot::build(
+            store.counters.clone(),
+            store.gauges.clone(),
+            store.histograms.clone(),
+        )
+    }
+
+    /// Clears all recorded data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    pub fn reset(&self) {
+        let mut store = self.store.lock().expect("telemetry store poisoned");
+        *store = Store::default();
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn counter(&self, name: &str, delta: u64) {
+        let mut store = self.store.lock().expect("telemetry store poisoned");
+        match store.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                store.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        let mut store = self.store.lock().expect("telemetry store poisoned");
+        store.gauges.insert(name.to_string(), value);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        let mut store = self.store.lock().expect("telemetry store poisoned");
+        store
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_accumulate() {
+        let rec = MemoryRecorder::new();
+        rec.counter("a", 2);
+        rec.counter("a", 3);
+        rec.counter("b", 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.counter("b"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let rec = MemoryRecorder::new();
+        rec.gauge("g", 1.0);
+        rec.gauge("g", -2.5);
+        assert_eq!(rec.snapshot().gauge("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn observe_duration_records_milliseconds() {
+        let rec = MemoryRecorder::new();
+        rec.observe_duration("d", Duration::from_millis(250));
+        let snap = rec.snapshot();
+        let h = snap.histogram("d").unwrap();
+        assert_eq!(h.count, 1);
+        assert!((h.sum - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let rec = MemoryRecorder::new();
+        rec.counter("a", 1);
+        rec.observe("h", 1.0);
+        rec.reset();
+        let snap = rec.snapshot();
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn noop_is_disabled_and_silent() {
+        NOOP.counter("a", 1);
+        NOOP.gauge("g", 1.0);
+        NOOP.observe("h", 1.0);
+        assert!(!NOOP.enabled());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        rec.counter("shared", 1);
+                        rec.counter(&format!("thread.{t}"), 1);
+                        rec.observe("values", (i % 10) as f64 + 1.0);
+                        rec.gauge("last", i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("shared"), Some(8_000));
+        for t in 0..8 {
+            assert_eq!(snap.counter(&format!("thread.{t}")), Some(1_000));
+        }
+        assert_eq!(snap.histogram("values").unwrap().count, 8_000);
+        assert_eq!(snap.gauge("last"), Some(999.0));
+    }
+}

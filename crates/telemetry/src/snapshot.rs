@@ -1,0 +1,371 @@
+//! Immutable snapshots of a recorder's state, with JSON round-trip.
+
+use crate::histogram::Histogram;
+use crate::json::{self, Json, JsonError};
+use std::collections::BTreeMap;
+
+/// Serialised view of one [`Histogram`]: summary statistics plus the
+/// sparse buckets needed to rebuild it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Sparse `(bucket index, count)` pairs in ascending index order.
+    pub buckets: Vec<(i64, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn from_histogram(h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min().unwrap_or(0.0),
+            max: h.max().unwrap_or(0.0),
+            p50: h.p50().unwrap_or(0.0),
+            p95: h.p95().unwrap_or(0.0),
+            p99: h.p99().unwrap_or(0.0),
+            buckets: h.buckets().collect(),
+        }
+    }
+
+    /// Mean observation (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// An immutable copy of a recorder's counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from raw recorder state (crate-internal entry
+    /// point used by `MemoryRecorder::snapshot`).
+    pub(crate) fn build(
+        counters: BTreeMap<String, u64>,
+        gauges: BTreeMap<String, f64>,
+        histograms: BTreeMap<String, Histogram>,
+    ) -> Snapshot {
+        Snapshot {
+            counters,
+            gauges,
+            histograms: histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::from_histogram(h)))
+                .collect(),
+        }
+    }
+
+    /// Value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Value of a gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram's snapshot, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialises to a self-contained JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"lp.pivots": 42},
+    ///   "gauges": {"engine.rounding_gap": 1.5},
+    ///   "histograms": {
+    ///     "span.engine.place": {
+    ///       "count": 1, "sum": 3.2, "min": 3.2, "max": 3.2,
+    ///       "p50": 3.36, "p95": 3.36, "p99": 3.36,
+    ///       "buckets": [[6, 1]]
+    ///     }
+    ///   }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_str(&mut out, k);
+            out.push_str(": ");
+            json::write_num(&mut out, *v as f64);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_str(&mut out, k);
+            out.push_str(": ");
+            json::write_num(&mut out, *v);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_str(&mut out, k);
+            out.push_str(": {");
+            let fields: [(&str, f64); 7] = [
+                ("count", h.count as f64),
+                ("sum", h.sum),
+                ("min", h.min),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p95", h.p95),
+                ("p99", h.p99),
+            ];
+            for (name, value) in fields {
+                out.push('"');
+                out.push_str(name);
+                out.push_str("\": ");
+                json::write_num(&mut out, value);
+                out.push_str(", ");
+            }
+            out.push_str("\"buckets\": [");
+            for (j, (idx, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                json::write_num(&mut out, *idx as f64);
+                out.push_str(", ");
+                json::write_num(&mut out, *c as f64);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Snapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON or a document missing the expected
+    /// structure.
+    pub fn from_json(text: &str) -> Result<Snapshot, JsonError> {
+        let doc = Json::parse(text)?;
+        let structural = |msg: &str| JsonError {
+            message: msg.to_string(),
+            offset: 0,
+        };
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| structural("top level must be an object"))?;
+
+        let mut counters = BTreeMap::new();
+        if let Some(section) = obj.get("counters") {
+            let map = section
+                .as_obj()
+                .ok_or_else(|| structural("`counters` must be an object"))?;
+            for (k, v) in map {
+                let n = v
+                    .as_num()
+                    .ok_or_else(|| structural("counter values must be numbers"))?;
+                counters.insert(k.clone(), n as u64);
+            }
+        }
+
+        let mut gauges = BTreeMap::new();
+        if let Some(section) = obj.get("gauges") {
+            let map = section
+                .as_obj()
+                .ok_or_else(|| structural("`gauges` must be an object"))?;
+            for (k, v) in map {
+                let n = v
+                    .as_num()
+                    .ok_or_else(|| structural("gauge values must be numbers"))?;
+                gauges.insert(k.clone(), n);
+            }
+        }
+
+        let mut histograms = BTreeMap::new();
+        if let Some(section) = obj.get("histograms") {
+            let map = section
+                .as_obj()
+                .ok_or_else(|| structural("`histograms` must be an object"))?;
+            for (k, v) in map {
+                let num = |field: &str| -> Result<f64, JsonError> {
+                    v.get(field)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| structural(&format!("histogram missing `{field}`")))
+                };
+                let mut buckets = Vec::new();
+                let raw = v
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| structural("histogram missing `buckets`"))?;
+                for pair in raw {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| structural("bucket entries must be [index, count]"))?;
+                    let idx = pair[0]
+                        .as_num()
+                        .ok_or_else(|| structural("bucket index must be a number"))?;
+                    let c = pair[1]
+                        .as_num()
+                        .ok_or_else(|| structural("bucket count must be a number"))?;
+                    // i64::MIN survives the f64 trip exactly (it is a
+                    // power of two), so the non-positive bucket is safe.
+                    buckets.push((idx as i64, c as u64));
+                }
+                histograms.insert(
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: num("count")? as u64,
+                        sum: num("sum")?,
+                        min: num("min")?,
+                        max: num("max")?,
+                        p50: num("p50")?,
+                        p95: num("p95")?,
+                        p99: num("p99")?,
+                        buckets,
+                    },
+                );
+            }
+        }
+
+        Ok(Snapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
+    /// Rebuilds a mergeable [`Histogram`] from a named histogram snapshot
+    /// (`None` if the name is unknown).
+    pub fn rebuild_histogram(&self, name: &str) -> Option<Histogram> {
+        let h = self.histograms.get(name)?;
+        Some(Histogram::from_parts(
+            h.buckets.iter().copied().collect(),
+            h.sum,
+            h.min,
+            h.max,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{MemoryRecorder, Recorder};
+
+    fn sample() -> Snapshot {
+        let rec = MemoryRecorder::new();
+        rec.counter("lp.pivots", 42);
+        rec.counter("failover.rebalanced", 3);
+        rec.gauge("engine.rounding_gap", 1.5);
+        rec.gauge("tcam.occupancy", 128.0);
+        for v in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            rec.observe("lp.solve_ms", v);
+        }
+        rec.snapshot()
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_output_is_parseable_json() {
+        let snap = sample();
+        Json::parse(&snap.to_json()).expect("snapshot JSON must parse");
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MemoryRecorder::new().snapshot();
+        assert!(snap.is_empty());
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rebuild_histogram_matches_original_quantiles() {
+        let rec = MemoryRecorder::new();
+        for i in 1..=100 {
+            rec.observe("h", f64::from(i));
+        }
+        let snap = rec.snapshot();
+        let rebuilt = snap.rebuild_histogram("h").unwrap();
+        let orig = snap.histogram("h").unwrap();
+        assert_eq!(rebuilt.count(), orig.count);
+        assert_eq!(rebuilt.p50(), Some(orig.p50));
+        assert_eq!(rebuilt.p99(), Some(orig.p99));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(Snapshot::from_json("[]").is_err());
+        assert!(Snapshot::from_json(r#"{"counters": 5}"#).is_err());
+        assert!(
+            Snapshot::from_json(r#"{"histograms": {"h": {"count": 1}}}"#).is_err(),
+            "histogram without buckets/summary fields must be rejected"
+        );
+    }
+
+    #[test]
+    fn iterators_walk_in_name_order() {
+        let snap = sample();
+        let names: Vec<&str> = snap.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["failover.rebalanced", "lp.pivots"]);
+        assert_eq!(snap.gauges().count(), 2);
+        assert_eq!(snap.histograms().count(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Hierarchical wall-clock span timers.
+//!
+//! A [`Span`] measures the wall time between creation and drop and records
+//! it into the `span.<path>` histogram (milliseconds) alongside a
+//! `span.<path>.calls` counter. Nested phases use [`Span::child`], which
+//! extends the dot-separated path: `engine.place` → `engine.place.solve`.
+//!
+//! Against a disabled recorder ([`Recorder::enabled`] is `false`) a span
+//! never reads the clock or formats a path, so the no-op cost is one
+//! branch.
+
+use crate::recorder::Recorder;
+use std::time::Instant;
+
+/// A live timing region; records on drop.
+pub struct Span<'a> {
+    rec: &'a dyn Recorder,
+    /// `None` when the recorder is disabled.
+    armed: Option<(String, Instant)>,
+}
+
+impl<'a> Span<'a> {
+    fn new(rec: &'a dyn Recorder, path: String) -> Span<'a> {
+        let armed = rec.enabled().then(|| (path, Instant::now()));
+        Span { rec, armed }
+    }
+
+    /// Opens a nested span whose path extends this span's path.
+    pub fn child(&self, name: &str) -> Span<'a> {
+        match &self.armed {
+            Some((path, _)) => Span::new(self.rec, format!("{path}.{name}")),
+            None => Span {
+                rec: self.rec,
+                armed: None,
+            },
+        }
+    }
+
+    /// The dot-separated path (`None` when the recorder is disabled).
+    pub fn path(&self) -> Option<&str> {
+        self.armed.as_ref().map(|(p, _)| p.as_str())
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((path, start)) = self.armed.take() {
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            self.rec.observe(&format!("span.{path}"), ms);
+            self.rec.counter(&format!("span.{path}.calls"), 1);
+        }
+    }
+}
+
+/// Extension adding span construction to every [`Recorder`].
+pub trait RecorderExt {
+    /// Opens a root span with the given dot-separated path.
+    fn span(&self, path: &str) -> Span<'_>;
+}
+
+impl<R: Recorder> RecorderExt for R {
+    fn span(&self, path: &str) -> Span<'_> {
+        Span::new(self, path.to_string())
+    }
+}
+
+impl RecorderExt for dyn Recorder + '_ {
+    fn span(&self, path: &str) -> Span<'_> {
+        Span::new(self, path.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{MemoryRecorder, NOOP};
+
+    #[test]
+    fn span_records_duration_and_call_count() {
+        let rec = MemoryRecorder::new();
+        {
+            let _s = rec.span("work");
+        }
+        {
+            let _s = rec.span("work");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("span.work.calls"), Some(2));
+        let h = snap.histogram("span.work").unwrap();
+        assert_eq!(h.count, 2);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn nested_spans_extend_the_path() {
+        let rec = MemoryRecorder::new();
+        {
+            let outer = rec.span("engine.place");
+            {
+                let inner = outer.child("solve");
+                assert_eq!(inner.path(), Some("engine.place.solve"));
+                let leaf = inner.child("phase1");
+                assert_eq!(leaf.path(), Some("engine.place.solve.phase1"));
+            }
+        }
+        let snap = rec.snapshot();
+        for name in [
+            "span.engine.place",
+            "span.engine.place.solve",
+            "span.engine.place.solve.phase1",
+        ] {
+            assert_eq!(snap.counter(&format!("{name}.calls")), Some(1), "{name}");
+            assert!(snap.histogram(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn children_outlive_nothing_but_record_independently() {
+        // An inner span dropped before the outer still records; the outer
+        // span's time covers the child's.
+        let rec = MemoryRecorder::new();
+        {
+            let outer = rec.span("outer");
+            {
+                let _inner = outer.child("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let snap = rec.snapshot();
+        let outer = snap.histogram("span.outer").unwrap();
+        let inner = snap.histogram("span.outer.inner").unwrap();
+        assert!(
+            outer.sum >= inner.sum,
+            "outer {} < inner {}",
+            outer.sum,
+            inner.sum
+        );
+    }
+
+    #[test]
+    fn disabled_recorder_skips_all_work() {
+        let s = NOOP.span("anything");
+        assert_eq!(s.path(), None);
+        let c = s.child("below");
+        assert_eq!(c.path(), None);
+    }
+}

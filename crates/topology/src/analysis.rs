@@ -26,7 +26,9 @@ impl Graph {
     pub fn betweenness(&self) -> Vec<f64> {
         let mut score = vec![0.0; self.node_count()];
         for s in self.node_ids() {
-            let Ok(tree) = dijkstra(self, s) else { continue };
+            let Ok(tree) = dijkstra(self, s) else {
+                continue;
+            };
             for d in self.node_ids() {
                 if s == d {
                     continue;
@@ -98,7 +100,9 @@ mod tests {
         let t = zoo::line(5);
         let b = t.graph.betweenness();
         // Middle node (index 2) lies on the most paths.
-        let max_idx = (0..5).max_by(|&a, &bx| b[a].partial_cmp(&b[bx]).unwrap()).unwrap();
+        let max_idx = (0..5)
+            .max_by(|&a, &bx| b[a].partial_cmp(&b[bx]).unwrap())
+            .unwrap();
         assert_eq!(max_idx, 2);
         // Endpoints relay nothing.
         assert_eq!(b[0], 0.0);
@@ -147,8 +151,18 @@ mod tests {
 
     #[test]
     fn evaluation_topologies_have_sane_diameters() {
-        assert_eq!(zoo::internet2().graph.distance_stats().unwrap().diameter_hops, 5);
+        assert_eq!(
+            zoo::internet2()
+                .graph
+                .distance_stats()
+                .unwrap()
+                .diameter_hops,
+            5
+        );
         assert!(zoo::geant().graph.distance_stats().unwrap().diameter_hops <= 6);
-        assert_eq!(zoo::univ1().graph.distance_stats().unwrap().diameter_hops, 2);
+        assert_eq!(
+            zoo::univ1().graph.distance_stats().unwrap().diameter_hops,
+            2
+        );
     }
 }

@@ -90,10 +90,12 @@ impl Graph {
                         line,
                         content: trimmed.to_string(),
                     })?;
-                    let tier: u8 = fields
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or(ParseError::BadNumber { line, field: "tier" })?;
+                    let tier: u8 = fields.next().and_then(|t| t.parse().ok()).ok_or(
+                        ParseError::BadNumber {
+                            line,
+                            field: "tier",
+                        },
+                    )?;
                     g.add_node(name, tier);
                 }
                 Some("link") => {
@@ -105,22 +107,30 @@ impl Graph {
                         line,
                         content: trimmed.to_string(),
                     })?;
-                    let cap: f64 = fields
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or(ParseError::BadNumber { line, field: "capacity" })?;
-                    let weight: f64 = fields
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or(ParseError::BadNumber { line, field: "weight" })?;
-                    let a = g.node_by_name(a_name).ok_or_else(|| ParseError::UnknownNode {
-                        line,
-                        name: a_name.to_string(),
-                    })?;
-                    let b = g.node_by_name(b_name).ok_or_else(|| ParseError::UnknownNode {
-                        line,
-                        name: b_name.to_string(),
-                    })?;
+                    let cap: f64 = fields.next().and_then(|t| t.parse().ok()).ok_or(
+                        ParseError::BadNumber {
+                            line,
+                            field: "capacity",
+                        },
+                    )?;
+                    let weight: f64 = fields.next().and_then(|t| t.parse().ok()).ok_or(
+                        ParseError::BadNumber {
+                            line,
+                            field: "weight",
+                        },
+                    )?;
+                    let a = g
+                        .node_by_name(a_name)
+                        .ok_or_else(|| ParseError::UnknownNode {
+                            line,
+                            name: a_name.to_string(),
+                        })?;
+                    let b = g
+                        .node_by_name(b_name)
+                        .ok_or_else(|| ParseError::UnknownNode {
+                            line,
+                            name: b_name.to_string(),
+                        })?;
                     g.add_link(a, b, cap, weight)?;
                 }
                 _ => {
@@ -164,7 +174,10 @@ mod tests {
         let text = original.to_edge_list();
         let parsed = Graph::from_edge_list(&text).unwrap();
         assert_eq!(parsed.node_count(), original.node_count());
-        assert_eq!(parsed.undirected_link_count(), original.undirected_link_count());
+        assert_eq!(
+            parsed.undirected_link_count(),
+            original.undirected_link_count()
+        );
         for id in original.node_ids() {
             assert_eq!(
                 parsed.node(id).unwrap().name,
@@ -209,7 +222,10 @@ mod tests {
     fn duplicate_link_propagates_graph_error() {
         let err =
             Graph::from_edge_list("node a 0\nnode b 0\nlink a b 1 1\nlink b a 1 1").unwrap_err();
-        assert!(matches!(err, ParseError::Graph(GraphError::DuplicateLink(..))));
+        assert!(matches!(
+            err,
+            ParseError::Graph(GraphError::DuplicateLink(..))
+        ));
     }
 
     #[test]

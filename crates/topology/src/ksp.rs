@@ -112,9 +112,7 @@ fn filtered_shortest_path(
     for lid in graph.link_ids() {
         let l = graph.link(lid).expect("iterating valid ids");
         let key = (l.a.min(l.b), l.a.max(l.b));
-        if banned_links.contains(&key)
-            || banned_nodes.contains(&l.a)
-            || banned_nodes.contains(&l.b)
+        if banned_links.contains(&key) || banned_nodes.contains(&l.a) || banned_nodes.contains(&l.b)
         {
             continue;
         }
@@ -138,7 +136,9 @@ impl PartialOrd for OrderedCost {
 
 impl Ord for OrderedCost {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 

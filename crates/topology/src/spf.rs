@@ -101,8 +101,7 @@ pub fn dijkstra(graph: &Graph, source: NodeId) -> Result<ShortestPathTree, Graph
         for (v, lid) in graph.incident(u) {
             let w = graph.link(lid).expect("incident links exist").weight;
             let nd = d + w;
-            let better = nd < dist[v.0]
-                || (nd == dist[v.0] && prev[v.0].is_some_and(|p| u < p));
+            let better = nd < dist[v.0] || (nd == dist[v.0] && prev[v.0].is_some_and(|p| u < p));
             if better {
                 dist[v.0] = nd;
                 prev[v.0] = Some(u);
@@ -110,11 +109,7 @@ pub fn dijkstra(graph: &Graph, source: NodeId) -> Result<ShortestPathTree, Graph
             }
         }
     }
-    Ok(ShortestPathTree {
-        source,
-        dist,
-        prev,
-    })
+    Ok(ShortestPathTree { source, dist, prev })
 }
 
 impl Graph {

@@ -12,8 +12,8 @@
 //! preserves (see DESIGN.md §2).
 
 use crate::graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, SeedableRng};
 
 /// Which evaluation topology a [`Topology`] instance was built from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -170,44 +170,44 @@ pub fn internet2() -> Topology {
 /// (74 directed) links, matching the TOTEM data set's counts.
 pub fn geant() -> Topology {
     let pops = [
-        "AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU", "IE", "IL", "IT", "LU",
-        "NL", "NY", "PL", "PT", "SE", "SI", "SK", "UK", "DE2",
+        "AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU", "IE", "IL", "IT", "LU", "NL",
+        "NY", "PL", "PT", "SE", "SI", "SK", "UK", "DE2",
     ];
     let mut g = Graph::new();
     let ids: Vec<NodeId> = pops.iter().map(|c| g.add_node(*c, 0)).collect();
     // A GEANT-shaped mesh: a dense western core (DE/FR/UK/NL/IT/CH) with
     // stub national PoPs, 37 undirected adjacencies in total.
     let links = [
-        (0, 2),  // AT-CH
-        (0, 3),  // AT-CZ
-        (0, 4),  // AT-DE
-        (0, 9),  // AT-HU
-        (0, 12), // AT-IT
-        (0, 19), // AT-SI
-        (1, 4),  // BE-DE
-        (1, 6),  // BE-FR
-        (1, 14), // BE-NL
-        (2, 4),  // CH-DE
-        (2, 6),  // CH-FR
-        (2, 12), // CH-IT
-        (3, 4),  // CZ-DE
-        (3, 16), // CZ-PL
-        (3, 20), // CZ-SK
-        (4, 6),  // DE-FR
-        (4, 14), // DE-NL
-        (4, 18), // DE-SE
-        (4, 15), // DE-NY
-        (4, 22), // DE-DE2
-        (5, 6),  // ES-FR
-        (5, 12), // ES-IT
-        (5, 17), // ES-PT
-        (6, 13), // FR-LU
-        (6, 21), // FR-UK
-        (7, 12), // GR-IT
-        (7, 0),  // GR-AT
-        (8, 9),  // HR-HU
-        (8, 19), // HR-SI
-        (9, 20), // HU-SK
+        (0, 2),   // AT-CH
+        (0, 3),   // AT-CZ
+        (0, 4),   // AT-DE
+        (0, 9),   // AT-HU
+        (0, 12),  // AT-IT
+        (0, 19),  // AT-SI
+        (1, 4),   // BE-DE
+        (1, 6),   // BE-FR
+        (1, 14),  // BE-NL
+        (2, 4),   // CH-DE
+        (2, 6),   // CH-FR
+        (2, 12),  // CH-IT
+        (3, 4),   // CZ-DE
+        (3, 16),  // CZ-PL
+        (3, 20),  // CZ-SK
+        (4, 6),   // DE-FR
+        (4, 14),  // DE-NL
+        (4, 18),  // DE-SE
+        (4, 15),  // DE-NY
+        (4, 22),  // DE-DE2
+        (5, 6),   // ES-FR
+        (5, 12),  // ES-IT
+        (5, 17),  // ES-PT
+        (6, 13),  // FR-LU
+        (6, 21),  // FR-UK
+        (7, 12),  // GR-IT
+        (7, 0),   // GR-AT
+        (8, 9),   // HR-HU
+        (8, 19),  // HR-SI
+        (9, 20),  // HU-SK
         (10, 21), // IE-UK
         (11, 12), // IL-IT
         (11, 15), // IL-NY
@@ -373,7 +373,10 @@ pub fn star(leaves: usize) -> Topology {
 ///
 /// Panics if `k` is odd or `< 2`.
 pub fn fat_tree(k: usize) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
     let half = k / 2;
     let mut g = Graph::new();
     let cores: Vec<NodeId> = (0..half * half)
@@ -571,7 +574,11 @@ mod tests {
         assert!(t.multipath);
         // Cross-pod edge pairs have multiple equal-cost paths.
         let ecmp = crate::ksp::ecmp_paths(&t.graph, t.edge_nodes[0], t.edge_nodes[7], 8);
-        assert!(ecmp.len() >= 2, "fat-tree should be multipath: {}", ecmp.len());
+        assert!(
+            ecmp.len() >= 2,
+            "fat-tree should be multipath: {}",
+            ecmp.len()
+        );
     }
 
     #[test]

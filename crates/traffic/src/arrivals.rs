@@ -10,9 +10,9 @@
 //! which the tests check).
 
 use crate::flows::Flow;
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, SeedableRng};
 use apple_topology::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of a flow arrival process for one OD pair.
 #[derive(Debug, Clone)]
@@ -75,8 +75,7 @@ impl FlowArrivals {
             cfg.mean_duration_secs > 0.0 && cfg.mean_rate_mbps > 0.0,
             "durations and rates must be positive"
         );
-        let mut rng =
-            StdRng::seed_from_u64(cfg.seed ^ ((src.0 as u64) << 20) ^ dst.0 as u64);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((src.0 as u64) << 20) ^ dst.0 as u64);
         let mut exp = |mean: f64| -> f64 {
             let u: f64 = rng.gen_range(1e-12..1.0);
             -mean * u.ln()
@@ -174,10 +173,7 @@ mod tests {
         let c = FlowArrivals::generate(
             NodeId(2),
             NodeId(3),
-            &ArrivalConfig {
-                seed: 9,
-                ..cfg
-            },
+            &ArrivalConfig { seed: 9, ..cfg },
             100.0,
         );
         assert_ne!(a.flows(), c.flows());
@@ -204,12 +200,7 @@ mod tests {
 
     #[test]
     fn flows_carry_pair_prefixes() {
-        let a = FlowArrivals::generate(
-            NodeId(4),
-            NodeId(5),
-            &ArrivalConfig::default(),
-            50.0,
-        );
+        let a = FlowArrivals::generate(NodeId(4), NodeId(5), &ArrivalConfig::default(), 50.0);
         for f in a.flows() {
             assert_eq!(f.flow.src_ip & 0xffff_ff00, Flow::prefix_of(NodeId(4)));
             assert_eq!(f.flow.dst_ip & 0xffff_ff00, Flow::prefix_of(NodeId(5)));

@@ -6,9 +6,9 @@
 //! source addresses drawn from a per-node /24 prefix, letting the prefix
 //! splitter of §V-A carve sub-classes like `10.1.1.128/25`.
 
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, SeedableRng};
 use apple_topology::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// A single flow: IPv4-style 5-tuple plus its offered rate.
@@ -93,8 +93,7 @@ impl FlowSet {
         if count == 0 || rate_mbps <= 0.0 {
             return FlowSet::default();
         }
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ ((src.0 as u64) << 32) ^ dst.0 as u64);
+        let mut rng = StdRng::seed_from_u64(seed ^ ((src.0 as u64) << 32) ^ dst.0 as u64);
         // Zipf-like shares 1/k^0.8, normalised.
         let shares: Vec<f64> = (1..=count).map(|k| 1.0 / (k as f64).powf(0.8)).collect();
         let sum: f64 = shares.iter().sum();
@@ -103,14 +102,14 @@ impl FlowSet {
         let flows = shares
             .iter()
             .map(|w| {
-                let host: u32 = rng.gen_range(1..255);
-                let dhost: u32 = rng.gen_range(1..255);
+                let host: u32 = rng.gen_range(1u32..255);
+                let dhost: u32 = rng.gen_range(1u32..255);
                 Flow {
                     src_ip: src_prefix | host,
                     dst_ip: dst_prefix | dhost,
                     src_port: rng.gen_range(1024..u16::MAX),
                     dst_port: *[80u16, 443, 53, 8080, 22]
-                        .get(rng.gen_range(0..5))
+                        .get(rng.gen_range(0usize..5))
                         .expect("index in range"),
                     proto: if rng.gen_bool(0.8) { 6 } else { 17 },
                     rate_mbps: rate_mbps * w / sum,
@@ -182,8 +181,12 @@ mod tests {
 
     #[test]
     fn zero_cases() {
-        assert!(FlowSet::expand(NodeId(0), NodeId(1), 0.0, 5, 0).flows().is_empty());
-        assert!(FlowSet::expand(NodeId(0), NodeId(1), 5.0, 0, 0).flows().is_empty());
+        assert!(FlowSet::expand(NodeId(0), NodeId(1), 0.0, 5, 0)
+            .flows()
+            .is_empty());
+        assert!(FlowSet::expand(NodeId(0), NodeId(1), 5.0, 0, 0)
+            .flows()
+            .is_empty());
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! show.
 
 use crate::matrix::TrafficMatrix;
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, SeedableRng};
 use apple_topology::{NodeId, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Gravity-model generator.
 ///

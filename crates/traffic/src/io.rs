@@ -119,7 +119,10 @@ mod tests {
             TrafficMatrix::from_csv("0,1,5.0"),
             Err(TmParseError::MissingHeader)
         );
-        assert_eq!(TrafficMatrix::from_csv(""), Err(TmParseError::MissingHeader));
+        assert_eq!(
+            TrafficMatrix::from_csv(""),
+            Err(TmParseError::MissingHeader)
+        );
     }
 
     #[test]

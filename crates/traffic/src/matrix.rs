@@ -55,7 +55,10 @@ impl TrafficMatrix {
     /// crosses the network).
     pub fn set(&mut self, s: NodeId, d: NodeId, mbps: f64) {
         assert!(s.0 < self.n && d.0 < self.n, "index out of range");
-        assert!(mbps.is_finite() && mbps >= 0.0, "rate must be finite and >= 0");
+        assert!(
+            mbps.is_finite() && mbps >= 0.0,
+            "rate must be finite and >= 0"
+        );
         assert!(s != d || mbps == 0.0, "self-traffic must be zero");
         self.rates[s.0 * self.n + d.0] = mbps;
     }
@@ -137,7 +140,13 @@ impl TrafficMatrix {
 
 impl fmt::Display for TrafficMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "TrafficMatrix {}x{} (total {:.1} Mbps)", self.n, self.n, self.total())?;
+        writeln!(
+            f,
+            "TrafficMatrix {}x{} (total {:.1} Mbps)",
+            self.n,
+            self.n,
+            self.total()
+        )?;
         for s in 0..self.n {
             for d in 0..self.n {
                 write!(f, "{:8.1}", self.rates[s * self.n + d])?;

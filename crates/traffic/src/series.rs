@@ -3,9 +3,9 @@
 
 use crate::gravity::GravityModel;
 use crate::matrix::TrafficMatrix;
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, SeedableRng};
 use apple_topology::{NodeId, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of a [`TmSeries`] generation run.
 #[derive(Debug, Clone)]
@@ -173,7 +173,8 @@ fn seasonal_factor(t: usize, cfg: &SeriesConfig) -> f64 {
     let day_frac = (t as f64 / cfg.snapshots as f64) * 7.0;
     let hour = (day_frac.fract()) * 24.0;
     // Peak around 14:00, valley around 02:00.
-    let diurnal = 1.0 - cfg.diurnal_depth * 0.5 * (1.0 + ((hour - 2.0) / 24.0 * std::f64::consts::TAU).cos());
+    let diurnal =
+        1.0 - cfg.diurnal_depth * 0.5 * (1.0 + ((hour - 2.0) / 24.0 * std::f64::consts::TAU).cos());
     let weekday = day_frac as usize % 7;
     let weekly = if weekday >= 5 {
         1.0 - cfg.weekly_depth

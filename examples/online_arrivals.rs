@@ -36,8 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Seed the online placer with the engine's committed loads, then
     // stream arrivals between OD pairs the plan did not cover.
     let mut placer = OnlinePlacer::from_assignment(&apple.program().assignment);
-    let planned_pairs: std::collections::BTreeSet<_> =
-        apple.classes().iter().map(EquivalenceClass::od_pair).collect();
+    let planned_pairs: std::collections::BTreeSet<_> = apple
+        .classes()
+        .iter()
+        .map(EquivalenceClass::od_pair)
+        .collect();
     let full = ClassSet::build(&topo, &tm, &ClassConfig::default());
     let arrivals: Vec<&EquivalenceClass> = full
         .iter()
@@ -45,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .take(12)
         .collect();
 
-    println!("{:<28}{:>8}{:>10}{:>10}", "arriving class", "rate", "reused", "launched");
+    println!(
+        "{:<28}{:>8}{:>10}{:>10}",
+        "arriving class", "rate", "reused", "launched"
+    );
     let mut total_launched = 0usize;
     for (i, template) in arrivals.iter().enumerate() {
         let class = EquivalenceClass {

@@ -83,9 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // before default — mirroring the TCAM priorities).
         let mut candidates: Vec<&_> = idxs.iter().map(|&i| &classes.classes()[i]).collect();
         candidates.sort_by_key(|c| {
-            std::cmp::Reverse(
-                u16::from(c.proto.is_some()) + 2 * u16::from(!c.dst_ports.is_empty()),
-            )
+            std::cmp::Reverse(u16::from(c.proto.is_some()) + 2 * u16::from(!c.dst_ports.is_empty()))
         });
         let owner = candidates.iter().find(|c| {
             c.proto.is_none_or(|p| p == proto)

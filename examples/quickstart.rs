@@ -47,9 +47,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nheaviest class: {} ({:.1} Mbps), chain {}, path {}",
         class.id, class.rate_mbps, class.chain, class.path
     );
-    let packet = Packet::new(class.src_prefix.0 | 42, class.dst_prefix.0 | 7, 50_000, 80, 6);
+    let packet = Packet::new(
+        class.src_prefix.0 | 42,
+        class.dst_prefix.0 | 7,
+        50_000,
+        80,
+        6,
+    );
     let record = apple.program().walker.walk(packet, &class.path)?;
-    println!("switch trajectory: {:?} (identical to the routing path)", record.switches);
+    println!(
+        "switch trajectory: {:?} (identical to the routing path)",
+        record.switches
+    );
     print!("VNF instances traversed:");
     for id in &record.instances {
         let inst = apple

@@ -18,7 +18,10 @@ use apple_nfv::traffic::{SeriesConfig, TmSeries, TrafficMatrix};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = zoo::geant();
     let series = TmSeries::generate(&topo, &SeriesConfig::paper(2_024));
-    println!("{}: one plan per day, staged transitions between them\n", topo.summary());
+    println!(
+        "{}: one plan per day, staged transitions between them\n",
+        topo.summary()
+    );
 
     let engine = OptimizationEngine::new(EngineConfig::default());
     let class_cfg = ClassConfig {
@@ -41,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         let day_mean = TrafficMatrix::mean_of(&snaps);
         let classes = base_classes.with_rates_from(&day_mean);
-        let placement = engine.place(&classes, &ResourceOrchestrator::with_uniform_hosts(&topo, 64))?;
+        let placement = engine.place(
+            &classes,
+            &ResourceOrchestrator::with_uniform_hosts(&topo, 64),
+        )?;
         // Sanity: the plan satisfies Eq. (2)-(8).
         let violations = verify_placement(
             &classes,
@@ -49,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &ResourceOrchestrator::with_uniform_hosts(&topo, 64),
             1e-6,
         );
-        assert!(violations.is_empty(), "day {day}: invalid plan: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "day {day}: invalid plan: {violations:?}"
+        );
 
         match previous {
             None => {

@@ -14,7 +14,8 @@ use apple_nfv::core::classes::{ClassConfig, ClassSet};
 use apple_nfv::core::controller::{Apple, AppleConfig};
 use apple_nfv::core::engine::OptimizationEngine;
 use apple_nfv::core::orchestrator::ResourceOrchestrator;
-use apple_nfv::sim::replay::{replay, ReplayConfig};
+use apple_nfv::sim::replay::{replay_recorded, ReplayConfig};
+use apple_nfv::telemetry::{MemoryRecorder, Recorder, NOOP};
 use apple_nfv::topology::{zoo, Topology};
 use apple_nfv::traffic::{GravityModel, SeriesConfig, TmSeries};
 use std::process::ExitCode;
@@ -34,11 +35,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   apple topo   <TOPO> [--dot | --edges | --stats]
-  apple plan   <TOPO> [--load MBPS] [--classes K] [--seed S]
-  apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S]
+  apple plan   <TOPO> [--load MBPS] [--classes K] [--seed S] [--telemetry json]
+  apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S] [--telemetry json]
   apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 
-TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D";
+TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D
+
+--telemetry json prints the run's metric snapshot (counters, gauges,
+histograms) as JSON on stdout after the normal output.";
 
 /// Parsed optional flags.
 struct Flags {
@@ -50,6 +54,7 @@ struct Flags {
     dot: bool,
     edges: bool,
     stats: bool,
+    telemetry: bool,
 }
 
 impl Default for Flags {
@@ -63,7 +68,26 @@ impl Default for Flags {
             dot: false,
             edges: false,
             stats: false,
+            telemetry: false,
         }
+    }
+}
+
+/// In-memory recorder when `--telemetry json` was given, `None` otherwise;
+/// borrow through [`recorder_ref`] to get the `&dyn Recorder` to thread.
+fn make_recorder(flags: &Flags) -> Option<MemoryRecorder> {
+    flags.telemetry.then(MemoryRecorder::new)
+}
+
+fn recorder_ref(mem: &Option<MemoryRecorder>) -> &dyn Recorder {
+    mem.as_ref()
+        .map_or(&NOOP as &dyn Recorder, |m| m as &dyn Recorder)
+}
+
+/// Prints the snapshot as JSON when telemetry was requested.
+fn emit_telemetry(mem: &Option<MemoryRecorder>) {
+    if let Some(m) = mem {
+        println!("{}", m.snapshot().to_json());
     }
 }
 
@@ -84,6 +108,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.snapshots = num("--snapshots")?.parse().map_err(|_| "bad --snapshots")?
             }
             "--no-failover" => f.failover = false,
+            "--telemetry" => match num("--telemetry")?.as_str() {
+                "json" => f.telemetry = true,
+                other => return Err(format!("unknown telemetry format `{other}`")),
+            },
             "--dot" => f.dot = true,
             "--edges" => f.edges = true,
             "--stats" => f.stats = true,
@@ -147,7 +175,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     let central = topo.graph.central_nodes(3);
                     let names: Vec<String> = central
                         .iter()
-                        .map(|&n| topo.graph.node(n).map(|x| x.name.clone()).unwrap_or_default())
+                        .map(|&n| {
+                            topo.graph
+                                .node(n)
+                                .map(|x| x.name.clone())
+                                .unwrap_or_default()
+                        })
                         .collect();
                     println!("most central switches: {}", names.join(", "));
                 }
@@ -159,7 +192,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let topo = parse_topo(spec)?;
             let flags = parse_flags(flag_args)?;
             let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
-            let apple = Apple::plan(
+            let mem = make_recorder(&flags);
+            let apple = Apple::plan_recorded(
                 &topo,
                 &tm,
                 &AppleConfig {
@@ -169,6 +203,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     },
                     ..Default::default()
                 },
+                recorder_ref(&mem),
             )
             .map_err(|e| e.to_string())?;
             println!("{}", topo.summary());
@@ -195,6 +230,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     .unwrap_or_else(|_| v.to_string());
                 println!("  {name:<12} {nf:<9} x{count}");
             }
+            emit_telemetry(&mem);
             Ok(())
         }
         "replay" => {
@@ -209,7 +245,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     ..SeriesConfig::paper(flags.seed)
                 },
             );
-            let out = replay(
+            let mem = make_recorder(&flags);
+            let out = replay_recorded(
                 &topo,
                 &series,
                 &ReplayConfig {
@@ -223,6 +260,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     fast_failover: flags.failover,
                     ..Default::default()
                 },
+                recorder_ref(&mem),
             )
             .map_err(|e| e.to_string())?;
             println!(
@@ -238,6 +276,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 out.helpers_spawned,
                 out.peak_helper_cores
             );
+            emit_telemetry(&mem);
             Ok(())
         }
         "export-lp" => {

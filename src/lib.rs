@@ -19,7 +19,9 @@ pub use apple_core as core;
 pub use apple_dataplane as dataplane;
 pub use apple_lp as lp;
 pub use apple_nf as nf;
+pub use apple_rng as rng;
 pub use apple_sim as sim;
+pub use apple_telemetry as telemetry;
 pub use apple_topology as topology;
 pub use apple_traffic as traffic;
 
@@ -42,6 +44,7 @@ pub mod prelude {
     pub use apple_core::policy_spec::PolicySpec;
     pub use apple_core::subclass::{SplitStrategy, SubclassPlan};
     pub use apple_nf::{NfType, VnfSpec};
+    pub use apple_telemetry::{MemoryRecorder, Recorder, RecorderExt, Snapshot, NOOP};
     pub use apple_topology::{zoo, NodeId, Path, Topology, TopologyKind};
     pub use apple_traffic::{GravityModel, SeriesConfig, TmSeries, TrafficMatrix};
 }

@@ -30,7 +30,10 @@ fn full_pipeline_on_all_four_topologies() {
         let tm = GravityModel::new(1_500.0, 3).base_matrix(&topo);
         let apple = Apple::plan(&topo, &tm, &small_config())
             .unwrap_or_else(|e| panic!("{kind}: planning failed: {e}"));
-        assert!(apple.placement().total_instances() > 0, "{kind}: no instances");
+        assert!(
+            apple.placement().total_instances() > 0,
+            "{kind}: no instances"
+        );
         assert_eq!(
             apple.orchestrator().instance_count() as u32,
             apple.placement().total_instances(),
@@ -44,7 +47,12 @@ fn full_pipeline_on_all_four_topologies() {
                 .walker
                 .walk(p, &class.path)
                 .unwrap_or_else(|e| panic!("{kind}: walk failed for {}: {e}", class.id));
-            assert_eq!(rec.packet.host_tag, HostTag::Fin, "{kind}: {} incomplete", class.id);
+            assert_eq!(
+                rec.packet.host_tag,
+                HostTag::Fin,
+                "{kind}: {} incomplete",
+                class.id
+            );
             assert_eq!(rec.instances.len(), class.chain.len());
         }
         // TCAM accounting is self-consistent.
@@ -172,11 +180,7 @@ fn every_chain_nf_has_an_instance_on_path() {
     let apple = Apple::plan(&topo, &tm, &small_config()).expect("feasible");
     for class in apple.classes() {
         for &nf in class.chain.nfs() {
-            let on_path: u32 = class
-                .path
-                .iter()
-                .map(|&v| apple.placement().q(v, nf))
-                .sum();
+            let on_path: u32 = class.path.iter().map(|&v| apple.placement().q(v, nf)).sum();
             assert!(
                 on_path > 0,
                 "{}: no {} instance on path {}",

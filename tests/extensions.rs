@@ -38,7 +38,11 @@ fn nat_classes_complete_chains_despite_rewrites() {
     let apple = plan(TopologyKind::Geant, 61, 25);
     let mut nat_classes = 0;
     for class in apple.classes() {
-        let has_nat = class.chain.nfs().iter().any(|&nf| VnfSpec::of(nf).rewrites_headers());
+        let has_nat = class
+            .chain
+            .nfs()
+            .iter()
+            .any(|&nf| VnfSpec::of(nf).rewrites_headers());
         let p = Packet::new(class.src_prefix.0 | 4, class.dst_prefix.0 | 4, 7, 80, 6);
         let rec = apple
             .program()
@@ -87,12 +91,19 @@ fn online_placer_extends_a_global_plan() {
     let topo = TopologyKind::Internet2.build();
     let tm = GravityModel::new(2_000.0, 63).base_matrix(&topo);
     let all = ClassSet::build(&topo, &tm, &ClassConfig::default());
-    let planned: std::collections::BTreeSet<_> =
-        apple.classes().iter().map(EquivalenceClass::od_pair).collect();
+    let planned: std::collections::BTreeSet<_> = apple
+        .classes()
+        .iter()
+        .map(EquivalenceClass::od_pair)
+        .collect();
     let mut placer = OnlinePlacer::from_assignment(&apple.program().assignment);
     let mut placed = 0;
     let mut launched = 0;
-    for class in all.iter().filter(|c| !planned.contains(&c.od_pair())).take(10) {
+    for class in all
+        .iter()
+        .filter(|c| !planned.contains(&c.od_pair()))
+        .take(10)
+    {
         let d = placer
             .place_class(class, apple.orchestrator_mut())
             .unwrap_or_else(|e| panic!("online placement failed: {e}"));
@@ -167,7 +178,8 @@ fn engine_model_survives_lp_export_and_presolve() {
     let q1 = m.add_int_var("q_v0_FW", 0.0, 16.0, 1.0);
     let d1 = m.add_var("d_c0_0_0", 0.0, 1.0, 0.0);
     let d2 = m.add_var("d_c0_1_0", 0.0, 1.0, 0.0);
-    m.add_constraint([(d1, 1.0), (d2, 1.0)], Cmp::Eq, 1.0).unwrap();
+    m.add_constraint([(d1, 1.0), (d2, 1.0)], Cmp::Eq, 1.0)
+        .unwrap();
     m.add_constraint([(d1, 500.0), (q1, -900.0)], Cmp::Le, 0.0)
         .unwrap();
     let text = m.to_lp_format();
@@ -182,8 +194,8 @@ fn topologies_round_trip_and_export() {
     for kind in TopologyKind::all() {
         let topo = kind.build();
         let text = topo.graph.to_edge_list();
-        let parsed = Graph::from_edge_list(&text)
-            .unwrap_or_else(|e| panic!("{kind}: parse failed: {e}"));
+        let parsed =
+            Graph::from_edge_list(&text).unwrap_or_else(|e| panic!("{kind}: parse failed: {e}"));
         assert_eq!(parsed.node_count(), topo.graph.node_count());
         assert_eq!(
             parsed.undirected_link_count(),

@@ -40,10 +40,10 @@ fn failover_never_hurts_on_the_evaluation_trio() {
     for kind in TopologyKind::evaluation_trio() {
         let topo = kind.build();
         let series = bursty(&topo, 31);
-        let with = replay(&topo, &series, &replay_cfg(true))
-            .unwrap_or_else(|e| panic!("{kind}: {e}"));
-        let without = replay(&topo, &series, &replay_cfg(false))
-            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let with =
+            replay(&topo, &series, &replay_cfg(true)).unwrap_or_else(|e| panic!("{kind}: {e}"));
+        let without =
+            replay(&topo, &series, &replay_cfg(false)).unwrap_or_else(|e| panic!("{kind}: {e}"));
         assert!(
             with.loss.mean() <= without.loss.mean() + 1e-9,
             "{kind}: failover worsened mean loss: {} vs {}",
@@ -90,10 +90,8 @@ fn failover_decisions_never_change_paths() {
     let mut handler = apple.dynamic_handler();
     let classes = apple.classes().clone();
     // Burst every class and notify for every instance in turn.
-    let rates: BTreeMap<ClassId, f64> = classes
-        .iter()
-        .map(|c| (c.id, c.rate_mbps * 10.0))
-        .collect();
+    let rates: BTreeMap<ClassId, f64> =
+        classes.iter().map(|c| (c.id, c.rate_mbps * 10.0)).collect();
     let instances: Vec<_> = handler
         .shares()
         .iter()
@@ -145,10 +143,8 @@ fn roll_back_is_idempotent() {
     .expect("feasible");
     let mut handler = apple.dynamic_handler();
     let classes = apple.classes().clone();
-    let rates: BTreeMap<ClassId, f64> = classes
-        .iter()
-        .map(|c| (c.id, c.rate_mbps * 20.0))
-        .collect();
+    let rates: BTreeMap<ClassId, f64> =
+        classes.iter().map(|c| (c.id, c.rate_mbps * 20.0)).collect();
     let victim = handler.shares()[0].instances[0];
     let _ = handler.handle_overload(victim, &rates, &classes, apple.orchestrator_mut());
     let count_after_failover = apple.orchestrator().instance_count();

@@ -42,8 +42,7 @@ fn deploy_with(spec: PolicySpec) -> PolicyDeployment {
         .place(&classes, &orch)
         .expect("policy-driven placement feasible");
     let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
-    let program =
-        generate(&topo, &classes, &plan, &placement, &mut orch).expect("rule generation");
+    let program = generate(&topo, &classes, &plan, &placement, &mut orch).expect("rule generation");
     PolicyDeployment {
         classes,
         program,
@@ -136,7 +135,10 @@ fn udp_dns_distinguished_by_proto() {
         53,
         17,
     );
-    assert_eq!(walked_chain(&d, dns_idx, dns_packet), vec![NfType::Firewall]);
+    assert_eq!(
+        walked_chain(&d, dns_idx, dns_packet),
+        vec![NfType::Firewall]
+    );
 
     // TCP/53 from the same pair is NOT dns: it must take the default
     // chain.

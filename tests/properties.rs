@@ -1,5 +1,6 @@
-//! Property-based tests for the three Table I guarantees, over randomly
-//! generated topologies and traffic matrices.
+//! Randomised (deterministically seeded) tests for the three Table I
+//! guarantees, over generated topologies and traffic matrices. Seeding
+//! follows the convention in `tests/README.md`.
 //!
 //! For every planned deployment:
 //! 1. **Policy enforcement** — every class's representative packets
@@ -15,7 +16,10 @@ use apple_nfv::core::engine::EngineError;
 use apple_nfv::dataplane::packet::{HostTag, Packet};
 use apple_nfv::topology::zoo;
 use apple_nfv::traffic::GravityModel;
-use proptest::prelude::*;
+use apple_rng::{Rng, SeedableRng, StdRng};
+
+/// Base seed for this file; each case perturbs it by its index.
+const SEED: u64 = 0x7ab1_e001;
 
 fn plan_random(
     nodes: usize,
@@ -39,23 +43,22 @@ fn plan_random(
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn three_properties_hold_on_random_networks() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(SEED ^ case);
+        let nodes = rng.gen_range(4usize..14);
+        let degree = rng.gen_range(2.0..3.5);
+        let topo_seed = rng.gen_range(0u64..1_000);
+        let tm_seed = rng.gen_range(0u64..1_000);
+        let host_octet = rng.gen_range(1u32..255);
 
-    #[test]
-    fn three_properties_hold_on_random_networks(
-        nodes in 4usize..14,
-        degree in 2.0f64..3.5,
-        topo_seed in 0u64..1_000,
-        tm_seed in 0u64..1_000,
-        host_octet in 1u32..255,
-    ) {
         let apple = match plan_random(nodes, degree, topo_seed, tm_seed, 10) {
             Ok(a) => a,
             // Tiny random topologies can be genuinely infeasible; that is
             // not a property violation.
-            Err(EngineError::Infeasible) => return Ok(()),
-            Err(e) => return Err(TestCaseError::fail(format!("plan failed: {e}"))),
+            Err(EngineError::Infeasible) => continue,
+            Err(e) => panic!("case {case}: plan failed: {e}"),
         };
         for class in apple.classes() {
             let p = Packet::new(
@@ -69,7 +72,7 @@ proptest! {
                 .program()
                 .walker
                 .walk(p, &class.path)
-                .map_err(|e| TestCaseError::fail(format!("walk failed: {e}")))?;
+                .unwrap_or_else(|e| panic!("case {case}: walk failed: {e}"));
 
             // 1. Policy enforcement.
             let nfs: Vec<_> = rec
@@ -77,15 +80,21 @@ proptest! {
                 .iter()
                 .filter_map(|&id| apple.orchestrator().instance(id).map(|i| i.nf()))
                 .collect();
-            prop_assert_eq!(
-                &nfs[..], class.chain.nfs(),
-                "class {} chain violated", class.id
+            assert_eq!(
+                &nfs[..],
+                class.chain.nfs(),
+                "case {case}: class {} chain violated",
+                class.id
             );
-            prop_assert_eq!(rec.packet.host_tag, HostTag::Fin);
+            assert_eq!(rec.packet.host_tag, HostTag::Fin);
 
             // 2. Interference freedom.
             let expect: Vec<usize> = class.path.iter().map(|n| n.0).collect();
-            prop_assert_eq!(rec.switches, expect, "path changed for {}", class.id);
+            assert_eq!(
+                rec.switches, expect,
+                "case {case}: path changed for {}",
+                class.id
+            );
         }
 
         // 3. Isolation.
@@ -100,22 +109,31 @@ proptest! {
             .instances()
             .map(|i| i.spec().cores)
             .sum();
-        prop_assert_eq!(committed, per_instance, "resource sharing detected");
+        assert_eq!(
+            committed, per_instance,
+            "case {case}: resource sharing detected"
+        );
     }
+}
 
-    #[test]
-    fn subclass_fractions_partition_every_class(
-        topo_seed in 0u64..500,
-        tm_seed in 0u64..500,
-    ) {
+#[test]
+fn subclass_fractions_partition_every_class() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x100 + case));
+        let topo_seed = rng.gen_range(0u64..500);
+        let tm_seed = rng.gen_range(0u64..500);
         let apple = match plan_random(8, 2.5, topo_seed, tm_seed, 8) {
             Ok(a) => a,
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
         for class in apple.classes() {
             let subs = apple.subclasses().of_class(class.id);
             let total: f64 = subs.iter().map(|s| s.fraction()).sum();
-            prop_assert!((total - 1.0).abs() < 1e-9, "class {} covered {total}", class.id);
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "case {case}: class {} covered {total}",
+                class.id
+            );
             // Prefix covers are disjoint inside the class /24.
             let mut covered = [false; 256];
             for s in &subs {
@@ -124,23 +142,33 @@ proptest! {
                     let count = 1usize << (32 - len);
                     #[allow(clippy::needless_range_loop)] // asserting per index
                     for u in start..start + count {
-                        prop_assert!(!covered[u], "overlapping prefixes in {}", class.id);
+                        assert!(
+                            !covered[u],
+                            "case {case}: overlapping prefixes in {}",
+                            class.id
+                        );
                         covered[u] = true;
                     }
                 }
             }
-            prop_assert!(covered.iter().all(|&b| b), "class {} /24 not covered", class.id);
+            assert!(
+                covered.iter().all(|&b| b),
+                "case {case}: class {} /24 not covered",
+                class.id
+            );
         }
     }
+}
 
-    #[test]
-    fn capacity_holds_after_rounding(
-        topo_seed in 0u64..500,
-        tm_seed in 0u64..500,
-    ) {
+#[test]
+fn capacity_holds_after_rounding() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x200 + case));
+        let topo_seed = rng.gen_range(0u64..500);
+        let tm_seed = rng.gen_range(0u64..500);
         let apple = match plan_random(10, 2.5, topo_seed, tm_seed, 12) {
             Ok(a) => a,
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
         // No instance is assigned more than its Table IV capacity.
         let mut seen = std::collections::BTreeSet::new();
@@ -158,7 +186,10 @@ proptest! {
             // Sub-class fractions are quantised to 1/256 and packed
             // best-fit; fragmentation can overflow an instance by a sliver,
             // far inside the 15 % headroom below the overload threshold.
-            prop_assert!(load <= cap * 1.02, "instance {id} loaded {load} > {cap}");
+            assert!(
+                load <= cap * 1.02,
+                "case {case}: instance {id} loaded {load} > {cap}"
+            );
         }
     }
 }
