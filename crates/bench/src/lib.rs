@@ -30,7 +30,7 @@ use apple_dataplane::packet::{HostTag, Packet};
 use apple_nf::OverloadModel;
 use apple_sim::failover_lab::{transfer_times, TransferStrategy};
 use apple_sim::metrics::{cdf, Summary};
-use apple_sim::replay::{replay, ReplayConfig, ReplayOutcome};
+use apple_sim::replay::{replay, ReplayConfig, ReplayError, ReplayOutcome};
 use apple_topology::{Topology, TopologyKind};
 use apple_traffic::{GravityModel, SeriesConfig, TmSeries, TrafficMatrix};
 use std::time::Duration;
@@ -441,7 +441,7 @@ pub fn fig12_loss_series(
     kind: TopologyKind,
     snapshots: usize,
     seed: u64,
-) -> Result<LossRow, EngineError> {
+) -> Result<LossRow, ReplayError> {
     let topo = kind.build();
     let series = TmSeries::generate(
         &topo,

@@ -8,7 +8,7 @@
 
 use crate::classes::{ClassConfig, ClassSet};
 use crate::engine::{EngineConfig, EngineError, OptimizationEngine, Placement};
-use crate::failover::DynamicHandler;
+use crate::failover::{DynamicHandler, FailoverError};
 use crate::orchestrator::ResourceOrchestrator;
 use crate::rules::{generate, DataPlaneProgram, RuleGenError};
 use crate::subclass::{SplitStrategy, SubclassPlan};
@@ -151,7 +151,13 @@ impl Apple {
     }
 
     /// Builds a Dynamic Handler initialised from this deployment.
-    pub fn dynamic_handler(&self) -> DynamicHandler {
+    ///
+    /// # Errors
+    ///
+    /// [`FailoverError::UnknownClass`] when the sub-class plan and class
+    /// set disagree — impossible for a deployment built by [`Apple::plan`],
+    /// but surfaced as an error rather than a panic.
+    pub fn dynamic_handler(&self) -> Result<DynamicHandler, FailoverError> {
         DynamicHandler::from_assignment(&self.classes, &self.plan, &self.program.assignment)
     }
 
@@ -230,7 +236,7 @@ mod tests {
         let topo = zoo::geant();
         let tm = GravityModel::new(3_000.0, 43).base_matrix(&topo);
         let apple = Apple::plan(&topo, &tm, &small_config()).unwrap();
-        let handler = apple.dynamic_handler();
+        let handler = apple.dynamic_handler().unwrap();
         assert!(handler.fractions_consistent());
         assert!(!handler.shares().is_empty());
     }

@@ -19,10 +19,10 @@
 //! forwarding paths of flows never change (interference freedom holds even
 //! during failover).
 
-use crate::classes::{ClassId, ClassSet};
-use crate::orchestrator::{OrchestratorError, ResourceOrchestrator};
+use crate::classes::{ClassId, ClassSet, EquivalenceClass};
+use crate::orchestrator::{ControlOps, OrchestratorError, ResourceOrchestrator};
 use apple_nf::{InstanceId, NfType, VnfSpec};
-use apple_telemetry::{Recorder, RecorderExt};
+use apple_telemetry::{Recorder, RecorderExt, NOOP};
 use apple_topology::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -79,21 +79,80 @@ pub enum FailoverAction {
 }
 
 /// Errors during failover handling.
+///
+/// These replace the panics the handler used to hit on malformed inputs: a
+/// notification that names a class the handler has never seen, or a share
+/// whose stage list disagrees with its class's chain, now surfaces as a
+/// typed error the control loop can log and survive.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FailoverError {
     /// Helper instance launch failed (no resources anywhere on the path).
     NoCapacity(OrchestratorError),
+    /// A share or sub-class plan refers to a class the [`ClassSet`] does
+    /// not contain.
+    UnknownClass(ClassId),
+    /// A share's stage list is inconsistent with its class (wrong length,
+    /// or the notified instance is not actually on the share).
+    MalformedShare {
+        /// Owning class of the inconsistent share.
+        class: ClassId,
+        /// Sub-class id of the inconsistent share.
+        sub: u16,
+    },
 }
 
 impl fmt::Display for FailoverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FailoverError::NoCapacity(e) => write!(f, "cannot spawn helper: {e}"),
+            FailoverError::UnknownClass(c) => {
+                write!(f, "share refers to unknown class {}", c.0)
+            }
+            FailoverError::MalformedShare { class, sub } => {
+                write!(
+                    f,
+                    "share {}/{sub} is inconsistent with its class's chain",
+                    class.0
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for FailoverError {}
+
+/// What the handler did in response to an instance crash.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrashRecovery {
+    /// The dead instance carried no sub-classes; nothing to repair.
+    None,
+    /// Every affected sub-class was re-homed onto surviving or freshly
+    /// launched instances — full service restored.
+    Recovered {
+        /// Stages re-homed (across all affected sub-classes).
+        rehomed: usize,
+        /// A replacement instance, if one had to be launched.
+        replacement: Option<InstanceId>,
+    },
+    /// Some sub-classes could not be re-homed (no capacity anywhere in
+    /// their order window): their traffic is shed and the handler is in
+    /// degraded mode until [`DynamicHandler::recover_degraded`] succeeds.
+    Degraded {
+        /// Stages that *were* re-homed before capacity ran out.
+        rehomed: usize,
+        /// Sub-classes parked (traffic shed).
+        parked: usize,
+        /// Total traffic fraction newly shed by this event.
+        shed: f64,
+    },
+}
+
+/// A sub-class parked in degraded mode: its share is withheld from the
+/// rule tables (traffic shed at ingress) until capacity returns.
+#[derive(Debug, Clone, PartialEq)]
+struct ParkedShare {
+    share: ShareState,
+}
 
 /// The Dynamic Handler.
 ///
@@ -103,29 +162,38 @@ impl std::error::Error for FailoverError {}
 #[derive(Debug, Clone, Default)]
 pub struct DynamicHandler {
     shares: Vec<ShareState>,
-    /// Helper instances created by fast failover, with the share index they
-    /// absorb for.
-    helpers: Vec<(InstanceId, usize)>,
+    /// Helper instances created by fast failover, with the NF type they
+    /// run (needed to release their cores even if the VM has since died).
+    helpers: Vec<(InstanceId, NfType)>,
     /// Extra cores consumed by helpers right now (for the §IX-E "< 17
     /// cores" claim).
     helper_cores: u32,
     /// Peak helper cores seen.
     peak_helper_cores: u32,
+    /// Sub-classes parked in degraded mode (shed, awaiting capacity).
+    parked: Vec<ParkedShare>,
+    /// Traffic fraction currently shed, per class.
+    shed: BTreeMap<ClassId, f64>,
 }
 
 impl DynamicHandler {
     /// Builds the handler state from an instance assignment (the engine's
     /// output realised by the rule generator).
+    ///
+    /// # Errors
+    ///
+    /// [`FailoverError::UnknownClass`] when the sub-class plan names a
+    /// class absent from `classes` (a malformed plan used to panic here).
     pub fn from_assignment(
         classes: &ClassSet,
         plan: &crate::subclass::SubclassPlan,
         assignment: &crate::rules::InstanceAssignment,
-    ) -> DynamicHandler {
+    ) -> Result<DynamicHandler, FailoverError> {
         let mut shares = Vec::new();
         for s in plan.subclasses() {
             let class = classes
                 .class(s.class)
-                .expect("plan refers to known classes");
+                .ok_or(FailoverError::UnknownClass(s.class))?;
             let instances: Vec<InstanceId> = (0..class.chain.len())
                 .filter_map(|j| assignment.instance(s.class, s.id, j))
                 .collect();
@@ -140,17 +208,40 @@ impl DynamicHandler {
                 instances,
             });
         }
-        DynamicHandler {
+        Ok(DynamicHandler {
             shares,
             helpers: Vec::new(),
             helper_cores: 0,
             peak_helper_cores: 0,
-        }
+            parked: Vec::new(),
+            shed: BTreeMap::new(),
+        })
     }
 
     /// Current shares.
     pub fn shares(&self) -> &[ShareState] {
         &self.shares
+    }
+
+    /// Traffic fraction currently shed per class (degraded mode only;
+    /// empty when healthy).
+    pub fn shed(&self) -> &BTreeMap<ClassId, f64> {
+        &self.shed
+    }
+
+    /// Total traffic fraction currently shed across all classes.
+    pub fn total_shed(&self) -> f64 {
+        self.shed.values().sum()
+    }
+
+    /// True while any sub-class is parked (load is being shed).
+    pub fn is_degraded(&self) -> bool {
+        !self.parked.is_empty()
+    }
+
+    /// Number of sub-classes currently parked.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
     }
 
     /// Offered load of `inst` in Mbps given per-class rates.
@@ -181,13 +272,77 @@ impl DynamicHandler {
     /// # Errors
     ///
     /// [`FailoverError::NoCapacity`] when a helper is needed but no host on
-    /// the class path can fit one.
+    /// the class path can fit one; [`FailoverError::UnknownClass`] /
+    /// [`FailoverError::MalformedShare`] on inconsistent handler state.
     pub fn handle_overload(
         &mut self,
         inst: InstanceId,
         rates: &BTreeMap<ClassId, f64>,
         classes: &ClassSet,
         orch: &mut ResourceOrchestrator,
+    ) -> Result<FailoverAction, FailoverError> {
+        self.handle_overload_faulty(
+            inst,
+            rates,
+            classes,
+            orch,
+            &mut ControlOps::reliable(0),
+            &NOOP,
+        )
+    }
+
+    /// [`DynamicHandler::handle_overload`] against a fallible control
+    /// plane: helper boots and rule installs go through `ops` (injector,
+    /// retry policies, timing budgets) and telemetry lands on `rec`. With
+    /// [`ControlOps::reliable`] this behaves exactly like
+    /// [`DynamicHandler::handle_overload`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicHandler::handle_overload`].
+    pub fn handle_overload_faulty(
+        &mut self,
+        inst: InstanceId,
+        rates: &BTreeMap<ClassId, f64>,
+        classes: &ClassSet,
+        orch: &mut ResourceOrchestrator,
+        ops: &mut ControlOps,
+        rec: &dyn Recorder,
+    ) -> Result<FailoverAction, FailoverError> {
+        let act = {
+            let _s = rec.span("failover.handle_overload");
+            self.overload_inner(inst, rates, classes, orch, ops, rec)?
+        };
+        match &act {
+            FailoverAction::Rebalanced {
+                relieved,
+                absorbers,
+            } => {
+                rec.counter("failover.rebalanced", 1);
+                rec.counter(
+                    "failover.subclasses_rebalanced",
+                    (relieved.len() + absorbers.len()) as u64,
+                );
+            }
+            FailoverAction::SpawnedHelper { .. } => {
+                rec.counter("failover.helpers_spawned", 1);
+                rec.gauge("failover.helper_cores", f64::from(self.helper_cores()));
+            }
+            FailoverAction::Reassigned { .. } => rec.counter("failover.reassigned", 1),
+            FailoverAction::Held => rec.counter("failover.held", 1),
+            FailoverAction::None => rec.counter("failover.noop", 1),
+        }
+        Ok(act)
+    }
+
+    fn overload_inner(
+        &mut self,
+        inst: InstanceId,
+        rates: &BTreeMap<ClassId, f64>,
+        classes: &ClassSet,
+        orch: &mut ResourceOrchestrator,
+        ops: &mut ControlOps,
+        rec: &dyn Recorder,
     ) -> Result<FailoverAction, FailoverError> {
         // Sub-classes traversing the overloaded instance.
         let victim_idx: Vec<usize> = self
@@ -270,32 +425,35 @@ impl DynamicHandler {
             let class_id = self.shares[vi].class;
             let class = classes
                 .class(class_id)
-                .expect("shares refer to known classes");
+                .ok_or(FailoverError::UnknownClass(class_id))?;
             let rate = rates.get(&class_id).copied().unwrap_or(0.0);
             // The replacement serves the overloaded instance's stage.
             let stage = self.shares[vi]
                 .instances
                 .iter()
                 .position(|&i| i == inst)
-                .expect("victim share traverses the instance");
-            let nf = class.chain.nfs()[stage];
+                .ok_or(FailoverError::MalformedShare {
+                    class: class_id,
+                    sub: self.shares[vi].sub,
+                })?;
+            let nf = *class
+                .chain
+                .nfs()
+                .get(stage)
+                .ok_or(FailoverError::MalformedShare {
+                    class: class_id,
+                    sub: self.shares[vi].sub,
+                })?;
             let spec = VnfSpec::of(nf);
             // The replacement's switch must keep the chain order: between
-            // the previous and next stage's positions on the path.
-            let pos_of = |iid: InstanceId| -> Option<usize> {
-                orch.instance(iid)
-                    .and_then(|x| class.path.index_of(NodeId(x.host_switch())))
-            };
-            let lo = if stage == 0 {
-                0
-            } else {
-                pos_of(self.shares[vi].instances[stage - 1]).unwrap_or(0)
-            };
-            let hi = if stage + 1 == self.shares[vi].instances.len() {
-                class.path.len() - 1
-            } else {
-                pos_of(self.shares[vi].instances[stage + 1]).unwrap_or(class.path.len() - 1)
-            };
+            // the previous and next stage's positions on the path. A live
+            // share always has a window; its absence means corrupt state.
+            let (lo, hi) = stage_window(class, &self.shares[vi], stage, orch).ok_or(
+                FailoverError::MalformedShare {
+                    class: class_id,
+                    sub: self.shares[vi].sub,
+                },
+            )?;
 
             // 1. Existing instance with slack.
             let mut replacement: Option<InstanceId> = None;
@@ -305,6 +463,7 @@ impl DynamicHandler {
                     if cand != inst
                         && self.instance_load(cand, rates) + spill * rate
                             <= spec.capacity_mbps + 1e-9
+                        && orch.rule_install_with_retry(v, ops, rec).is_ok()
                     {
                         replacement = Some(cand);
                         break 'search;
@@ -321,10 +480,16 @@ impl DynamicHandler {
                 let mut spawned = None;
                 let mut last_err = None;
                 for p in lo..=hi {
-                    match orch.launch(class.path.nodes()[p], nf) {
-                        Ok(id) => {
-                            spawned = Some((id, class.path.nodes()[p]));
-                            break;
+                    let v = class.path.nodes()[p];
+                    match orch.launch_with_retry(v, nf, ops, rec) {
+                        Ok(report) => {
+                            // A helper without matching rules is useless:
+                            // tear it down and keep looking.
+                            if orch.rule_install_with_retry(v, ops, rec).is_ok() {
+                                spawned = Some((report.instance, v));
+                                break;
+                            }
+                            let _ = orch.teardown(report.instance);
                         }
                         Err(e) => last_err = Some(e),
                     }
@@ -340,7 +505,7 @@ impl DynamicHandler {
                     }
                     None => {
                         return Err(FailoverError::NoCapacity(
-                            last_err.expect("launch failed at least once"),
+                            last_err.unwrap_or(OrchestratorError::NoHost(class.path.nodes()[lo].0)),
                         ))
                     }
                 }
@@ -393,7 +558,7 @@ impl DynamicHandler {
             instances,
         });
         if let Some(nf) = spawned_nf {
-            self.helpers.push((replacement, self.shares.len() - 1));
+            self.helpers.push((replacement, nf));
             self.helper_cores += VnfSpec::of(nf).cores;
             self.peak_helper_cores = self.peak_helper_cores.max(self.helper_cores);
         }
@@ -417,30 +582,14 @@ impl DynamicHandler {
         orch: &mut ResourceOrchestrator,
         rec: &dyn Recorder,
     ) -> Result<FailoverAction, FailoverError> {
-        let act = {
-            let _s = rec.span("failover.handle_overload");
-            self.handle_overload(inst, rates, classes, orch)?
-        };
-        match &act {
-            FailoverAction::Rebalanced {
-                relieved,
-                absorbers,
-            } => {
-                rec.counter("failover.rebalanced", 1);
-                rec.counter(
-                    "failover.subclasses_rebalanced",
-                    (relieved.len() + absorbers.len()) as u64,
-                );
-            }
-            FailoverAction::SpawnedHelper { .. } => {
-                rec.counter("failover.helpers_spawned", 1);
-                rec.gauge("failover.helper_cores", f64::from(self.helper_cores()));
-            }
-            FailoverAction::Reassigned { .. } => rec.counter("failover.reassigned", 1),
-            FailoverAction::Held => rec.counter("failover.held", 1),
-            FailoverAction::None => rec.counter("failover.noop", 1),
-        }
-        Ok(act)
+        self.handle_overload_faulty(
+            inst,
+            rates,
+            classes,
+            orch,
+            &mut ControlOps::reliable(0),
+            rec,
+        )
     }
 
     /// [`DynamicHandler::roll_back`] with telemetry: counts the roll-back
@@ -458,27 +607,329 @@ impl DynamicHandler {
     /// clears (§VI: "the distribution will roll back to the normal state"),
     /// cancelling helper instances to save hardware.
     pub fn roll_back(&mut self, orch: &mut ResourceOrchestrator) {
-        for (helper, _) in self.helpers.drain(..) {
-            if let Some(inst) = orch.instance(helper) {
-                self.helper_cores = self.helper_cores.saturating_sub(inst.spec().cores);
-            }
+        for (helper, nf) in self.helpers.drain(..) {
+            // The helper's cores are released even when the VM has already
+            // died (crash / host failure): its NF type is remembered.
+            self.helper_cores = self.helper_cores.saturating_sub(VnfSpec::of(nf).cores);
             let _ = orch.teardown(helper);
         }
-        // Drop helper shares; restore baselines.
+        // Drop helper shares; restore baselines. Parked *temporary* shares
+        // (baseline 0) fold back into the share they split from; parked
+        // engine shares stay parked at their baseline fraction.
         self.shares.retain(|s| s.baseline > 0.0);
         for s in &mut self.shares {
             s.fraction = s.baseline;
         }
+        self.parked.retain(|p| p.share.baseline > 0.0);
+        let mut shed = BTreeMap::new();
+        for p in &mut self.parked {
+            p.share.fraction = p.share.baseline;
+            *shed.entry(p.share.class).or_insert(0.0) += p.share.baseline;
+        }
+        self.shed = shed;
     }
 
-    /// Verifies the invariant that every class's shares sum to 1.
+    /// Verifies the invariant that every class's live shares plus its shed
+    /// fraction sum to 1 — degraded mode must account for every bit of
+    /// traffic it drops.
     pub fn fractions_consistent(&self) -> bool {
         let mut per_class: BTreeMap<ClassId, f64> = BTreeMap::new();
         for s in &self.shares {
             *per_class.entry(s.class).or_insert(0.0) += s.fraction;
         }
+        for (c, s) in &self.shed {
+            *per_class.entry(*c).or_insert(0.0) += *s;
+        }
         per_class.values().all(|&v| (v - 1.0).abs() < 1e-6)
     }
+
+    /// Handles the crash of `dead` (instance failure or host failure).
+    ///
+    /// For every stage of every sub-class the dead instance served, the
+    /// handler re-homes the stage onto a surviving same-NF instance inside
+    /// the chain-order window, launching a replacement through `ops` when
+    /// no survivor has slack. Sub-classes that cannot be repaired at all
+    /// are **parked**: their traffic fraction moves to the shed ledger
+    /// (visible via [`DynamicHandler::shed`]) and the handler enters
+    /// degraded mode instead of aborting. Telemetry:
+    /// `failover.crashes_handled`, `failover.rehomed_subclasses`,
+    /// `failover.subclasses_parked`, `failover.degraded_entered` and the
+    /// `failover.shed_fraction` gauge.
+    ///
+    /// # Errors
+    ///
+    /// [`FailoverError::UnknownClass`] / [`FailoverError::MalformedShare`]
+    /// on inconsistent handler state. Capacity exhaustion is *not* an
+    /// error — it parks the share and reports
+    /// [`CrashRecovery::Degraded`].
+    pub fn handle_instance_crash(
+        &mut self,
+        dead: InstanceId,
+        rates: &BTreeMap<ClassId, f64>,
+        classes: &ClassSet,
+        orch: &mut ResourceOrchestrator,
+        ops: &mut ControlOps,
+        rec: &dyn Recorder,
+    ) -> Result<CrashRecovery, FailoverError> {
+        let _s = rec.span("failover.handle_crash");
+        rec.counter("failover.crashes_handled", 1);
+        // Release the instance's resources; a host failure may have
+        // removed it from the orchestrator already.
+        let _ = orch.crash_instance(dead);
+        // A crashed helper stops consuming helper cores.
+        if let Some(pos) = self.helpers.iter().position(|(h, _)| *h == dead) {
+            let (_, nf) = self.helpers.remove(pos);
+            self.helper_cores = self.helper_cores.saturating_sub(VnfSpec::of(nf).cores);
+            rec.gauge("failover.helper_cores", f64::from(self.helper_cores));
+        }
+
+        let affected: Vec<usize> = self
+            .shares
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.instances.contains(&dead))
+            .map(|(i, _)| i)
+            .collect();
+        if affected.is_empty() {
+            return Ok(CrashRecovery::None);
+        }
+
+        let was_degraded = self.is_degraded();
+        let mut rehomed = 0usize;
+        let mut replacement: Option<InstanceId> = None;
+        let mut to_park: Vec<usize> = Vec::new();
+
+        for &vi in &affected {
+            let class_id = self.shares[vi].class;
+            let class = classes
+                .class(class_id)
+                .ok_or(FailoverError::UnknownClass(class_id))?;
+            let rate = rates.get(&class_id).copied().unwrap_or(0.0);
+            let extra = self.shares[vi].fraction * rate;
+            let stages: Vec<usize> = self.shares[vi]
+                .instances
+                .iter()
+                .enumerate()
+                .filter(|(_, &i)| i == dead)
+                .map(|(j, _)| j)
+                .collect();
+            let mut parked = false;
+            for stage in stages {
+                let nf = *class
+                    .chain
+                    .nfs()
+                    .get(stage)
+                    .ok_or(FailoverError::MalformedShare {
+                        class: class_id,
+                        sub: self.shares[vi].sub,
+                    })?;
+                match self.fix_stage(vi, stage, nf, extra, class, rates, orch, ops, rec) {
+                    Some((id, spawned)) => {
+                        rehomed += 1;
+                        rec.counter("failover.rehomed_subclasses", 1);
+                        if spawned {
+                            replacement = Some(id);
+                        }
+                    }
+                    None => {
+                        parked = true;
+                        break;
+                    }
+                }
+            }
+            if parked {
+                to_park.push(vi);
+            }
+        }
+
+        // Park unrepairable shares, highest index first so removal does
+        // not shift the remaining indices.
+        let mut shed_added = 0.0;
+        for &vi in to_park.iter().rev() {
+            let share = self.shares.remove(vi);
+            shed_added += share.fraction;
+            *self.shed.entry(share.class).or_insert(0.0) += share.fraction;
+            rec.counter("failover.subclasses_parked", 1);
+            self.parked.push(ParkedShare { share });
+        }
+
+        if to_park.is_empty() {
+            Ok(CrashRecovery::Recovered {
+                rehomed,
+                replacement,
+            })
+        } else {
+            if !was_degraded {
+                rec.counter("failover.degraded_entered", 1);
+            }
+            rec.gauge("failover.shed_fraction", self.total_shed());
+            Ok(CrashRecovery::Degraded {
+                rehomed,
+                parked: to_park.len(),
+                shed: shed_added,
+            })
+        }
+    }
+
+    /// Tries to restore parked sub-classes (degraded-mode exit path): for
+    /// each parked share, every stage whose instance is gone is re-homed
+    /// exactly as in [`DynamicHandler::handle_instance_crash`]; on success
+    /// the share rejoins the live set and its fraction leaves the shed
+    /// ledger. Call this after capacity returns (host recovery, roll-back,
+    /// periodic re-optimisation). Returns the number of shares restored.
+    /// Telemetry: `failover.subclasses_restored`,
+    /// `failover.degraded_exited`, `failover.shed_fraction`.
+    ///
+    /// # Errors
+    ///
+    /// [`FailoverError::MalformedShare`] when a parked share disagrees
+    /// with its class's chain. A share whose class is unknown stays parked
+    /// (degraded mode persists) rather than erroring, so one malformed
+    /// entry cannot wedge recovery of the others.
+    pub fn recover_degraded(
+        &mut self,
+        rates: &BTreeMap<ClassId, f64>,
+        classes: &ClassSet,
+        orch: &mut ResourceOrchestrator,
+        ops: &mut ControlOps,
+        rec: &dyn Recorder,
+    ) -> Result<usize, FailoverError> {
+        if self.parked.is_empty() {
+            return Ok(0);
+        }
+        let _s = rec.span("failover.recover_degraded");
+        let mut restored = 0usize;
+        let mut still_parked: Vec<ParkedShare> = Vec::new();
+        for p in std::mem::take(&mut self.parked) {
+            let class_id = p.share.class;
+            let Some(class) = classes.class(class_id) else {
+                still_parked.push(p);
+                continue;
+            };
+            let rate = rates.get(&class_id).copied().unwrap_or(0.0);
+            let extra = p.share.fraction * rate;
+            // Work on the share as the (temporary) last live entry so
+            // fix_stage sees a consistent load picture.
+            self.shares.push(p.share);
+            let vi = self.shares.len() - 1;
+            let mut ok = true;
+            for stage in 0..self.shares[vi].instances.len() {
+                if orch.instance(self.shares[vi].instances[stage]).is_some() {
+                    continue; // stage instance still alive
+                }
+                let nf = *class
+                    .chain
+                    .nfs()
+                    .get(stage)
+                    .ok_or(FailoverError::MalformedShare {
+                        class: class_id,
+                        sub: self.shares[vi].sub,
+                    })?;
+                if self
+                    .fix_stage(vi, stage, nf, extra, class, rates, orch, ops, rec)
+                    .is_none()
+                {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                restored += 1;
+                let f = self.shares[vi].fraction;
+                if let Some(s) = self.shed.get_mut(&class_id) {
+                    *s -= f;
+                    if *s < 1e-9 {
+                        self.shed.remove(&class_id);
+                    }
+                }
+                rec.counter("failover.subclasses_restored", 1);
+            } else {
+                let share = self.shares.pop().expect("share pushed above");
+                still_parked.push(ParkedShare { share });
+            }
+        }
+        self.parked = still_parked;
+        if self.parked.is_empty() && restored > 0 {
+            rec.counter("failover.degraded_exited", 1);
+        }
+        rec.gauge("failover.shed_fraction", self.total_shed());
+        Ok(restored)
+    }
+
+    /// Re-homes stage `stage` of share `vi` onto a live `nf` instance
+    /// inside the chain-order window, adding `extra` Mbps of load:
+    /// preferring a survivor with slack, then launching a replacement.
+    /// Returns `(instance, spawned_new_vm)`, or `None` when neither works
+    /// (the caller parks the share).
+    #[allow(clippy::too_many_arguments)]
+    fn fix_stage(
+        &mut self,
+        vi: usize,
+        stage: usize,
+        nf: NfType,
+        extra: f64,
+        class: &EquivalenceClass,
+        rates: &BTreeMap<ClassId, f64>,
+        orch: &mut ResourceOrchestrator,
+        ops: &mut ControlOps,
+        rec: &dyn Recorder,
+    ) -> Option<(InstanceId, bool)> {
+        let spec = VnfSpec::of(nf);
+        let (lo, hi) = stage_window(class, &self.shares[vi], stage, orch)?;
+
+        // 1. A surviving same-NF instance with slack (rules must install).
+        for p in lo..=hi {
+            let v = class.path.nodes()[p];
+            for cand in orch.instances_at(v, nf) {
+                if self.instance_load(cand, rates) + extra <= spec.capacity_mbps + 1e-9
+                    && orch.rule_install_with_retry(v, ops, rec).is_ok()
+                {
+                    self.shares[vi].instances[stage] = cand;
+                    return Some((cand, false));
+                }
+            }
+        }
+        // 2. A freshly launched replacement.
+        for p in lo..=hi {
+            let v = class.path.nodes()[p];
+            if let Ok(report) = orch.launch_with_retry(v, nf, ops, rec) {
+                if orch.rule_install_with_retry(v, ops, rec).is_ok() {
+                    self.shares[vi].instances[stage] = report.instance;
+                    return Some((report.instance, true));
+                }
+                // A replacement without rules serves nothing.
+                let _ = orch.teardown(report.instance);
+            }
+        }
+        None
+    }
+}
+
+/// The path-position window `[lo, hi]` inside which `stage` of `share` may
+/// be served without breaking chain order, or `None` when no such window
+/// exists. Bounded by the **nearest live** stage on each side — not just
+/// the immediate neighbours, which may themselves be dead during a
+/// multi-victim cascade (a host failure). Dead stages inside the gap are
+/// re-homed later within the same bounds; equal positions are legal, so a
+/// placement here never makes the gap infeasible for them.
+fn stage_window(
+    class: &EquivalenceClass,
+    share: &ShareState,
+    stage: usize,
+    orch: &ResourceOrchestrator,
+) -> Option<(usize, usize)> {
+    let pos_of = |iid: InstanceId| -> Option<usize> {
+        orch.instance(iid)
+            .and_then(|x| class.path.index_of(NodeId(x.host_switch())))
+    };
+    let lo = (0..stage)
+        .rev()
+        .find_map(|j| pos_of(share.instances[j]))
+        .unwrap_or(0);
+    let hi = (stage + 1..share.instances.len())
+        .find_map(|j| pos_of(share.instances[j]))
+        .unwrap_or(class.path.len() - 1);
+    (lo <= hi).then_some((lo, hi))
 }
 
 #[cfg(test)]
@@ -513,7 +964,7 @@ mod tests {
             .unwrap();
         let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
         let prog = generate(&topo, &classes, &plan, &placement, &mut orch).unwrap();
-        let handler = DynamicHandler::from_assignment(&classes, &plan, &prog.assignment);
+        let handler = DynamicHandler::from_assignment(&classes, &plan, &prog.assignment).unwrap();
         let rates: BTreeMap<ClassId, f64> = classes.iter().map(|c| (c.id, c.rate_mbps)).collect();
         (classes, orch, handler, rates)
     }
@@ -548,13 +999,10 @@ mod tests {
         );
     }
 
-    #[test]
-    fn helper_spawned_when_no_sibling_exists() {
-        // A synthetic single-class deployment: one Firewall-only class on a
-        // 3-node line, so the handler holds exactly one share (no sibling)
-        // and exactly one Firewall instance (nothing to reassign to). A
-        // burst far past capacity can then only be absorbed by spawning a
-        // ClickOS helper.
+    /// A synthetic single-class deployment: one Firewall-only class on a
+    /// 3-node line, so the handler holds exactly one share (no sibling)
+    /// and exactly one Firewall instance (nothing to reassign to).
+    fn single_class_line() -> (ClassSet, ResourceOrchestrator, DynamicHandler) {
         use crate::classes::EquivalenceClass;
         use crate::policy::PolicyChain;
         use apple_nf::NfType;
@@ -580,8 +1028,17 @@ mod tests {
             .unwrap();
         let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
         let prog = generate(&topo, &classes, &plan, &placement, &mut orch).unwrap();
-        let mut handler = DynamicHandler::from_assignment(&classes, &plan, &prog.assignment);
+        let handler = DynamicHandler::from_assignment(&classes, &plan, &prog.assignment).unwrap();
+        (classes, orch, handler)
+    }
 
+    #[test]
+    fn helper_spawned_when_no_sibling_exists() {
+        // A burst far past capacity can only be absorbed by spawning a
+        // ClickOS helper (no sibling sub-class, no spare instance).
+        use apple_nf::NfType;
+
+        let (classes, mut orch, mut handler) = single_class_line();
         let lone = handler.shares()[0].clone();
         assert!(
             handler
@@ -629,6 +1086,172 @@ mod tests {
         assert_eq!(orch.instance_count(), instances_before);
         assert_eq!(handler.helper_cores(), 0);
         assert!(handler.fractions_consistent());
+    }
+
+    #[test]
+    fn crash_of_unknown_instance_is_none() {
+        let (classes, mut orch, mut handler, rates) = setup();
+        let got = handler
+            .handle_instance_crash(
+                InstanceId(999_999),
+                &rates,
+                &classes,
+                &mut orch,
+                &mut ControlOps::reliable(0),
+                &NOOP,
+            )
+            .unwrap();
+        assert_eq!(got, CrashRecovery::None);
+        assert!(handler.fractions_consistent());
+    }
+
+    #[test]
+    fn crash_rehomes_every_affected_stage() {
+        let (classes, mut orch, mut handler, rates) = setup();
+        let dead = handler.shares()[0].instances[0];
+        let got = handler
+            .handle_instance_crash(
+                dead,
+                &rates,
+                &classes,
+                &mut orch,
+                &mut ControlOps::reliable(7),
+                &NOOP,
+            )
+            .unwrap();
+        match got {
+            CrashRecovery::Recovered { rehomed, .. } => assert!(rehomed > 0),
+            other => panic!("expected full recovery with ample hosts, got {other:?}"),
+        }
+        assert!(orch.instance(dead).is_none(), "dead instance lingers");
+        for s in handler.shares() {
+            assert!(
+                !s.instances.contains(&dead),
+                "share still routed through the dead instance"
+            );
+        }
+        assert!(handler.fractions_consistent());
+        assert!(!handler.is_degraded());
+    }
+
+    #[test]
+    fn crash_without_capacity_enters_and_exits_degraded_mode() {
+        // Single-class, single-instance deployment (as in the helper test):
+        // kill the lone Firewall while every boot attempt fails, so the
+        // handler has no repair option and must shed the class's traffic.
+        use apple_faults::FailFirstN;
+        use apple_telemetry::MemoryRecorder;
+
+        let (classes, mut orch, mut handler) = single_class_line();
+        let rates: BTreeMap<ClassId, f64> = classes.iter().map(|c| (c.id, c.rate_mbps)).collect();
+        let rec = MemoryRecorder::new();
+
+        let dead = handler.shares()[0].instances[0];
+        let mut flaky = ControlOps::with_injector(3, Box::new(FailFirstN::new(1_000, 0)));
+        let got = handler
+            .handle_instance_crash(dead, &rates, &classes, &mut orch, &mut flaky, &rec)
+            .unwrap();
+        match got {
+            CrashRecovery::Degraded {
+                parked, shed: s, ..
+            } => {
+                assert_eq!(parked, 1);
+                assert!((s - 1.0).abs() < 1e-9, "whole class should shed, got {s}");
+            }
+            other => panic!("expected degraded mode, got {other:?}"),
+        }
+        assert!(handler.is_degraded());
+        assert_eq!(handler.parked_count(), 1);
+        assert!((handler.total_shed() - 1.0).abs() < 1e-9);
+        assert!(
+            handler.fractions_consistent(),
+            "shed traffic must stay accounted"
+        );
+
+        // Capacity returns (boots work again): degraded mode exits.
+        let restored = handler
+            .recover_degraded(
+                &rates,
+                &classes,
+                &mut orch,
+                &mut ControlOps::reliable(3),
+                &rec,
+            )
+            .unwrap();
+        assert_eq!(restored, 1);
+        assert!(!handler.is_degraded());
+        assert!(handler.total_shed().abs() < 1e-9);
+        assert!(handler.fractions_consistent());
+
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("failover.degraded_entered"), Some(1));
+        assert_eq!(snap.counter("failover.degraded_exited"), Some(1));
+        assert_eq!(snap.counter("failover.subclasses_parked"), Some(1));
+        assert_eq!(snap.counter("failover.subclasses_restored"), Some(1));
+    }
+
+    #[test]
+    fn crashed_helper_releases_its_cores() {
+        let (classes, mut orch, mut handler) = single_class_line();
+        let victim = handler.shares()[0].instances[0];
+        let class = handler.shares()[0].class;
+        let mut rates = BTreeMap::new();
+        rates.insert(class, 50_000.0);
+        let act = handler
+            .handle_overload(victim, &rates, &classes, &mut orch)
+            .unwrap();
+        let helper = match act {
+            FailoverAction::SpawnedHelper { instance, .. } => instance,
+            other => panic!("expected helper, got {other:?}"),
+        };
+        assert!(handler.helper_cores() > 0);
+        handler
+            .handle_instance_crash(
+                helper,
+                &rates,
+                &classes,
+                &mut orch,
+                &mut ControlOps::reliable(11),
+                &NOOP,
+            )
+            .unwrap();
+        assert_eq!(handler.helper_cores(), 0, "dead helper still holds cores");
+        assert!(handler.fractions_consistent());
+        // Roll-back after the crash must not double-free anything.
+        handler.roll_back(&mut orch);
+        assert_eq!(handler.helper_cores(), 0);
+        assert!(handler.fractions_consistent());
+    }
+
+    #[test]
+    fn host_failure_crash_cascade_stays_consistent() {
+        let (classes, mut orch, mut handler, rates) = setup();
+        let dead_host = orch
+            .instance(handler.shares()[0].instances[0])
+            .map(|i| NodeId(i.host_switch()))
+            .unwrap();
+        let victims = orch.fail_host(dead_host).unwrap();
+        assert!(!victims.is_empty());
+        let mut ops = ControlOps::reliable(13);
+        for dead in victims {
+            handler
+                .handle_instance_crash(dead, &rates, &classes, &mut orch, &mut ops, &NOOP)
+                .unwrap();
+            assert!(handler.fractions_consistent());
+        }
+        for s in handler.shares() {
+            for &i in &s.instances {
+                assert!(orch.instance(i).is_some(), "share routed through a ghost");
+            }
+        }
+        // Re-homing across a multi-victim cascade must preserve chain
+        // order: windows are bounded by the nearest *live* stage, never
+        // a dead neighbour's stale fallback.
+        let violations = crate::verify::verify_shares(&classes, &handler, &orch, 1e-6);
+        assert!(
+            violations.is_empty(),
+            "cascade broke invariants: {violations:?}"
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! launches instances on behalf of the Optimization Engine, and reports
 //! availability back to it.
 
-use apple_nf::{InstanceId, NfType, ResourceVector, VnfInstance, VnfSpec};
+use apple_faults::{FaultInjector, NoFaults, RetryPolicy};
+use apple_nf::{InstanceId, NfType, ResourceVector, TimingModel, VnfInstance, VnfSpec};
+use apple_rng::rngs::StdRng;
+use apple_rng::SeedableRng;
+use apple_telemetry::Recorder;
 use apple_topology::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -27,6 +31,33 @@ pub enum OrchestratorError {
     },
     /// Unknown instance id.
     UnknownInstance(InstanceId),
+    /// The host is marked down (failed and not yet recovered).
+    HostDown(usize),
+    /// Every boot attempt within the retry policy failed.
+    BootFailed {
+        /// Switch whose host was booting the instance.
+        switch: usize,
+        /// NF type that failed to boot.
+        nf: NfType,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// Every rule-install attempt within the retry policy failed.
+    RuleInstallFailed {
+        /// Switch whose vSwitch rejected the install.
+        switch: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The operation's virtual-time budget ran out before it succeeded.
+    OperationTimedOut {
+        /// Operation name (`"launch"`, `"rule-install"`).
+        op: &'static str,
+        /// Budget that was exceeded, in ms.
+        budget_ms: u64,
+        /// Virtual time actually burned, in ms.
+        elapsed_ms: u64,
+    },
 }
 
 impl fmt::Display for OrchestratorError {
@@ -42,6 +73,29 @@ impl fmt::Display for OrchestratorError {
                 "host at switch {switch} cannot fit {needed} (only {available} left)"
             ),
             OrchestratorError::UnknownInstance(id) => write!(f, "unknown instance {id}"),
+            OrchestratorError::HostDown(s) => write!(f, "host at switch {s} is down"),
+            OrchestratorError::BootFailed {
+                switch,
+                nf,
+                attempts,
+            } => write!(
+                f,
+                "{nf} failed to boot at switch {switch} after {attempts} attempts"
+            ),
+            OrchestratorError::RuleInstallFailed { switch, attempts } => {
+                write!(
+                    f,
+                    "rule install at switch {switch} failed after {attempts} attempts"
+                )
+            }
+            OrchestratorError::OperationTimedOut {
+                op,
+                budget_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "{op} burned {elapsed_ms} ms of its {budget_ms} ms budget"
+            ),
         }
     }
 }
@@ -57,13 +111,87 @@ pub struct Host {
     pub capacity: ResourceVector,
     /// Resources currently committed to instances.
     pub used: ResourceVector,
+    /// Whether the host is up. Failed hosts keep their slot (recovery
+    /// restores them) but reject every operation while down.
+    pub up: bool,
 }
 
 impl Host {
-    /// Available resources `A_v`.
+    /// Available resources `A_v` (zero while the host is down).
     pub fn available(&self) -> ResourceVector {
-        self.capacity.saturating_sub(self.used)
+        if self.up {
+            self.capacity.saturating_sub(self.used)
+        } else {
+            ResourceVector::zero()
+        }
     }
+}
+
+/// The control-plane operation context for fallible orchestration: the
+/// fault injector deciding per-operation outcomes, the retry policies, the
+/// paper's timing model supplying operation latencies, and a seeded RNG
+/// for backoff jitter. All latency is *virtual* — nothing sleeps.
+pub struct ControlOps {
+    /// Decides boot / rule-install outcomes ([`NoFaults`] for reliable
+    /// operation).
+    pub injector: Box<dyn FaultInjector>,
+    /// Retry discipline for VM boots.
+    pub boot_retry: RetryPolicy,
+    /// Retry discipline for rule installs.
+    pub rule_retry: RetryPolicy,
+    /// Control-plane latency model (boot, reconfigure, rule install).
+    pub timing: TimingModel,
+    rng: StdRng,
+}
+
+impl ControlOps {
+    /// Reliable operations: no injected faults, paper timing, seeded
+    /// backoff jitter (irrelevant when nothing fails).
+    pub fn reliable(seed: u64) -> ControlOps {
+        ControlOps::with_injector(seed, Box::new(NoFaults))
+    }
+
+    /// Operations driven by `injector`, with retry budgets derived from
+    /// the paper's timing model.
+    pub fn with_injector(seed: u64, injector: Box<dyn FaultInjector>) -> ControlOps {
+        let timing = TimingModel::paper(seed);
+        ControlOps {
+            injector,
+            boot_retry: RetryPolicy::for_boot(&timing),
+            rule_retry: RetryPolicy::for_rule_install(&timing),
+            timing,
+            rng: StdRng::seed_from_u64(seed ^ 0xbac0_ff5e),
+        }
+    }
+}
+
+impl fmt::Debug for ControlOps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlOps")
+            .field("boot_retry", &self.boot_retry)
+            .field("rule_retry", &self.rule_retry)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Outcome of a successful [`ResourceOrchestrator::launch_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchReport {
+    /// The launched instance.
+    pub instance: InstanceId,
+    /// Boot attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Virtual time burned (boots, slow-boot penalties, backoffs), ms.
+    pub latency_ms: u64,
+}
+
+/// Outcome of a successful [`ResourceOrchestrator::rule_install_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleInstallReport {
+    /// Install attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Virtual time burned, ms.
+    pub latency_ms: u64,
 }
 
 /// The Resource Orchestrator.
@@ -103,6 +231,7 @@ impl ResourceOrchestrator {
                         switch: n,
                         capacity: ResourceVector::new(cores, cores * 4096),
                         used: ResourceVector::zero(),
+                        up: true,
                     },
                 )
             })
@@ -128,13 +257,17 @@ impl ResourceOrchestrator {
     ///
     /// # Errors
     ///
-    /// [`OrchestratorError::NoHost`] or
+    /// [`OrchestratorError::NoHost`],
+    /// [`OrchestratorError::HostDown`] or
     /// [`OrchestratorError::InsufficientResources`].
     pub fn launch(&mut self, v: NodeId, nf: NfType) -> Result<InstanceId, OrchestratorError> {
         let host = self
             .hosts
             .get_mut(&v.0)
             .ok_or(OrchestratorError::NoHost(v.0))?;
+        if !host.up {
+            return Err(OrchestratorError::HostDown(v.0));
+        }
         let needed = VnfSpec::of(nf).resources();
         let available = host.available();
         if !needed.fits_in(&available) {
@@ -201,6 +334,211 @@ impl ResourceOrchestrator {
     /// Number of live instances.
     pub fn instance_count(&self) -> usize {
         self.instances.len()
+    }
+
+    /// Whether the host at `v` exists and is up.
+    pub fn host_is_up(&self, v: NodeId) -> bool {
+        self.hosts.get(&v.0).is_some_and(|h| h.up)
+    }
+
+    /// Kills the host at `v`: marks it down, destroys every instance it
+    /// runs and zeroes its committed resources. Returns the ids of the
+    /// instances that died so the Dynamic Handler can re-home their
+    /// sub-classes.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::NoHost`] for an unknown switch,
+    /// [`OrchestratorError::HostDown`] if it is already down.
+    pub fn fail_host(&mut self, v: NodeId) -> Result<Vec<InstanceId>, OrchestratorError> {
+        let host = self
+            .hosts
+            .get_mut(&v.0)
+            .ok_or(OrchestratorError::NoHost(v.0))?;
+        if !host.up {
+            return Err(OrchestratorError::HostDown(v.0));
+        }
+        host.up = false;
+        host.used = ResourceVector::zero();
+        let dead: Vec<InstanceId> = self
+            .instances
+            .values()
+            .filter(|i| i.host_switch() == v.0)
+            .map(VnfInstance::id)
+            .collect();
+        for id in &dead {
+            self.instances.remove(id);
+        }
+        Ok(dead)
+    }
+
+    /// Brings a failed host back up, empty. Idempotent on up hosts.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::NoHost`] for an unknown switch.
+    pub fn restore_host(&mut self, v: NodeId) -> Result<(), OrchestratorError> {
+        let host = self
+            .hosts
+            .get_mut(&v.0)
+            .ok_or(OrchestratorError::NoHost(v.0))?;
+        host.up = true;
+        Ok(())
+    }
+
+    /// Removes a crashed instance, releasing its resources, and returns it
+    /// so the caller can inspect what died (NF type, host).
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::UnknownInstance`] — which callers handling a
+    /// host failure treat as "already gone".
+    pub fn crash_instance(&mut self, id: InstanceId) -> Result<VnfInstance, OrchestratorError> {
+        let inst = self
+            .instances
+            .remove(&id)
+            .ok_or(OrchestratorError::UnknownInstance(id))?;
+        if let Some(host) = self.hosts.get_mut(&inst.host_switch()) {
+            if host.up {
+                host.used = host.used.saturating_sub(inst.spec().resources());
+            }
+        }
+        Ok(inst)
+    }
+
+    /// Launches an instance of `nf` at `v` through the fallible control
+    /// plane: each boot attempt consults `ops.injector`, failures retry
+    /// with bounded exponential backoff (seeded jitter), and the whole
+    /// operation is bounded by `ops.boot_retry.budget_ms` of *virtual*
+    /// time. Resources are committed only on the successful attempt, so a
+    /// launch-fail-retry sequence never leaks accounting.
+    ///
+    /// Telemetry: `orchestrator.retries` per re-attempt,
+    /// `orchestrator.boot_failures` per failed boot, and
+    /// `orchestrator.launch_latency_ms` for successful launches.
+    ///
+    /// # Errors
+    ///
+    /// The infallible-[`ResourceOrchestrator::launch`] errors, plus
+    /// [`OrchestratorError::BootFailed`] when attempts run out and
+    /// [`OrchestratorError::OperationTimedOut`] when the budget does.
+    pub fn launch_with_retry(
+        &mut self,
+        v: NodeId,
+        nf: NfType,
+        ops: &mut ControlOps,
+        rec: &dyn Recorder,
+    ) -> Result<LaunchReport, OrchestratorError> {
+        let spec = VnfSpec::of(nf);
+        let mut elapsed = 0u64;
+        let budget = ops.boot_retry.budget_ms;
+        for attempt in 1..=ops.boot_retry.max_attempts {
+            // Re-checked per attempt: the host may have died mid-retry.
+            let host = self.hosts.get(&v.0).ok_or(OrchestratorError::NoHost(v.0))?;
+            if !host.up {
+                return Err(OrchestratorError::HostDown(v.0));
+            }
+            let needed = spec.resources();
+            let available = host.available();
+            if !needed.fits_in(&available) {
+                return Err(OrchestratorError::InsufficientResources {
+                    switch: v.0,
+                    needed,
+                    available,
+                });
+            }
+            let boot_ms = ops.timing.provision(spec.clickos, false)
+                + ops.injector.boot_delay_ms(v.0, attempt);
+            if ops.injector.boot_fails(v.0, attempt) {
+                rec.counter("orchestrator.boot_failures", 1);
+                elapsed += boot_ms + ops.boot_retry.backoff_ms(attempt, &mut ops.rng);
+                if elapsed > budget {
+                    return Err(OrchestratorError::OperationTimedOut {
+                        op: "launch",
+                        budget_ms: budget,
+                        elapsed_ms: elapsed,
+                    });
+                }
+                rec.counter("orchestrator.retries", 1);
+                continue;
+            }
+            elapsed += boot_ms;
+            if elapsed > budget {
+                return Err(OrchestratorError::OperationTimedOut {
+                    op: "launch",
+                    budget_ms: budget,
+                    elapsed_ms: elapsed,
+                });
+            }
+            let instance = self.launch(v, nf)?;
+            rec.observe("orchestrator.launch_latency_ms", elapsed as f64);
+            return Ok(LaunchReport {
+                instance,
+                attempts: attempt,
+                latency_ms: elapsed,
+            });
+        }
+        Err(OrchestratorError::BootFailed {
+            switch: v.0,
+            nf,
+            attempts: ops.boot_retry.max_attempts,
+        })
+    }
+
+    /// Installs forwarding rules at the switch of host `v` through the
+    /// fallible control plane — the ~70 ms Open vSwitch operation of
+    /// §VII, with injected failures retried under `ops.rule_retry`.
+    ///
+    /// Telemetry: `orchestrator.retries` per re-attempt,
+    /// `orchestrator.rule_install_failures` per failed attempt.
+    ///
+    /// # Errors
+    ///
+    /// [`OrchestratorError::NoHost`], [`OrchestratorError::HostDown`],
+    /// [`OrchestratorError::RuleInstallFailed`] when attempts run out, or
+    /// [`OrchestratorError::OperationTimedOut`] when the budget does.
+    pub fn rule_install_with_retry(
+        &mut self,
+        v: NodeId,
+        ops: &mut ControlOps,
+        rec: &dyn Recorder,
+    ) -> Result<RuleInstallReport, OrchestratorError> {
+        let host = self.hosts.get(&v.0).ok_or(OrchestratorError::NoHost(v.0))?;
+        if !host.up {
+            return Err(OrchestratorError::HostDown(v.0));
+        }
+        let budget = ops.rule_retry.budget_ms;
+        let mut elapsed = 0u64;
+        for attempt in 1..=ops.rule_retry.max_attempts {
+            elapsed += ops.timing.rule_install();
+            if !ops.injector.rule_install_fails(v.0, attempt) {
+                if elapsed > budget {
+                    return Err(OrchestratorError::OperationTimedOut {
+                        op: "rule-install",
+                        budget_ms: budget,
+                        elapsed_ms: elapsed,
+                    });
+                }
+                return Ok(RuleInstallReport {
+                    attempts: attempt,
+                    latency_ms: elapsed,
+                });
+            }
+            rec.counter("orchestrator.rule_install_failures", 1);
+            elapsed += ops.rule_retry.backoff_ms(attempt, &mut ops.rng);
+            if elapsed > budget {
+                return Err(OrchestratorError::OperationTimedOut {
+                    op: "rule-install",
+                    budget_ms: budget,
+                    elapsed_ms: elapsed,
+                });
+            }
+            rec.counter("orchestrator.retries", 1);
+        }
+        Err(OrchestratorError::RuleInstallFailed {
+            switch: v.0,
+            attempts: ops.rule_retry.max_attempts,
+        })
     }
 }
 
@@ -283,5 +621,224 @@ mod tests {
     fn error_display() {
         let e = OrchestratorError::NoHost(4);
         assert!(e.to_string().contains("switch 4"));
+        let e = OrchestratorError::HostDown(7);
+        assert!(e.to_string().contains("down"));
+        let e = OrchestratorError::BootFailed {
+            switch: 2,
+            nf: NfType::Firewall,
+            attempts: 5,
+        };
+        assert!(e.to_string().contains("5 attempts"));
+        let e = OrchestratorError::OperationTimedOut {
+            op: "launch",
+            budget_ms: 100,
+            elapsed_ms: 150,
+        };
+        assert!(e.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn double_release_reports_unknown_instance() {
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let id = orch.launch(NodeId(0), NfType::Proxy).unwrap();
+        let before = orch.available(NodeId(0)).unwrap();
+        orch.teardown(id).unwrap();
+        // Second release must fail *and* leave accounting untouched.
+        assert_eq!(
+            orch.teardown(id),
+            Err(OrchestratorError::UnknownInstance(id))
+        );
+        let after = orch.available(NodeId(0)).unwrap();
+        assert_eq!(
+            after.cores,
+            before.cores + VnfSpec::of(NfType::Proxy).cores,
+            "double release must not free resources twice"
+        );
+        assert_eq!(after.cores, 64);
+    }
+
+    #[test]
+    fn release_of_never_launched_instance_is_unknown() {
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let ghost = InstanceId(12_345);
+        assert_eq!(
+            orch.teardown(ghost),
+            Err(OrchestratorError::UnknownInstance(ghost))
+        );
+        assert_eq!(
+            orch.crash_instance(ghost).unwrap_err(),
+            OrchestratorError::UnknownInstance(ghost)
+        );
+    }
+
+    #[test]
+    fn launch_fail_retry_keeps_accounting_exact() {
+        use apple_faults::FailFirstN;
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut ops = ControlOps::with_injector(5, Box::new(FailFirstN::new(3, 0)));
+        let before = orch.available(NodeId(0)).unwrap();
+        let report = orch
+            .launch_with_retry(
+                NodeId(0),
+                NfType::Firewall,
+                &mut ops,
+                &apple_telemetry::NOOP,
+            )
+            .unwrap();
+        assert_eq!(report.attempts, 4, "three failures then success");
+        let after = orch.available(NodeId(0)).unwrap();
+        // Exactly one instance's worth of cores committed, despite three
+        // failed boots along the way.
+        assert_eq!(
+            before.cores - after.cores,
+            VnfSpec::of(NfType::Firewall).cores
+        );
+        assert_eq!(orch.instance_count(), 1);
+        assert!(report.latency_ms > 0);
+    }
+
+    #[test]
+    fn launch_exhausting_attempts_commits_nothing() {
+        use apple_faults::FailFirstN;
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        // Enough failures to exhaust either the attempt count or the
+        // virtual-time budget, whichever the policy hits first.
+        let mut ops = ControlOps::with_injector(6, Box::new(FailFirstN::new(u32::MAX, 0)));
+        let err = orch
+            .launch_with_retry(NodeId(0), NfType::Nat, &mut ops, &apple_telemetry::NOOP)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                OrchestratorError::BootFailed { .. } | OrchestratorError::OperationTimedOut { .. }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(orch.available(NodeId(0)).unwrap().cores, 64);
+        assert_eq!(orch.instance_count(), 0);
+        assert_eq!(orch.total_cores_used(), 0);
+    }
+
+    #[test]
+    fn launch_retry_is_deterministic_per_seed() {
+        let topo = zoo::line(2);
+        let run = |seed: u64| {
+            let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+            let inj = apple_faults::ScriptedInjector::new(seed, 0.5, 0.5, 1_000, 0.0);
+            let mut ops = ControlOps::with_injector(seed, Box::new(inj));
+            orch.launch_with_retry(
+                NodeId(1),
+                NfType::Firewall,
+                &mut ops,
+                &apple_telemetry::NOOP,
+            )
+        };
+        assert_eq!(run(17), run(17));
+    }
+
+    #[test]
+    fn failed_host_rejects_and_releases_everything() {
+        let topo = zoo::line(3);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let a = orch.launch(NodeId(1), NfType::Firewall).unwrap();
+        let b = orch.launch(NodeId(1), NfType::Nat).unwrap();
+        let other = orch.launch(NodeId(2), NfType::Nat).unwrap();
+        let dead = orch.fail_host(NodeId(1)).unwrap();
+        assert_eq!(dead, vec![a, b]);
+        assert!(!orch.host_is_up(NodeId(1)));
+        assert_eq!(orch.available(NodeId(1)).unwrap(), ResourceVector::zero());
+        assert_eq!(
+            orch.launch(NodeId(1), NfType::Nat),
+            Err(OrchestratorError::HostDown(1))
+        );
+        // A second failure of the same host is an error.
+        assert_eq!(
+            orch.fail_host(NodeId(1)),
+            Err(OrchestratorError::HostDown(1))
+        );
+        // Unaffected hosts keep running.
+        assert!(orch.instance(other).is_some());
+        // Recovery brings the host back empty.
+        orch.restore_host(NodeId(1)).unwrap();
+        assert!(orch.host_is_up(NodeId(1)));
+        assert_eq!(orch.available(NodeId(1)).unwrap().cores, 64);
+        orch.launch(NodeId(1), NfType::Ids).unwrap();
+    }
+
+    #[test]
+    fn crash_instance_releases_resources_once() {
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let id = orch.launch(NodeId(0), NfType::Ids).unwrap();
+        let crashed = orch.crash_instance(id).unwrap();
+        assert_eq!(crashed.nf(), NfType::Ids);
+        assert_eq!(orch.available(NodeId(0)).unwrap().cores, 64);
+        assert_eq!(
+            orch.crash_instance(id).unwrap_err(),
+            OrchestratorError::UnknownInstance(id)
+        );
+    }
+
+    #[test]
+    fn rule_install_retries_then_succeeds() {
+        use apple_faults::FailFirstN;
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut ops = ControlOps::with_injector(8, Box::new(FailFirstN::new(0, 2)));
+        let report = orch
+            .rule_install_with_retry(NodeId(0), &mut ops, &apple_telemetry::NOOP)
+            .unwrap();
+        assert_eq!(report.attempts, 3);
+        assert!(report.latency_ms >= 3 * 70);
+        // Down hosts reject rule installs outright.
+        orch.fail_host(NodeId(0)).unwrap();
+        assert_eq!(
+            orch.rule_install_with_retry(NodeId(0), &mut ops, &apple_telemetry::NOOP)
+                .unwrap_err(),
+            OrchestratorError::HostDown(0)
+        );
+    }
+
+    #[test]
+    fn rule_install_gives_up_deterministically() {
+        use apple_faults::FailFirstN;
+        let topo = zoo::line(2);
+        let run = |seed: u64| {
+            let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+            let mut ops = ControlOps::with_injector(seed, Box::new(FailFirstN::new(0, u32::MAX)));
+            orch.rule_install_with_retry(NodeId(0), &mut ops, &apple_telemetry::NOOP)
+        };
+        let err = run(3).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                OrchestratorError::RuleInstallFailed { .. }
+                    | OrchestratorError::OperationTimedOut { .. }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn retry_telemetry_counters_accumulate() {
+        use apple_faults::FailFirstN;
+        use apple_telemetry::MemoryRecorder;
+        let topo = zoo::line(2);
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let rec = MemoryRecorder::new();
+        let mut ops = ControlOps::with_injector(9, Box::new(FailFirstN::new(2, 1)));
+        orch.launch_with_retry(NodeId(0), NfType::Firewall, &mut ops, &rec)
+            .unwrap();
+        orch.rule_install_with_retry(NodeId(0), &mut ops, &rec)
+            .unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("orchestrator.boot_failures"), Some(2));
+        assert_eq!(snap.counter("orchestrator.rule_install_failures"), Some(1));
+        assert_eq!(snap.counter("orchestrator.retries"), Some(3));
     }
 }

@@ -6,11 +6,13 @@
 //! truth for it. Each violated condition is reported with enough context to
 //! debug the engine.
 
-use crate::classes::ClassSet;
+use crate::classes::{ClassId, ClassSet};
 use crate::engine::Placement;
+use crate::failover::DynamicHandler;
 use crate::orchestrator::ResourceOrchestrator;
-use apple_nf::{NfType, ResourceVector, VnfSpec};
+use apple_nf::{InstanceId, NfType, ResourceVector, VnfSpec};
 use apple_topology::NodeId;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// One violated formulation condition.
@@ -176,6 +178,278 @@ pub fn verify_placement(
 
 fn c_scale(offered: f64) -> f64 {
     offered.abs().max(1.0)
+}
+
+/// One violated invariant of the *live* sub-class state (the Dynamic
+/// Handler's view after overloads, crashes and repairs) — the runtime
+/// counterpart of [`Violation`], checked by the chaos suite after every
+/// injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShareViolation {
+    /// A share names a class the class set does not contain.
+    UnknownClass {
+        /// The dangling class id.
+        class: ClassId,
+    },
+    /// A share's stage list length disagrees with its class's chain.
+    StageCountMismatch {
+        /// Owning class.
+        class: ClassId,
+        /// Sub-class id.
+        sub: u16,
+        /// Stages the share has.
+        got: usize,
+        /// Stages the chain requires.
+        want: usize,
+    },
+    /// A share is routed through an instance the orchestrator no longer
+    /// knows (crashed and never re-homed).
+    MissingInstance {
+        /// Owning class.
+        class: ClassId,
+        /// Sub-class id.
+        sub: u16,
+        /// Chain stage.
+        stage: usize,
+        /// The ghost instance.
+        instance: InstanceId,
+    },
+    /// A stage is served by an instance of the wrong NF type.
+    WrongNf {
+        /// Owning class.
+        class: ClassId,
+        /// Sub-class id.
+        sub: u16,
+        /// Chain stage.
+        stage: usize,
+        /// NF the instance actually runs.
+        got: NfType,
+        /// NF the chain requires.
+        want: NfType,
+    },
+    /// A stage's instance sits on a switch outside the class's path —
+    /// serving it would change the forwarding path (interference).
+    OffPath {
+        /// Owning class.
+        class: ClassId,
+        /// Sub-class id.
+        sub: u16,
+        /// Chain stage.
+        stage: usize,
+        /// The off-path switch.
+        switch: usize,
+    },
+    /// Chain order violated: a later stage is served strictly earlier on
+    /// the path than its predecessor.
+    OrderViolated {
+        /// Owning class.
+        class: ClassId,
+        /// Sub-class id.
+        sub: u16,
+        /// The stage that jumped ahead.
+        stage: usize,
+        /// Path position of the predecessor stage.
+        prev_pos: usize,
+        /// Path position of this stage.
+        pos: usize,
+    },
+    /// A share carries a negative traffic fraction.
+    NegativeFraction {
+        /// Owning class.
+        class: ClassId,
+        /// Sub-class id.
+        sub: u16,
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// Live coverage plus recorded shed does not account for 100 % of a
+    /// class's traffic.
+    CoverageShort {
+        /// The class.
+        class: ClassId,
+        /// Fraction covered by live shares.
+        covered: f64,
+        /// Fraction explicitly shed (degraded mode).
+        shed: f64,
+    },
+}
+
+impl fmt::Display for ShareViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShareViolation::UnknownClass { class } => {
+                write!(f, "share refers to unknown class {}", class.0)
+            }
+            ShareViolation::StageCountMismatch {
+                class,
+                sub,
+                got,
+                want,
+            } => write!(
+                f,
+                "share {}/{sub}: {got} stages but the chain has {want}",
+                class.0
+            ),
+            ShareViolation::MissingInstance {
+                class,
+                sub,
+                stage,
+                instance,
+            } => write!(
+                f,
+                "share {}/{sub} stage {stage}: instance {instance} does not exist",
+                class.0
+            ),
+            ShareViolation::WrongNf {
+                class,
+                sub,
+                stage,
+                got,
+                want,
+            } => write!(
+                f,
+                "share {}/{sub} stage {stage}: instance runs {got}, chain needs {want}",
+                class.0
+            ),
+            ShareViolation::OffPath {
+                class,
+                sub,
+                stage,
+                switch,
+            } => write!(
+                f,
+                "share {}/{sub} stage {stage}: switch {switch} is off the class path",
+                class.0
+            ),
+            ShareViolation::OrderViolated {
+                class,
+                sub,
+                stage,
+                prev_pos,
+                pos,
+            } => write!(
+                f,
+                "share {}/{sub}: stage {stage} at path position {pos} precedes stage {} at {prev_pos}",
+                class.0,
+                stage - 1
+            ),
+            ShareViolation::NegativeFraction {
+                class,
+                sub,
+                fraction,
+            } => write!(f, "share {}/{sub}: negative fraction {fraction}", class.0),
+            ShareViolation::CoverageShort {
+                class,
+                covered,
+                shed,
+            } => write!(
+                f,
+                "class {}: covered {covered:.4} + shed {shed:.4} ≠ 1",
+                class.0
+            ),
+        }
+    }
+}
+
+/// Checks the Dynamic Handler's live sub-class state against the runtime
+/// invariants: every stage served by an existing, correctly-typed instance
+/// on the class's own path in chain order (interference freedom), and every
+/// class's traffic fully accounted for by live shares plus the explicit
+/// shed ledger. Returns every violation found (empty = valid).
+pub fn verify_shares(
+    classes: &ClassSet,
+    handler: &DynamicHandler,
+    orch: &ResourceOrchestrator,
+    tol: f64,
+) -> Vec<ShareViolation> {
+    let mut out = Vec::new();
+    let mut covered: BTreeMap<ClassId, f64> = BTreeMap::new();
+
+    for s in handler.shares() {
+        let Some(class) = classes.class(s.class) else {
+            out.push(ShareViolation::UnknownClass { class: s.class });
+            continue;
+        };
+        if s.fraction < -tol {
+            out.push(ShareViolation::NegativeFraction {
+                class: s.class,
+                sub: s.sub,
+                fraction: s.fraction,
+            });
+        }
+        *covered.entry(s.class).or_insert(0.0) += s.fraction;
+        if s.instances.len() != class.chain.len() {
+            out.push(ShareViolation::StageCountMismatch {
+                class: s.class,
+                sub: s.sub,
+                got: s.instances.len(),
+                want: class.chain.len(),
+            });
+            continue;
+        }
+        let mut prev_pos: Option<usize> = None;
+        for (stage, &iid) in s.instances.iter().enumerate() {
+            let Some(inst) = orch.instance(iid) else {
+                out.push(ShareViolation::MissingInstance {
+                    class: s.class,
+                    sub: s.sub,
+                    stage,
+                    instance: iid,
+                });
+                prev_pos = None;
+                continue;
+            };
+            let want = class.chain.nfs()[stage];
+            if inst.nf() != want {
+                out.push(ShareViolation::WrongNf {
+                    class: s.class,
+                    sub: s.sub,
+                    stage,
+                    got: inst.nf(),
+                    want,
+                });
+            }
+            match class.path.index_of(NodeId(inst.host_switch())) {
+                Some(pos) => {
+                    if let Some(pp) = prev_pos {
+                        if pos < pp {
+                            out.push(ShareViolation::OrderViolated {
+                                class: s.class,
+                                sub: s.sub,
+                                stage,
+                                prev_pos: pp,
+                                pos,
+                            });
+                        }
+                    }
+                    prev_pos = Some(pos);
+                }
+                None => {
+                    out.push(ShareViolation::OffPath {
+                        class: s.class,
+                        sub: s.sub,
+                        stage,
+                        switch: inst.host_switch(),
+                    });
+                    prev_pos = None;
+                }
+            }
+        }
+    }
+
+    // Coverage: live shares + shed must account for every class's traffic.
+    for c in classes.iter() {
+        let live = covered.get(&c.id).copied().unwrap_or(0.0);
+        let shed = handler.shed().get(&c.id).copied().unwrap_or(0.0);
+        if (live + shed - 1.0).abs() > tol.max(1e-6) {
+            out.push(ShareViolation::CoverageShort {
+                class: c.id,
+                covered: live,
+                shed,
+            });
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,182 @@
+//! Operation-level fault injection: the [`FaultInjector`] trait and its
+//! two implementations, mirroring the telemetry `Recorder` / `NOOP` /
+//! `MemoryRecorder` pattern.
+//!
+//! The Resource Orchestrator consults the injector on every fallible
+//! control operation — each VM boot attempt and each rule-install attempt.
+//! Scheduled *events* (crashes, host failures) live in [`crate::FaultPlan`]
+//! instead; the injector only decides per-operation outcomes.
+
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, SeedableRng};
+
+/// Decides the outcome of individual control-plane operations.
+///
+/// Implementations take `&mut self` because scripted injectors advance a
+/// seeded stream per query. The default implementation of every method is
+/// "healthy", so a custom injector only overrides the faults it cares
+/// about.
+pub trait FaultInjector {
+    /// Whether this boot attempt (1-based `attempt`) at the host of
+    /// `switch` fails outright.
+    fn boot_fails(&mut self, switch: usize, attempt: u32) -> bool {
+        let _ = (switch, attempt);
+        false
+    }
+
+    /// Extra latency (ms) a slow boot adds to this attempt (0 = nominal).
+    fn boot_delay_ms(&mut self, switch: usize, attempt: u32) -> u64 {
+        let _ = (switch, attempt);
+        0
+    }
+
+    /// Whether this rule-install attempt at `switch` fails.
+    fn rule_install_fails(&mut self, switch: usize, attempt: u32) -> bool {
+        let _ = (switch, attempt);
+        false
+    }
+}
+
+/// The always-healthy injector: every operation succeeds at nominal
+/// latency. Zero-sized, so reliable call paths cost nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+/// A seeded injector drawing independent Bernoulli outcomes per query.
+///
+/// The stream is a pure function of the seed and the *query order* — the
+/// orchestrator's retry loops query once per attempt, so a fixed seed
+/// yields a fixed pattern of failures, slow boots and install rejections.
+#[derive(Debug, Clone)]
+pub struct ScriptedInjector {
+    rng: StdRng,
+    boot_fail_prob: f64,
+    slow_boot_prob: f64,
+    slow_boot_extra_ms: u64,
+    rule_fail_prob: f64,
+}
+
+impl ScriptedInjector {
+    /// Builds an injector with the given per-operation fault probabilities.
+    pub fn new(
+        seed: u64,
+        boot_fail_prob: f64,
+        slow_boot_prob: f64,
+        slow_boot_extra_ms: u64,
+        rule_fail_prob: f64,
+    ) -> ScriptedInjector {
+        ScriptedInjector {
+            rng: StdRng::seed_from_u64(seed),
+            boot_fail_prob,
+            slow_boot_prob,
+            slow_boot_extra_ms,
+            rule_fail_prob,
+        }
+    }
+}
+
+impl FaultInjector for ScriptedInjector {
+    fn boot_fails(&mut self, _switch: usize, _attempt: u32) -> bool {
+        self.boot_fail_prob > 0.0 && self.rng.gen_bool(self.boot_fail_prob)
+    }
+
+    fn boot_delay_ms(&mut self, _switch: usize, _attempt: u32) -> u64 {
+        if self.slow_boot_prob > 0.0 && self.rng.gen_bool(self.slow_boot_prob) {
+            self.slow_boot_extra_ms
+        } else {
+            0
+        }
+    }
+
+    fn rule_install_fails(&mut self, _switch: usize, _attempt: u32) -> bool {
+        self.rule_fail_prob > 0.0 && self.rng.gen_bool(self.rule_fail_prob)
+    }
+}
+
+/// An injector that fails the first `n` boot and rule-install attempts it
+/// sees, then succeeds forever — the workhorse for retry-accounting tests.
+#[derive(Debug, Clone, Copy)]
+pub struct FailFirstN {
+    remaining_boot: u32,
+    remaining_rule: u32,
+}
+
+impl FailFirstN {
+    /// Fails the first `boots` boot attempts and the first `rules`
+    /// rule-install attempts.
+    pub fn new(boots: u32, rules: u32) -> FailFirstN {
+        FailFirstN {
+            remaining_boot: boots,
+            remaining_rule: rules,
+        }
+    }
+}
+
+impl FaultInjector for FailFirstN {
+    fn boot_fails(&mut self, _switch: usize, _attempt: u32) -> bool {
+        if self.remaining_boot > 0 {
+            self.remaining_boot -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn rule_install_fails(&mut self, _switch: usize, _attempt: u32) -> bool {
+        if self.remaining_rule > 0 {
+            self.remaining_rule -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_always_healthy() {
+        let mut inj = NoFaults;
+        for attempt in 1..50 {
+            assert!(!inj.boot_fails(0, attempt));
+            assert!(!inj.rule_install_fails(3, attempt));
+            assert_eq!(inj.boot_delay_ms(1, attempt), 0);
+        }
+    }
+
+    #[test]
+    fn scripted_is_deterministic() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let mut inj = ScriptedInjector::new(seed, 0.5, 0.0, 0, 0.5);
+            (0..64).map(|a| inj.boot_fails(0, a)).collect()
+        };
+        assert_eq!(outcomes(11), outcomes(11));
+        assert_ne!(outcomes(11), outcomes(12));
+    }
+
+    #[test]
+    fn scripted_respects_probabilities() {
+        let mut always = ScriptedInjector::new(1, 1.0, 1.0, 500, 1.0);
+        assert!(always.boot_fails(0, 1));
+        assert_eq!(always.boot_delay_ms(0, 1), 500);
+        assert!(always.rule_install_fails(0, 1));
+        let mut never = ScriptedInjector::new(1, 0.0, 0.0, 500, 0.0);
+        assert!(!never.boot_fails(0, 1));
+        assert_eq!(never.boot_delay_ms(0, 1), 0);
+        assert!(!never.rule_install_fails(0, 1));
+    }
+
+    #[test]
+    fn fail_first_n_counts_down() {
+        let mut inj = FailFirstN::new(2, 1);
+        assert!(inj.boot_fails(0, 1));
+        assert!(inj.boot_fails(0, 2));
+        assert!(!inj.boot_fails(0, 3));
+        assert!(inj.rule_install_fails(0, 1));
+        assert!(!inj.rule_install_fails(0, 2));
+    }
+}

@@ -1,0 +1,45 @@
+//! Deterministic fault injection for the APPLE control plane.
+//!
+//! The paper's Dynamic Handler (§VI) and prototype experiments (§VIII) only
+//! exercise *overload* dynamics. Real NFV deployments also lose VNF
+//! instances, whole hosts, and individual control-plane operations: VM
+//! boots fail or crawl, rule installs are rejected by a busy switch. This
+//! crate supplies the missing fault model as a **pure function of a `u64`
+//! seed**, in the same spirit as `apple-rng` and the test-suite seeding
+//! convention (`tests/README.md`): a given seed describes exactly one fault
+//! schedule, on every machine, forever.
+//!
+//! Three layers, mirroring the telemetry `Recorder` pattern (a trait, a
+//! no-op default, and a concrete scripted implementation):
+//!
+//! * [`plan`] — [`FaultPlan`]: a seeded schedule of *typed, tick-addressed
+//!   events* (instance crashes, host failures, host recoveries) that a
+//!   driver (the chaos suite, `apple chaos`, or the sim replay loop)
+//!   applies to a live deployment,
+//! * [`injector`] — the [`FaultInjector`] trait consulted by the Resource
+//!   Orchestrator on every *operation* (boot attempts, rule installs);
+//!   [`NoFaults`] is the always-healthy default, [`ScriptedInjector`] draws
+//!   seeded Bernoulli outcomes,
+//! * [`retry`] — [`RetryPolicy`]: bounded exponential backoff with seeded
+//!   jitter and a per-operation timeout budget derived from the paper's
+//!   measured latencies ([`apple_nf::TimingModel`]).
+//!
+//! # Example
+//!
+//! ```
+//! use apple_faults::{FaultInjector, FaultPlan, FaultPlanConfig};
+//!
+//! let plan = FaultPlan::generate(&FaultPlanConfig::chaos(7));
+//! assert_eq!(plan.events().len(), FaultPlan::generate(&FaultPlanConfig::chaos(7)).events().len());
+//! let mut inj = plan.injector();
+//! // Operation-level outcomes are a deterministic stream too.
+//! let _fails = inj.boot_fails(0, 1);
+//! ```
+
+pub mod injector;
+pub mod plan;
+pub mod retry;
+
+pub use injector::{FailFirstN, FaultInjector, NoFaults, ScriptedInjector};
+pub use plan::{FaultKind, FaultPlan, FaultPlanConfig, ScheduledFault};
+pub use retry::RetryPolicy;

@@ -1,0 +1,254 @@
+//! Seeded fault schedules: typed, tick-addressed events.
+//!
+//! A [`FaultPlan`] does not know which instances exist — deployments change
+//! as the plan executes (replacements boot, helpers roll back), so events
+//! carry *selectors* (`victim`, `host`) that the driver resolves against
+//! the population alive at that tick (`selector % alive.len()`). This keeps
+//! the plan a pure function of its seed while still always naming a real
+//! target.
+
+use crate::injector::ScriptedInjector;
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, RngCore, SeedableRng};
+
+/// One kind of scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A running VNF instance dies without warning. `victim` selects among
+    /// the instances alive at the tick (`victim % alive`).
+    InstanceCrash {
+        /// Selector over the live instance population.
+        victim: u64,
+    },
+    /// An APPLE host (and every instance on it) fails. `host` selects among
+    /// the hosts that are currently up.
+    HostFailure {
+        /// Selector over the up-host population.
+        host: u64,
+    },
+    /// A failed host comes back (empty — its instances are gone). `host`
+    /// selects among the hosts that are currently down.
+    HostRecovery {
+        /// Selector over the down-host population.
+        host: u64,
+    },
+}
+
+/// A fault event pinned to a simulation tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Tick at which the event fires.
+    pub tick: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Knobs for [`FaultPlan::generate`]. Every field participates in the
+/// deterministic derivation: two configs differing in any field produce
+/// different (but individually reproducible) schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Seed for both the schedule and the operation-level injector.
+    pub seed: u64,
+    /// Ticks the schedule spans (events land in `1..horizon_ticks`).
+    pub horizon_ticks: u64,
+    /// Number of instance crashes to schedule.
+    pub instance_crashes: u32,
+    /// Number of host failures to schedule.
+    pub host_failures: u32,
+    /// Ticks after which a failed host recovers (0 = never recovers).
+    pub host_recovery_after: u64,
+    /// Probability that any single boot attempt fails outright.
+    pub boot_fail_prob: f64,
+    /// Probability that a (successful) boot is slow.
+    pub slow_boot_prob: f64,
+    /// Extra latency a slow boot adds, in milliseconds.
+    pub slow_boot_extra_ms: u64,
+    /// Probability that any single rule-install attempt fails.
+    pub rule_fail_prob: f64,
+}
+
+impl FaultPlanConfig {
+    /// A schedule with no faults at all — the control-plane equivalent of
+    /// [`crate::NoFaults`].
+    pub fn quiet(seed: u64) -> FaultPlanConfig {
+        FaultPlanConfig {
+            seed,
+            horizon_ticks: 0,
+            instance_crashes: 0,
+            host_failures: 0,
+            host_recovery_after: 0,
+            boot_fail_prob: 0.0,
+            slow_boot_prob: 0.0,
+            slow_boot_extra_ms: 0,
+            rule_fail_prob: 0.0,
+        }
+    }
+
+    /// The chaos-suite default: a dense mix of crashes, one host failure
+    /// with recovery, and flaky operations — aggressive enough to exercise
+    /// every failover path yet small enough to replay hundreds of schedules
+    /// per test run.
+    pub fn chaos(seed: u64) -> FaultPlanConfig {
+        FaultPlanConfig {
+            seed,
+            horizon_ticks: 40,
+            instance_crashes: 4,
+            host_failures: 1,
+            host_recovery_after: 8,
+            boot_fail_prob: 0.2,
+            slow_boot_prob: 0.2,
+            slow_boot_extra_ms: 2_000,
+            rule_fail_prob: 0.1,
+        }
+    }
+}
+
+/// A fully-derived fault schedule (events sorted by tick) plus the
+/// operation-level fault probabilities for its [`ScriptedInjector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    cfg: FaultPlanConfig,
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// Derives the schedule from `cfg` — a pure function of the config.
+    pub fn generate(cfg: &FaultPlanConfig) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xfa07_91a0);
+        let mut events = Vec::new();
+        if cfg.horizon_ticks > 1 {
+            for _ in 0..cfg.instance_crashes {
+                events.push(ScheduledFault {
+                    tick: rng.gen_range(1..cfg.horizon_ticks),
+                    kind: FaultKind::InstanceCrash {
+                        victim: rng.next_u64(),
+                    },
+                });
+            }
+            for _ in 0..cfg.host_failures {
+                let tick = rng.gen_range(1..cfg.horizon_ticks);
+                let host = rng.next_u64();
+                events.push(ScheduledFault {
+                    tick,
+                    kind: FaultKind::HostFailure { host },
+                });
+                if cfg.host_recovery_after > 0 {
+                    events.push(ScheduledFault {
+                        tick: tick + cfg.host_recovery_after,
+                        kind: FaultKind::HostRecovery { host },
+                    });
+                }
+            }
+        }
+        // Stable sort keeps generation order among same-tick events, so the
+        // schedule is deterministic end to end.
+        events.sort_by_key(|e| e.tick);
+        FaultPlan {
+            cfg: cfg.clone(),
+            events,
+        }
+    }
+
+    /// All events, sorted by tick.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// Events firing exactly at `tick`, in schedule order.
+    pub fn events_at(&self, tick: u64) -> impl Iterator<Item = &ScheduledFault> {
+        self.events.iter().filter(move |e| e.tick == tick)
+    }
+
+    /// Last tick any event fires at (0 for an empty schedule).
+    pub fn last_tick(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.tick)
+    }
+
+    /// The configuration this plan was derived from.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.cfg
+    }
+
+    /// A fresh operation-level injector for this plan. Its stream is
+    /// independent of the schedule derivation (different seed tweak), so
+    /// adding events never shifts operation outcomes.
+    pub fn injector(&self) -> ScriptedInjector {
+        ScriptedInjector::new(
+            self.cfg.seed ^ 0x0b5e_55ed,
+            self.cfg.boot_fail_prob,
+            self.cfg.slow_boot_prob,
+            self.cfg.slow_boot_extra_ms,
+            self.cfg.rule_fail_prob,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FaultPlan::generate(&FaultPlanConfig::chaos(42));
+        let b = FaultPlan::generate(&FaultPlanConfig::chaos(42));
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(&FaultPlanConfig::chaos(1));
+        let b = FaultPlan::generate(&FaultPlanConfig::chaos(2));
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn events_are_sorted_and_within_horizon() {
+        let cfg = FaultPlanConfig::chaos(7);
+        let plan = FaultPlan::generate(&cfg);
+        let mut prev = 0;
+        for e in plan.events() {
+            assert!(e.tick >= prev, "events out of order");
+            prev = e.tick;
+            if !matches!(e.kind, FaultKind::HostRecovery { .. }) {
+                assert!(e.tick < cfg.horizon_ticks);
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_follows_failure() {
+        let cfg = FaultPlanConfig::chaos(9);
+        let plan = FaultPlan::generate(&cfg);
+        let fail = plan
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::HostFailure { .. }))
+            .expect("chaos config schedules a host failure");
+        let recover = plan
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::HostRecovery { .. }))
+            .expect("recovery scheduled");
+        assert_eq!(recover.tick, fail.tick + cfg.host_recovery_after);
+    }
+
+    #[test]
+    fn quiet_plan_is_empty() {
+        let plan = FaultPlan::generate(&FaultPlanConfig::quiet(5));
+        assert!(plan.events().is_empty());
+        assert_eq!(plan.last_tick(), 0);
+    }
+
+    #[test]
+    fn events_at_filters_by_tick() {
+        let plan = FaultPlan::generate(&FaultPlanConfig::chaos(3));
+        let first = plan.events()[0];
+        assert!(plan.events_at(first.tick).any(|e| *e == first));
+        let total: usize = (0..=plan.last_tick())
+            .map(|t| plan.events_at(t).count())
+            .sum();
+        assert_eq!(total, plan.events().len());
+    }
+}

@@ -1,0 +1,107 @@
+//! Bounded exponential backoff with seeded jitter and per-operation
+//! timeout budgets.
+//!
+//! All latencies here are *virtual* milliseconds on the simulation clock —
+//! nothing ever sleeps. Budgets derive from the paper's measured control
+//! latencies ([`TimingModel`], §VII–VIII) so "this operation timed out"
+//! means the same thing in every experiment: the operation burned more
+//! virtual time than a patient operator would give it.
+
+use apple_nf::TimingModel;
+use apple_rng::rngs::StdRng;
+use apple_rng::Rng;
+
+/// Retry discipline for one class of control operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (≥ 1) before giving up with `BootFailed` (or the
+    /// rule-install equivalent).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in ms. Doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, in ms.
+    pub max_backoff_ms: u64,
+    /// Total virtual-time budget for the operation (attempt latencies plus
+    /// backoffs), in ms. Exceeding it aborts with `OperationTimedOut`.
+    pub budget_ms: u64,
+}
+
+impl RetryPolicy {
+    /// Policy for VM boots. The budget allows one worst-case normal-VM
+    /// boot plus a few OpenStack-orchestrated ClickOS boots — beyond that
+    /// the instance is declared unbootable.
+    pub fn for_boot(t: &TimingModel) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 100,
+            max_backoff_ms: 2_000,
+            budget_ms: t.normal_vm_boot_ms + 3 * t.boot_max_ms,
+        }
+    }
+
+    /// Policy for rule installs (~70 ms each in the prototype): quick
+    /// retries, tight budget.
+    pub fn for_rule_install(t: &TimingModel) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff_ms: 20,
+            max_backoff_ms: 500,
+            budget_ms: 30 * t.rule_install_ms.max(1),
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based: the wait *after*
+    /// the first failure passes `attempt = 1`). Exponential with full
+    /// jitter in `[half, full]`, drawn from the caller's seeded `rng` so
+    /// retry timing is reproducible per seed.
+    pub fn backoff_ms(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        let full = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_ms)
+            .max(1);
+        let half = full / 2;
+        half + rng.gen_range(0..=(full - half))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apple_rng::SeedableRng;
+
+    #[test]
+    fn budgets_scale_with_timing() {
+        let t = TimingModel::paper(1);
+        let boot = RetryPolicy::for_boot(&t);
+        assert_eq!(boot.budget_ms, 30_000 + 3 * 4_600);
+        let rule = RetryPolicy::for_rule_install(&t);
+        assert_eq!(rule.budget_ms, 2_100);
+        assert!(boot.max_attempts >= 1 && rule.max_attempts >= 1);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let t = TimingModel::paper(2);
+        let p = RetryPolicy::for_boot(&t);
+        let mut rng = StdRng::seed_from_u64(3);
+        let b1 = p.backoff_ms(1, &mut rng);
+        assert!((p.base_backoff_ms / 2..=p.base_backoff_ms).contains(&b1));
+        // Far past the doubling range the backoff stays at the ceiling.
+        let b_large = p.backoff_ms(40, &mut rng);
+        assert!(b_large <= p.max_backoff_ms);
+        assert!(b_large >= p.max_backoff_ms / 2);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let t = TimingModel::paper(4);
+        let p = RetryPolicy::for_rule_install(&t);
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..8).map(|a| p.backoff_ms(a, &mut rng)).collect()
+        };
+        assert_eq!(seq(9), seq(9));
+    }
+}

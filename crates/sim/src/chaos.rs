@@ -1,0 +1,194 @@
+//! Chaos harness: replay seeded fault schedules against a planned
+//! deployment and check the runtime invariants after **every** event.
+//!
+//! Where [`crate::replay`] measures packet loss over a traffic series, this
+//! module stress-tests the *control plane*: a [`FaultPlan`] derived from a
+//! seed kills instances and hosts while an operation-level injector makes
+//! boots and rule installs flaky, and after each event the live sub-class
+//! state is verified with [`verify_shares`] — every stage on an existing,
+//! correctly-typed instance on the class's own path in chain order
+//! (interference freedom), and every class's traffic accounted for by live
+//! shares plus the explicit shed ledger. The chaos integration test drives
+//! hundreds of these schedules; the `apple chaos` CLI command runs one
+//! batch and prints the report.
+
+use apple_core::classes::{ClassId, ClassSet};
+use apple_core::controller::{Apple, AppleConfig};
+use apple_core::failover::DynamicHandler;
+use apple_core::orchestrator::{ControlOps, ResourceOrchestrator};
+use apple_core::verify::{verify_shares, ShareViolation};
+use apple_faults::{FaultPlan, FaultPlanConfig};
+use apple_telemetry::{Recorder, NOOP};
+use apple_topology::Topology;
+use apple_traffic::TrafficMatrix;
+use std::collections::BTreeMap;
+
+use crate::replay::{apply_fault, ReplayError};
+
+/// Outcome of one fault schedule run to completion.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Schedule events applied (including no-op recoveries).
+    pub events_applied: usize,
+    /// Countable faults injected (crashes + host failures).
+    pub faults_injected: usize,
+    /// Invariant violations found, with the tick they appeared at. A
+    /// correct control plane keeps this empty for every seed.
+    pub violations: Vec<(u64, ShareViolation)>,
+    /// Ticks at which the handler was in degraded mode.
+    pub degraded_ticks: usize,
+    /// Highest total shed fraction observed at any point.
+    pub max_shed: f64,
+    /// Total shed fraction when the schedule ended.
+    pub final_shed: f64,
+    /// Whether the handler ended the schedule still degraded.
+    pub final_degraded: bool,
+}
+
+impl ChaosReport {
+    /// True when no invariant was ever violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one fault schedule against live deployment state, verifying the
+/// runtime invariants after every event. The caller owns (and keeps) the
+/// mutated state; clone a pristine deployment per schedule to amortise
+/// planning across many seeds.
+pub fn run_schedule(
+    classes: &ClassSet,
+    orch: &mut ResourceOrchestrator,
+    handler: &mut DynamicHandler,
+    cfg: &FaultPlanConfig,
+    rec: &dyn Recorder,
+) -> ChaosReport {
+    let plan = FaultPlan::generate(cfg);
+    let mut ops = ControlOps::with_injector(cfg.seed, Box::new(plan.injector()));
+    let rates: BTreeMap<ClassId, f64> = classes.iter().map(|c| (c.id, c.rate_mbps)).collect();
+    let tol = 1e-6;
+    let mut report = ChaosReport::default();
+
+    let check = |tick: u64,
+                 handler: &DynamicHandler,
+                 orch: &ResourceOrchestrator,
+                 report: &mut ChaosReport| {
+        for v in verify_shares(classes, handler, orch, tol) {
+            report.violations.push((tick, v));
+        }
+        report.max_shed = report.max_shed.max(handler.total_shed());
+    };
+
+    for tick in 0..=plan.last_tick() {
+        for ev in plan.events_at(tick).copied().collect::<Vec<_>>() {
+            report.events_applied += 1;
+            report.faults_injected +=
+                apply_fault(&ev.kind, &rates, classes, handler, orch, &mut ops, rec);
+            check(tick, handler, orch, &mut report);
+        }
+        // Degraded mode retries restoration every tick (capacity may have
+        // come back via host recovery or a replacement boot).
+        if handler.is_degraded() {
+            report.degraded_ticks += 1;
+            let _ = handler.recover_degraded(&rates, classes, orch, &mut ops, rec);
+            check(tick, handler, orch, &mut report);
+        }
+    }
+    report.final_shed = handler.total_shed();
+    report.final_degraded = handler.is_degraded();
+    report
+}
+
+/// Plans a fresh deployment for `topo`/`tm` and runs one fault schedule
+/// against it (the `apple chaos` entry point).
+///
+/// # Errors
+///
+/// [`ReplayError`] from planning or handler bootstrap.
+pub fn run_chaos(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    apple_cfg: &AppleConfig,
+    fault_cfg: &FaultPlanConfig,
+    rec: &dyn Recorder,
+) -> Result<ChaosReport, ReplayError> {
+    let apple = Apple::plan_recorded(topo, tm, apple_cfg, rec)?;
+    let mut handler = apple.dynamic_handler()?;
+    let (classes, _placement, _plan, _program, mut orch) = apple.into_parts();
+    Ok(run_schedule(
+        &classes,
+        &mut orch,
+        &mut handler,
+        fault_cfg,
+        rec,
+    ))
+}
+
+/// [`run_chaos`] without telemetry.
+///
+/// # Errors
+///
+/// Same as [`run_chaos`].
+pub fn run_chaos_quiet(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    apple_cfg: &AppleConfig,
+    fault_cfg: &FaultPlanConfig,
+) -> Result<ChaosReport, ReplayError> {
+    run_chaos(topo, tm, apple_cfg, fault_cfg, &NOOP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apple_core::classes::ClassConfig;
+    use apple_topology::zoo;
+    use apple_traffic::GravityModel;
+
+    fn small_cfg() -> AppleConfig {
+        AppleConfig {
+            classes: ClassConfig {
+                max_classes: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn chaos_schedule_stays_clean() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(3_000.0, 61).base_matrix(&topo);
+        let report =
+            run_chaos_quiet(&topo, &tm, &small_cfg(), &FaultPlanConfig::chaos(61)).unwrap();
+        assert!(report.faults_injected > 0, "schedule injected nothing");
+        assert!(
+            report.is_clean(),
+            "invariant violations: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(3_000.0, 61).base_matrix(&topo);
+        let a = run_chaos_quiet(&topo, &tm, &small_cfg(), &FaultPlanConfig::chaos(7)).unwrap();
+        let b = run_chaos_quiet(&topo, &tm, &small_cfg(), &FaultPlanConfig::chaos(7)).unwrap();
+        assert_eq!(a.events_applied, b.events_applied);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.degraded_ticks, b.degraded_ticks);
+        assert!((a.final_shed - b.final_shed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiet_schedule_changes_nothing() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(3_000.0, 61).base_matrix(&topo);
+        let report = run_chaos_quiet(&topo, &tm, &small_cfg(), &FaultPlanConfig::quiet(5)).unwrap();
+        assert_eq!(report.events_applied, 0);
+        assert_eq!(report.faults_injected, 0);
+        assert!(report.is_clean());
+        assert_eq!(report.final_shed, 0.0);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`failover_lab`] — the prototype micro-experiments: Fig. 7
 //!   (throughput collapse during a naive failover), Fig. 8 (20 MB transfer
 //!   time CDFs for the three strategies), Fig. 9 (overload detection
-//!   timeline).
+//!   timeline),
+//! * [`chaos`] — seeded fault schedules (crashes, host failures, flaky
+//!   control operations) replayed against a live deployment, with the
+//!   runtime invariants verified after every event.
 //!
 //! # Example
 //!
@@ -23,6 +26,7 @@
 //! assert!(timeline.iter().any(|p| p.helper_active));
 //! ```
 
+pub mod chaos;
 pub mod detector;
 pub mod events;
 pub mod failover_lab;
@@ -30,5 +34,6 @@ pub mod metrics;
 pub mod packet_replay;
 pub mod replay;
 
+pub use chaos::{run_chaos, run_schedule, ChaosReport};
 pub use metrics::{Series, Summary};
-pub use replay::{ReplayConfig, ReplayOutcome};
+pub use replay::{ReplayConfig, ReplayError, ReplayOutcome};

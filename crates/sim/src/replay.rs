@@ -20,15 +20,51 @@
 use apple_core::classes::ClassId;
 use apple_core::controller::{Apple, AppleConfig};
 use apple_core::engine::EngineError;
-use apple_core::failover::{DynamicHandler, FailoverAction};
+use apple_core::failover::{DynamicHandler, FailoverAction, FailoverError};
+use apple_core::orchestrator::ControlOps;
+use apple_faults::{FaultKind, FaultPlan, FaultPlanConfig};
 use apple_nf::{InstanceId, OverloadModel, TimingModel, VnfSpec};
 use apple_telemetry::{Recorder, RecorderExt, NOOP};
-use apple_topology::Topology;
+use apple_topology::{NodeId, Topology};
 use apple_traffic::TmSeries;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::time::Duration;
 
 use crate::metrics::Series;
+
+/// Errors a replay can hit: planning the deployment, or bootstrapping the
+/// Dynamic Handler from it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The Optimization Engine could not plan the deployment.
+    Plan(EngineError),
+    /// The Dynamic Handler rejected the deployment (inconsistent plan).
+    Failover(FailoverError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Plan(e) => write!(f, "planning failed: {e}"),
+            ReplayError::Failover(e) => write!(f, "failover bootstrap failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<EngineError> for ReplayError {
+    fn from(e: EngineError) -> Self {
+        ReplayError::Plan(e)
+    }
+}
+
+impl From<FailoverError> for ReplayError {
+    fn from(e: FailoverError) -> Self {
+        ReplayError::Failover(e)
+    }
+}
 
 /// Replay configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +78,9 @@ pub struct ReplayConfig {
     pub packet_bytes: u32,
     /// Seed for the timing model's boot jitter.
     pub seed: u64,
+    /// Optional fault schedule: crashes, host failures and flaky control
+    /// operations injected during the replay. `None` replays faithfully.
+    pub faults: Option<FaultPlanConfig>,
 }
 
 impl Default for ReplayConfig {
@@ -51,6 +90,7 @@ impl Default for ReplayConfig {
             fast_failover: true,
             packet_bytes: 1500,
             seed: 0,
+            faults: None,
         }
     }
 }
@@ -70,18 +110,22 @@ pub struct ReplayOutcome {
     pub helpers_spawned: usize,
     /// Steady-state cores of the planned deployment (before failover).
     pub planned_cores: u32,
+    /// Fault events injected (crashes + host failures), 0 without faults.
+    pub faults_injected: usize,
+    /// Ticks spent in degraded mode (some traffic shed).
+    pub degraded_ticks: usize,
 }
 
 /// Replays `series` on a deployment planned from the series mean.
 ///
 /// # Errors
 ///
-/// Propagates [`EngineError`] from planning.
+/// [`ReplayError`] from planning or handler bootstrap.
 pub fn replay(
     topo: &Topology,
     series: &TmSeries,
     cfg: &ReplayConfig,
-) -> Result<ReplayOutcome, EngineError> {
+) -> Result<ReplayOutcome, ReplayError> {
     replay_recorded(topo, series, cfg, &NOOP)
 }
 
@@ -94,27 +138,34 @@ pub fn replay(
 ///
 /// # Errors
 ///
-/// Propagates [`EngineError`] from planning.
+/// [`ReplayError`] from planning or handler bootstrap.
 pub fn replay_recorded(
     topo: &Topology,
     series: &TmSeries,
     cfg: &ReplayConfig,
     rec: &dyn Recorder,
-) -> Result<ReplayOutcome, EngineError> {
+) -> Result<ReplayOutcome, ReplayError> {
     let apple = {
         let _s = rec.span("sim.plan");
         Apple::plan_recorded(topo, &series.mean(), &cfg.apple, rec)?
     };
     let _replay_span = rec.span("sim.replay");
     let planned_cores = apple.placement().total_cores();
-    let mut handler = apple.dynamic_handler();
+    let mut handler = apple.dynamic_handler()?;
     let (classes, _placement, _plan, _program, mut orch) = apple.into_parts();
     let mut timing = TimingModel::paper(cfg.seed);
+    let fault_plan = cfg.faults.as_ref().map(FaultPlan::generate);
+    let mut ops = match &fault_plan {
+        Some(plan) => ControlOps::with_injector(cfg.seed, Box::new(plan.injector())),
+        None => ControlOps::reliable(cfg.seed),
+    };
 
     let mut loss = Series::new("loss-rate");
     let mut helper_cores = Series::new("helper-cores");
     let mut notifications = 0usize;
     let mut helpers_spawned = 0usize;
+    let mut faults_injected = 0usize;
+    let mut degraded_ticks = 0usize;
     // Helpers still booting: instance -> ready tick.
     let mut booting: BTreeMap<InstanceId, usize> = BTreeMap::new();
     let mut overloaded: std::collections::BTreeSet<InstanceId> = Default::default();
@@ -123,6 +174,28 @@ pub fn replay_recorded(
         // 1. Refresh class rates.
         let scoped = classes.with_rates_from(tm);
         let rates: BTreeMap<ClassId, f64> = scoped.iter().map(|c| (c.id, c.rate_mbps)).collect();
+
+        // 1b. Inject this tick's scheduled faults; the handler repairs or
+        // sheds, and once capacity returns, restores parked sub-classes.
+        if let Some(plan) = &fault_plan {
+            for ev in plan.events_at(tick as u64).copied().collect::<Vec<_>>() {
+                faults_injected += apply_fault(
+                    &ev.kind,
+                    &rates,
+                    &scoped,
+                    &mut handler,
+                    &mut orch,
+                    &mut ops,
+                    rec,
+                );
+            }
+            if handler.is_degraded() {
+                let _ = handler.recover_degraded(&rates, &scoped, &mut orch, &mut ops, rec);
+            }
+            // Crashed instances can no longer clear their own overload.
+            overloaded.retain(|i| orch.instance(*i).is_some());
+            booting.retain(|i, _| orch.instance(*i).is_some());
+        }
 
         // Helpers finish booting.
         booting.retain(|_, ready| *ready > tick);
@@ -189,6 +262,19 @@ pub fn replay_recorded(
             }
         }
 
+        // Degraded mode: parked sub-classes shed their traffic at ingress.
+        // It counts as offered *and* lost, so the loss curve shows exactly
+        // what degraded mode costs.
+        for (c, frac) in handler.shed() {
+            let mbps = frac * rates.get(c).copied().unwrap_or(0.0);
+            let pps = mbps * 1e6 / (f64::from(cfg.packet_bytes) * 8.0);
+            tick_offered += pps;
+            tick_lost += pps;
+        }
+        if handler.is_degraded() {
+            degraded_ticks += 1;
+        }
+
         let rate = if tick_offered > 0.0 {
             tick_lost / tick_offered
         } else {
@@ -210,7 +296,79 @@ pub fn replay_recorded(
         notifications,
         helpers_spawned,
         planned_cores,
+        faults_injected,
+        degraded_ticks,
     })
+}
+
+/// Applies one scheduled fault, resolving its selector against the
+/// population alive right now. Returns 1 when a countable fault (crash or
+/// host failure) was injected, 0 otherwise. Handler errors are counted
+/// (`sim.failover_errors`), never propagated — surviving malformed events
+/// is the point of the fault harness.
+pub(crate) fn apply_fault(
+    kind: &FaultKind,
+    rates: &BTreeMap<ClassId, f64>,
+    classes: &apple_core::classes::ClassSet,
+    handler: &mut DynamicHandler,
+    orch: &mut apple_core::orchestrator::ResourceOrchestrator,
+    ops: &mut ControlOps,
+    rec: &dyn Recorder,
+) -> usize {
+    let crash = |dead: InstanceId,
+                 handler: &mut DynamicHandler,
+                 orch: &mut apple_core::orchestrator::ResourceOrchestrator,
+                 ops: &mut ControlOps| {
+        if handler
+            .handle_instance_crash(dead, rates, classes, orch, ops, rec)
+            .is_err()
+        {
+            rec.counter("sim.failover_errors", 1);
+        }
+    };
+    match kind {
+        FaultKind::InstanceCrash { victim } => {
+            let alive: Vec<InstanceId> = orch.instances().map(|i| i.id()).collect();
+            if alive.is_empty() {
+                return 0;
+            }
+            let dead = alive[(victim % alive.len() as u64) as usize];
+            rec.counter("sim.faults_injected", 1);
+            crash(dead, handler, orch, ops);
+            1
+        }
+        FaultKind::HostFailure { host } => {
+            let up: Vec<usize> = orch
+                .hosts()
+                .iter()
+                .filter(|(_, h)| h.up)
+                .map(|(s, _)| *s)
+                .collect();
+            if up.is_empty() {
+                return 0;
+            }
+            let sw = up[(host % up.len() as u64) as usize];
+            rec.counter("sim.faults_injected", 1);
+            if let Ok(victims) = orch.fail_host(NodeId(sw)) {
+                for dead in victims {
+                    crash(dead, handler, orch, ops);
+                }
+            }
+            1
+        }
+        FaultKind::HostRecovery { host } => {
+            let down: Vec<usize> = orch
+                .hosts()
+                .iter()
+                .filter(|(_, h)| !h.up)
+                .map(|(s, _)| *s)
+                .collect();
+            if let Some(&sw) = down.get((host % down.len().max(1) as u64) as usize) {
+                let _ = orch.restore_host(NodeId(sw));
+            }
+            0
+        }
+    }
 }
 
 /// Offered load per instance in Mbps under the handler's current shares.

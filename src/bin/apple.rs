@@ -4,6 +4,7 @@
 //! apple topo   <TOPO> [--dot | --edges | --stats]
 //! apple plan   <TOPO> [--load MBPS] [--classes K] [--seed S]
 //! apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S]
+//! apple chaos  <TOPO> [--schedules N] [--seed S] [--classes K] [--load MBPS]
 //! apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 //! ```
 //!
@@ -14,6 +15,8 @@ use apple_nfv::core::classes::{ClassConfig, ClassSet};
 use apple_nfv::core::controller::{Apple, AppleConfig};
 use apple_nfv::core::engine::OptimizationEngine;
 use apple_nfv::core::orchestrator::ResourceOrchestrator;
+use apple_nfv::faults::FaultPlanConfig;
+use apple_nfv::sim::chaos::run_schedule;
 use apple_nfv::sim::replay::{replay_recorded, ReplayConfig};
 use apple_nfv::telemetry::{MemoryRecorder, Recorder, NOOP};
 use apple_nfv::topology::{zoo, Topology};
@@ -37,12 +40,17 @@ const USAGE: &str = "usage:
   apple topo   <TOPO> [--dot | --edges | --stats]
   apple plan   <TOPO> [--load MBPS] [--classes K] [--seed S] [--telemetry json]
   apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S] [--telemetry json]
+  apple chaos  <TOPO> [--schedules N] [--seed S] [--classes K] [--load MBPS] [--telemetry json]
   apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 
 TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D
 
 --telemetry json prints the run's metric snapshot (counters, gauges,
-histograms) as JSON on stdout after the normal output.";
+histograms) as JSON on stdout after the normal output.
+
+chaos replays N seeded fault schedules (instance crashes, host failures,
+flaky boots and rule installs) against one planned deployment and verifies
+interference freedom and traffic accounting after every event.";
 
 /// Parsed optional flags.
 struct Flags {
@@ -50,6 +58,7 @@ struct Flags {
     classes: usize,
     seed: u64,
     snapshots: usize,
+    schedules: usize,
     failover: bool,
     dot: bool,
     edges: bool,
@@ -64,6 +73,7 @@ impl Default for Flags {
             classes: 20,
             seed: 0,
             snapshots: 96,
+            schedules: 8,
             failover: true,
             dot: false,
             edges: false,
@@ -106,6 +116,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--seed" => f.seed = num("--seed")?.parse().map_err(|_| "bad --seed")?,
             "--snapshots" => {
                 f.snapshots = num("--snapshots")?.parse().map_err(|_| "bad --snapshots")?
+            }
+            "--schedules" => {
+                f.schedules = num("--schedules")?.parse().map_err(|_| "bad --schedules")?
             }
             "--no-failover" => f.failover = false,
             "--telemetry" => match num("--telemetry")?.as_str() {
@@ -278,6 +291,73 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             emit_telemetry(&mem);
             Ok(())
+        }
+        "chaos" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
+            let mem = make_recorder(&flags);
+            let rec = recorder_ref(&mem);
+            let apple = Apple::plan_recorded(
+                &topo,
+                &tm,
+                &AppleConfig {
+                    classes: ClassConfig {
+                        max_classes: flags.classes,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                rec,
+            )
+            .map_err(|e| e.to_string())?;
+            let handler0 = apple.dynamic_handler().map_err(|e| e.to_string())?;
+            let (classes, _placement, _plan, _program, orch0) = apple.into_parts();
+            let mut clean = 0usize;
+            let mut total_faults = 0usize;
+            let mut degraded_runs = 0usize;
+            for i in 0..flags.schedules {
+                let seed = flags.seed.wrapping_add(i as u64);
+                let mut orch = orch0.clone();
+                let mut handler = handler0.clone();
+                let report = run_schedule(
+                    &classes,
+                    &mut orch,
+                    &mut handler,
+                    &FaultPlanConfig::chaos(seed),
+                    rec,
+                );
+                if report.is_clean() {
+                    clean += 1;
+                }
+                total_faults += report.faults_injected;
+                if report.degraded_ticks > 0 {
+                    degraded_runs += 1;
+                }
+                println!(
+                    "seed {seed}: {} faults  {} events  degraded ticks {}  final shed {:.3}  {}",
+                    report.faults_injected,
+                    report.events_applied,
+                    report.degraded_ticks,
+                    report.final_shed.max(0.0),
+                    if report.is_clean() {
+                        "clean"
+                    } else {
+                        "VIOLATIONS"
+                    }
+                );
+            }
+            println!(
+                "{clean}/{} schedules clean, {total_faults} faults injected, {degraded_runs} runs entered degraded mode",
+                flags.schedules
+            );
+            emit_telemetry(&mem);
+            if clean == flags.schedules {
+                Ok(())
+            } else {
+                Err("chaos run found invariant violations".into())
+            }
         }
         "export-lp" => {
             let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;

@@ -17,6 +17,7 @@
 
 pub use apple_core as core;
 pub use apple_dataplane as dataplane;
+pub use apple_faults as faults;
 pub use apple_lp as lp;
 pub use apple_nf as nf;
 pub use apple_rng as rng;
@@ -43,6 +44,7 @@ pub mod prelude {
     pub use apple_core::policy::PolicyChain;
     pub use apple_core::policy_spec::PolicySpec;
     pub use apple_core::subclass::{SplitStrategy, SubclassPlan};
+    pub use apple_faults::{FaultInjector, FaultPlan, FaultPlanConfig, NoFaults, RetryPolicy};
     pub use apple_nf::{NfType, VnfSpec};
     pub use apple_telemetry::{MemoryRecorder, Recorder, RecorderExt, Snapshot, NOOP};
     pub use apple_topology::{zoo, NodeId, Path, Topology, TopologyKind};

@@ -1,0 +1,237 @@
+//! Chaos suite: replay hundreds of seeded fault schedules through
+//! place → tag → fault → failover and assert the runtime invariants after
+//! every event — interference freedom (every live sub-class stage on an
+//! existing, correctly-typed instance on the class's own path, in chain
+//! order) and full traffic accounting (live coverage plus the explicit
+//! shed ledger sums to 100% per class). No schedule may panic.
+//!
+//! The deployment is planned once per topology and cloned per schedule,
+//! so the suite scales to hundreds of seeds without re-running the LP.
+
+use apple_nfv::core::classes::{ClassConfig, ClassId, ClassSet};
+use apple_nfv::core::controller::{Apple, AppleConfig};
+use apple_nfv::core::failover::DynamicHandler;
+use apple_nfv::core::orchestrator::{ControlOps, ResourceOrchestrator};
+use apple_nfv::core::verify::verify_shares;
+use apple_nfv::faults::FaultPlanConfig;
+use apple_nfv::sim::chaos::run_schedule;
+use apple_nfv::telemetry::{MemoryRecorder, NOOP};
+use apple_nfv::topology::{zoo, Topology};
+use apple_nfv::traffic::GravityModel;
+use std::collections::BTreeMap;
+
+/// Base seed for this file (see tests/README.md).
+const SEED: u64 = 0xc4a0_57a7;
+
+/// Base seeds × schedules per seed — 200 schedules total.
+const BASE_SEEDS: usize = 8;
+const SCHEDULES_PER_SEED: usize = 25;
+
+fn planned(topo: &Topology, seed: u64) -> (ClassSet, ResourceOrchestrator, DynamicHandler) {
+    let tm = GravityModel::new(3_000.0, seed).base_matrix(topo);
+    let cfg = AppleConfig {
+        classes: ClassConfig {
+            max_classes: 12,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let apple = Apple::plan(topo, &tm, &cfg).expect("plan");
+    let handler = apple.dynamic_handler().expect("bootstrap");
+    let (classes, _placement, _plan, _program, orch) = apple.into_parts();
+    (classes, orch, handler)
+}
+
+fn rates_of(classes: &ClassSet) -> BTreeMap<ClassId, f64> {
+    classes.iter().map(|c| (c.id, c.rate_mbps)).collect()
+}
+
+/// The headline sweep: 8 base seeds × 25 schedules = 200 seeded fault
+/// schedules against one planned internet2 deployment, every one of them
+/// clean after every event.
+#[test]
+fn two_hundred_seeded_schedules_stay_clean() {
+    let topo = zoo::internet2();
+    let (classes, orch0, handler0) = planned(&topo, SEED);
+    let mut total_faults = 0usize;
+    let mut degraded_runs = 0usize;
+    for base in 0..BASE_SEEDS {
+        for case in 0..SCHEDULES_PER_SEED {
+            let seed = SEED ^ (0x100 * base as u64 + case as u64);
+            let mut orch = orch0.clone();
+            let mut handler = handler0.clone();
+            let report = run_schedule(
+                &classes,
+                &mut orch,
+                &mut handler,
+                &FaultPlanConfig::chaos(seed),
+                &NOOP,
+            );
+            assert!(
+                report.is_clean(),
+                "base {base} case {case} (seed {seed}): violations {:?}",
+                report.violations
+            );
+            total_faults += report.faults_injected;
+            if report.degraded_ticks > 0 {
+                degraded_runs += 1;
+            }
+        }
+    }
+    assert!(
+        total_faults >= BASE_SEEDS * SCHEDULES_PER_SEED,
+        "sweep was too gentle: only {total_faults} faults across 200 schedules"
+    );
+    // The sweep must exercise the degraded path somewhere, or the
+    // shed-ledger accounting is never actually tested.
+    assert!(degraded_runs > 0, "no schedule entered degraded mode");
+}
+
+/// Chaos must stay clean on every evaluation topology, not just the one
+/// the sweep uses.
+#[test]
+fn chaos_stays_clean_across_topologies() {
+    for (i, topo) in [zoo::internet2(), zoo::geant(), zoo::univ1()]
+        .iter()
+        .enumerate()
+    {
+        let (classes, orch0, handler0) = planned(topo, SEED ^ (0x1000 + i as u64));
+        for case in 0..4u64 {
+            let mut orch = orch0.clone();
+            let mut handler = handler0.clone();
+            let report = run_schedule(
+                &classes,
+                &mut orch,
+                &mut handler,
+                &FaultPlanConfig::chaos(SEED ^ (0x2000 + 0x10 * i as u64 + case)),
+                &NOOP,
+            );
+            assert!(
+                report.is_clean(),
+                "topology {i} case {case}: violations {:?}",
+                report.violations
+            );
+        }
+    }
+}
+
+/// Identical seed → identical schedule outcome, byte for byte.
+#[test]
+fn schedule_outcome_is_deterministic_per_seed() {
+    let topo = zoo::internet2();
+    let (classes, orch0, handler0) = planned(&topo, SEED);
+    for case in 0..4u64 {
+        let cfg = FaultPlanConfig::chaos(SEED ^ (0x3000 + case));
+        let run = || {
+            let mut orch = orch0.clone();
+            let mut handler = handler0.clone();
+            run_schedule(&classes, &mut orch, &mut handler, &cfg, &NOOP)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.events_applied, b.events_applied, "case {case}");
+        assert_eq!(a.faults_injected, b.faults_injected, "case {case}");
+        assert_eq!(a.degraded_ticks, b.degraded_ticks, "case {case}");
+        assert!((a.final_shed - b.final_shed).abs() < 1e-12, "case {case}");
+        assert_eq!(a.final_degraded, b.final_degraded, "case {case}");
+    }
+}
+
+/// A hostile schedule — every boot and rule install fails — must still
+/// keep the books: parked traffic lands in the shed ledger (no silent
+/// loss), and once operations turn reliable again the handler restores
+/// every parked sub-class and leaves degraded mode.
+#[test]
+fn hostile_schedule_degrades_cleanly_then_recovers() {
+    let topo = zoo::internet2();
+    let (classes, mut orch, mut handler) = planned(&topo, SEED ^ 0x4000);
+    let rates = rates_of(&classes);
+    let hostile = FaultPlanConfig {
+        boot_fail_prob: 1.0,
+        rule_fail_prob: 1.0,
+        host_failures: 0,
+        ..FaultPlanConfig::chaos(SEED ^ 0x4000)
+    };
+    let report = run_schedule(&classes, &mut orch, &mut handler, &hostile, &NOOP);
+    assert!(
+        report.is_clean(),
+        "hostile schedule broke invariants: {:?}",
+        report.violations
+    );
+    assert!(
+        handler.is_degraded(),
+        "all control operations failing must force degraded mode"
+    );
+    assert!(handler.total_shed() > 0.0);
+
+    // Capacity and control-plane health return: recovery drains the ledger.
+    let mut reliable = ControlOps::reliable(SEED ^ 0x4000);
+    let restored = handler
+        .recover_degraded(&rates, &classes, &mut orch, &mut reliable, &NOOP)
+        .expect("recovery must not error");
+    assert!(restored > 0, "nothing restored after faults cleared");
+    assert!(!handler.is_degraded(), "ledger should be empty again");
+    assert!(handler.total_shed().abs() < 1e-9);
+    assert!(
+        verify_shares(&classes, &handler, &orch, 1e-6).is_empty(),
+        "post-recovery state must verify clean"
+    );
+}
+
+/// The fault-path telemetry counters land in the snapshot (and therefore
+/// in `apple --telemetry json`): retry/boot-failure counts from the
+/// orchestrator, re-homed sub-classes from crash handling, and the
+/// degraded-mode entry/exit markers.
+#[test]
+fn chaos_telemetry_counters_reach_the_snapshot() {
+    let topo = zoo::internet2();
+    let (classes, orch0, handler0) = planned(&topo, SEED);
+    let rec = MemoryRecorder::new();
+
+    // Phase 1: ordinary chaos schedules -> successful re-homing.
+    for case in 0..4u64 {
+        let mut orch = orch0.clone();
+        let mut handler = handler0.clone();
+        run_schedule(
+            &classes,
+            &mut orch,
+            &mut handler,
+            &FaultPlanConfig::chaos(SEED ^ (0x5000 + case)),
+            &rec,
+        );
+    }
+
+    // Phase 2: a hostile schedule forces degraded mode, then reliable
+    // operations force the exit marker.
+    let (mut orch, mut handler) = (orch0.clone(), handler0.clone());
+    let hostile = FaultPlanConfig {
+        boot_fail_prob: 1.0,
+        rule_fail_prob: 1.0,
+        host_failures: 0,
+        ..FaultPlanConfig::chaos(SEED ^ 0x6000)
+    };
+    run_schedule(&classes, &mut orch, &mut handler, &hostile, &rec);
+    let mut reliable = ControlOps::reliable(SEED ^ 0x6000);
+    let rates = rates_of(&classes);
+    handler
+        .recover_degraded(&rates, &classes, &mut orch, &mut reliable, &rec)
+        .expect("recovery");
+
+    let snap = rec.snapshot();
+    for counter in [
+        "orchestrator.retries",
+        "orchestrator.boot_failures",
+        "failover.rehomed_subclasses",
+        "failover.degraded_entered",
+        "failover.degraded_exited",
+    ] {
+        let n = snap.counter(counter);
+        assert!(
+            n.is_some_and(|n| n > 0),
+            "counter {counter} missing from snapshot (got {n:?})"
+        );
+        assert!(
+            snap.to_json().contains(&format!("\"{counter}\"")),
+            "counter {counter} missing from JSON rendering"
+        );
+    }
+}

@@ -87,7 +87,7 @@ fn failover_decisions_never_change_paths() {
         },
     )
     .expect("feasible");
-    let mut handler = apple.dynamic_handler();
+    let mut handler = apple.dynamic_handler().unwrap();
     let classes = apple.classes().clone();
     // Burst every class and notify for every instance in turn.
     let rates: BTreeMap<ClassId, f64> =
@@ -141,7 +141,7 @@ fn roll_back_is_idempotent() {
         },
     )
     .expect("feasible");
-    let mut handler = apple.dynamic_handler();
+    let mut handler = apple.dynamic_handler().unwrap();
     let classes = apple.classes().clone();
     let rates: BTreeMap<ClassId, f64> =
         classes.iter().map(|c| (c.id, c.rate_mbps * 20.0)).collect();

@@ -33,7 +33,7 @@ fn full_pipeline_emits_a_complete_json_snapshot() {
 
     // --- Overload + failover: burst every class far past capacity of a
     // victim instance and notify the Dynamic Handler. ---
-    let mut handler = apple.dynamic_handler();
+    let mut handler = apple.dynamic_handler().unwrap();
     let (classes, _placement, _plan, _program, mut orch) = apple.into_parts();
     let victim = handler.shares()[0].instances[0];
     let burst: BTreeMap<ClassId, f64> =
