@@ -1,0 +1,139 @@
+//! Regenerates (or validates) the committed `BENCH_plan.json` /
+//! `BENCH_failover.json` benchmark trajectory.
+//!
+//! ```text
+//! bench_trajectory --smoke [--threads N] [--out-dir DIR]   # Synthetic + Internet2
+//! bench_trajectory --full  [--threads N] [--out-dir DIR]   # all five topologies
+//! bench_trajectory --check FILE [FILE...]                  # schema-validate, no solving
+//! ```
+//!
+//! `--smoke` is what the `ci` bench-smoke stage runs; `--full` regenerates
+//! the files committed at the repository root (see EXPERIMENTS.md for the
+//! exact invocation). `--check` infers the schema from each file's
+//! `schema` field and exits non-zero on the first violation.
+
+use apple_bench::trajectory::{
+    check_failover, check_plan, failover_json, plan_json, run_failover, run_plan, Scope,
+    FAILOVER_SCHEMA, PLAN_SCHEMA,
+};
+use apple_telemetry::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_trajectory --smoke|--full [--threads N] [--out-dir DIR]\n       bench_trajectory --check FILE [FILE...]"
+    );
+    ExitCode::from(2)
+}
+
+fn check_files(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let schema = Json::parse(&text)
+            .ok()
+            .and_then(|d| d.get("schema").and_then(|s| s.as_str().map(String::from)));
+        let result = match schema.as_deref() {
+            Some(PLAN_SCHEMA) => check_plan(&text),
+            Some(FAILOVER_SCHEMA) => check_failover(&text),
+            other => Err(format!("unrecognised schema {other:?}")),
+        };
+        match result {
+            Ok(()) => println!("{f}: ok ({})", schema.unwrap_or_default()),
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write(path: &Path, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope = None;
+    let mut threads = 1usize;
+    let mut out_dir = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scope = Some(Scope::Smoke),
+            "--full" => scope = Some(Scope::Full),
+            "--check" => return check_files(&args[i + 1..]),
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
+            "--out-dir" => {
+                i += 1;
+                let Some(d) = args.get(i) else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(d);
+            }
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    let Some(scope) = scope else {
+        return usage();
+    };
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+
+    let plan = run_plan(scope, threads).expect("plan benchmark failed");
+    for r in &plan {
+        println!(
+            "{:<10} mono {:8.1} ms / {:6} pivots | decomposed {:8.1} ms / {:6} pivots \
+             ({} blocks) | identical={} speedup={:.1}x",
+            r.topology,
+            r.mono.solve_ms,
+            r.mono.pivots,
+            r.decomposed.solve_ms,
+            r.decomposed.pivots,
+            r.detail.blocks,
+            r.identical,
+            r.speedup,
+        );
+    }
+    let plan_text = plan_json(&plan, threads);
+    check_plan(&plan_text).expect("generated plan JSON failed its own schema check");
+    write(&out_dir.join("BENCH_plan.json"), &plan_text);
+
+    let failover = run_failover(scope, threads).expect("failover benchmark failed");
+    for r in &failover {
+        let hd = &r.events[2];
+        println!(
+            "{:<10} host_down re-plan: {} warm hits / {} misses, {} instances",
+            r.topology, hd.warm_hits, hd.warm_misses, hd.instances
+        );
+    }
+    let failover_text = failover_json(&failover, threads);
+    check_failover(&failover_text).expect("generated failover JSON failed its own schema check");
+    write(&out_dir.join("BENCH_failover.json"), &failover_text);
+
+    if plan.iter().any(|r| !r.identical) {
+        eprintln!("error: at least one scenario diverged between modes");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

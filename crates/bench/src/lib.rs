@@ -16,8 +16,14 @@
 //! | Fig. 10   | [`fig10_tcam_reduction`] |
 //! | Fig. 11   | [`fig11_core_usage`] |
 //! | Fig. 12   | [`fig12_loss_series`] |
+//!
+//! Beyond the paper's artifacts, [`trajectory`] regenerates the committed
+//! `BENCH_plan.json` / `BENCH_failover.json` files at the repository root
+//! (monolithic vs decomposed solve, warm-cache failover re-plans; see
+//! DESIGN.md §8 and EXPERIMENTS.md).
 
 pub mod harness;
+pub mod trajectory;
 
 use apple_core::baselines::{
     ingress_per_class, steering_consolidation, SteeringPlan, TrafficSteering,

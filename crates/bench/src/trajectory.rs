@@ -1,0 +1,595 @@
+//! Committed benchmark trajectory: the data behind `BENCH_plan.json` and
+//! `BENCH_failover.json` at the repository root (DESIGN.md §8,
+//! EXPERIMENTS.md "Decomposed solve").
+//!
+//! Two trajectories are measured, both fully deterministic (gravity-model
+//! seed 0, pinned class budgets and offered loads from
+//! [`class_budget`] / [`offered_load`]):
+//!
+//! * **Plan** ([`run_plan`]): every topology is planned twice — once with
+//!   [`SolveMode::Monolithic`] and once with [`SolveMode::Decomposed`] —
+//!   and the two placements are compared entry-for-entry. The emitted JSON
+//!   (schema [`PLAN_SCHEMA`]) records solve time, total simplex pivots,
+//!   instance counts and the LP objective for each mode, plus the
+//!   decomposition detail (block count, largest block, dropped rows,
+//!   per-block pivot distribution) pulled from the
+//!   `engine.decompose.*` telemetry the engine emits.
+//! * **Failover** ([`run_failover`]): a [`Replanner`] with a persistent
+//!   warm cache re-plans through a three-event sequence — cold start,
+//!   steady-state repeat, busiest-host failure — and the JSON (schema
+//!   [`FAILOVER_SCHEMA`]) records the warm-hit / warm-miss trajectory,
+//!   demonstrating that an unchanged input re-plans with zero misses and a
+//!   single host failure re-solves only the blocks it touches.
+//!
+//! The binary `bench_trajectory` wraps these functions with `--smoke`
+//! (Synthetic + Internet2, used by the `ci` bench-smoke stage), `--full`
+//! (all five topologies, regenerates the committed files) and
+//! `--check <file>` (schema validation via [`check_plan`] /
+//! [`check_failover`], no solving).
+
+use crate::{class_budget, offered_load};
+use apple_core::classes::{ClassConfig, ClassSet};
+use apple_core::engine::{EngineConfig, EngineError, OptimizationEngine, Placement, SolveMode};
+use apple_core::failover::Replanner;
+use apple_core::orchestrator::ResourceOrchestrator;
+use apple_telemetry::json::{write_num, write_str, Json};
+use apple_telemetry::{MemoryRecorder, Snapshot};
+use apple_topology::{NodeId, TopologyKind};
+use apple_traffic::GravityModel;
+use std::collections::BTreeMap;
+
+/// Schema tag carried by `BENCH_plan.json`.
+pub const PLAN_SCHEMA: &str = "apple-bench-plan-v1";
+/// Schema tag carried by `BENCH_failover.json`.
+pub const FAILOVER_SCHEMA: &str = "apple-bench-failover-v1";
+/// Gravity-model seed pinned for every trajectory run.
+pub const SEED: u64 = 0;
+
+/// The topology set for one trajectory run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Synthetic + Internet2 — seconds, used by the `ci` bench-smoke stage.
+    Smoke,
+    /// All five topologies — regenerates the committed BENCH files.
+    Full,
+}
+
+impl Scope {
+    fn kinds(self) -> &'static [TopologyKind] {
+        match self {
+            Scope::Smoke => &[TopologyKind::Synthetic, TopologyKind::Internet2],
+            Scope::Full => &[
+                TopologyKind::Synthetic,
+                TopologyKind::Internet2,
+                TopologyKind::Univ1,
+                TopologyKind::Geant,
+                TopologyKind::As3679,
+            ],
+        }
+    }
+}
+
+/// One mode's planning outcome (monolithic or decomposed).
+#[derive(Debug, Clone)]
+pub struct ModeStats {
+    /// Wall-clock LP time summed over every solve of the run (ms).
+    pub solve_ms: f64,
+    /// Simplex pivots summed over every solve of the run.
+    pub pivots: u64,
+    /// Instances launched by the rounded plan.
+    pub instances: u32,
+    /// Final LP-relaxation objective.
+    pub lp_objective: f64,
+}
+
+/// Decomposition detail of the *final* placement LP plus per-block pivot
+/// aggregates over every decomposed solve of the run (repair rounds and
+/// consolidation probes included).
+#[derive(Debug, Clone)]
+pub struct DecomposeDetail {
+    /// Independent blocks in the final placement LP.
+    pub blocks: u64,
+    /// Variables in its largest block.
+    pub largest_block_vars: u64,
+    /// Forced-slack rows stripped, summed over all decomposed solves.
+    pub dropped_rows: u64,
+    /// Warm-cache hits over all decomposed solves.
+    pub warm_hits: u64,
+    /// Warm-cache misses over all decomposed solves.
+    pub warm_misses: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Per-block pivot counts: `(count, sum, min, max, p50, p95)` over
+    /// every block of every decomposed solve.
+    pub block_pivots: (u64, f64, f64, f64, f64, f64),
+}
+
+/// One topology's plan benchmark row.
+#[derive(Debug, Clone)]
+pub struct PlanRow {
+    /// Topology name (`TopologyKind::name`).
+    pub topology: String,
+    /// Equivalence classes planned.
+    pub classes: usize,
+    /// Offered load (Mbps).
+    pub load_mbps: f64,
+    /// Monolithic-mode outcome.
+    pub mono: ModeStats,
+    /// Decomposed-mode outcome.
+    pub decomposed: ModeStats,
+    /// Decomposition detail for the decomposed run.
+    pub detail: DecomposeDetail,
+    /// `true` when both modes produced the identical rounded placement
+    /// (every `(switch, NF, count)` entry) and LP objectives within 1e-9.
+    pub identical: bool,
+    /// Monolithic wall-clock divided by decomposed wall-clock.
+    pub speedup: f64,
+}
+
+/// One failover event in the warm-cache trajectory.
+#[derive(Debug, Clone)]
+pub struct FailoverEvent {
+    /// Event label: `cold`, `steady` or `host_down`.
+    pub event: String,
+    /// Blocks answered from the warm cache.
+    pub warm_hits: u64,
+    /// Blocks actually re-solved.
+    pub warm_misses: u64,
+    /// Hosts down at re-plan time.
+    pub down_hosts: u64,
+    /// Instances launched by the re-plan.
+    pub instances: u32,
+    /// LP wall-clock for the re-plan (ms).
+    pub solve_ms: f64,
+}
+
+/// One topology's failover benchmark row.
+#[derive(Debug, Clone)]
+pub struct FailoverRow {
+    /// Topology name.
+    pub topology: String,
+    /// Equivalence classes planned.
+    pub classes: usize,
+    /// The three-event trajectory: cold, steady, host_down.
+    pub events: Vec<FailoverEvent>,
+}
+
+fn scenario(kind: TopologyKind) -> (ClassSet, ResourceOrchestrator) {
+    let topo = kind.build();
+    let tm = GravityModel::new(offered_load(kind), SEED).base_matrix(&topo);
+    let classes = ClassSet::build(
+        &topo,
+        &tm,
+        &ClassConfig {
+            max_classes: class_budget(kind),
+            ..Default::default()
+        },
+    );
+    let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+    (classes, orch)
+}
+
+fn engine_config(mode: SolveMode, threads: usize) -> EngineConfig {
+    EngineConfig {
+        solve_mode: mode,
+        threads,
+        ..Default::default()
+    }
+}
+
+fn mode_stats(p: &Placement) -> ModeStats {
+    ModeStats {
+        solve_ms: p.solve_time().as_secs_f64() * 1e3,
+        pivots: p.pivots() as u64,
+        instances: p.total_instances(),
+        lp_objective: p.lp_objective(),
+    }
+}
+
+fn decompose_detail(snap: &Snapshot, threads: usize) -> DecomposeDetail {
+    let h = snap.histogram("engine.decompose.block_pivots");
+    DecomposeDetail {
+        blocks: snap.gauge("engine.decompose.blocks").unwrap_or(0.0) as u64,
+        largest_block_vars: snap
+            .gauge("engine.decompose.largest_block_vars")
+            .unwrap_or(0.0) as u64,
+        dropped_rows: snap.counter("engine.decompose.dropped_rows").unwrap_or(0),
+        warm_hits: snap.counter("engine.decompose.warm_hits").unwrap_or(0),
+        warm_misses: snap.counter("engine.decompose.warm_misses").unwrap_or(0),
+        threads: threads.max(1) as u64,
+        block_pivots: h.map_or((0, 0.0, 0.0, 0.0, 0.0, 0.0), |h| {
+            (h.count, h.sum, h.min, h.max, h.p50, h.p95)
+        }),
+    }
+}
+
+/// Runs the plan benchmark over `scope` with `threads` decomposed workers
+/// (`0` = one per CPU).
+///
+/// # Errors
+///
+/// Propagates the first [`EngineError`] from either solve mode.
+pub fn run_plan(scope: Scope, threads: usize) -> Result<Vec<PlanRow>, EngineError> {
+    let mut rows = Vec::new();
+    for &kind in scope.kinds() {
+        let (classes, orch) = scenario(kind);
+        let mono = OptimizationEngine::new(engine_config(SolveMode::Monolithic, 0))
+            .place(&classes, &orch)?;
+        let rec = MemoryRecorder::new();
+        let dec = OptimizationEngine::new(engine_config(SolveMode::Decomposed, threads))
+            .place_recorded(&classes, &orch, &rec)?;
+        let snap = rec.snapshot();
+        let q_mono: Vec<_> = mono.q_entries().collect();
+        let q_dec: Vec<_> = dec.q_entries().collect();
+        let m = mode_stats(&mono);
+        let d = mode_stats(&dec);
+        rows.push(PlanRow {
+            topology: kind.name().to_string(),
+            classes: classes.len(),
+            load_mbps: offered_load(kind),
+            identical: q_mono == q_dec && (m.lp_objective - d.lp_objective).abs() < 1e-9,
+            speedup: m.solve_ms / d.solve_ms.max(1e-9),
+            mono: m,
+            decomposed: d,
+            detail: decompose_detail(&snap, threads),
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs the failover warm-cache trajectory over `scope`: cold plan,
+/// steady-state repeat, then busiest-host failure, all against one
+/// persistent [`Replanner`].
+///
+/// # Errors
+///
+/// Propagates the first [`EngineError`] from a re-plan.
+pub fn run_failover(scope: Scope, threads: usize) -> Result<Vec<FailoverRow>, EngineError> {
+    let mut rows = Vec::new();
+    for &kind in scope.kinds() {
+        let (classes, mut orch) = scenario(kind);
+        let mut rp = Replanner::new(engine_config(SolveMode::Decomposed, threads));
+        let mut events = Vec::new();
+        let mut busiest: Option<NodeId> = None;
+        for label in ["cold", "steady", "host_down"] {
+            if label == "host_down" {
+                let dead = busiest.expect("cold plan produced instances");
+                orch.fail_host(dead).expect("host exists and is up");
+            }
+            let report = rp.replan(&classes, &orch)?;
+            if label == "cold" {
+                // Busiest host = most instances, lowest id breaking ties.
+                let mut per_host: BTreeMap<NodeId, u32> = BTreeMap::new();
+                for (v, _, q) in report.placement.q_entries() {
+                    *per_host.entry(v).or_insert(0) += q;
+                }
+                busiest = per_host
+                    .iter()
+                    .max_by_key(|&(v, q)| (*q, std::cmp::Reverse(*v)))
+                    .map(|(&v, _)| v);
+            }
+            events.push(FailoverEvent {
+                event: label.to_string(),
+                warm_hits: report.warm_hits,
+                warm_misses: report.warm_misses,
+                down_hosts: report.down_hosts as u64,
+                instances: report.placement.total_instances(),
+                solve_ms: report.placement.solve_time().as_secs_f64() * 1e3,
+            });
+        }
+        rows.push(FailoverRow {
+            topology: kind.name().to_string(),
+            classes: classes.len(),
+            events,
+        });
+    }
+    Ok(rows)
+}
+
+fn push_mode(out: &mut String, m: &ModeStats) {
+    out.push_str("{\"solve_ms\": ");
+    write_num(out, m.solve_ms);
+    out.push_str(", \"pivots\": ");
+    write_num(out, m.pivots as f64);
+    out.push_str(", \"instances\": ");
+    write_num(out, f64::from(m.instances));
+    out.push_str(", \"lp_objective\": ");
+    write_num(out, m.lp_objective);
+    out.push('}');
+}
+
+/// Serialises plan rows to the [`PLAN_SCHEMA`] JSON document.
+#[must_use]
+pub fn plan_json(rows: &[PlanRow], threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    write_str(&mut out, PLAN_SCHEMA);
+    out.push_str(",\n  \"seed\": ");
+    write_num(&mut out, SEED as f64);
+    out.push_str(",\n  \"threads\": ");
+    write_num(&mut out, threads.max(1) as f64);
+    out.push_str(",\n  \"scenarios\": [");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"topology\": ");
+        write_str(&mut out, &r.topology);
+        out.push_str(", \"classes\": ");
+        write_num(&mut out, r.classes as f64);
+        out.push_str(", \"load_mbps\": ");
+        write_num(&mut out, r.load_mbps);
+        out.push_str(",\n     \"mono\": ");
+        push_mode(&mut out, &r.mono);
+        out.push_str(",\n     \"decomposed\": ");
+        push_mode(&mut out, &r.decomposed);
+        let d = &r.detail;
+        out.push_str(",\n     \"decompose\": {\"blocks\": ");
+        write_num(&mut out, d.blocks as f64);
+        out.push_str(", \"largest_block_vars\": ");
+        write_num(&mut out, d.largest_block_vars as f64);
+        out.push_str(", \"dropped_rows\": ");
+        write_num(&mut out, d.dropped_rows as f64);
+        out.push_str(", \"warm_hits\": ");
+        write_num(&mut out, d.warm_hits as f64);
+        out.push_str(", \"warm_misses\": ");
+        write_num(&mut out, d.warm_misses as f64);
+        out.push_str(", \"threads\": ");
+        write_num(&mut out, d.threads as f64);
+        let (count, sum, min, max, p50, p95) = d.block_pivots;
+        out.push_str(",\n      \"block_pivots\": {\"count\": ");
+        write_num(&mut out, count as f64);
+        out.push_str(", \"sum\": ");
+        write_num(&mut out, sum);
+        out.push_str(", \"min\": ");
+        write_num(&mut out, min);
+        out.push_str(", \"max\": ");
+        write_num(&mut out, max);
+        out.push_str(", \"p50\": ");
+        write_num(&mut out, p50);
+        out.push_str(", \"p95\": ");
+        write_num(&mut out, p95);
+        out.push_str("}},\n     \"identical\": ");
+        out.push_str(if r.identical { "true" } else { "false" });
+        out.push_str(", \"speedup\": ");
+        write_num(&mut out, r.speedup);
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Serialises failover rows to the [`FAILOVER_SCHEMA`] JSON document.
+#[must_use]
+pub fn failover_json(rows: &[FailoverRow], threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    write_str(&mut out, FAILOVER_SCHEMA);
+    out.push_str(",\n  \"seed\": ");
+    write_num(&mut out, SEED as f64);
+    out.push_str(",\n  \"threads\": ");
+    write_num(&mut out, threads.max(1) as f64);
+    out.push_str(",\n  \"scenarios\": [");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"topology\": ");
+        write_str(&mut out, &r.topology);
+        out.push_str(", \"classes\": ");
+        write_num(&mut out, r.classes as f64);
+        out.push_str(", \"events\": [");
+        for (j, e) in r.events.iter().enumerate() {
+            out.push_str(if j == 0 { "\n" } else { ",\n" });
+            out.push_str("      {\"event\": ");
+            write_str(&mut out, &e.event);
+            out.push_str(", \"warm_hits\": ");
+            write_num(&mut out, e.warm_hits as f64);
+            out.push_str(", \"warm_misses\": ");
+            write_num(&mut out, e.warm_misses as f64);
+            out.push_str(", \"down_hosts\": ");
+            write_num(&mut out, e.down_hosts as f64);
+            out.push_str(", \"instances\": ");
+            write_num(&mut out, f64::from(e.instances));
+            out.push_str(", \"solve_ms\": ");
+            write_num(&mut out, e.solve_ms);
+            out.push('}');
+        }
+        out.push_str("\n    ]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn require<'a>(obj: &'a Json, key: &str, path: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{path}: missing required field `{key}`"))
+}
+
+fn require_num(obj: &Json, key: &str, path: &str) -> Result<f64, String> {
+    require(obj, key, path)?
+        .as_num()
+        .ok_or_else(|| format!("{path}.{key}: expected a number"))
+}
+
+fn check_header(doc: &Json, schema: &str) -> Result<(), String> {
+    let got = require(doc, "schema", "$")?
+        .as_str()
+        .ok_or("$.schema: expected a string")?;
+    if got != schema {
+        return Err(format!("$.schema: expected \"{schema}\", got \"{got}\""));
+    }
+    require_num(doc, "seed", "$")?;
+    require_num(doc, "threads", "$")?;
+    Ok(())
+}
+
+fn scenarios(doc: &Json) -> Result<&[Json], String> {
+    let arr = require(doc, "scenarios", "$")?
+        .as_arr()
+        .ok_or("$.scenarios: expected an array")?;
+    if arr.is_empty() {
+        return Err("$.scenarios: must not be empty".to_string());
+    }
+    Ok(arr)
+}
+
+/// Validates a `BENCH_plan.json` document against [`PLAN_SCHEMA`].
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation: parse
+/// failure, wrong schema tag, missing field, or mis-typed value.
+pub fn check_plan(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("parse error: {e}"))?;
+    check_header(&doc, PLAN_SCHEMA)?;
+    for (i, s) in scenarios(&doc)?.iter().enumerate() {
+        let path = format!("$.scenarios[{i}]");
+        require(s, "topology", &path)?
+            .as_str()
+            .ok_or_else(|| format!("{path}.topology: expected a string"))?;
+        require_num(s, "classes", &path)?;
+        require_num(s, "load_mbps", &path)?;
+        for mode in ["mono", "decomposed"] {
+            let m = require(s, mode, &path)?;
+            let mpath = format!("{path}.{mode}");
+            for key in ["solve_ms", "pivots", "instances", "lp_objective"] {
+                require_num(m, key, &mpath)?;
+            }
+        }
+        let d = require(s, "decompose", &path)?;
+        let dpath = format!("{path}.decompose");
+        for key in [
+            "blocks",
+            "largest_block_vars",
+            "dropped_rows",
+            "warm_hits",
+            "warm_misses",
+            "threads",
+        ] {
+            require_num(d, key, &dpath)?;
+        }
+        let bp = require(d, "block_pivots", &dpath)?;
+        for key in ["count", "sum", "min", "max", "p50", "p95"] {
+            require_num(bp, key, &format!("{dpath}.block_pivots"))?;
+        }
+        match require(s, "identical", &path)? {
+            Json::Bool(true) => {}
+            Json::Bool(false) => {
+                return Err(format!(
+                    "{path}.identical: decomposed plan diverged from monolithic"
+                ))
+            }
+            _ => return Err(format!("{path}.identical: expected a bool")),
+        }
+        require_num(s, "speedup", &path)?;
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_failover.json` document against [`FAILOVER_SCHEMA`].
+///
+/// # Errors
+///
+/// Same contract as [`check_plan`], plus trajectory-shape checks: each
+/// scenario must carry the `cold`/`steady`/`host_down` events in order and
+/// the steady-state event must show zero warm misses.
+pub fn check_failover(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("parse error: {e}"))?;
+    check_header(&doc, FAILOVER_SCHEMA)?;
+    for (i, s) in scenarios(&doc)?.iter().enumerate() {
+        let path = format!("$.scenarios[{i}]");
+        require(s, "topology", &path)?
+            .as_str()
+            .ok_or_else(|| format!("{path}.topology: expected a string"))?;
+        require_num(s, "classes", &path)?;
+        let events = require(s, "events", &path)?
+            .as_arr()
+            .ok_or_else(|| format!("{path}.events: expected an array"))?;
+        let labels: Vec<_> = events
+            .iter()
+            .map(|e| e.get("event").and_then(Json::as_str).unwrap_or(""))
+            .collect();
+        if labels != ["cold", "steady", "host_down"] {
+            return Err(format!(
+                "{path}.events: expected [cold, steady, host_down], got {labels:?}"
+            ));
+        }
+        for (j, e) in events.iter().enumerate() {
+            let epath = format!("{path}.events[{j}]");
+            for key in [
+                "warm_hits",
+                "warm_misses",
+                "down_hosts",
+                "instances",
+                "solve_ms",
+            ] {
+                require_num(e, key, &epath)?;
+            }
+        }
+        let steady_misses = require_num(&events[1], "warm_misses", &path)?;
+        if steady_misses != 0.0 {
+            return Err(format!(
+                "{path}.events[1]: steady-state re-plan had {steady_misses} warm misses (expected 0)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_plan_round_trips_and_validates() {
+        let rows = run_plan(Scope::Smoke, 1).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.identical, "{}: decomposed diverged from mono", r.topology);
+            assert!(r.detail.blocks >= 1);
+            assert!(r.detail.block_pivots.0 >= r.detail.blocks);
+        }
+        let text = plan_json(&rows, 1);
+        check_plan(&text).unwrap();
+    }
+
+    #[test]
+    fn smoke_failover_round_trips_and_validates() {
+        let rows = run_failover(Scope::Smoke, 1).unwrap();
+        for r in &rows {
+            assert_eq!(r.events.len(), 3);
+            // A cold plan may still record hits (consolidation probes
+            // re-hitting identical blocks within the same plan) but must
+            // solve something; a steady-state repeat must solve nothing.
+            assert!(r.events[0].warm_misses > 0, "{}: cold no-op", r.topology);
+            assert_eq!(r.events[1].warm_misses, 0, "{}: steady miss", r.topology);
+            assert!(
+                r.events[2].warm_hits > 0,
+                "{}: failure re-plan reused nothing",
+                r.topology
+            );
+            assert_eq!(r.events[2].down_hosts, 1);
+        }
+        let text = failover_json(&rows, 1);
+        check_failover(&text).unwrap();
+    }
+
+    #[test]
+    fn check_plan_rejects_wrong_schema_and_missing_fields() {
+        assert!(check_plan("{").is_err());
+        assert!(check_plan("{\"schema\": \"nope\"}")
+            .unwrap_err()
+            .contains("schema"));
+        let missing = format!(
+            "{{\"schema\": \"{PLAN_SCHEMA}\", \"seed\": 0, \"threads\": 1, \"scenarios\": [{{}}]}}"
+        );
+        assert!(check_plan(&missing).unwrap_err().contains("topology"));
+    }
+
+    #[test]
+    fn check_failover_rejects_out_of_order_events() {
+        let bad = format!(
+            "{{\"schema\": \"{FAILOVER_SCHEMA}\", \"seed\": 0, \"threads\": 1, \
+             \"scenarios\": [{{\"topology\": \"x\", \"classes\": 1, \"events\": [\
+             {{\"event\": \"steady\"}}, {{\"event\": \"cold\"}}, {{\"event\": \"host_down\"}}]}}]}}"
+        );
+        assert!(check_failover(&bad).unwrap_err().contains("expected [cold"));
+    }
+}

@@ -58,7 +58,7 @@ pub fn ingress_consolidation(classes: &ClassSet) -> IngressPlan {
 }
 
 /// The paper's `ingress` strawman (Fig. 11): "consolidates all the VNFs of
-/// the policy chain in the ingress switch and enforce[s] policy there **for
+/// the policy chain in the ingress switch and enforce\[s\] policy there **for
 /// each class**" — every class gets its own chain instances at its ingress,
 /// with no sharing between classes. APPLE's advantage over this baseline is
 /// exactly "the resource multiplexing between different classes" (§IX-D).

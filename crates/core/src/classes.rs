@@ -165,8 +165,9 @@ impl ClassSet {
         (c.chain.nfs().to_vec(), c.proto, c.dst_ports.clone())
     }
 
-    /// Builds classes from an operator [`PolicySpec`]
-    /// (crate::policy_spec::PolicySpec): each OD pair expands into one
+    /// Builds classes from an operator
+    /// [`PolicySpec`](crate::policy_spec::PolicySpec): each OD pair
+    /// expands into one
     /// class per weighted chain (rule + default), splitting the pair's
     /// rate by the normalised weights — and further across ECMP paths on
     /// multipath topologies. This is the operator-driven alternative to

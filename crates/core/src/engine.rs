@@ -20,7 +20,11 @@
 
 use crate::classes::ClassSet;
 use crate::orchestrator::ResourceOrchestrator;
-use apple_lp::{BranchConfig, Cmp, LpError, Model, Sense, SimplexOptions, Var};
+use apple_lp::decompose::DecomposedStats;
+use apple_lp::{
+    solve_decomposed, BranchConfig, Cmp, DecomposeOptions, LpError, Model, Sense, SimplexOptions,
+    Solution, Var, WarmCache,
+};
 use apple_nf::{NfType, VnfSpec};
 use apple_telemetry::{Recorder, RecorderExt, NOOP};
 use apple_topology::NodeId;
@@ -66,11 +70,28 @@ impl From<LpError> for EngineError {
     }
 }
 
+/// How the engine solves each LP relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// One dense simplex over the whole Eq. (1)–(8) model — the paper's
+    /// CPLEX-style baseline.
+    #[default]
+    Monolithic,
+    /// Exact q-elimination + forced-slack row stripping + connected-
+    /// component split ([`apple_lp::decompose`]); blocks solve concurrently
+    /// and independently, and a [`WarmCache`] lets re-solves skip blocks an
+    /// event did not touch. Same optimum as [`SolveMode::Monolithic`] (see
+    /// DESIGN.md §8); dense-tableau pivot cost drops from one
+    /// `O(rows·cols)` problem to many tiny ones.
+    Decomposed,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Solve exactly with branch-and-bound instead of LP-relax + round.
-    /// Only sensible for small instances (tests, ablations).
+    /// Only sensible for small instances (tests, ablations). Takes
+    /// precedence over `solve_mode`.
     pub exact: bool,
     /// Maximum rounding-repair iterations when ceiling violates host
     /// resources.
@@ -82,6 +103,10 @@ pub struct EngineConfig {
     pub consolidation_attempts: usize,
     /// Simplex options forwarded to the LP solver.
     pub simplex: SimplexOptions,
+    /// LP solve strategy (monolithic vs. decomposed parallel).
+    pub solve_mode: SolveMode,
+    /// Worker threads for decomposed block solves; `0` = one per CPU.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +116,8 @@ impl Default for EngineConfig {
             max_repair_rounds: 32,
             consolidation_attempts: 24,
             simplex: SimplexOptions::default(),
+            solve_mode: SolveMode::Monolithic,
+            threads: 0,
         }
     }
 }
@@ -201,6 +228,50 @@ struct VarMap {
     q_vars: BTreeMap<(usize, usize), Var>,
 }
 
+/// The q-eliminated pure-`d` placement model plus the bookkeeping needed to
+/// lift its solutions back into the full (q + d) variable layout.
+///
+/// Every `q[v][n]` has a strictly positive objective coefficient and
+/// appears only in its own Eq. (5) row (which bounds it from below by
+/// `load/Cap`) and in `≤` rows with positive coefficients (Eq. 6, its own
+/// upper bound) — so at *every* LP optimum `q* = Σ_h T_h·d / Cap` exactly.
+/// Substituting that identity eliminates q: the instance price folds into
+/// the d objective, Eq. (6) and the q upper bounds become pure-d rows, and
+/// the model falls apart into per-class blocks once the never-binding rows
+/// are stripped (see DESIGN.md §8 for the full argument).
+struct ReducedPlacement {
+    /// The pure-d model: Eq. (3)/(4) rows plus the q-substituted capacity
+    /// and host-resource rows.
+    model: Model,
+    /// Variable map in the full layout (indices into [`Self::layout`]).
+    vmap: VarMap,
+    /// Constraint-free twin of the monolithic model — same variables, same
+    /// bounds, same objective coefficients — used to index and price
+    /// full-layout value vectors.
+    layout: Model,
+    /// Number of q variables (full indices `0..n_q`).
+    n_q: usize,
+    /// Per q variable, in full index order: the reduced-model d terms
+    /// `(reduced var index, T_h / Cap_n)` whose sum is the optimal q.
+    q_terms: Vec<Vec<(usize, f64)>>,
+}
+
+impl ReducedPlacement {
+    /// Lifts a reduced (d-only) solution into the full q + d layout,
+    /// recovering each `q* = Σ T_h·d / Cap` exactly.
+    fn lift(&self, dsol: &Solution) -> Solution {
+        let mut values = vec![0.0; self.layout.var_count()];
+        for (r, &v) in dsol.values().iter().enumerate() {
+            values[self.n_q + r] = v;
+        }
+        for (k, terms) in self.q_terms.iter().enumerate() {
+            values[k] = terms.iter().map(|&(r, c)| c * dsol.values()[r]).sum();
+        }
+        let objective = self.layout.objective_of(&values);
+        Solution::assemble(values, objective, dsol.stats())
+    }
+}
+
 /// Whether instance counts are decision variables or fixed data.
 enum QMode<'a> {
     /// q are integer decision variables, optionally with extra upper
@@ -249,6 +320,28 @@ impl OptimizationEngine {
         orch: &ResourceOrchestrator,
         rec: &dyn Recorder,
     ) -> Result<Placement, EngineError> {
+        let mut cache = WarmCache::default();
+        self.place_cached(classes, orch, rec, &mut cache)
+    }
+
+    /// [`OptimizationEngine::place_recorded`] with a caller-owned
+    /// [`WarmCache`] that persists across calls.
+    ///
+    /// Only [`SolveMode::Decomposed`] consults the cache; the Dynamic
+    /// Handler keeps one alive across re-plans so that after a crash or
+    /// overload event only the blocks the event actually touched are
+    /// re-pivoted — every other block is answered from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OptimizationEngine::place`].
+    pub fn place_cached(
+        &self,
+        classes: &ClassSet,
+        orch: &ResourceOrchestrator,
+        rec: &dyn Recorder,
+        cache: &mut WarmCache,
+    ) -> Result<Placement, EngineError> {
         let _total = rec.span("engine.place");
         if classes.is_empty() {
             return Err(EngineError::NoClasses);
@@ -287,26 +380,51 @@ impl OptimizationEngine {
         // LP relaxation + ceiling + resource repair.
         let mut extra_caps: BTreeMap<(usize, usize), u32> = BTreeMap::new();
         for _round in 0..=self.config.max_repair_rounds {
-            let (model, vmap) = {
-                let _s = rec.span("engine.build");
-                self.build_model(classes, orch, QMode::Variables(&extra_caps))
-            };
-            let sol = {
-                let _s = rec.span("engine.solve");
-                model.solve_lp_with(self.config.simplex)?
+            let (sol, vmap) = match self.config.solve_mode {
+                SolveMode::Monolithic => {
+                    let (model, vmap) = {
+                        let _s = rec.span("engine.build");
+                        self.build_model(classes, orch, QMode::Variables(&extra_caps))
+                    };
+                    let sol = {
+                        let _s = rec.span("engine.solve");
+                        model.solve_lp_with(self.config.simplex)?
+                    };
+                    (sol, vmap)
+                }
+                SolveMode::Decomposed => {
+                    let reduced = {
+                        let _s = rec.span("engine.build");
+                        self.build_reduced(classes, orch, &extra_caps)
+                    };
+                    let _s = rec.span("engine.solve");
+                    let opts = DecomposeOptions {
+                        simplex: self.config.simplex,
+                        threads: self.config.threads,
+                    };
+                    let (dsol, dstats) = solve_decomposed(&reduced.model, &opts, Some(cache))?;
+                    record_decompose(rec, &dstats);
+                    (reduced.lift(&dsol), reduced.vmap)
+                }
             };
             sol.stats().record(rec, "lp");
             let lp_obj = sol.objective();
             let round_span = rec.span("engine.round");
-            // Ceil the q variables.
+            // Ceil the q variables. `snap` first: the monolithic and
+            // decomposed paths compute q through different float pivot
+            // sequences, and a q sitting exactly on an integer must not
+            // ceil differently because one path landed at 3−1e−12 and the
+            // other at 3+1e−12.
             let mut q_ceil: BTreeMap<(usize, usize), u32> = BTreeMap::new();
             for (&key, &var) in &vmap.q_vars {
-                let val = sol.value(var);
+                let val = snap(sol.value(var));
                 q_ceil.insert(key, (val - 1e-9).ceil().max(0.0) as u32);
             }
-            // Check host resources after ceiling.
+            // Check host resources after ceiling. Down hosts carry no
+            // instances (their q upper bound is zero), so only live hosts
+            // can be violated.
             let mut violations = Vec::new();
-            for (&v, host) in orch.hosts() {
+            for (&v, host) in orch.hosts().iter().filter(|(_, h)| h.up) {
                 let mut used = apple_nf::ResourceVector::zero();
                 for (&(qv, nf_idx), &count) in &q_ceil {
                     if qv == v {
@@ -326,7 +444,7 @@ impl OptimizationEngine {
                 // instances while a d-feasibility LP still succeeds.
                 let (q_final, d_values, d_vmap) = {
                     let _s = rec.span("engine.consolidate");
-                    self.consolidate(classes, orch, q_ceil, &sol, &vmap, rec)
+                    self.consolidate(classes, orch, q_ceil, &sol, &vmap, rec, cache)
                 };
                 let mut placement = match (d_values, d_vmap) {
                     (Some(values), Some(vm)) => {
@@ -366,7 +484,7 @@ impl OptimizationEngine {
                     .iter()
                     .filter(|(&(qv, _), _)| qv == v)
                     .filter_map(|(&key, &var)| {
-                        let val = sol.value(var);
+                        let val = snap(sol.value(var));
                         let frac = val - val.floor();
                         // Re-tightening an already-capped variable is fine:
                         // its cap strictly decreases, so the loop
@@ -384,13 +502,18 @@ impl OptimizationEngine {
                 if fracs.is_empty() {
                     return Err(EngineError::Infeasible);
                 }
+                // Quantised (1e-6 grid) like the consolidation sort: float
+                // noise between solve modes must not reorder the caps.
+                for f in &mut fracs {
+                    f.1 = (f.1 * 1e6).round();
+                }
                 fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 for (key, _) in fracs {
                     if used <= host_caps {
                         break;
                     }
                     let var = vmap.q_vars[&key];
-                    let floor = sol.value(var).floor().max(0.0) as u32;
+                    let floor = snap(sol.value(var)).floor().max(0.0) as u32;
                     let cap = extra_caps.get(&key).map_or(floor, |&old| old.min(floor));
                     extra_caps.insert(key, cap);
                     used = used.saturating_sub(VnfSpec::of(NfType::from_index(key.1)).cores);
@@ -405,7 +528,7 @@ impl OptimizationEngine {
     /// instance; keep a removal whenever the d-only feasibility LP still
     /// succeeds. Returns the final counts and, when any removal happened,
     /// the matching d solution.
-    #[allow(clippy::type_complexity)] // internal plumbing tuple
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)] // internal plumbing
     fn consolidate(
         &self,
         classes: &ClassSet,
@@ -414,6 +537,7 @@ impl OptimizationEngine {
         lp_sol: &apple_lp::Solution,
         vmap: &VarMap,
         rec: &dyn Recorder,
+        cache: &mut WarmCache,
     ) -> (
         BTreeMap<(usize, usize), u32>,
         Option<Vec<f64>>,
@@ -450,13 +574,18 @@ impl OptimizationEngine {
             // Candidates: q > 0, sorted by utilisation ascending.
             // Only instances with visible slack are worth a feasibility
             // solve; a nearly-full instance cannot be removed.
+            // Utilisation is quantised to 1e-6 before filtering/sorting so
+            // that sub-tolerance float noise between solve modes cannot
+            // reorder candidates (the sort is stable, so quantised ties
+            // keep deterministic BTreeMap key order).
             let mut cands: Vec<((usize, usize), f64)> = q
                 .iter()
                 .filter(|(_, &c)| c > 0)
                 .filter_map(|(&key, &c)| {
                     let cap = VnfSpec::of(NfType::from_index(key.1)).capacity_mbps * f64::from(c);
-                    let util = load.get(&key).copied().unwrap_or(0.0) / cap.max(1e-9);
-                    (util < 0.75).then_some((key, util))
+                    let util =
+                        (load.get(&key).copied().unwrap_or(0.0) / cap.max(1e-9) * 1e6).round();
+                    (util < 0.75 * 1e6).then_some((key, util))
                 })
                 .collect();
             cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
@@ -475,8 +604,7 @@ impl OptimizationEngine {
                 let mut q_try = q.clone();
                 *q_try.get_mut(&key).expect("candidate exists") -= 1;
                 let (model, vm) = self.build_model(classes, orch, QMode::Fixed(&q_try));
-                if let Ok(sol) = model.solve_lp_with(self.config.simplex) {
-                    sol.stats().record(rec, "lp");
+                if let Ok(sol) = self.solve_model(&model, cache, rec) {
                     rec.counter("engine.consolidation_removed", 1);
                     q = q_try;
                     d_values = Some(sol.values().to_vec());
@@ -549,9 +677,12 @@ impl OptimizationEngine {
             for &(v, nf_idx) in needed.keys() {
                 let nf = NfType::from_index(nf_idx);
                 let spec = VnfSpec::of(nf);
+                // A down host contributes no capacity: its q stay pinned
+                // at zero so no placement can land there.
                 let host_cap = orch
                     .hosts()
                     .get(&v)
+                    .filter(|h| h.up)
                     .map(|h| h.capacity)
                     .unwrap_or_else(apple_nf::ResourceVector::zero);
                 let mut ub = host_cap
@@ -646,7 +777,7 @@ impl OptimizationEngine {
         // Only meaningful when q are variables; in fixed mode the counts
         // were validated against resources when they were chosen.
         if matches!(qmode, QMode::Variables(_)) {
-            for (&v, host) in orch.hosts() {
+            for (&v, host) in orch.hosts().iter().filter(|(_, h)| h.up) {
                 let mut core_terms = Vec::new();
                 let mut mem_terms = Vec::new();
                 for (&(qv, nf_idx), &qvar) in &q_vars {
@@ -669,6 +800,223 @@ impl OptimizationEngine {
         }
 
         (model, VarMap { d_vars, q_vars })
+    }
+
+    /// Builds the q-eliminated pure-d model for [`SolveMode::Decomposed`].
+    ///
+    /// Mirrors [`OptimizationEngine::build_model`] in
+    /// [`QMode::Variables`] exactly — same variable order, same surcharge,
+    /// same repair caps — but substitutes `q = Σ T_h·d / Cap` everywhere q
+    /// appears, which is exact at every LP optimum (see
+    /// [`ReducedPlacement`]).
+    fn build_reduced(
+        &self,
+        classes: &ClassSet,
+        orch: &ResourceOrchestrator,
+        extra_caps: &BTreeMap<(usize, usize), u32>,
+    ) -> ReducedPlacement {
+        // Same (switch, NF) incidence and popularity surcharge as the
+        // monolithic build — any divergence here would break equivalence.
+        let mut needed: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        for c in classes {
+            for node in c.path.iter() {
+                for nf in c.chain.nfs() {
+                    needed.insert((node.0, nf.index()), true);
+                }
+            }
+        }
+        let mut popularity: BTreeMap<usize, f64> = BTreeMap::new();
+        for c in classes {
+            for node in c.path.iter() {
+                *popularity.entry(node.0).or_insert(0.0) += c.rate_mbps;
+            }
+        }
+        let max_pop = popularity.values().copied().fold(1.0, f64::max);
+        let surcharge_of = |v: usize| {
+            let pop = popularity.get(&v).copied().unwrap_or(0.0);
+            1e-3 * (1.0 - pop / max_pop) + 1e-6 * (v as f64)
+        };
+
+        // Full-layout twin: q then d, identical to the monolithic build but
+        // without constraint rows — it prices and indexes lifted vectors.
+        let mut layout = Model::new(Sense::Min);
+        let mut q_vars = BTreeMap::new();
+        let mut q_ub: Vec<f64> = Vec::new();
+        for &(v, nf_idx) in needed.keys() {
+            let nf = NfType::from_index(nf_idx);
+            let spec = VnfSpec::of(nf);
+            let host_cap = orch
+                .hosts()
+                .get(&v)
+                .filter(|h| h.up)
+                .map(|h| h.capacity)
+                .unwrap_or_else(apple_nf::ResourceVector::zero);
+            let mut ub = host_cap
+                .cores
+                .checked_div(spec.cores)
+                .map_or(f64::INFINITY, f64::from);
+            if let Some(&cap) = extra_caps.get(&(v, nf_idx)) {
+                ub = ub.min(f64::from(cap));
+            }
+            let var = layout.add_int_var(
+                format!("q_v{v}_{}", nf.name()),
+                0.0,
+                ub,
+                1.0 + surcharge_of(v),
+            );
+            q_vars.insert((v, nf_idx), var);
+            q_ub.push(ub);
+        }
+        let n_q = q_vars.len();
+
+        // d variables. Each d_{h,i,j} feeds exactly one (switch, NF) pair,
+        // so eliminating q folds the instance price (1+surcharge)·T_h/Cap
+        // into its objective coefficient.
+        let mut model = Model::new(Sense::Min);
+        let mut d_vars = Vec::with_capacity(classes.len());
+        let mut layout_d = Vec::with_capacity(classes.len());
+        for c in classes {
+            let plen = c.path.len();
+            let clen = c.chain.len();
+            let mut grid = Vec::with_capacity(plen * clen);
+            let mut lgrid = Vec::with_capacity(plen * clen);
+            for (i, node) in c.path.iter().enumerate() {
+                for (j, nf) in c.chain.nfs().iter().enumerate() {
+                    let cap = VnfSpec::of(*nf).capacity_mbps;
+                    let obj = (1.0 + surcharge_of(node.0)) * c.rate_mbps / cap;
+                    let name = format!("d_c{}_{i}_{j}", c.id.0);
+                    grid.push(model.add_var(name.clone(), 0.0, 1.0, obj));
+                    lgrid.push(layout.add_var(name, 0.0, 1.0, 0.0));
+                }
+            }
+            d_vars.push(grid);
+            layout_d.push(lgrid);
+        }
+        let dv = |h: usize, i: usize, j: usize, clen: usize| d_vars[h][i * clen + j];
+
+        // Eq. (3) / Eq. (4), verbatim from the monolithic build.
+        for (h, c) in classes.iter().enumerate() {
+            let plen = c.path.len();
+            let clen = c.chain.len();
+            for j in 1..clen {
+                for i in 0..plen {
+                    let mut terms = Vec::with_capacity(2 * (i + 1));
+                    for i2 in 0..=i {
+                        terms.push((dv(h, i2, j - 1, clen), 1.0));
+                        terms.push((dv(h, i2, j, clen), -1.0));
+                    }
+                    model
+                        .add_constraint(terms, Cmp::Ge, 0.0)
+                        .expect("order constraint is finite");
+                }
+            }
+            for j in 0..clen {
+                let terms: Vec<_> = (0..plen).map(|i| (dv(h, i, j, clen), 1.0)).collect();
+                model
+                    .add_constraint(terms, Cmp::Eq, 1.0)
+                    .expect("coverage constraint is finite");
+            }
+        }
+
+        // Eq. (5) + q upper bound, q eliminated: Σ_h T_h·d ≤ Cap·ub. Also
+        // collects the recovery terms q* = Σ T_h·d / Cap.
+        let mut q_terms: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n_q);
+        for (k, &(v, nf_idx)) in q_vars.keys().enumerate() {
+            let nf = NfType::from_index(nf_idx);
+            let cap = VnfSpec::of(nf).capacity_mbps;
+            let mut terms = Vec::new();
+            let mut recover = Vec::new();
+            for (h, c) in classes.iter().enumerate() {
+                let clen = c.chain.len();
+                if let (Some(i), Some(j)) = (c.path.index_of(NodeId(v)), c.chain.position(nf)) {
+                    let var = dv(h, i, j, clen);
+                    terms.push((var, c.rate_mbps));
+                    recover.push((var.index(), c.rate_mbps / cap));
+                }
+            }
+            q_terms.push(recover);
+            if terms.is_empty() {
+                continue;
+            }
+            if q_ub[k].is_finite() {
+                model
+                    .add_constraint(terms, Cmp::Le, cap * q_ub[k])
+                    .expect("capacity constraint is finite");
+            }
+        }
+
+        // Eq. (6), q eliminated: Σ_n R_n/Cap_n · Σ_h T_h·d ≤ A_v. Down
+        // hosts are excluded — their q upper bound is already zero.
+        for (&v, host) in orch.hosts() {
+            if !host.up {
+                continue;
+            }
+            let mut core_terms = Vec::new();
+            let mut mem_terms = Vec::new();
+            for (h, c) in classes.iter().enumerate() {
+                let clen = c.chain.len();
+                let Some(i) = c.path.index_of(NodeId(v)) else {
+                    continue;
+                };
+                for (j, nf) in c.chain.nfs().iter().enumerate() {
+                    let spec = VnfSpec::of(*nf);
+                    let per = c.rate_mbps / spec.capacity_mbps;
+                    let r = spec.resources();
+                    let var = dv(h, i, j, clen);
+                    core_terms.push((var, f64::from(r.cores) * per));
+                    mem_terms.push((var, f64::from(r.memory_mib) * per));
+                }
+            }
+            if core_terms.is_empty() {
+                continue;
+            }
+            model
+                .add_constraint(core_terms, Cmp::Le, f64::from(host.capacity.cores))
+                .expect("core constraint is finite");
+            model
+                .add_constraint(mem_terms, Cmp::Le, f64::from(host.capacity.memory_mib))
+                .expect("memory constraint is finite");
+        }
+
+        ReducedPlacement {
+            model,
+            vmap: VarMap {
+                d_vars: layout_d,
+                q_vars,
+            },
+            layout,
+            n_q,
+            q_terms,
+        }
+    }
+
+    /// Solves an already-built model per the configured [`SolveMode`],
+    /// recording simplex (and, where applicable, decomposition) stats.
+    /// Used by the consolidation descent, whose fixed-q feasibility models
+    /// are pure-d and decompose directly.
+    fn solve_model(
+        &self,
+        model: &Model,
+        cache: &mut WarmCache,
+        rec: &dyn Recorder,
+    ) -> Result<Solution, LpError> {
+        match self.config.solve_mode {
+            SolveMode::Monolithic => {
+                let sol = model.solve_lp_with(self.config.simplex)?;
+                sol.stats().record(rec, "lp");
+                Ok(sol)
+            }
+            SolveMode::Decomposed => {
+                let opts = DecomposeOptions {
+                    simplex: self.config.simplex,
+                    threads: self.config.threads,
+                };
+                let (sol, dstats) = solve_decomposed(model, &opts, Some(cache))?;
+                record_decompose(rec, &dstats);
+                sol.stats().record(rec, "lp");
+                Ok(sol)
+            }
+        }
     }
 
     fn extract(
@@ -709,6 +1057,43 @@ impl OptimizationEngine {
             solve_time: start.elapsed(),
             pivots,
         }
+    }
+}
+
+/// Snaps a float to the nearest integer when within 1e-6 of it.
+///
+/// The monolithic and decomposed solves reach the same optimum through
+/// different pivot sequences, so recovered values agree only to roughly
+/// solver tolerance; snapping before any floor/ceil keeps the two modes'
+/// discrete rounding decisions identical.
+fn snap(v: f64) -> f64 {
+    if (v - v.round()).abs() < 1e-6 {
+        v.round()
+    } else {
+        v
+    }
+}
+
+/// Emits decomposition statistics under the `engine.decompose` prefix:
+/// counters `solves`, `warm_hits`, `warm_misses`, `dropped_rows` and
+/// `pivots`, plus gauges `blocks`, `largest_block_vars` and `threads`.
+fn record_decompose(rec: &dyn Recorder, s: &DecomposedStats) {
+    if !rec.enabled() {
+        return;
+    }
+    rec.counter("engine.decompose.solves", 1);
+    rec.counter("engine.decompose.warm_hits", s.warm_hits as u64);
+    rec.counter("engine.decompose.warm_misses", s.warm_misses as u64);
+    rec.counter("engine.decompose.dropped_rows", s.dropped_rows as u64);
+    rec.counter("engine.decompose.pivots", s.pivots as u64);
+    rec.gauge("engine.decompose.blocks", s.blocks as f64);
+    rec.gauge(
+        "engine.decompose.largest_block_vars",
+        s.largest_block_vars as f64,
+    );
+    rec.gauge("engine.decompose.threads", s.threads_used as f64);
+    for &p in &s.block_pivots {
+        rec.observe("engine.decompose.block_pivots", p as f64);
     }
 }
 

@@ -20,7 +20,9 @@
 //! during failover).
 
 use crate::classes::{ClassId, ClassSet, EquivalenceClass};
+use crate::engine::{EngineConfig, EngineError, OptimizationEngine, Placement};
 use crate::orchestrator::{ControlOps, OrchestratorError, ResourceOrchestrator};
+use apple_lp::WarmCache;
 use apple_nf::{InstanceId, NfType, VnfSpec};
 use apple_telemetry::{Recorder, RecorderExt, NOOP};
 use apple_topology::NodeId;
@@ -905,6 +907,134 @@ impl DynamicHandler {
     }
 }
 
+/// Outcome of one warm re-plan (see [`Replanner`]).
+#[derive(Debug, Clone)]
+pub struct ReplanReport {
+    /// The fresh placement, computed against the orchestrator's *current*
+    /// host state (down hosts receive no instances).
+    pub placement: Placement,
+    /// Blocks answered from the warm cache during this re-plan.
+    pub warm_hits: u64,
+    /// Blocks actually re-solved during this re-plan.
+    pub warm_misses: u64,
+    /// Hosts that were down (and therefore excluded) at re-plan time.
+    pub down_hosts: usize,
+}
+
+/// Large time-scale re-optimisation with a persistent warm cache (§VI).
+///
+/// The Dynamic Handler's re-balancing is deliberately local; the durable
+/// answer to drift, overloads and crashes is to *re-run the Optimization
+/// Engine* against the current host state. A `Replanner` owns the engine
+/// plus a [`WarmCache`] that lives across re-plans: in
+/// [`SolveMode::Decomposed`](crate::engine::SolveMode) every placement
+/// block whose inputs an event did not touch is answered from the cache
+/// instead of being re-pivoted, so a single host failure re-solves only the
+/// classes that actually cross the failed host.
+///
+/// # Example
+///
+/// ```
+/// use apple_core::classes::{ClassConfig, ClassSet};
+/// use apple_core::engine::{EngineConfig, SolveMode};
+/// use apple_core::failover::Replanner;
+/// use apple_core::orchestrator::ResourceOrchestrator;
+/// use apple_topology::zoo;
+/// use apple_traffic::GravityModel;
+///
+/// let topo = zoo::internet2();
+/// let tm = GravityModel::new(2_000.0, 0).base_matrix(&topo);
+/// let classes = ClassSet::build(&topo, &tm, &ClassConfig { max_classes: 8, ..Default::default() });
+/// let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+/// let mut rp = Replanner::new(EngineConfig { solve_mode: SolveMode::Decomposed, ..Default::default() });
+/// let first = rp.replan(&classes, &orch)?;
+/// let second = rp.replan(&classes, &orch)?; // nothing changed:
+/// assert_eq!(second.warm_misses, 0);        // every block hits the cache
+/// assert_eq!(first.placement.total_instances(), second.placement.total_instances());
+/// # Ok::<(), apple_core::engine::EngineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Replanner {
+    engine: OptimizationEngine,
+    cache: WarmCache,
+    replans: u64,
+}
+
+impl Replanner {
+    /// Creates a re-planner. The cache only pays off with
+    /// [`SolveMode::Decomposed`](crate::engine::SolveMode); monolithic
+    /// solves ignore it.
+    pub fn new(config: EngineConfig) -> Replanner {
+        Replanner {
+            engine: OptimizationEngine::new(config),
+            cache: WarmCache::default(),
+            replans: 0,
+        }
+    }
+
+    /// Re-plans placement for the current host state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OptimizationEngine::place`].
+    pub fn replan(
+        &mut self,
+        classes: &ClassSet,
+        orch: &ResourceOrchestrator,
+    ) -> Result<ReplanReport, EngineError> {
+        self.replan_recorded(classes, orch, &NOOP)
+    }
+
+    /// [`Replanner::replan`] with telemetry: the solve runs under a
+    /// `failover.replan` span, and `failover.replans`,
+    /// `failover.replan_warm_hits` / `failover.replan_warm_misses` count
+    /// the cache's contribution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OptimizationEngine::place`].
+    pub fn replan_recorded(
+        &mut self,
+        classes: &ClassSet,
+        orch: &ResourceOrchestrator,
+        rec: &dyn Recorder,
+    ) -> Result<ReplanReport, EngineError> {
+        let _s = rec.span("failover.replan");
+        let (hits0, misses0) = (self.cache.hits, self.cache.misses);
+        let placement = self
+            .engine
+            .place_cached(classes, orch, rec, &mut self.cache)?;
+        self.replans += 1;
+        let warm_hits = self.cache.hits - hits0;
+        let warm_misses = self.cache.misses - misses0;
+        rec.counter("failover.replans", 1);
+        rec.counter("failover.replan_warm_hits", warm_hits);
+        rec.counter("failover.replan_warm_misses", warm_misses);
+        Ok(ReplanReport {
+            placement,
+            warm_hits,
+            warm_misses,
+            down_hosts: orch.hosts().values().filter(|h| !h.up).count(),
+        })
+    }
+
+    /// Re-plans performed so far.
+    pub fn replans(&self) -> u64 {
+        self.replans
+    }
+
+    /// The warm cache (for inspection / explicit invalidation).
+    pub fn cache(&self) -> &WarmCache {
+        &self.cache
+    }
+
+    /// Drops all cached blocks (e.g. after a topology change large enough
+    /// that stale entries would only waste memory).
+    pub fn invalidate(&mut self) {
+        self.cache.clear();
+    }
+}
+
 /// The path-position window `[lo, hi]` inside which `stage` of `share` may
 /// be served without breaking chain order, or `None` when no such window
 /// exists. Bounded by the **nearest live** stage on each side — not just
@@ -1252,6 +1382,79 @@ mod tests {
             violations.is_empty(),
             "cascade broke invariants: {violations:?}"
         );
+    }
+
+    #[test]
+    fn replan_after_host_failure_avoids_down_host() {
+        use crate::engine::SolveMode;
+
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(3_000.0, 23).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 10,
+                ..Default::default()
+            },
+        );
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut rp = Replanner::new(EngineConfig {
+            solve_mode: SolveMode::Decomposed,
+            ..Default::default()
+        });
+        let before = rp.replan(&classes, &orch).unwrap();
+        assert_eq!(before.down_hosts, 0);
+        // Fail the busiest switch's host and re-plan: nothing may be
+        // placed there any more, yet the plan stays feasible.
+        let (dead, _, _) = before.placement.q_entries().next().unwrap();
+        orch.fail_host(dead).unwrap();
+        let after = rp.replan(&classes, &orch).unwrap();
+        assert_eq!(after.down_hosts, 1);
+        assert!(
+            after.placement.q_entries().all(|(v, _, _)| v != dead),
+            "instances placed on a down host"
+        );
+        assert!(after.placement.total_instances() > 0);
+    }
+
+    #[test]
+    fn replan_reuses_untouched_blocks_across_a_failure() {
+        use crate::engine::SolveMode;
+
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(3_000.0, 29).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 12,
+                ..Default::default()
+            },
+        );
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut rp = Replanner::new(EngineConfig {
+            solve_mode: SolveMode::Decomposed,
+            ..Default::default()
+        });
+        let first = rp.replan(&classes, &orch).unwrap();
+        assert!(first.warm_misses > 0, "cold cache must miss");
+
+        // Unchanged input: every block (main solve + consolidation
+        // probes) is answered from the cache.
+        let repeat = rp.replan(&classes, &orch).unwrap();
+        assert_eq!(repeat.warm_misses, 0, "identical re-plan must be free");
+        assert!(repeat.warm_hits > 0);
+
+        // A single host failure only invalidates the blocks whose classes
+        // cross that host — the rest still hit.
+        let (dead, _, _) = first.placement.q_entries().next().unwrap();
+        orch.fail_host(dead).unwrap();
+        let after = rp.replan(&classes, &orch).unwrap();
+        assert!(after.warm_hits > 0, "untouched blocks should be cached");
+        assert!(after.warm_misses > 0, "touched blocks must re-solve");
+        assert_eq!(rp.replans(), 3);
+        assert!(!rp.cache().is_empty());
     }
 
     #[test]

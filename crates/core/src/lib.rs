@@ -11,7 +11,9 @@
 //!   forwarding path + same policy chain, §IV-A),
 //! * [`engine`] — the Optimization Engine: the ILP of Eq. (1)–(8), solved
 //!   by LP relaxation + rounding (exact branch-and-bound available for
-//!   validation),
+//!   validation); [`engine::SolveMode::Decomposed`] substitutes the q
+//!   variables out, splits the LP into independent per-class blocks and
+//!   solves them concurrently (DESIGN.md §8),
 //! * [`subclass`] — sub-class construction (§V-A): monotone coupling of the
 //!   per-stage spatial distributions into concrete VNF-instance sequences,
 //!   realised by consistent hashing or prefix splitting,
@@ -21,7 +23,17 @@
 //!   rules implementing the flow-tagging scheme of §V-B, plus the
 //!   no-tagging baseline used by Fig. 10,
 //! * [`failover`] — the Dynamic Handler: fast failover for small
-//!   time-scale traffic dynamics (§VI),
+//!   time-scale traffic dynamics (§VI), plus [`failover::Replanner`], the
+//!   large time-scale re-optimisation loop with a warm-started decomposed
+//!   solve,
+//! * [`online`] — the online arrival/departure path: admitting a class
+//!   into an existing deployment without disturbing others,
+//! * [`policy_spec`] — the operator-facing policy grammar parsed into
+//!   weighted chains,
+//! * [`transition`] — make-before-break reconfiguration between two
+//!   placements,
+//! * [`verify`] — the runtime invariant checkers (interference freedom,
+//!   traffic accounting) used by the chaos and equivalence suites,
 //! * [`baselines`] — the `ingress` strawman of Fig. 11 and a traffic-
 //!   steering model used to demonstrate interference (Table I),
 //! * [`controller`] — the end-to-end facade tying all components together.
@@ -39,6 +51,8 @@
 //! assert!(apple.placement().total_instances() > 0);
 //! # Ok::<(), apple_core::engine::EngineError>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod baselines;
 pub mod classes;

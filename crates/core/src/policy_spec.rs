@@ -73,13 +73,33 @@ pub struct WeightedPolicy {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpecError {
     /// Line didn't match the grammar.
-    Syntax { line: usize, reason: String },
+    Syntax {
+        /// 1-based line number in the spec text.
+        line: usize,
+        /// What the parser expected.
+        reason: String,
+    },
     /// Unknown NF name in a chain.
-    UnknownNf { line: usize, name: String },
+    UnknownNf {
+        /// 1-based line number in the spec text.
+        line: usize,
+        /// The unrecognised NF name.
+        name: String,
+    },
     /// The chain itself was invalid (empty / duplicate NF).
-    Chain { line: usize, error: PolicyError },
+    Chain {
+        /// 1-based line number in the spec text.
+        line: usize,
+        /// The underlying chain-construction error.
+        error: PolicyError,
+    },
     /// Two rules share a name.
-    DuplicateName { line: usize, name: String },
+    DuplicateName {
+        /// 1-based line number in the spec text.
+        line: usize,
+        /// The repeated policy name.
+        name: String,
+    },
 }
 
 impl fmt::Display for SpecError {

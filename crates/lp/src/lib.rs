@@ -13,7 +13,12 @@
 //! * a depth-first **branch-and-bound** MILP solver for integer-marked
 //!   variables ([`branch`]), used both to get exact optima on small
 //!   instances and to validate the LP-relax-and-round pipeline the paper
-//!   uses at scale.
+//!   uses at scale,
+//! * a **decomposed parallel solve** ([`decompose`]): forced-slack rows are
+//!   stripped, the model splits into connected components of the
+//!   variable-incidence graph, blocks solve concurrently on scoped threads
+//!   and merge deterministically; a content-addressed [`WarmCache`] lets
+//!   re-solves skip untouched blocks entirely (DESIGN.md §8).
 //!
 //! # Example
 //!
@@ -30,7 +35,10 @@
 //! # Ok::<(), apple_lp::LpError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod branch;
+pub mod decompose;
 pub mod export;
 pub mod model;
 pub mod presolve;
@@ -39,6 +47,7 @@ pub mod solution;
 pub mod stats;
 
 pub use branch::{BranchConfig, MilpStats};
+pub use decompose::{solve_decomposed, DecomposeOptions, DecomposedStats, WarmCache};
 pub use model::{Cmp, LinExpr, Model, Sense, Var};
 pub use presolve::{Presolved, ReducedModel};
 pub use simplex::SimplexOptions;

@@ -96,6 +96,24 @@ impl Solution {
         self.duals = Some(duals);
     }
 
+    /// Builds a solution from parts assembled outside the simplex — used by
+    /// [`decompose`](crate::decompose) to merge block optima and by callers
+    /// that lift reduced-space solutions back to an original model.
+    ///
+    /// The caller is responsible for `objective` matching `values` under the
+    /// intended model (use [`Model::objective_of`](crate::Model::objective_of)).
+    pub fn assemble(values: Vec<f64>, objective: f64, stats: SolveStats) -> Self {
+        Solution::new(values, objective, stats)
+    }
+
+    /// Attaches dual values (one per constraint of the intended model), in
+    /// builder style. See [`Solution::duals`] for the sign convention.
+    #[must_use]
+    pub fn with_duals(mut self, duals: Vec<f64>) -> Self {
+        self.duals = Some(duals);
+        self
+    }
+
     /// Dual values (Lagrange multipliers), one per model constraint in
     /// insertion order, reported for the **min-oriented** problem (negate
     /// for `Sense::Max` models). `None` for solutions that did not come

@@ -1,6 +1,6 @@
 //! Dominant Resource Fairness for VNF instances sharing an APPLE host —
 //! the §X extension ("to integrate a max-min fair multi-resource scheduler
-//! [25] for policy enforcement would be our future work").
+//! \[25\] for policy enforcement would be our future work").
 //!
 //! Hypervisors schedule CPU and memory independently and statically; when
 //! VNF instances contend for multiple resources (CPU cycles, memory

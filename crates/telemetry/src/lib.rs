@@ -17,6 +17,9 @@
 //!   (`rec.span("engine.place").child("solve")`) that record into
 //!   `span.<path>` histograms (milliseconds) plus a `span.<path>.calls`
 //!   counter.
+//! * [`json`] — a dependency-free JSON value, parser and writer, shared by
+//!   snapshot serialisation and the committed `BENCH_*.json` schema
+//!   checks in `apple-bench`.
 //!
 //! Metric names are dot-separated lowercase paths (`lp.pivots`,
 //! `engine.rounding_gap`, `span.engine.place.solve`). Histogram values are
@@ -44,8 +47,10 @@
 //! assert_eq!(back.counter("lp.pivots"), Some(42));
 //! ```
 
+#![warn(missing_docs)]
+
 mod histogram;
-mod json;
+pub mod json;
 mod recorder;
 mod snapshot;
 mod span;

@@ -9,11 +9,13 @@
 //! ```
 //!
 //! `<TOPO>` is `internet2`, `geant`, `univ1`, `as3679`, `fat-tree:K`, or
-//! `jellyfish:N:D`.
+//! `jellyfish:N:D`. `plan`, `replay` and `chaos` also take
+//! `--solve-mode mono|decomposed` and `--threads N` to pick the placement
+//! LP strategy (see `apple_lp::decompose`).
 
 use apple_nfv::core::classes::{ClassConfig, ClassSet};
 use apple_nfv::core::controller::{Apple, AppleConfig};
-use apple_nfv::core::engine::OptimizationEngine;
+use apple_nfv::core::engine::{EngineConfig, OptimizationEngine, SolveMode};
 use apple_nfv::core::orchestrator::ResourceOrchestrator;
 use apple_nfv::faults::FaultPlanConfig;
 use apple_nfv::sim::chaos::run_schedule;
@@ -45,6 +47,13 @@ const USAGE: &str = "usage:
 
 TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D
 
+plan, replay and chaos additionally accept:
+  --solve-mode mono|decomposed   placement LP strategy (default mono);
+                                 decomposed splits the LP into independent
+                                 blocks and solves them concurrently
+  --threads N                    worker threads for decomposed solves
+                                 (0 = one per CPU; ignored for mono)
+
 --telemetry json prints the run's metric snapshot (counters, gauges,
 histograms) as JSON on stdout after the normal output.
 
@@ -64,6 +73,8 @@ struct Flags {
     edges: bool,
     stats: bool,
     telemetry: bool,
+    solve_mode: SolveMode,
+    threads: usize,
 }
 
 impl Default for Flags {
@@ -79,6 +90,26 @@ impl Default for Flags {
             edges: false,
             stats: false,
             telemetry: false,
+            solve_mode: SolveMode::Monolithic,
+            threads: 0,
+        }
+    }
+}
+
+impl Flags {
+    /// The planning configuration these flags describe.
+    fn apple_config(&self) -> AppleConfig {
+        AppleConfig {
+            classes: ClassConfig {
+                max_classes: self.classes,
+                ..Default::default()
+            },
+            engine: EngineConfig {
+                solve_mode: self.solve_mode,
+                threads: self.threads,
+                ..Default::default()
+            },
+            ..Default::default()
         }
     }
 }
@@ -125,6 +156,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 "json" => f.telemetry = true,
                 other => return Err(format!("unknown telemetry format `{other}`")),
             },
+            "--solve-mode" => match num("--solve-mode")?.as_str() {
+                "mono" | "monolithic" => f.solve_mode = SolveMode::Monolithic,
+                "decomposed" => f.solve_mode = SolveMode::Decomposed,
+                other => return Err(format!("unknown solve mode `{other}`")),
+            },
+            "--threads" => f.threads = num("--threads")?.parse().map_err(|_| "bad --threads")?,
             "--dot" => f.dot = true,
             "--edges" => f.edges = true,
             "--stats" => f.stats = true,
@@ -206,19 +243,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let flags = parse_flags(flag_args)?;
             let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
             let mem = make_recorder(&flags);
-            let apple = Apple::plan_recorded(
-                &topo,
-                &tm,
-                &AppleConfig {
-                    classes: ClassConfig {
-                        max_classes: flags.classes,
-                        ..Default::default()
-                    },
-                    ..Default::default()
-                },
-                recorder_ref(&mem),
-            )
-            .map_err(|e| e.to_string())?;
+            let apple = Apple::plan_recorded(&topo, &tm, &flags.apple_config(), recorder_ref(&mem))
+                .map_err(|e| e.to_string())?;
             println!("{}", topo.summary());
             println!(
                 "classes: {}   instances: {}   cores: {}   solve: {:?}",
@@ -263,13 +289,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 &topo,
                 &series,
                 &ReplayConfig {
-                    apple: AppleConfig {
-                        classes: ClassConfig {
-                            max_classes: flags.classes,
-                            ..Default::default()
-                        },
-                        ..Default::default()
-                    },
+                    apple: flags.apple_config(),
                     fast_failover: flags.failover,
                     ..Default::default()
                 },
@@ -299,19 +319,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
             let mem = make_recorder(&flags);
             let rec = recorder_ref(&mem);
-            let apple = Apple::plan_recorded(
-                &topo,
-                &tm,
-                &AppleConfig {
-                    classes: ClassConfig {
-                        max_classes: flags.classes,
-                        ..Default::default()
-                    },
-                    ..Default::default()
-                },
-                rec,
-            )
-            .map_err(|e| e.to_string())?;
+            let apple = Apple::plan_recorded(&topo, &tm, &flags.apple_config(), rec)
+                .map_err(|e| e.to_string())?;
             let handler0 = apple.dynamic_handler().map_err(|e| e.to_string())?;
             let (classes, _placement, _plan, _program, orch0) = apple.into_parts();
             let mut clean = 0usize;
