@@ -1,0 +1,125 @@
+//! Regenerates (or validates) the committed `BENCH_online.json` online
+//! orchestration benchmark.
+//!
+//! ```text
+//! bench_online --smoke [--threads N] [--out-dir DIR]   # short horizon
+//! bench_online --full  [--threads N] [--out-dir DIR]   # >= 100k events, regenerates the committed file
+//! bench_online --smoke --check                         # run + self-validate, write nothing (ci)
+//! bench_online --check FILE [FILE...]                  # schema-validate files, no running
+//! ```
+//!
+//! `--smoke --check` is what the `ci` online-smoke stage runs: it streams
+//! the short timeline, validates the generated JSON against
+//! [`check_online`] and writes nothing. `--full` regenerates the file
+//! committed at the repository root (see EXPERIMENTS.md for the exact
+//! invocation).
+
+use apple_bench::online::{check_online, online_json, run_online};
+use apple_bench::trajectory::Scope;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_online --smoke|--full [--threads N] [--out-dir DIR] [--check]\n       bench_online --check FILE [FILE...]"
+    );
+    ExitCode::from(2)
+}
+
+fn check_files(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check_online(&text) {
+            Ok(()) => println!("{f}: ok"),
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope = None;
+    let mut threads = 1usize;
+    let mut out_dir = PathBuf::from(".");
+    let mut check = false;
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scope = Some(Scope::Smoke),
+            "--full" => scope = Some(Scope::Full),
+            "--check" => check = true,
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
+            "--out-dir" => {
+                i += 1;
+                let Some(d) = args.get(i) else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(d);
+            }
+            other if check && !other.starts_with('-') => files.push(other.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    if !files.is_empty() {
+        return check_files(&files);
+    }
+    let Some(scope) = scope else {
+        return usage();
+    };
+
+    let rows = run_online(scope, threads);
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} events | {:8.0} ev/s | p50 {:7.1} us p99 {:9.1} us | \
+             {} resolves ({} repacked, {} deferred) | peak {} instances, overhead {:.3}x",
+            r.topology,
+            r.events,
+            r.events_per_sec,
+            r.p50_step_us,
+            r.p99_step_us,
+            r.resolves_applied + r.resolves_repacked,
+            r.resolves_repacked,
+            r.resolves_deferred,
+            r.peak_instances,
+            r.instance_overhead,
+        );
+    }
+    let text = online_json(&rows, scope, threads);
+    if let Err(e) = check_online(&text) {
+        eprintln!("generated JSON failed its own schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if check {
+        println!("online benchmark self-check: ok");
+        return ExitCode::SUCCESS;
+    }
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = out_dir.join("BENCH_online.json");
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -20,9 +20,12 @@
 //! Beyond the paper's artifacts, [`trajectory`] regenerates the committed
 //! `BENCH_plan.json` / `BENCH_failover.json` files at the repository root
 //! (monolithic vs decomposed solve, warm-cache failover re-plans; see
-//! DESIGN.md §8 and EXPERIMENTS.md).
+//! DESIGN.md §8 and EXPERIMENTS.md), and [`online`] regenerates
+//! `BENCH_online.json` (event throughput, per-step placement latency and
+//! instance-count overhead of the online orchestration loop; DESIGN.md §9).
 
 pub mod harness;
+pub mod online;
 pub mod trajectory;
 
 use apple_core::baselines::{

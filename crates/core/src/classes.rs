@@ -135,13 +135,26 @@ impl ClassSet {
                 });
             }
         }
-        // Heaviest-first truncation with total-rate preservation.
-        classes.sort_by(|a, b| {
-            b.rate_mbps
-                .partial_cmp(&a.rate_mbps)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.path.nodes().cmp(b.path.nodes()))
-        });
+        Self::finalise(classes, cfg)
+    }
+
+    /// Canonical ordering of raw classes: heaviest first, ties broken by
+    /// path nodes. The comparator is total over classes from distinct
+    /// (pair, path) cells, so the finalised order is independent of the
+    /// order classes were generated in — which is what lets the
+    /// incremental aggregator ([`IncrementalClasses`]) reproduce
+    /// [`ClassSet::build`] exactly.
+    pub(crate) fn canonical_cmp(a: &EquivalenceClass, b: &EquivalenceClass) -> std::cmp::Ordering {
+        b.rate_mbps
+            .partial_cmp(&a.rate_mbps)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.path.nodes().cmp(b.path.nodes()))
+    }
+
+    /// Shared tail of class construction: canonical sort, heaviest-first
+    /// truncation with total-rate preservation, dense id assignment.
+    pub(crate) fn finalise(mut classes: Vec<EquivalenceClass>, cfg: &ClassConfig) -> ClassSet {
+        classes.sort_by(Self::canonical_cmp);
         if cfg.max_classes > 0 && classes.len() > cfg.max_classes {
             let total: f64 = classes.iter().map(|c| c.rate_mbps).sum();
             classes.truncate(cfg.max_classes);
@@ -349,6 +362,256 @@ impl<'a> IntoIterator for &'a ClassSet {
     }
 }
 
+/// How one flow event changed its OD pair's aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// The pair went from zero flows to at least one: its classes are born.
+    Created,
+    /// The pair already had flows and still does: its classes re-rate.
+    Changed,
+    /// The pair's last flow departed: its classes are now empty.
+    Emptied,
+}
+
+/// The per-pair effect of applying one flow arrival or departure to an
+/// [`IncrementalClasses`] aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairDelta {
+    /// The affected OD pair.
+    pub pair: (NodeId, NodeId),
+    /// Created / changed / emptied.
+    pub kind: DeltaKind,
+    /// The pair's new aggregate rate in Mbps (0 when emptied). Summed in
+    /// flow-id order so it is bitwise identical to a from-scratch
+    /// [`TrafficMatrix`] accumulation over the same live flows.
+    pub rate_mbps: f64,
+}
+
+/// Per-pair incremental state: the live flows plus the (immutable) routing
+/// and policy artefacts that [`ClassSet::build`] would derive for the pair.
+#[derive(Debug, Clone)]
+struct PairState {
+    /// Live flows keyed by timeline flow id; values are flow rates in
+    /// Mbps. A `BTreeMap` so rate summation visits flows in id order.
+    flows: std::collections::BTreeMap<u64, f64>,
+    chain: PolicyChain,
+    paths: Vec<Path>,
+}
+
+/// Incremental equivalence-class maintenance (the online counterpart of
+/// [`ClassSet::build`]).
+///
+/// [`ClassSet::build`] is a batch operation: it scans the whole traffic
+/// matrix, derives paths and chains for every pair, sorts and assigns ids.
+/// Under flow churn that is O(pairs) work per event. `IncrementalClasses`
+/// applies one arrival/departure at a time and reports only the affected
+/// pair ([`PairDelta`]): routing (`ksp`) and policy assignment run once per
+/// pair on first contact and are cached thereafter.
+///
+/// # Parity guarantee
+///
+/// [`IncrementalClasses::to_class_set`] is **bitwise identical** to
+/// `ClassSet::build(topo, tm, cfg)` where `tm` accumulates the currently
+/// live flows in flow-id order. Two properties make this exact rather than
+/// approximate:
+///
+/// 1. Pair rates are never maintained as a running `+=`/`-=` total (which
+///    would drift in floating point); every query re-sums the live flows
+///    in flow-id order — the same left-to-right sum a from-scratch
+///    [`TrafficMatrix`] accumulation performs.
+/// 2. The canonical sort/truncate/id-assign tail is shared code
+///    (`ClassSet::finalise`), and its comparator is total over distinct
+///    (pair, path) cells, so generation order cannot leak into ids.
+///
+/// `tests/online_parity.rs` enforces the guarantee after every event of
+/// seeded timelines across three topologies.
+#[derive(Debug, Clone)]
+pub struct IncrementalClasses {
+    topo: Topology,
+    cfg: ClassConfig,
+    pairs: std::collections::BTreeMap<(NodeId, NodeId), PairState>,
+}
+
+impl IncrementalClasses {
+    /// Creates an empty aggregate over `topo`.
+    pub fn new(topo: &Topology, cfg: &ClassConfig) -> IncrementalClasses {
+        IncrementalClasses {
+            topo: topo.clone(),
+            cfg: cfg.clone(),
+            pairs: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Derives (and caches) the routing/policy state for a pair.
+    fn pair_state(&mut self, src: NodeId, dst: NodeId) -> &mut PairState {
+        let topo = &self.topo;
+        let ecmp_limit = self.cfg.ecmp_limit;
+        self.pairs.entry((src, dst)).or_insert_with(|| {
+            let paths: Vec<Path> = if topo.multipath {
+                ksp::ecmp_paths(&topo.graph, src, dst, ecmp_limit)
+            } else {
+                topo.graph.shortest_path(src, dst).into_iter().collect()
+            };
+            PairState {
+                flows: std::collections::BTreeMap::new(),
+                chain: PolicyChain::assign(src.0, dst.0),
+                paths,
+            }
+        })
+    }
+
+    /// Re-sums a pair's rate in flow-id order (see the parity note above).
+    fn pair_rate(state: &PairState) -> f64 {
+        let mut total = 0.0;
+        for rate in state.flows.values() {
+            total += rate;
+        }
+        total
+    }
+
+    /// Applies a flow arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow_id` is already live (the timeline contract gives
+    /// every flow a unique id) or the flow's rate is not positive.
+    pub fn apply_arrival(&mut self, flow_id: u64, flow: &Flow) -> PairDelta {
+        assert!(
+            flow.rate_mbps > 0.0 && flow.rate_mbps.is_finite(),
+            "flow rate must be positive"
+        );
+        let pair = (flow.ingress, flow.egress);
+        let state = self.pair_state(pair.0, pair.1);
+        let was_empty = state.flows.is_empty();
+        let prev = state.flows.insert(flow_id, flow.rate_mbps);
+        assert!(prev.is_none(), "flow {flow_id} arrived twice");
+        PairDelta {
+            pair,
+            kind: if was_empty {
+                DeltaKind::Created
+            } else {
+                DeltaKind::Changed
+            },
+            rate_mbps: Self::pair_rate(state),
+        }
+    }
+
+    /// Applies a flow departure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow_id` is not live for the flow's OD pair.
+    pub fn apply_departure(&mut self, flow_id: u64, flow: &Flow) -> PairDelta {
+        let pair = (flow.ingress, flow.egress);
+        let state = self.pair_state(pair.0, pair.1);
+        let removed = state.flows.remove(&flow_id);
+        assert!(
+            removed.is_some(),
+            "flow {flow_id} departed without arriving"
+        );
+        let rate = Self::pair_rate(state);
+        PairDelta {
+            pair,
+            kind: if state.flows.is_empty() {
+                DeltaKind::Emptied
+            } else {
+                DeltaKind::Changed
+            },
+            rate_mbps: rate,
+        }
+    }
+
+    /// The pair's current classes (ids unassigned, i.e. `ClassId(0)`): one
+    /// per forwarding path with the pair rate split evenly, exactly as
+    /// [`ClassSet::build`] would generate them. Empty when the pair has no
+    /// live flows or is disconnected.
+    pub fn pair_classes(&self, pair: (NodeId, NodeId)) -> Vec<EquivalenceClass> {
+        let Some(state) = self.pairs.get(&pair) else {
+            return Vec::new();
+        };
+        if state.flows.is_empty() || state.paths.is_empty() {
+            return Vec::new();
+        }
+        let rate = Self::pair_rate(state);
+        let share = rate / state.paths.len() as f64;
+        state
+            .paths
+            .iter()
+            .map(|path| EquivalenceClass {
+                id: ClassId(0),
+                path: path.clone(),
+                chain: state.chain.clone(),
+                rate_mbps: share,
+                src_prefix: (Flow::prefix_of(pair.0), 24),
+                dst_prefix: (Flow::prefix_of(pair.1), 24),
+                proto: None,
+                dst_ports: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Number of forwarding paths a pair's traffic splits across (0 when
+    /// the pair is disconnected or untouched).
+    pub fn pair_path_count(&self, pair: (NodeId, NodeId)) -> usize {
+        self.pairs.get(&pair).map_or(0, |s| s.paths.len())
+    }
+
+    /// Number of currently live flows across all pairs.
+    pub fn active_flows(&self) -> usize {
+        self.pairs.values().map(|s| s.flows.len()).sum()
+    }
+
+    /// Number of pairs with at least one live flow.
+    pub fn active_pairs(&self) -> usize {
+        self.pairs.values().filter(|s| !s.flows.is_empty()).count()
+    }
+
+    /// Total live rate in Mbps (sum of per-pair rates).
+    pub fn total_rate_mbps(&self) -> f64 {
+        self.pairs.values().map(Self::pair_rate).sum()
+    }
+
+    /// The live traffic as a [`TrafficMatrix`] (one cell per pair, summed
+    /// in flow-id order).
+    pub fn to_matrix(&self) -> TrafficMatrix {
+        let mut tm = TrafficMatrix::zeros(self.topo.graph.node_count());
+        for (&(s, d), state) in &self.pairs {
+            let rate = Self::pair_rate(state);
+            if rate > 0.0 {
+                tm.set(s, d, rate);
+            }
+        }
+        tm
+    }
+
+    /// Materialises the current aggregate as a canonical [`ClassSet`] —
+    /// bitwise identical to `ClassSet::build` over [`Self::to_matrix`]
+    /// (see the type-level parity note).
+    pub fn to_class_set(&self) -> ClassSet {
+        let mut raw = Vec::new();
+        for (&pair, state) in &self.pairs {
+            if state.flows.is_empty() || state.paths.is_empty() {
+                continue;
+            }
+            let rate = Self::pair_rate(state);
+            let share = rate / state.paths.len() as f64;
+            for path in &state.paths {
+                raw.push(EquivalenceClass {
+                    id: ClassId(0),
+                    path: path.clone(),
+                    chain: state.chain.clone(),
+                    rate_mbps: share,
+                    src_prefix: (Flow::prefix_of(pair.0), 24),
+                    dst_prefix: (Flow::prefix_of(pair.1), 24),
+                    proto: None,
+                    dst_ports: Vec::new(),
+                });
+            }
+        }
+        ClassSet::finalise(raw, &self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +735,103 @@ mod tests {
         assert_eq!(pair_classes.len(), 4);
         let total: f64 = pair_classes.iter().map(|c| c.rate_mbps).sum();
         assert!((total - rate).abs() < 1e-9);
+    }
+
+    fn flow_between(src: NodeId, dst: NodeId, rate: f64) -> Flow {
+        Flow {
+            src_ip: Flow::prefix_of(src) | 1,
+            dst_ip: Flow::prefix_of(dst) | 1,
+            src_port: 10_000,
+            dst_port: 80,
+            proto: 6,
+            rate_mbps: rate,
+            ingress: src,
+            egress: dst,
+        }
+    }
+
+    #[test]
+    fn incremental_matches_build_exactly() {
+        let topo = zoo::internet2();
+        let cfg = ClassConfig::default();
+        let mut inc = IncrementalClasses::new(&topo, &cfg);
+        // Deterministic irregular rates across several pairs.
+        let mut flows = Vec::new();
+        let mut id = 0u64;
+        for s in 0..4u32 {
+            for d in 4..7u32 {
+                for k in 0..3u64 {
+                    let rate = 1.0 + (s as f64) * 0.37 + (d as f64) * 0.11 + (k as f64) * 0.73;
+                    flows.push((
+                        id,
+                        flow_between(NodeId(s as usize), NodeId(d as usize), rate),
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        for (fid, f) in &flows {
+            inc.apply_arrival(*fid, f);
+        }
+        // From-scratch: accumulate the same flows in flow-id order.
+        let mut tm = TrafficMatrix::zeros(topo.graph.node_count());
+        for (_, f) in &flows {
+            tm.add(f.ingress, f.egress, f.rate_mbps);
+        }
+        let batch = ClassSet::build(&topo, &tm, &cfg);
+        let online = inc.to_class_set();
+        assert_eq!(batch.classes(), online.classes(), "bitwise parity broken");
+        // Depart half the flows; parity must survive.
+        for (fid, f) in flows.iter().filter(|(fid, _)| fid % 2 == 0) {
+            inc.apply_departure(*fid, f);
+        }
+        let mut tm2 = TrafficMatrix::zeros(topo.graph.node_count());
+        for (_, f) in flows.iter().filter(|(fid, _)| fid % 2 == 1) {
+            tm2.add(f.ingress, f.egress, f.rate_mbps);
+        }
+        let batch2 = ClassSet::build(&topo, &tm2, &cfg);
+        assert_eq!(batch2.classes(), inc.to_class_set().classes());
+    }
+
+    #[test]
+    fn incremental_delta_kinds() {
+        let topo = zoo::internet2();
+        let mut inc = IncrementalClasses::new(&topo, &ClassConfig::default());
+        let f1 = flow_between(NodeId(0), NodeId(3), 5.0);
+        let f2 = flow_between(NodeId(0), NodeId(3), 7.0);
+        let d = inc.apply_arrival(1, &f1);
+        assert_eq!(d.kind, DeltaKind::Created);
+        assert_eq!(d.rate_mbps, 5.0);
+        let d = inc.apply_arrival(2, &f2);
+        assert_eq!(d.kind, DeltaKind::Changed);
+        assert_eq!(d.rate_mbps, 12.0);
+        let d = inc.apply_departure(1, &f1);
+        assert_eq!(d.kind, DeltaKind::Changed);
+        assert_eq!(d.rate_mbps, 7.0);
+        let d = inc.apply_departure(2, &f2);
+        assert_eq!(d.kind, DeltaKind::Emptied);
+        assert_eq!(d.rate_mbps, 0.0);
+        assert_eq!(inc.active_flows(), 0);
+        assert!(inc.to_class_set().is_empty());
+        // Paths/chain stay cached and correct across the empty period.
+        let d = inc.apply_arrival(3, &f1);
+        assert_eq!(d.kind, DeltaKind::Created);
+        let classes = inc.pair_classes((NodeId(0), NodeId(3)));
+        assert_eq!(classes.len(), inc.pair_path_count((NodeId(0), NodeId(3))));
+        for c in &classes {
+            assert_eq!(c.od_pair(), (NodeId(0), NodeId(3)));
+            assert_eq!(c.chain, PolicyChain::assign(0, 3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived twice")]
+    fn incremental_rejects_duplicate_arrival() {
+        let topo = zoo::internet2();
+        let mut inc = IncrementalClasses::new(&topo, &ClassConfig::default());
+        let f = flow_between(NodeId(0), NodeId(1), 3.0);
+        inc.apply_arrival(7, &f);
+        inc.apply_arrival(7, &f);
     }
 
     #[test]

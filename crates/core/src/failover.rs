@@ -220,6 +220,23 @@ impl DynamicHandler {
         })
     }
 
+    /// Builds a verification view over online-loop state: one
+    /// [`ShareState`] per live class (the online placer keeps whole
+    /// classes, so each share covers its full fraction) plus the loop's
+    /// shed ledger (rejected classes shed 1.0). The result is what
+    /// [`crate::verify::verify_shares`] consumes — it carries no helper or
+    /// parked state and is not meant to drive failover.
+    pub fn from_online(shares: Vec<ShareState>, shed: BTreeMap<ClassId, f64>) -> DynamicHandler {
+        DynamicHandler {
+            shares,
+            helpers: Vec::new(),
+            helper_cores: 0,
+            peak_helper_cores: 0,
+            parked: Vec::new(),
+            shed,
+        }
+    }
+
     /// Current shares.
     pub fn shares(&self) -> &[ShareState] {
         &self.shares

@@ -26,8 +26,11 @@
 //!   time-scale traffic dynamics (§VI), plus [`failover::Replanner`], the
 //!   large time-scale re-optimisation loop with a warm-started decomposed
 //!   solve,
-//! * [`online`] — the online arrival/departure path: admitting a class
-//!   into an existing deployment without disturbing others,
+//! * [`online`] — the online arrival/departure path: the
+//!   [`online::OrchestrationLoop`] streaming flow timelines through
+//!   incremental class maintenance, DP placement against a live
+//!   residual-capacity ledger, and periodic warm-started re-solves
+//!   (DESIGN.md §9),
 //! * [`policy_spec`] — the operator-facing policy grammar parsed into
 //!   weighted chains,
 //! * [`transition`] — make-before-break reconfiguration between two

@@ -18,9 +18,17 @@
 //! counted on; the placer retries with the conflicting cell forbidden, so
 //! the final decision is always realisable.
 
-use crate::classes::EquivalenceClass;
-use crate::orchestrator::ResourceOrchestrator;
+use crate::classes::{
+    ClassConfig, ClassId, ClassSet, DeltaKind, EquivalenceClass, IncrementalClasses,
+};
+use crate::engine::EngineConfig;
+use crate::failover::{DynamicHandler, Replanner, ShareState};
+use crate::orchestrator::{ControlOps, ResourceOrchestrator};
+use crate::transition::{apply_transition_with, plan_transition_from_live};
 use apple_nf::{InstanceId, VnfSpec};
+use apple_telemetry::{Recorder, RecorderExt};
+use apple_topology::{NodeId, Topology};
+use apple_traffic::arrivals::{FlowEvent, FlowEventKind};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -126,6 +134,28 @@ impl OnlinePlacer {
     /// Committed load of an instance (Mbps).
     pub fn load_mbps(&self, id: InstanceId) -> f64 {
         self.loads.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// The full residual-capacity ledger: committed Mbps per instance.
+    pub fn loads(&self) -> &BTreeMap<InstanceId, f64> {
+        &self.loads
+    }
+
+    /// Adjusts an instance's committed load by `delta_mbps` (negative to
+    /// release). The entry is clamped at zero and dropped entirely when it
+    /// reaches zero, so the ledger never accumulates stale zero-load
+    /// entries (the fuzz battery's leak check relies on this).
+    pub fn adjust(&mut self, id: InstanceId, delta_mbps: f64) {
+        let entry = self.loads.entry(id).or_insert(0.0);
+        *entry = (*entry + delta_mbps).max(0.0);
+        if *entry <= 1e-9 {
+            self.loads.remove(&id);
+        }
+    }
+
+    /// Drops an instance from the ledger entirely (teardown / crash).
+    pub fn forget(&mut self, id: InstanceId) {
+        self.loads.remove(&id);
     }
 
     /// Places one arriving class, launching instances through the
@@ -288,8 +318,7 @@ impl OnlinePlacer {
                     Err(_) => {
                         // Roll every commitment of this attempt back.
                         for (cid, load) in committed {
-                            let entry = self.loads.entry(cid).or_insert(0.0);
-                            *entry = (*entry - load).max(0.0);
+                            self.adjust(cid, -load);
                         }
                         for lid in launched {
                             let _ = orch.teardown(lid);
@@ -307,6 +336,613 @@ impl OnlinePlacer {
             launched,
             stage_positions: positions.to_vec(),
         })
+    }
+}
+
+/// Identifies one online-managed class: the OD pair plus the index of its
+/// forwarding path within the pair's (stable, cached) path list.
+pub type LiveKey = ((NodeId, NodeId), usize);
+
+/// A class the loop currently serves, with the DP decision serving it.
+#[derive(Debug, Clone)]
+pub struct LiveClass {
+    /// The class at its current aggregate rate.
+    pub class: EquivalenceClass,
+    /// The placement decision (instance + position per chain stage).
+    pub decision: OnlineDecision,
+}
+
+/// Configuration of the [`OrchestrationLoop`].
+#[derive(Debug, Clone, Default)]
+pub struct OnlineConfig {
+    /// Class construction parameters. `max_classes` is ignored online:
+    /// every live pair is either served or explicitly shed, never silently
+    /// truncated.
+    pub class_cfg: ClassConfig,
+    /// Events between warm-started global re-solves (0 = never re-solve).
+    pub resolve_every: u64,
+    /// Maximum instance launches + teardowns one re-solve transition may
+    /// perform; plans churning more are deferred to the next period
+    /// (0 = unbounded).
+    pub max_churn: u32,
+    /// Engine configuration for the periodic global re-solve.
+    pub engine: EngineConfig,
+    /// Seed for control-plane retry jitter.
+    pub seed: u64,
+}
+
+/// What one [`OrchestrationLoop::step`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Classes placed or re-placed through the DP.
+    pub placed: u32,
+    /// Instances launched.
+    pub launched: u32,
+    /// Instances retired (torn down after their load reached zero).
+    pub retired: u32,
+    /// Classes newly shed (placement failed).
+    pub shed: u32,
+    /// A global re-solve ran and the fleet was re-mapped — either after
+    /// its make-before-break transition applied, or via the in-place
+    /// re-pack fallback when the transition rolled back for lack of
+    /// headroom ([`Self::resolve_repacked`] distinguishes the two).
+    pub resolved: bool,
+    /// A global re-solve ran but its transition exceeded the churn bound
+    /// and was deferred.
+    pub resolve_deferred: bool,
+    /// The re-solve's transition rolled back and the period fell back to
+    /// the in-place re-pack (implies [`Self::resolved`]).
+    pub resolve_repacked: bool,
+}
+
+/// Whether the DP can serve the class at all: a class whose rate exceeds a
+/// single instance's capacity for some chain NF needs the global engine's
+/// fractional splitting, which the online serving model (whole class per
+/// instance chain) cannot express.
+fn is_jumbo(class: &EquivalenceClass) -> bool {
+    class
+        .chain
+        .nfs()
+        .iter()
+        .any(|&nf| class.rate_mbps > VnfSpec::of(nf).capacity_mbps)
+}
+
+/// The scale-out online orchestration loop (the extension §IV defers).
+///
+/// Consumes a merged arrival/departure timeline
+/// ([`apple_traffic::arrivals::EventTimeline`]) one event at a time:
+///
+/// * equivalence classes are maintained **incrementally**
+///   ([`IncrementalClasses`] — only the event's OD pair is touched, never a
+///   full rebuild),
+/// * new classes are placed through the single-class DP
+///   ([`OnlinePlacer`]) against the live residual-capacity ledger,
+/// * rate changes re-rate in place when slack allows, else release and
+///   re-place (falling back to explicit modelled overload rather than
+///   dropping coverage),
+/// * departures that empty a class release its load and retire instances
+///   whose committed load reaches zero,
+/// * classes the DP cannot serve are **shed** — recorded in an explicit
+///   ledger so coverage accounting ([`crate::verify::verify_shares`])
+///   stays exact,
+/// * every `resolve_every` events a warm-started global re-solve
+///   ([`Replanner`], reusing `lp::decompose::WarmCache`) re-shapes the
+///   fleet via a make-before-break transition with bounded rule churn,
+///   then re-maps every class onto the new fleet; when the transition
+///   rolls back (no transient headroom on a saturated host) the period
+///   degrades to an in-place re-pack of the existing fleet instead of
+///   being skipped.
+///
+/// Telemetry: `online.events`, `online.placements`, `online.launches`,
+/// `online.retired`, `online.shed_events`, `online.jumbo_classes`,
+/// `online.overload`, `online.resolves`, `online.resolve_deferred`,
+/// `online.resolve_failed`, `online.resolve_repack`,
+/// `online.rules_installed`, the `online.resolve_churn` histogram and the
+/// `online.step` span.
+#[derive(Debug)]
+pub struct OrchestrationLoop {
+    cfg: OnlineConfig,
+    inc: IncrementalClasses,
+    placer: OnlinePlacer,
+    orch: ResourceOrchestrator,
+    replanner: Replanner,
+    ops: ControlOps,
+    live: BTreeMap<LiveKey, LiveClass>,
+    rejected: BTreeMap<LiveKey, EquivalenceClass>,
+    events_seen: u64,
+}
+
+impl OrchestrationLoop {
+    /// Creates a loop over `topo` with hosts as configured in `orch`
+    /// (typically `ResourceOrchestrator::with_uniform_hosts`).
+    pub fn new(topo: &Topology, orch: ResourceOrchestrator, cfg: OnlineConfig) -> Self {
+        let ops = ControlOps::reliable(cfg.seed);
+        Self::with_ops(topo, orch, cfg, ops)
+    }
+
+    /// Creates a loop with explicit control-plane operations (fault
+    /// injection for the chaos battery).
+    pub fn with_ops(
+        topo: &Topology,
+        orch: ResourceOrchestrator,
+        cfg: OnlineConfig,
+        ops: ControlOps,
+    ) -> Self {
+        OrchestrationLoop {
+            inc: IncrementalClasses::new(topo, &cfg.class_cfg),
+            placer: OnlinePlacer::new(),
+            orch,
+            replanner: Replanner::new(cfg.engine.clone()),
+            ops,
+            cfg,
+            live: BTreeMap::new(),
+            rejected: BTreeMap::new(),
+            events_seen: 0,
+        }
+    }
+
+    /// Applies one timeline event and returns what changed.
+    pub fn step(&mut self, event: &FlowEvent, rec: &dyn Recorder) -> StepReport {
+        let _s = rec.span("online.step");
+        rec.counter("online.events", 1);
+        self.events_seen += 1;
+        let mut report = StepReport::default();
+        let delta = match event.kind {
+            FlowEventKind::Arrival => self.inc.apply_arrival(event.flow_id, &event.flow),
+            FlowEventKind::Departure => self.inc.apply_departure(event.flow_id, &event.flow),
+        };
+        match delta.kind {
+            DeltaKind::Created => {
+                for (idx, class) in self.inc.pair_classes(delta.pair).into_iter().enumerate() {
+                    self.place_or_shed((delta.pair, idx), class, rec, &mut report);
+                }
+            }
+            DeltaKind::Changed => self.rerate_pair(delta.pair, rec, &mut report),
+            DeltaKind::Emptied => self.empty_pair(delta.pair, rec, &mut report),
+        }
+        if self.cfg.resolve_every > 0 && self.events_seen.is_multiple_of(self.cfg.resolve_every) {
+            self.resolve(rec, &mut report);
+        }
+        report
+    }
+
+    /// Places a class or records it as shed.
+    fn place_or_shed(
+        &mut self,
+        key: LiveKey,
+        class: EquivalenceClass,
+        rec: &dyn Recorder,
+        report: &mut StepReport,
+    ) {
+        match self.placer.place_class(&class, &mut self.orch) {
+            Ok(decision) => {
+                rec.counter("online.placements", 1);
+                rec.counter("online.launches", decision.launched.len() as u64);
+                rec.counter(
+                    "online.rules_installed",
+                    crate::rules::online_rule_cost(&class, &decision.stage_positions) as u64,
+                );
+                report.placed += 1;
+                report.launched += decision.launched.len() as u32;
+                self.live.insert(key, LiveClass { class, decision });
+            }
+            Err(e) => {
+                if matches!(e, OnlineError::JumboClass { .. }) {
+                    rec.counter("online.jumbo_classes", 1);
+                }
+                rec.counter("online.shed_events", 1);
+                report.shed += 1;
+                self.rejected.insert(key, class);
+            }
+        }
+    }
+
+    /// Re-rates every class of a pair whose aggregate changed.
+    fn rerate_pair(&mut self, pair: (NodeId, NodeId), rec: &dyn Recorder, report: &mut StepReport) {
+        for (idx, class) in self.inc.pair_classes(pair).into_iter().enumerate() {
+            let key = (pair, idx);
+            if self.live.contains_key(&key) {
+                self.rerate_live(key, class, rec, report);
+            } else if self.rejected.contains_key(&key) {
+                // Retry shed classes at their new rate (capacity may have
+                // freed, or the class may have shrunk below jumbo).
+                self.rejected.remove(&key);
+                self.place_or_shed(key, class, rec, report);
+            } else {
+                self.place_or_shed(key, class, rec, report);
+            }
+        }
+    }
+
+    /// Re-rates one live class: adjust in place when every serving
+    /// instance has slack, otherwise release and re-place; when even that
+    /// fails, keep the old decision at the new rate (explicit modelled
+    /// overload — coverage is preserved and `online.overload` counts it).
+    fn rerate_live(
+        &mut self,
+        key: LiveKey,
+        class: EquivalenceClass,
+        rec: &dyn Recorder,
+        report: &mut StepReport,
+    ) {
+        let lc = self.live.get_mut(&key).expect("live key checked");
+        let old_rate = lc.class.rate_mbps;
+        let delta = class.rate_mbps - old_rate;
+        if delta <= 0.0 {
+            for &id in &lc.decision.stage_instances {
+                self.placer.adjust(id, delta);
+            }
+            lc.class = class;
+            return;
+        }
+        // Growth: per-instance headroom check (an instance serving k
+        // stages of this class carries k × delta extra).
+        let mut occurrences: BTreeMap<InstanceId, (f64, u32)> = BTreeMap::new();
+        for (&id, &nf) in lc.decision.stage_instances.iter().zip(lc.class.chain.nfs()) {
+            let e = occurrences
+                .entry(id)
+                .or_insert((VnfSpec::of(nf).capacity_mbps, 0));
+            e.0 = e.0.min(VnfSpec::of(nf).capacity_mbps);
+            e.1 += 1;
+        }
+        let fits = occurrences.iter().all(|(&id, &(cap, occ))| {
+            self.placer.load_mbps(id) + delta * f64::from(occ) <= cap + 1e-9
+        });
+        if fits {
+            for &id in &lc.decision.stage_instances {
+                self.placer.adjust(id, delta);
+            }
+            lc.class = class;
+            return;
+        }
+        // No slack: release and re-place at the new rate.
+        let old = self.live.remove(&key).expect("live key checked");
+        for &id in &old.decision.stage_instances {
+            self.placer.adjust(id, -old_rate);
+        }
+        match self.placer.place_class(&class, &mut self.orch) {
+            Ok(decision) => {
+                rec.counter("online.placements", 1);
+                rec.counter("online.launches", decision.launched.len() as u64);
+                rec.counter(
+                    "online.rules_installed",
+                    crate::rules::online_rule_cost(&class, &decision.stage_positions) as u64,
+                );
+                report.placed += 1;
+                report.launched += decision.launched.len() as u32;
+                // Old instances the new decision no longer uses may now be
+                // idle.
+                let keep: std::collections::BTreeSet<_> =
+                    decision.stage_instances.iter().copied().collect();
+                let candidates: Vec<InstanceId> = old
+                    .decision
+                    .stage_instances
+                    .iter()
+                    .copied()
+                    .filter(|id| !keep.contains(id))
+                    .collect();
+                self.live.insert(key, LiveClass { class, decision });
+                self.retire_idle(&candidates, rec, report);
+            }
+            Err(_) => {
+                // Re-commit the old decision at the new rate: the class
+                // stays fully covered, the overload is explicit.
+                rec.counter("online.overload", 1);
+                for &id in &old.decision.stage_instances {
+                    self.placer.adjust(id, class.rate_mbps);
+                }
+                self.live.insert(
+                    key,
+                    LiveClass {
+                        class,
+                        decision: old.decision,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Handles a pair whose last flow departed: release and retire.
+    fn empty_pair(&mut self, pair: (NodeId, NodeId), rec: &dyn Recorder, report: &mut StepReport) {
+        let keys: Vec<LiveKey> = self
+            .live
+            .keys()
+            .chain(self.rejected.keys())
+            .filter(|(p, _)| *p == pair)
+            .copied()
+            .collect();
+        for key in keys {
+            if let Some(lc) = self.live.remove(&key) {
+                for &id in &lc.decision.stage_instances {
+                    self.placer.adjust(id, -lc.class.rate_mbps);
+                }
+                self.retire_idle(&lc.decision.stage_instances, rec, report);
+            }
+            self.rejected.remove(&key);
+        }
+    }
+
+    /// Tears down candidate instances whose committed load reached zero.
+    fn retire_idle(
+        &mut self,
+        candidates: &[InstanceId],
+        rec: &dyn Recorder,
+        report: &mut StepReport,
+    ) {
+        let mut seen = std::collections::BTreeSet::new();
+        for &id in candidates {
+            if !seen.insert(id) {
+                continue;
+            }
+            if self.placer.load_mbps(id) <= 1e-9 && self.orch.instance(id).is_some() {
+                let _ = self.orch.teardown(id);
+                self.placer.forget(id);
+                rec.counter("online.retired", 1);
+                report.retired += 1;
+            }
+        }
+    }
+
+    /// Runs the periodic warm-started global re-solve and, when the plan's
+    /// churn is within bounds, applies it make-before-break and re-maps
+    /// every class onto the re-shaped fleet.
+    fn resolve(&mut self, rec: &dyn Recorder, report: &mut StepReport) {
+        rec.counter("online.resolves", 1);
+        // Jumbo classes are excluded: the engine could split them
+        // fractionally, but the online serving model cannot express the
+        // split, so they would bounce straight back to shed.
+        let input: Vec<EquivalenceClass> = self
+            .live
+            .values()
+            .map(|l| l.class.clone())
+            .chain(self.rejected.values().cloned())
+            .filter(|c| !is_jumbo(c))
+            .collect();
+        if input.is_empty() {
+            return;
+        }
+        let no_trunc = ClassConfig {
+            max_classes: 0,
+            ..self.cfg.class_cfg.clone()
+        };
+        let set = ClassSet::finalise(input, &no_trunc);
+        let planned = match self.replanner.replan_recorded(&set, &self.orch, rec) {
+            Ok(r) => r,
+            Err(_) => {
+                rec.counter("online.resolve_failed", 1);
+                return;
+            }
+        };
+        let plan = plan_transition_from_live(&self.orch, &planned.placement, &mut self.ops.timing);
+        let churn = plan.launch_count() + plan.teardown_count();
+        rec.observe("online.resolve_churn", f64::from(churn));
+        if self.cfg.max_churn > 0 && churn > self.cfg.max_churn {
+            rec.counter("online.resolve_deferred", 1);
+            report.resolve_deferred = true;
+            return;
+        }
+        match apply_transition_with(&plan, &mut self.orch, &mut self.ops, rec) {
+            Ok(tr) => {
+                rec.counter("online.rules_installed", tr.rules_installed.len() as u64);
+            }
+            Err(_) => {
+                // Typed rollback already restored the old fleet. A fleet-
+                // scale make-before-break is impossible when a hub host is
+                // saturated (its old and new instances cannot coexist), so
+                // instead of skipping the period we fall through to the
+                // re-map sweep below against the *existing* fleet: resetting
+                // the ledger and re-packing heaviest-first reuses live
+                // instances at cost 0, launches on demand only where the DP
+                // finds room, and `gc_idle` then retires whatever the
+                // re-pack stranded. That converges the instance count
+                // without needing transient headroom.
+                rec.counter("online.resolve_failed", 1);
+                rec.counter("online.resolve_repack", 1);
+                report.resolve_repacked = true;
+            }
+        }
+        // Re-map every class (heaviest first) onto the new fleet; the DP
+        // reuses engine-placed instances at cost 0, so launches here are
+        // rare. Classes that no longer fit are shed explicitly.
+        let live_old = std::mem::take(&mut self.live);
+        let rejected_old = std::mem::take(&mut self.rejected);
+        let mut all: Vec<(LiveKey, EquivalenceClass)> = live_old
+            .into_iter()
+            .map(|(k, l)| (k, l.class))
+            .chain(rejected_old)
+            .collect();
+        all.sort_by(|a, b| ClassSet::canonical_cmp(&a.1, &b.1));
+        self.placer = OnlinePlacer::new();
+        for (key, class) in all {
+            self.place_or_shed(key, class, rec, report);
+        }
+        self.gc_idle(rec, report);
+        report.resolved = true;
+    }
+
+    /// Tears down every instance carrying no committed load (used after
+    /// re-solves and crashes; keeps fleet == serving set).
+    fn gc_idle(&mut self, rec: &dyn Recorder, report: &mut StepReport) {
+        let idle: Vec<InstanceId> = self
+            .orch
+            .instances()
+            .map(|i| i.id())
+            .filter(|&id| self.placer.load_mbps(id) <= 1e-9)
+            .collect();
+        for id in idle {
+            let _ = self.orch.teardown(id);
+            self.placer.forget(id);
+            rec.counter("online.retired", 1);
+            report.retired += 1;
+        }
+    }
+
+    /// Crashes an instance mid-churn: the orchestrator frees its
+    /// resources, affected classes are re-placed (or shed when no capacity
+    /// remains), and the ledger stays truthful. Returns the number of
+    /// affected classes, or 0 when the instance is unknown.
+    pub fn handle_instance_crash(&mut self, id: InstanceId, rec: &dyn Recorder) -> usize {
+        if self.orch.crash_instance(id).is_err() {
+            return 0;
+        }
+        rec.counter("online.instance_crashes", 1);
+        self.placer.forget(id);
+        let affected: Vec<LiveKey> = self
+            .live
+            .iter()
+            .filter(|(_, lc)| lc.decision.stage_instances.contains(&id))
+            .map(|(&k, _)| k)
+            .collect();
+        let mut report = StepReport::default();
+        for key in &affected {
+            let lc = self.live.remove(key).expect("affected key is live");
+            let mut survivors = Vec::new();
+            for &sid in &lc.decision.stage_instances {
+                if sid != id {
+                    self.placer.adjust(sid, -lc.class.rate_mbps);
+                    survivors.push(sid);
+                }
+            }
+            self.place_or_shed(*key, lc.class, rec, &mut report);
+            self.retire_idle(&survivors, rec, &mut report);
+        }
+        affected.len()
+    }
+
+    /// Verifies the residual-capacity ledger against orchestrator truth:
+    /// every ledger entry maps to a live orchestrator instance, per-
+    /// instance committed load equals the sum of live class rates mapped
+    /// there (1e-6 tolerance), no stale zero-load entries survive, and
+    /// every orchestrator instance is accounted for.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation found.
+    pub fn check_ledger(&self) -> Result<(), String> {
+        let mut expected: BTreeMap<InstanceId, f64> = BTreeMap::new();
+        for lc in self.live.values() {
+            for &id in &lc.decision.stage_instances {
+                *expected.entry(id).or_insert(0.0) += lc.class.rate_mbps;
+            }
+        }
+        for (&id, &load) in self.placer.loads() {
+            if self.orch.instance(id).is_none() {
+                return Err(format!("ledger entry {id} has no orchestrator instance"));
+            }
+            if load <= 1e-9 {
+                return Err(format!("ledger leaked zero-load entry {id}"));
+            }
+            let want = expected.get(&id).copied().unwrap_or(0.0);
+            if (load - want).abs() > 1e-6 {
+                return Err(format!(
+                    "ledger drift at {id}: committed {load} vs live truth {want}"
+                ));
+            }
+        }
+        for (&id, &want) in &expected {
+            if want > 1e-9 && !self.placer.loads().contains_key(&id) {
+                return Err(format!(
+                    "instance {id} serves {want} Mbps but has no ledger entry"
+                ));
+            }
+        }
+        for inst in self.orch.instances() {
+            if !self.placer.loads().contains_key(&inst.id()) {
+                return Err(format!(
+                    "orchestrator instance {} carries no committed load",
+                    inst.id()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the verification view: the canonical dense [`ClassSet`] over
+    /// live ∪ shed classes plus a [`DynamicHandler`] with one full-fraction
+    /// share per live class and a shed ledger entry (fraction 1.0) per
+    /// rejected class — exactly what
+    /// [`crate::verify::verify_shares`] consumes.
+    pub fn snapshot(&self) -> (ClassSet, DynamicHandler) {
+        let mut entries: Vec<(EquivalenceClass, Option<&OnlineDecision>)> = self
+            .live
+            .values()
+            .map(|l| (l.class.clone(), Some(&l.decision)))
+            .chain(self.rejected.values().map(|c| (c.clone(), None)))
+            .collect();
+        entries.sort_by(|a, b| ClassSet::canonical_cmp(&a.0, &b.0));
+        let mut classes = Vec::with_capacity(entries.len());
+        let mut shares = Vec::new();
+        let mut shed = BTreeMap::new();
+        for (i, (mut c, d)) in entries.into_iter().enumerate() {
+            c.id = ClassId(i);
+            match d {
+                Some(d) => shares.push(ShareState {
+                    class: ClassId(i),
+                    sub: 0,
+                    fraction: 1.0,
+                    baseline: 1.0,
+                    instances: d.stage_instances.clone(),
+                }),
+                None => {
+                    shed.insert(ClassId(i), 1.0);
+                }
+            }
+            classes.push(c);
+        }
+        (
+            ClassSet::from_classes(classes),
+            DynamicHandler::from_online(shares, shed),
+        )
+    }
+
+    /// The incremental class aggregate (for parity checks).
+    pub fn incremental(&self) -> &IncrementalClasses {
+        &self.inc
+    }
+
+    /// The live orchestrator.
+    pub fn orchestrator(&self) -> &ResourceOrchestrator {
+        &self.orch
+    }
+
+    /// The residual-capacity ledger.
+    pub fn placer(&self) -> &OnlinePlacer {
+        &self.placer
+    }
+
+    /// Classes currently served.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Classes currently shed.
+    pub fn shed_count(&self) -> usize {
+        self.rejected.len()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Instances currently running.
+    pub fn instance_count(&self) -> usize {
+        self.orch.instance_count()
+    }
+
+    /// Total rate of live (served) classes in Mbps.
+    pub fn total_live_rate_mbps(&self) -> f64 {
+        self.live.values().map(|l| l.class.rate_mbps).sum()
+    }
+
+    /// Total rate of shed classes in Mbps.
+    pub fn total_shed_rate_mbps(&self) -> f64 {
+        self.rejected.values().map(|c| c.rate_mbps).sum()
+    }
+
+    /// Global re-solves performed so far.
+    pub fn resolves(&self) -> u64 {
+        self.replanner.replans()
     }
 }
 
@@ -413,6 +1049,93 @@ mod tests {
         assert!(d.stage_positions[0] <= d.stage_positions[1]);
         let uses_bad_combo = d.stage_instances == vec![fw2, ids0];
         assert!(!uses_bad_combo, "order violated by reuse");
+    }
+
+    fn drain_timeline(resolve_every: u64) -> OrchestrationLoop {
+        use apple_traffic::arrivals::{ArrivalConfig, EventTimeline};
+        let topo = zoo::internet2();
+        let pairs: Vec<(NodeId, NodeId)> = (0..4)
+            .flat_map(|s| (4..7).map(move |d| (NodeId(s), NodeId(d))))
+            .collect();
+        let cfg = ArrivalConfig {
+            arrival_rate: 1.0,
+            mean_duration_secs: 10.0,
+            mean_rate_mbps: 20.0,
+            seed: 0x9e37_0417,
+        };
+        let timeline = EventTimeline::generate(&pairs, &cfg, 30.0);
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut looper = OrchestrationLoop::new(
+            &topo,
+            orch,
+            OnlineConfig {
+                resolve_every,
+                ..Default::default()
+            },
+        );
+        for e in timeline.events() {
+            looper.step(e, &apple_telemetry::NOOP);
+            looper.check_ledger().expect("ledger truthful after step");
+        }
+        looper
+    }
+
+    #[test]
+    fn loop_serves_and_drains() {
+        let looper = drain_timeline(0);
+        assert!(looper.events_processed() > 0);
+        assert_eq!(looper.live_count(), 0, "timeline drained");
+        assert_eq!(looper.shed_count(), 0);
+        assert_eq!(looper.instance_count(), 0, "all instances retired");
+        assert!(looper.placer().loads().is_empty());
+    }
+
+    #[test]
+    fn loop_resolves_periodically() {
+        let looper = drain_timeline(20);
+        assert!(looper.resolves() > 0, "re-solves must have run");
+        assert_eq!(looper.live_count(), 0);
+        assert_eq!(looper.instance_count(), 0);
+    }
+
+    #[test]
+    fn loop_snapshot_verifies_clean() {
+        use apple_traffic::arrivals::{ArrivalConfig, EventTimeline};
+        let topo = zoo::internet2();
+        let pairs = vec![(NodeId(0), NodeId(5)), (NodeId(2), NodeId(6))];
+        let timeline = EventTimeline::generate(&pairs, &ArrivalConfig::default(), 40.0);
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut looper = OrchestrationLoop::new(&topo, orch, OnlineConfig::default());
+        for e in timeline.events() {
+            looper.step(e, &apple_telemetry::NOOP);
+            let (classes, handler) = looper.snapshot();
+            let violations =
+                crate::verify::verify_shares(&classes, &handler, looper.orchestrator(), 1e-6);
+            assert!(violations.is_empty(), "verify_shares: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn crash_during_churn_keeps_ledger_truthful() {
+        use apple_traffic::arrivals::{ArrivalConfig, EventTimeline};
+        let topo = zoo::internet2();
+        let pairs = vec![(NodeId(1), NodeId(4)), (NodeId(3), NodeId(7))];
+        let timeline = EventTimeline::generate(&pairs, &ArrivalConfig::default(), 40.0);
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut looper = OrchestrationLoop::new(&topo, orch, OnlineConfig::default());
+        let mut crashed = false;
+        for (n, e) in timeline.events().iter().enumerate() {
+            looper.step(e, &apple_telemetry::NOOP);
+            if n == timeline.len() / 2 {
+                if let Some(id) = looper.placer().loads().keys().next().copied() {
+                    looper.handle_instance_crash(id, &apple_telemetry::NOOP);
+                    crashed = true;
+                }
+            }
+            looper.check_ledger().expect("ledger truthful after step");
+        }
+        assert!(crashed, "expected a live instance to crash mid-run");
+        assert_eq!(looper.live_count(), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! `<InPort, class, sub-class>` rules on host vSwitches — and accounts for
 //! TCAM usage with and without the tagging scheme (Fig. 10).
 
-use crate::classes::{ClassId, ClassSet};
+use crate::classes::{ClassId, ClassSet, EquivalenceClass};
 use crate::engine::Placement;
 use crate::orchestrator::{OrchestratorError, ResourceOrchestrator};
 use crate::subclass::{SplitStrategy, SubclassPlan};
@@ -202,6 +202,23 @@ pub struct DataPlaneProgram {
     pub assignment: InstanceAssignment,
     /// TCAM accounting.
     pub tcam: TcamReport,
+}
+
+/// Estimated TCAM rule cost of steering one whole class through its chain
+/// stages at the given on-path positions — the unit the online loop's
+/// `online.rules_installed` counter and re-solve churn bound account in.
+///
+/// A class costs one classification rule per matched destination port (at
+/// least one — port-less classes match on the wildcard pair predicate
+/// alone) plus one steering rule per distinct on-path switch hosting a
+/// stage (co-located consecutive stages share the switch's steering
+/// entry, as the full generator's pipelined TCAM does).
+pub fn online_rule_cost(class: &EquivalenceClass, stage_positions: &[usize]) -> usize {
+    let classification = class.dst_ports.len().max(1);
+    let mut hops: Vec<usize> = stage_positions.to_vec();
+    hops.sort_unstable();
+    hops.dedup();
+    classification + hops.len()
 }
 
 /// Generates the data plane with default options (pipelined TCAM, global

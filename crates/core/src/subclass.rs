@@ -282,6 +282,148 @@ fn dyadic_cover(lo: f64, hi: f64, base_addr: u32, base_len: u8) -> Vec<(u32, u8)
     out
 }
 
+/// SplitMix64-style avalanche mix: every input bit affects every output
+/// bit. Local so the ring needs no external hash dependency.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over `[0,1)` mapping flow-space points to
+/// instances — the [`SplitStrategy::ConsistentHash`] realisation of
+/// sub-class membership, built so that instance churn moves the *minimum*
+/// share of flows.
+///
+/// Each instance owns `replicas` deterministic points on the unit circle
+/// (`mix64(instance ⊕ replica)` scaled to `[0,1)`); a flow-space point is
+/// served by the instance owning the next point clockwise. Adding an
+/// instance steals exactly the segments its new points cut off; removing
+/// one hands exactly its owned share to the clockwise successors. The
+/// minimal-churn property — re-splitting after a ±1 instance change moves
+/// exactly the entering/leaving instance's owned share and nothing else —
+/// is pinned by the `tests/subclass_churn.rs` property battery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashRing {
+    /// Sorted `(point, instance)` pairs; the instance owns the arc ending
+    /// at its point.
+    points: Vec<(u64, apple_nf::InstanceId)>,
+}
+
+impl HashRing {
+    /// Builds the ring for `instances` with `replicas` virtual points
+    /// each. Point collisions across instances are resolved by instance id
+    /// (deterministic, and vanishingly rare with 64-bit points).
+    pub fn new(instances: &[apple_nf::InstanceId], replicas: u32) -> HashRing {
+        let mut points: Vec<(u64, apple_nf::InstanceId)> = instances
+            .iter()
+            .flat_map(|&inst| {
+                (0..replicas.max(1))
+                    .map(move |r| (mix64(inst.0 ^ (u64::from(r) << 48) ^ 0x5ca1e), inst))
+            })
+            .collect();
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// The instance owning the flow-space point `u ∈ [0,1)` — the owner of
+    /// the first ring point at or after `u` (wrapping). `None` on an empty
+    /// ring.
+    pub fn owner(&self, u: f64) -> Option<apple_nf::InstanceId> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let target = (u.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        let idx = self.points.partition_point(|&(p, _)| p < target);
+        let (_, inst) = self.points[idx % self.points.len()];
+        Some(inst)
+    }
+
+    /// The fraction of `[0,1)` the instance owns (the sum of its arcs).
+    pub fn share(&self, inst: apple_nf::InstanceId) -> f64 {
+        self.segments()
+            .into_iter()
+            .filter(|&(_, _, i)| i == inst)
+            .map(|(lo, hi, _)| hi - lo)
+            .sum()
+    }
+
+    /// The ring as half-open `[lo, hi)` ownership segments covering
+    /// `[0,1)` exactly, in ascending order. Empty for an empty ring.
+    pub fn segments(&self) -> Vec<(f64, f64, apple_nf::InstanceId)> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let scale = u64::MAX as f64;
+        let mut out = Vec::with_capacity(self.points.len() + 1);
+        let mut lo = 0.0;
+        for &(p, inst) in &self.points {
+            let hi = p as f64 / scale;
+            if hi > lo {
+                out.push((lo, hi, inst));
+            }
+            lo = hi;
+        }
+        // Wrap-around arc: everything past the last point belongs to the
+        // first point's owner.
+        if lo < 1.0 {
+            out.push((lo, 1.0, self.points[0].1));
+        }
+        out
+    }
+
+    /// Number of virtual points on the ring.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The fraction of flow space whose owner differs between `self` and
+    /// `other` — the churn a re-split imposes on the data plane.
+    pub fn churn_vs(&self, other: &HashRing) -> f64 {
+        let a = self.segments();
+        let b = other.segments();
+        if a.is_empty() || b.is_empty() {
+            return if a.is_empty() && b.is_empty() {
+                0.0
+            } else {
+                1.0
+            };
+        }
+        // Sweep the union of breakpoints; within each elementary interval
+        // both rings have a single owner.
+        let mut cuts: Vec<f64> = a
+            .iter()
+            .chain(b.iter())
+            .flat_map(|&(lo, hi, _)| [lo, hi])
+            .collect();
+        cuts.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+        cuts.dedup();
+        let owner_at = |segs: &[(f64, f64, apple_nf::InstanceId)], u: f64| {
+            segs.iter()
+                .find(|&&(lo, hi, _)| lo <= u && u < hi)
+                .map(|&(_, _, i)| i)
+        };
+        let mut moved = 0.0;
+        for w in cuts.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if hi <= lo {
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2.0;
+            if owner_at(&a, mid) != owner_at(&b, mid) {
+                moved += hi - lo;
+            }
+        }
+        moved
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,10 +16,12 @@
 //! invariant the tests assert.
 
 use crate::engine::Placement;
-use crate::orchestrator::{OrchestratorError, ResourceOrchestrator};
-use apple_nf::{NfType, TimingModel, VnfSpec};
+use crate::orchestrator::{ControlOps, OrchestratorError, ResourceOrchestrator};
+use apple_nf::{InstanceId, NfType, TimingModel, VnfSpec};
+use apple_telemetry::Recorder;
 use apple_topology::NodeId;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A staged transition between two placements.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,13 +104,290 @@ pub fn plan_transition(
     }
 }
 
+/// Computes the staged transition from the orchestrator's *live* instance
+/// population to `new` — the online loop's variant of [`plan_transition`],
+/// where "old" is whatever is actually running (including instances the
+/// online DP placer booted outside any offline placement).
+pub fn plan_transition_from_live(
+    orch: &ResourceOrchestrator,
+    new: &Placement,
+    timing: &mut TimingModel,
+) -> TransitionPlan {
+    let mut old_q: BTreeMap<(usize, NfType), u32> = BTreeMap::new();
+    for inst in orch.instances() {
+        *old_q.entry((inst.host_switch(), inst.nf())).or_insert(0) += 1;
+    }
+    let mut new_q: BTreeMap<(usize, NfType), u32> = BTreeMap::new();
+    for (v, nf, c) in new.q_entries() {
+        new_q.insert((v.0, nf), c);
+    }
+    let mut launches = Vec::new();
+    let mut teardowns = Vec::new();
+    let mut kept = 0u32;
+    let keys: std::collections::BTreeSet<(usize, NfType)> =
+        old_q.keys().chain(new_q.keys()).copied().collect();
+    let mut slowest_boot = 0u64;
+    for key in keys {
+        let before = old_q.get(&key).copied().unwrap_or(0);
+        let after = new_q.get(&key).copied().unwrap_or(0);
+        kept += before.min(after);
+        if after > before {
+            let count = after - before;
+            launches.push((NodeId(key.0), key.1, count));
+            let clickos = VnfSpec::of(key.1).clickos;
+            for _ in 0..count {
+                slowest_boot = slowest_boot.max(timing.provision(clickos, false));
+            }
+        } else if before > after {
+            teardowns.push((NodeId(key.0), key.1, before - after));
+        }
+    }
+    TransitionPlan {
+        launches,
+        teardowns,
+        kept,
+        boot_ms: slowest_boot,
+        rule_install_ms: timing.rule_install(),
+    }
+}
+
+/// What [`apply_transition_with`] undid after a mid-transition failure —
+/// the typed rollback plan that makes partial-failure state explicit
+/// instead of leaving the orchestrator inconsistent.
+///
+/// After a failed transition the orchestrator is back to exactly the old
+/// placement's population; this report records what had to be reverted to
+/// get there (`tests/transition_faults.rs` asserts both halves).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RollbackReport {
+    /// Fresh instances (booted by this transition) torn back down.
+    pub torn_down: Vec<InstanceId>,
+    /// Switches whose new rules had already been installed and were
+    /// reverted to the old program (best-effort; reverts use the local
+    /// switch agent and do not themselves fail).
+    pub rules_reverted: Vec<NodeId>,
+}
+
+/// A transition failure with its executed rollback attached.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionError {
+    /// An instance boot failed (after retries). Rule installs had not
+    /// started, so only fresh instances needed reverting.
+    Boot {
+        /// Where the boot failed.
+        switch: NodeId,
+        /// The NF type that failed to boot.
+        nf: NfType,
+        /// The underlying control-plane error.
+        cause: OrchestratorError,
+        /// What was undone.
+        rollback: RollbackReport,
+    },
+    /// A rule install failed (after retries) with every new instance
+    /// already booted — the partial-failure window the naive
+    /// implementation left inconsistent.
+    RuleInstall {
+        /// The switch whose rules could not be installed.
+        switch: NodeId,
+        /// The underlying control-plane error.
+        cause: OrchestratorError,
+        /// What was undone (all fresh instances + any switches already
+        /// re-ruled).
+        rollback: RollbackReport,
+    },
+}
+
+impl TransitionError {
+    /// The underlying control-plane error.
+    pub fn cause(&self) -> &OrchestratorError {
+        match self {
+            TransitionError::Boot { cause, .. } | TransitionError::RuleInstall { cause, .. } => {
+                cause
+            }
+        }
+    }
+
+    /// The rollback executed before the error was surfaced.
+    pub fn rollback(&self) -> &RollbackReport {
+        match self {
+            TransitionError::Boot { rollback, .. }
+            | TransitionError::RuleInstall { rollback, .. } => rollback,
+        }
+    }
+}
+
+impl fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionError::Boot {
+                switch,
+                nf,
+                cause,
+                rollback,
+            } => write!(
+                f,
+                "transition boot of {nf} at {switch} failed ({cause}); rolled back {} fresh instances",
+                rollback.torn_down.len()
+            ),
+            TransitionError::RuleInstall {
+                switch,
+                cause,
+                rollback,
+            } => write!(
+                f,
+                "transition rule install at {switch} failed ({cause}); rolled back {} fresh instances, reverted {} switches",
+                rollback.torn_down.len(),
+                rollback.rules_reverted.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+/// Outcome of a successful [`apply_transition_with`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransitionReport {
+    /// Instances booted by the transition.
+    pub launched: Vec<InstanceId>,
+    /// Instances torn down after the switch-over.
+    pub torn_down: Vec<InstanceId>,
+    /// Switches whose rule programs were re-installed.
+    pub rules_installed: Vec<NodeId>,
+    /// Slowest single boot (parallel boots → critical path), virtual ms.
+    pub boot_ms: u64,
+    /// Total virtual ms spent installing rules (switches in parallel
+    /// would overlap; the sum is the conservative serial bound).
+    pub rule_install_ms: u64,
+}
+
+/// The switches whose TCAM programs a transition rewrites: every switch
+/// gaining or losing instances re-steers traffic there.
+fn touched_switches(plan: &TransitionPlan) -> Vec<NodeId> {
+    let mut switches: Vec<NodeId> = plan
+        .launches
+        .iter()
+        .chain(plan.teardowns.iter())
+        .map(|&(v, _, _)| v)
+        .collect();
+    switches.sort_unstable_by_key(|v| v.0);
+    switches.dedup();
+    switches
+}
+
+/// Executes a transition through the fallible control plane, preserving
+/// make-before-break: boot every new instance (with retries), then install
+/// the new rule programs switch by switch, then tear old instances down.
+///
+/// # Errors
+///
+/// On any failure the transition is rolled back **before** the error is
+/// returned — fresh instances are torn down and already-installed rule
+/// programs reverted — and the [`TransitionError`] carries the executed
+/// [`RollbackReport`]. The orchestrator is left realising the old
+/// placement exactly; the caller decides whether to retry or defer.
+pub fn apply_transition_with(
+    plan: &TransitionPlan,
+    orch: &mut ResourceOrchestrator,
+    ops: &mut ControlOps,
+    rec: &dyn Recorder,
+) -> Result<TransitionReport, TransitionError> {
+    // Phase 1: boot (make).
+    let mut launched: Vec<InstanceId> = Vec::new();
+    let mut boot_ms = 0u64;
+    for &(v, nf, count) in &plan.launches {
+        for _ in 0..count {
+            match orch.launch_with_retry(v, nf, ops, rec) {
+                Ok(report) => {
+                    boot_ms = boot_ms.max(report.latency_ms);
+                    launched.push(report.instance);
+                }
+                Err(cause) => {
+                    for &id in &launched {
+                        let _ = orch.teardown(id);
+                    }
+                    rec.counter("transition.rollbacks", 1);
+                    return Err(TransitionError::Boot {
+                        switch: v,
+                        nf,
+                        cause,
+                        rollback: RollbackReport {
+                            torn_down: launched,
+                            rules_reverted: Vec::new(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+    // Phase 2: re-rule. Every new instance is up; a failure here is the
+    // partial-failure window — fresh instances must come back down and
+    // switches already re-ruled must revert to the old program.
+    let mut rules_installed: Vec<NodeId> = Vec::new();
+    let mut rule_install_ms = 0u64;
+    for v in touched_switches(plan) {
+        match orch.rule_install_with_retry(v, ops, rec) {
+            Ok(report) => {
+                rule_install_ms += report.latency_ms;
+                rules_installed.push(v);
+            }
+            Err(cause) => {
+                for &id in &launched {
+                    let _ = orch.teardown(id);
+                }
+                rec.counter("transition.rollbacks", 1);
+                return Err(TransitionError::RuleInstall {
+                    switch: v,
+                    cause,
+                    rollback: RollbackReport {
+                        torn_down: launched,
+                        rules_reverted: rules_installed,
+                    },
+                });
+            }
+        }
+    }
+    // Phase 3: teardown (break) — off the critical path, cannot fail the
+    // transition.
+    let fresh: std::collections::BTreeSet<_> = launched.iter().copied().collect();
+    let mut torn_down = Vec::new();
+    for &(v, nf, count) in &plan.teardowns {
+        // Tear down the highest-id (most recently launched, but not the
+        // ones this transition just created) instances of this kind.
+        let victims: Vec<_> = orch
+            .instances_at(v, nf)
+            .into_iter()
+            .filter(|id| !fresh.contains(id))
+            .rev()
+            .take(count as usize)
+            .collect();
+        for id in victims {
+            if orch.teardown(id).is_ok() {
+                torn_down.push(id);
+            }
+        }
+    }
+    Ok(TransitionReport {
+        launched,
+        torn_down,
+        rules_installed,
+        boot_ms,
+        rule_install_ms,
+    })
+}
+
 /// Executes a transition on the orchestrator: launches first, teardowns
 /// last, preserving the make-before-break invariant.
+///
+/// This is the reliable-control-plane wrapper over
+/// [`apply_transition_with`]; failures still roll the orchestrator back to
+/// the old placement, and the typed rollback detail is available through
+/// the richer entry point.
 ///
 /// # Errors
 ///
 /// Propagates launch failures ([`OrchestratorError`]); on failure nothing
-/// is torn down (the old placement keeps working).
+/// net-new survives (the old placement keeps working).
 pub fn apply_transition(
     plan: &TransitionPlan,
     orch: &mut ResourceOrchestrator,

@@ -15,7 +15,10 @@
 //!   timeline),
 //! * [`chaos`] — seeded fault schedules (crashes, host failures, flaky
 //!   control operations) replayed against a live deployment, with the
-//!   runtime invariants verified after every event.
+//!   runtime invariants verified after every event,
+//! * [`online`] — drive a flow arrival/departure timeline through the
+//!   online orchestration loop and summarise placements, re-solves and
+//!   shedding.
 //!
 //! # Example
 //!
@@ -31,9 +34,11 @@ pub mod detector;
 pub mod events;
 pub mod failover_lab;
 pub mod metrics;
+pub mod online;
 pub mod packet_replay;
 pub mod replay;
 
 pub use chaos::{run_chaos, run_schedule, ChaosReport};
 pub use metrics::{Series, Summary};
+pub use online::{build_timeline, run_timeline, OnlineRunConfig, OnlineRunReport};
 pub use replay::{ReplayConfig, ReplayError, ReplayOutcome};

@@ -143,6 +143,114 @@ impl FlowArrivals {
     }
 }
 
+/// What happened to a flow at a timeline instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlowEventKind {
+    /// The flow departed (its holding time expired). Departures sort
+    /// before arrivals at equal timestamps so capacity is released before
+    /// it is re-demanded.
+    Departure,
+    /// The flow arrived and starts offering traffic.
+    Arrival,
+}
+
+/// One arrival or departure on a merged multi-pair timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEvent {
+    /// Event time in seconds from the timeline origin.
+    pub time_secs: f64,
+    /// Stable flow identifier, unique across the whole timeline (pair
+    /// index in the high bits, per-pair sequence number in the low bits).
+    pub flow_id: u64,
+    /// Arrival or departure.
+    pub kind: FlowEventKind,
+    /// The flow this event is about (same object on arrival and
+    /// departure).
+    pub flow: Flow,
+}
+
+/// A merged, time-ordered arrival/departure timeline over many OD pairs —
+/// the input of the online orchestration loop.
+///
+/// Every generated flow contributes exactly two events (its arrival and
+/// its departure, even when the departure falls past the generation
+/// horizon), so draining the timeline always returns the system to zero
+/// active flows. Ordering is fully deterministic: events sort by time,
+/// then departures before arrivals, then by flow id.
+#[derive(Debug, Clone, Default)]
+pub struct EventTimeline {
+    events: Vec<FlowEvent>,
+}
+
+impl EventTimeline {
+    /// Generates the merged timeline for `pairs` over `[0, horizon_secs)`
+    /// of arrivals (departures may land later). Each pair runs an
+    /// independent [`FlowArrivals`] process derived from `cfg.seed` — the
+    /// same per-pair streams `FlowArrivals::generate` would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` rates/durations are not positive (see
+    /// [`FlowArrivals::generate`]) or if more than `2^32` pairs are given.
+    pub fn generate(
+        pairs: &[(NodeId, NodeId)],
+        cfg: &ArrivalConfig,
+        horizon_secs: f64,
+    ) -> EventTimeline {
+        assert!(pairs.len() < (1usize << 32), "too many OD pairs");
+        let mut events = Vec::new();
+        for (p, &(src, dst)) in pairs.iter().enumerate() {
+            let arrivals = FlowArrivals::generate(src, dst, cfg, horizon_secs);
+            for (seq, tf) in arrivals.flows().iter().enumerate() {
+                let flow_id = ((p as u64) << 32) | seq as u64;
+                events.push(FlowEvent {
+                    time_secs: tf.start_secs,
+                    flow_id,
+                    kind: FlowEventKind::Arrival,
+                    flow: tf.flow,
+                });
+                events.push(FlowEvent {
+                    time_secs: tf.end_secs,
+                    flow_id,
+                    kind: FlowEventKind::Departure,
+                    flow: tf.flow,
+                });
+            }
+        }
+        events.sort_by(|a, b| {
+            a.time_secs
+                .partial_cmp(&b.time_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.kind.cmp(&b.kind))
+                .then_with(|| a.flow_id.cmp(&b.flow_id))
+        });
+        EventTimeline { events }
+    }
+
+    /// The events in replay order.
+    pub fn events(&self) -> &[FlowEvent] {
+        &self.events
+    }
+
+    /// Number of events (twice the number of generated flows).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Truncates the timeline to its first `n` events (used by smoke
+    /// benchmarks; the truncated timeline may no longer drain).
+    pub fn truncated(&self, n: usize) -> EventTimeline {
+        EventTimeline {
+            events: self.events.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +314,42 @@ mod tests {
             assert_eq!(f.flow.dst_ip & 0xffff_ff00, Flow::prefix_of(NodeId(5)));
             assert_eq!(f.flow.ingress, NodeId(4));
         }
+    }
+
+    #[test]
+    fn timeline_drains_and_orders() {
+        let pairs = [(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))];
+        let cfg = ArrivalConfig {
+            seed: 11,
+            ..Default::default()
+        };
+        let tl = EventTimeline::generate(&pairs, &cfg, 120.0);
+        assert!(!tl.is_empty());
+        assert_eq!(tl.len() % 2, 0, "two events per flow");
+        let mut active = std::collections::BTreeSet::new();
+        let mut last = (f64::NEG_INFINITY, FlowEventKind::Departure, 0u64);
+        for e in tl.events() {
+            let key = (e.time_secs, e.kind, e.flow_id);
+            assert!(key > last, "events must be strictly ordered");
+            last = key;
+            match e.kind {
+                FlowEventKind::Arrival => assert!(active.insert(e.flow_id)),
+                FlowEventKind::Departure => assert!(active.remove(&e.flow_id)),
+            }
+        }
+        assert!(active.is_empty(), "timeline must drain to zero flows");
+    }
+
+    #[test]
+    fn timeline_deterministic_and_truncates() {
+        let pairs = [(NodeId(1), NodeId(4))];
+        let cfg = ArrivalConfig::default();
+        let a = EventTimeline::generate(&pairs, &cfg, 80.0);
+        let b = EventTimeline::generate(&pairs, &cfg, 80.0);
+        assert_eq!(a.events(), b.events());
+        let t = a.truncated(5);
+        assert_eq!(t.len(), 5.min(a.len()));
+        assert_eq!(t.events(), &a.events()[..t.len()]);
     }
 
     #[test]

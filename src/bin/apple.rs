@@ -5,23 +5,27 @@
 //! apple plan   <TOPO> [--load MBPS] [--classes K] [--seed S]
 //! apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S]
 //! apple chaos  <TOPO> [--schedules N] [--seed S] [--classes K] [--load MBPS]
+//! apple online <TOPO> [--horizon SECS] [--rate R] [--resolve-every N] [--seed S]
 //! apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 //! ```
 //!
 //! `<TOPO>` is `internet2`, `geant`, `univ1`, `as3679`, `fat-tree:K`, or
-//! `jellyfish:N:D`. `plan`, `replay` and `chaos` also take
+//! `jellyfish:N:D`. `plan`, `replay`, `chaos` and `online` also take
 //! `--solve-mode mono|decomposed` and `--threads N` to pick the placement
 //! LP strategy (see `apple_lp::decompose`).
 
 use apple_nfv::core::classes::{ClassConfig, ClassSet};
 use apple_nfv::core::controller::{Apple, AppleConfig};
 use apple_nfv::core::engine::{EngineConfig, OptimizationEngine, SolveMode};
+use apple_nfv::core::online::OnlineConfig;
 use apple_nfv::core::orchestrator::ResourceOrchestrator;
 use apple_nfv::faults::FaultPlanConfig;
 use apple_nfv::sim::chaos::run_schedule;
+use apple_nfv::sim::online::{build_timeline, run_timeline, OnlineRunConfig};
 use apple_nfv::sim::replay::{replay_recorded, ReplayConfig};
 use apple_nfv::telemetry::{MemoryRecorder, Recorder, NOOP};
 use apple_nfv::topology::{zoo, Topology};
+use apple_nfv::traffic::arrivals::ArrivalConfig;
 use apple_nfv::traffic::{GravityModel, SeriesConfig, TmSeries};
 use std::process::ExitCode;
 
@@ -43,11 +47,12 @@ const USAGE: &str = "usage:
   apple plan   <TOPO> [--load MBPS] [--classes K] [--seed S] [--telemetry json]
   apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S] [--telemetry json]
   apple chaos  <TOPO> [--schedules N] [--seed S] [--classes K] [--load MBPS] [--telemetry json]
+  apple online <TOPO> [--horizon SECS] [--rate R] [--resolve-every N] [--seed S] [--telemetry json]
   apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 
 TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D
 
-plan, replay and chaos additionally accept:
+plan, replay, chaos and online additionally accept:
   --solve-mode mono|decomposed   placement LP strategy (default mono);
                                  decomposed splits the LP into independent
                                  blocks and solves them concurrently
@@ -59,7 +64,12 @@ histograms) as JSON on stdout after the normal output.
 
 chaos replays N seeded fault schedules (instance crashes, host failures,
 flaky boots and rule installs) against one planned deployment and verifies
-interference freedom and traffic accounting after every event.";
+interference freedom and traffic accounting after every event.
+
+online streams a seeded flow arrival/departure timeline through the
+incremental orchestration loop: classes are maintained per event, new
+classes placed against the residual-capacity ledger, and a warm-started
+global re-solve runs every --resolve-every events.";
 
 /// Parsed optional flags.
 struct Flags {
@@ -68,6 +78,9 @@ struct Flags {
     seed: u64,
     snapshots: usize,
     schedules: usize,
+    horizon: f64,
+    rate: f64,
+    resolve_every: u64,
     failover: bool,
     dot: bool,
     edges: bool,
@@ -85,6 +98,9 @@ impl Default for Flags {
             seed: 0,
             snapshots: 96,
             schedules: 8,
+            horizon: 60.0,
+            rate: 1.0,
+            resolve_every: 1_000,
             failover: true,
             dot: false,
             edges: false,
@@ -150,6 +166,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--schedules" => {
                 f.schedules = num("--schedules")?.parse().map_err(|_| "bad --schedules")?
+            }
+            "--horizon" => f.horizon = num("--horizon")?.parse().map_err(|_| "bad --horizon")?,
+            "--rate" => f.rate = num("--rate")?.parse().map_err(|_| "bad --rate")?,
+            "--resolve-every" => {
+                f.resolve_every = num("--resolve-every")?
+                    .parse()
+                    .map_err(|_| "bad --resolve-every")?
             }
             "--no-failover" => f.failover = false,
             "--telemetry" => match num("--telemetry")?.as_str() {
@@ -367,6 +390,58 @@ fn run(args: &[String]) -> Result<(), String> {
             } else {
                 Err("chaos run found invariant violations".into())
             }
+        }
+        "online" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let cfg = OnlineRunConfig {
+                arrivals: ArrivalConfig {
+                    arrival_rate: flags.rate,
+                    seed: flags.seed,
+                    ..Default::default()
+                },
+                horizon_secs: flags.horizon,
+                online: OnlineConfig {
+                    resolve_every: flags.resolve_every,
+                    max_churn: 64,
+                    engine: EngineConfig {
+                        solve_mode: flags.solve_mode,
+                        threads: flags.threads,
+                        ..Default::default()
+                    },
+                    seed: flags.seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let timeline = build_timeline(&topo, &cfg);
+            let mem = make_recorder(&flags);
+            let (looper, report) =
+                run_timeline(&topo, &timeline, &cfg, recorder_ref(&mem), |_, _| {});
+            println!(
+                "{} events over {:.0}s horizon (rate {}/s per pair)",
+                report.events, flags.horizon, flags.rate
+            );
+            println!(
+                "placements {}  launches {}  retirements {}  shed events {}",
+                report.placements, report.launches, report.retirements, report.shed_events
+            );
+            println!(
+                "re-solves applied {}  repacked {}  deferred {}  peak instances {}  peak live classes {}",
+                report.resolves_applied,
+                report.resolves_repacked,
+                report.resolves_deferred,
+                report.peak_instances,
+                report.peak_live_classes
+            );
+            println!(
+                "drained: {} instances, {} shed classes remaining",
+                report.final_instances, report.final_shed
+            );
+            looper.check_ledger()?;
+            emit_telemetry(&mem);
+            Ok(())
         }
         "export-lp" => {
             let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;

@@ -11,12 +11,14 @@
 use apple_nfv::core::classes::{ClassConfig, ClassId, ClassSet};
 use apple_nfv::core::controller::{Apple, AppleConfig};
 use apple_nfv::core::failover::DynamicHandler;
+use apple_nfv::core::online::{OnlineConfig, OrchestrationLoop};
 use apple_nfv::core::orchestrator::{ControlOps, ResourceOrchestrator};
 use apple_nfv::core::verify::verify_shares;
 use apple_nfv::faults::FaultPlanConfig;
 use apple_nfv::sim::chaos::run_schedule;
 use apple_nfv::telemetry::{MemoryRecorder, NOOP};
-use apple_nfv::topology::{zoo, Topology};
+use apple_nfv::topology::{zoo, NodeId, Topology};
+use apple_nfv::traffic::arrivals::{ArrivalConfig, EventTimeline};
 use apple_nfv::traffic::GravityModel;
 use std::collections::BTreeMap;
 
@@ -234,4 +236,82 @@ fn chaos_telemetry_counters_reach_the_snapshot() {
             "counter {counter} missing from JSON rendering"
         );
     }
+}
+
+/// Instance crashes injected while the *online* loop is churning through
+/// an arrival/departure timeline: after every crash the residual-capacity
+/// ledger must still sum to orchestrator truth, the placement snapshot
+/// must verify clean, and the coverage books must balance — every Mbps
+/// the aggregate is offering is either served by a live class or sitting
+/// in the explicit shed ledger, never silently lost.
+#[test]
+fn online_churn_with_crashes_keeps_shed_and_coverage_balanced() {
+    let topo = zoo::internet2();
+    let mut pairs = Vec::new();
+    for s in 0..4 {
+        for d in 4..7 {
+            pairs.push((NodeId(s), NodeId(d)));
+        }
+    }
+    let timeline = EventTimeline::generate(
+        &pairs,
+        &ArrivalConfig {
+            arrival_rate: 1.0,
+            mean_duration_secs: 8.0,
+            mean_rate_mbps: 12.0,
+            seed: SEED ^ 0x7000,
+        },
+        16.0,
+    );
+    let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+    let mut looper = OrchestrationLoop::new(
+        &topo,
+        orch,
+        OnlineConfig {
+            resolve_every: 120,
+            max_churn: 64,
+            seed: SEED ^ 0x7000,
+            ..Default::default()
+        },
+    );
+    let rec = MemoryRecorder::new();
+    let mut crashes = 0usize;
+    for (n, event) in timeline.events().iter().enumerate() {
+        looper.step(event, &rec);
+        // Crash the most-loaded instance every 25 events, mid-churn.
+        if n % 25 == 24 {
+            let victim = looper
+                .placer()
+                .loads()
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(&id, _)| id);
+            if let Some(id) = victim {
+                looper.handle_instance_crash(id, &rec);
+                crashes += 1;
+            }
+        }
+        looper
+            .check_ledger()
+            .unwrap_or_else(|e| panic!("event {n}: ledger untrue: {e}"));
+        let offered = looper.incremental().total_rate_mbps();
+        let covered = looper.total_live_rate_mbps() + looper.total_shed_rate_mbps();
+        assert!(
+            (offered - covered).abs() < 1e-6,
+            "event {n}: offered {offered} != live+shed {covered}"
+        );
+        let (classes, handler) = looper.snapshot();
+        let violations = verify_shares(&classes, &handler, looper.orchestrator(), 1e-6);
+        assert!(violations.is_empty(), "event {n}: {violations:?}");
+    }
+    assert!(crashes > 0, "schedule never crashed an instance");
+    assert!(
+        rec.snapshot()
+            .counter("online.instance_crashes")
+            .unwrap_or(0)
+            >= crashes as u64,
+        "crash telemetry missing"
+    );
+    assert_eq!(looper.live_count(), 0, "timeline must drain");
+    assert_eq!(looper.instance_count(), 0, "instances must all retire");
 }

@@ -1,0 +1,198 @@
+//! Fuzz battery for the online orchestration loop: seeded random
+//! interleavings of flow arrivals, departures, jumbo classes (rates no
+//! single instance can carry), capacity exhaustion on deliberately tiny
+//! hosts, and mid-stream instance crashes. Two properties, checked after
+//! **every** step of every interleaving:
+//!
+//! * no panic, ever — rejected placements surface as shed classes, not
+//!   crashes;
+//! * the residual-capacity ledger never leaks — every ledger entry maps
+//!   to a live orchestrator instance, carries non-zero load, and sums to
+//!   exactly the traffic the live classes put on it
+//!   (`OrchestrationLoop::check_ledger`).
+
+use apple_nfv::core::online::{OnlineConfig, OrchestrationLoop};
+use apple_nfv::core::orchestrator::ResourceOrchestrator;
+use apple_nfv::rng::rngs::StdRng;
+use apple_nfv::rng::{Rng, SeedableRng};
+use apple_nfv::telemetry::MemoryRecorder;
+use apple_nfv::topology::{zoo, NodeId};
+use apple_nfv::traffic::arrivals::{FlowEvent, FlowEventKind};
+use apple_nfv::traffic::Flow;
+
+/// Base seed for this file (see tests/README.md).
+const SEED: u64 = 0xf0ca_a11e;
+
+/// Random interleavings in the main sweep.
+const CASES: u64 = 24;
+
+/// Steps per interleaving (before the final drain).
+const STEPS: usize = 320;
+
+fn flow_between(src: NodeId, dst: NodeId, id: u64, rate_mbps: f64) -> Flow {
+    Flow {
+        src_ip: Flow::prefix_of(src) | ((id as u32) & 0x3f),
+        dst_ip: Flow::prefix_of(dst) | 1,
+        src_port: 1_024 + (id as u16 & 0xfff),
+        dst_port: 443,
+        proto: 6,
+        rate_mbps,
+        ingress: src,
+        egress: dst,
+    }
+}
+
+fn event(kind: FlowEventKind, step: usize, id: u64, flow: Flow) -> FlowEvent {
+    FlowEvent {
+        time_secs: step as f64 * 0.01,
+        flow_id: id,
+        kind,
+        flow,
+    }
+}
+
+/// One seeded interleaving; returns `(shed_events, jumbo_arrivals,
+/// crashes_handled)` so the sweep can assert the hostile paths were
+/// actually hit.
+fn run_interleaving(case: u64, host_cores: u32, rec: &MemoryRecorder) -> (u64, u64, usize) {
+    let topo = zoo::internet2();
+    let nodes = topo.graph.node_count();
+    let mut rng = StdRng::seed_from_u64(SEED ^ case);
+    let orch = ResourceOrchestrator::with_uniform_hosts(&topo, host_cores);
+    let mut looper = OrchestrationLoop::new(
+        &topo,
+        orch,
+        OnlineConfig {
+            resolve_every: 90,
+            max_churn: 16,
+            seed: SEED ^ case,
+            ..Default::default()
+        },
+    );
+    let mut live: Vec<(u64, Flow)> = Vec::new();
+    let mut next_id = 0u64;
+    let mut shed_events = 0u64;
+    let mut jumbo_arrivals = 0u64;
+    let mut crashes = 0usize;
+    for step in 0..STEPS {
+        let arrive = live.is_empty() || rng.gen_bool(0.55);
+        let ev = if arrive {
+            let src = NodeId(rng.gen_range(0..nodes));
+            let dst = loop {
+                let d = NodeId(rng.gen_range(0..nodes));
+                if d != src {
+                    break d;
+                }
+            };
+            // 1-in-8 arrivals are jumbo: beyond any single instance's
+            // capacity (max 900 Mbps in the catalog), so the loop must
+            // shed them without panicking.
+            let rate = if rng.gen_bool(0.125) {
+                jumbo_arrivals += 1;
+                rng.gen_range(1_000.0..4_000.0)
+            } else {
+                rng.gen_range(1.0..60.0)
+            };
+            let id = next_id;
+            next_id += 1;
+            let flow = flow_between(src, dst, id, rate);
+            live.push((id, flow));
+            event(FlowEventKind::Arrival, step, id, flow)
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            let (id, flow) = live.swap_remove(idx);
+            event(FlowEventKind::Departure, step, id, flow)
+        };
+        let report = looper.step(&ev, rec);
+        shed_events += u64::from(report.shed);
+        looper
+            .check_ledger()
+            .unwrap_or_else(|e| panic!("case {case} step {step}: ledger leak: {e}"));
+        // Every so often, crash a loaded instance mid-churn.
+        if step % 37 == 36 {
+            let victims: Vec<_> = looper.placer().loads().keys().copied().collect();
+            if !victims.is_empty() {
+                let victim = victims[rng.gen_range(0..victims.len())];
+                looper.handle_instance_crash(victim, rec);
+                crashes += 1;
+                looper
+                    .check_ledger()
+                    .unwrap_or_else(|e| panic!("case {case} step {step}: post-crash leak: {e}"));
+            }
+        }
+    }
+    // Drain: every remaining flow departs; the loop must come back to
+    // exactly zero state with an empty ledger.
+    for (n, (id, flow)) in std::mem::take(&mut live).into_iter().enumerate() {
+        looper.step(&event(FlowEventKind::Departure, STEPS + n, id, flow), rec);
+        looper
+            .check_ledger()
+            .unwrap_or_else(|e| panic!("case {case} drain {n}: ledger leak: {e}"));
+    }
+    assert_eq!(looper.live_count(), 0, "case {case}: live classes remain");
+    assert_eq!(looper.shed_count(), 0, "case {case}: shed classes remain");
+    assert_eq!(looper.instance_count(), 0, "case {case}: instances remain");
+    assert!(
+        looper.placer().loads().is_empty(),
+        "case {case}: drained loop left ledger entries"
+    );
+    (shed_events, jumbo_arrivals, crashes)
+}
+
+/// The headline sweep: 24 seeded interleavings on 8-core hosts (small
+/// enough that capacity exhaustion is routine), plus periodic instance
+/// crashes. Never panics, never leaks, and the sweep as a whole must have
+/// exercised shedding, jumbo classes and crash handling — otherwise the
+/// battery is not testing what it claims.
+#[test]
+fn random_interleavings_never_panic_or_leak() {
+    let rec = MemoryRecorder::new();
+    let mut total_shed = 0u64;
+    let mut total_jumbo = 0u64;
+    let mut total_crashes = 0usize;
+    for case in 0..CASES {
+        let (shed, jumbo, crashes) = run_interleaving(case, 8, &rec);
+        total_shed += shed;
+        total_jumbo += jumbo;
+        total_crashes += crashes;
+    }
+    assert!(total_jumbo > 0, "sweep generated no jumbo classes");
+    assert!(
+        total_shed > 0,
+        "sweep never shed: NoCapacity path untested on 8-core hosts"
+    );
+    assert!(total_crashes > 0, "sweep never crashed an instance");
+    let snap = rec.snapshot();
+    assert!(snap.counter("online.jumbo_classes").unwrap_or(0) > 0);
+    assert!(snap.counter("online.shed_events").unwrap_or(0) > 0);
+    assert!(snap.counter("online.instance_crashes").unwrap_or(0) > 0);
+}
+
+/// Zero-core hosts: *every* placement must fail, every class must land in
+/// the shed ledger, and the books must still balance at all times.
+#[test]
+fn no_capacity_anywhere_sheds_everything_cleanly() {
+    let topo = zoo::internet2();
+    let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 0);
+    let mut looper = OrchestrationLoop::new(&topo, orch, OnlineConfig::default());
+    let rec = MemoryRecorder::new();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x1000);
+    let mut live = Vec::new();
+    for step in 0..40usize {
+        let src = NodeId(rng.gen_range(0usize..6));
+        let dst = NodeId(rng.gen_range(6usize..12));
+        let id = step as u64;
+        let flow = flow_between(src, dst, id, rng.gen_range(1.0..30.0));
+        live.push((id, flow));
+        looper.step(&event(FlowEventKind::Arrival, step, id, flow), &rec);
+        assert_eq!(looper.instance_count(), 0, "step {step}: booted on 0 cores");
+        looper.check_ledger().expect("ledger stays empty and true");
+    }
+    assert!(looper.shed_count() > 0, "nothing was shed");
+    assert!(looper.total_shed_rate_mbps() > 0.0);
+    for (n, (id, flow)) in live.into_iter().enumerate() {
+        looper.step(&event(FlowEventKind::Departure, 40 + n, id, flow), &rec);
+    }
+    assert_eq!(looper.shed_count(), 0, "shed ledger must drain with flows");
+    assert_eq!(looper.live_count(), 0);
+}

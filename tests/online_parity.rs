@@ -1,0 +1,151 @@
+//! Differential battery for the online orchestration path: after **every**
+//! event of a seeded arrival/departure timeline, the incrementally
+//! maintained class state must be *bitwise identical* to a from-scratch
+//! aggregation over the currently-live flows, and the loop's placement
+//! must verify clean ([`verify_shares`]) — across seeds × three
+//! evaluation topologies.
+//!
+//! The exactness argument (DESIGN.md §9): `IncrementalClasses` keeps each
+//! pair's flows in a `BTreeMap<flow_id, rate>` and re-sums them in id
+//! order on every query, and `TrafficMatrix::add` left-folds in exactly
+//! that order when the matrix is rebuilt from the live flows — the same
+//! f64 additions in the same order, so equality is `==`, not "within
+//! epsilon".
+
+use apple_nfv::core::classes::{ClassConfig, ClassSet};
+use apple_nfv::core::online::{OnlineConfig, OrchestrationLoop};
+use apple_nfv::core::orchestrator::ResourceOrchestrator;
+use apple_nfv::core::verify::verify_shares;
+use apple_nfv::telemetry::NOOP;
+use apple_nfv::topology::{zoo, NodeId, Topology};
+use apple_nfv::traffic::arrivals::{ArrivalConfig, EventTimeline, FlowEventKind};
+use apple_nfv::traffic::{Flow, TrafficMatrix};
+use std::collections::BTreeMap;
+
+/// Base seed for this file (see tests/README.md).
+const SEED: u64 = 0x0a11_4e17;
+
+/// Seeded timelines per topology.
+const CASES: u64 = 2;
+
+/// A small OD-pair set: the first four nodes each send to the next three.
+/// Kept compact so the per-event differential (rebuild + re-classify +
+/// verify) stays fast enough to run after all ~1k events of a case.
+fn pairs_for(topo: &Topology) -> Vec<(NodeId, NodeId)> {
+    let n = topo.graph.node_count();
+    assert!(n >= 7, "evaluation topologies all have >= 7 switches");
+    let mut pairs = Vec::new();
+    for s in 0..4 {
+        for d in 4..7 {
+            pairs.push((NodeId(s), NodeId(d)));
+        }
+    }
+    pairs
+}
+
+fn online_config() -> OnlineConfig {
+    OnlineConfig {
+        class_cfg: ClassConfig::default(),
+        // Short period so the differential also covers states right after
+        // a warm-started global re-solve and its re-mapping.
+        resolve_every: 150,
+        max_churn: 64,
+        ..Default::default()
+    }
+}
+
+/// Rebuilds the traffic matrix from scratch from the live flows, in
+/// flow-id order — the same left-fold order the incremental aggregate
+/// sums in, which is what makes the comparison exact.
+fn batch_matrix(topo: &Topology, live: &BTreeMap<u64, Flow>) -> TrafficMatrix {
+    let mut tm = TrafficMatrix::zeros(topo.graph.node_count());
+    for flow in live.values() {
+        tm.add(flow.ingress, flow.egress, flow.rate_mbps);
+    }
+    tm
+}
+
+/// The tentpole differential: stream every event, and after each one
+/// compare the incremental class set against `ClassSet::build` over the
+/// rebuilt matrix — exact equality — and run the share verifier.
+#[test]
+fn incremental_classes_match_batch_after_every_event() {
+    for (t, topo) in [zoo::internet2(), zoo::geant(), zoo::univ1()]
+        .iter()
+        .enumerate()
+    {
+        let pairs = pairs_for(topo);
+        for case in 0..CASES {
+            let arrivals = ArrivalConfig {
+                arrival_rate: 1.0,
+                mean_duration_secs: 8.0,
+                mean_rate_mbps: 10.0,
+                seed: SEED ^ (0x10 * t as u64 + case),
+            };
+            let timeline = EventTimeline::generate(&pairs, &arrivals, 18.0);
+            assert!(!timeline.is_empty(), "topology {t} case {case}: no events");
+            let cfg = online_config();
+            let orch = ResourceOrchestrator::with_uniform_hosts(topo, 64);
+            let mut looper = OrchestrationLoop::new(topo, orch, cfg.clone());
+            let mut live: BTreeMap<u64, Flow> = BTreeMap::new();
+            for (n, event) in timeline.events().iter().enumerate() {
+                looper.step(event, &NOOP);
+                match event.kind {
+                    FlowEventKind::Arrival => {
+                        live.insert(event.flow_id, event.flow);
+                    }
+                    FlowEventKind::Departure => {
+                        live.remove(&event.flow_id);
+                    }
+                }
+                let batch = ClassSet::build(topo, &batch_matrix(topo, &live), &cfg.class_cfg);
+                let incremental = looper.incremental().to_class_set();
+                assert_eq!(
+                    batch.classes(),
+                    incremental.classes(),
+                    "topology {t} case {case}: class state diverged after event {n}"
+                );
+                let (classes, handler) = looper.snapshot();
+                let violations = verify_shares(&classes, &handler, looper.orchestrator(), 1e-6);
+                assert!(
+                    violations.is_empty(),
+                    "topology {t} case {case} event {n}: verify_shares found {violations:?}"
+                );
+                looper
+                    .check_ledger()
+                    .unwrap_or_else(|e| panic!("topology {t} case {case} event {n}: {e}"));
+            }
+            assert!(live.is_empty(), "topology {t} case {case}: did not drain");
+            assert_eq!(looper.live_count(), 0, "topology {t} case {case}");
+            assert_eq!(looper.shed_count(), 0, "topology {t} case {case}");
+            assert_eq!(looper.instance_count(), 0, "topology {t} case {case}");
+            assert_eq!(looper.incremental().active_flows(), 0);
+        }
+    }
+}
+
+/// Same seed → byte-identical drain trajectory (the online path inherits
+/// the repo-wide determinism contract).
+#[test]
+fn online_run_is_deterministic_per_seed() {
+    let topo = zoo::internet2();
+    let pairs = pairs_for(&topo);
+    let arrivals = ArrivalConfig {
+        arrival_rate: 1.0,
+        mean_duration_secs: 8.0,
+        mean_rate_mbps: 10.0,
+        seed: SEED ^ 0x100,
+    };
+    let timeline = EventTimeline::generate(&pairs, &arrivals, 18.0);
+    let run = || {
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut looper = OrchestrationLoop::new(&topo, orch, online_config());
+        let mut trace = Vec::new();
+        for event in timeline.events() {
+            let step = looper.step(event, &NOOP);
+            trace.push((step.placed, step.launched, step.retired, step.shed));
+        }
+        (trace, looper.resolves(), looper.events_processed())
+    };
+    assert_eq!(run(), run());
+}

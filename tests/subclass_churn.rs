@@ -1,0 +1,162 @@
+//! Property battery for sub-class consistent hashing (`HashRing`): a
+//! re-split after an instance joins or leaves must move *exactly* the
+//! flow-space fraction that instance owns — no collateral churn anywhere
+//! else on the ring. This is the §V-A sub-class re-mapping bound the
+//! online loop relies on when it grows or shrinks a class's instance set.
+//!
+//! Proptest-style: seeded random cases per tests/README.md (proptest is
+//! not a dependency), with previously-surprising cases pinned in
+//! [`REGRESSION_CASES`] as explicit inputs rather than a regression file.
+
+use apple_nfv::core::subclass::HashRing;
+use apple_nfv::nf::InstanceId;
+use apple_nfv::rng::rngs::StdRng;
+use apple_nfv::rng::{Rng, RngCore, SeedableRng};
+
+/// Base seed for this file (see tests/README.md).
+const SEED: u64 = 0x5ca1_e50b;
+
+/// Random ring configurations in the main sweep.
+const CASES: u64 = 40;
+
+/// Pinned inputs: cases that once probed boundary behaviour (single
+/// instance, two instances, dense 23-instance ring) — kept explicit so a
+/// future ring change re-runs them verbatim.
+const REGRESSION_CASES: &[(u64, usize, u32)] = &[
+    (0x01, 1, 1),  // one instance, one point: removal -> full churn
+    (0x02, 2, 1),  // two instances, minimal points
+    (0x2a, 23, 7), // dense ring, odd replica count
+    (0x11, 4, 64), // high replica count, small set
+];
+
+fn random_instances(rng: &mut StdRng, n: usize) -> Vec<InstanceId> {
+    let mut ids: Vec<InstanceId> = Vec::with_capacity(n);
+    while ids.len() < n {
+        let id = InstanceId(rng.next_u64() & 0xffff_ffff);
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// Churn from adding `joined` must equal the share `joined` owns on the
+/// grown ring; churn from removing `left` must equal the share it owned
+/// before. Tolerance covers only f64 segment-summation noise.
+fn assert_minimal_churn(label: &str, instances: &[InstanceId], replicas: u32, rng: &mut StdRng) {
+    let ring = HashRing::new(instances, replicas);
+
+    // Join: one fresh instance.
+    let joined = loop {
+        let id = InstanceId(0x1_0000_0000 | rng.next_u64() & 0xffff_ffff);
+        if !instances.contains(&id) {
+            break id;
+        }
+    };
+    let mut grown_set = instances.to_vec();
+    grown_set.push(joined);
+    let grown = HashRing::new(&grown_set, replicas);
+    let churn = ring.churn_vs(&grown);
+    let share = grown.share(joined);
+    assert!(
+        (churn - share).abs() < 1e-9,
+        "{label}: join moved {churn:.12}, theoretical share is {share:.12}"
+    );
+
+    // Leave: one existing instance.
+    let left = instances[rng.gen_range(0..instances.len())];
+    let shrunk_set: Vec<InstanceId> = instances.iter().copied().filter(|&i| i != left).collect();
+    let shrunk = HashRing::new(&shrunk_set, replicas);
+    let churn = ring.churn_vs(&shrunk);
+    let share = ring.share(left);
+    assert!(
+        (churn - share).abs() < 1e-9,
+        "{label}: leave moved {churn:.12}, theoretical share is {share:.12}"
+    );
+}
+
+/// The headline property over random rings.
+#[test]
+fn rescale_moves_exactly_the_changed_instances_share() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(SEED ^ case);
+        let n = rng.gen_range(1usize..20);
+        let replicas = rng.gen_range(1u32..16);
+        let instances = random_instances(&mut rng, n);
+        assert_minimal_churn(&format!("case {case}"), &instances, replicas, &mut rng);
+    }
+}
+
+/// The pinned regression inputs, run through the same property.
+#[test]
+fn pinned_regression_cases_hold() {
+    for &(tag, n, replicas) in REGRESSION_CASES {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x100 + tag));
+        let instances = random_instances(&mut rng, n);
+        assert_minimal_churn(
+            &format!("regression {tag:#x}"),
+            &instances,
+            replicas,
+            &mut rng,
+        );
+    }
+}
+
+/// Segments always tile `[0,1)` exactly, shares sum to 1, and the owner
+/// lookup agrees with the segment decomposition at every boundary
+/// midpoint.
+#[test]
+fn segments_tile_the_flow_space_and_agree_with_owner() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x200 + case));
+        let n = rng.gen_range(1usize..12);
+        let replicas = rng.gen_range(1u32..9);
+        let instances = random_instances(&mut rng, n);
+        let ring = HashRing::new(&instances, replicas);
+        let segs = ring.segments();
+        assert!(!segs.is_empty());
+        let mut cursor = 0.0;
+        let mut total = 0.0;
+        for &(lo, hi, inst) in &segs {
+            assert!(
+                (lo - cursor).abs() < 1e-12,
+                "case {case}: gap at {cursor} -> {lo}"
+            );
+            assert!(hi > lo, "case {case}: empty segment at {lo}");
+            total += hi - lo;
+            cursor = hi;
+            let mid = lo + (hi - lo) / 2.0;
+            assert_eq!(
+                ring.owner(mid),
+                Some(inst),
+                "case {case}: owner/segment disagreement at {mid}"
+            );
+        }
+        assert!(
+            (cursor - 1.0).abs() < 1e-12,
+            "case {case}: does not reach 1"
+        );
+        assert!(
+            (total - 1.0).abs() < 1e-12,
+            "case {case}: shares sum {total}"
+        );
+        let share_sum: f64 = instances.iter().map(|&i| ring.share(i)).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "case {case}: {share_sum}");
+    }
+}
+
+/// An unchanged instance set re-splits with zero churn, and a ring is a
+/// pure function of its inputs (byte-identical segments across builds).
+#[test]
+fn identical_inputs_give_identical_rings() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x300 + case));
+        let n = rng.gen_range(1usize..10);
+        let replicas = rng.gen_range(1u32..8);
+        let instances = random_instances(&mut rng, n);
+        let a = HashRing::new(&instances, replicas);
+        let b = HashRing::new(&instances, replicas);
+        assert_eq!(a.segments(), b.segments(), "case {case}");
+        assert_eq!(a.churn_vs(&b), 0.0, "case {case}: rebuild churned");
+    }
+}
