@@ -1,0 +1,129 @@
+//! Regenerates (or validates) the committed `BENCH_dataplane.json`
+//! data-plane compiler benchmark.
+//!
+//! ```text
+//! bench_dataplane --smoke [--threads N] [--out-dir DIR]   # Internet2, short horizon
+//! bench_dataplane --full  [--threads N] [--out-dir DIR]   # 4 topologies, >= 100k events, AS-3679 churn
+//! bench_dataplane --smoke --check                         # run + self-validate, write nothing (ci)
+//! bench_dataplane --check FILE [FILE...]                  # schema-validate files, no running
+//! ```
+//!
+//! `--check FILE` is how the acceptance criterion is enforced: the
+//! committed artifact must show a single-sub-class churn step at least
+//! 10x cheaper than a full recompile (see `check_dataplane`).
+
+use apple_bench::dataplane::{check_dataplane, dataplane_json, run_dataplane};
+use apple_bench::trajectory::Scope;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_dataplane --smoke|--full [--threads N] [--out-dir DIR] [--check]\n       bench_dataplane --check FILE [FILE...]"
+    );
+    ExitCode::from(2)
+}
+
+fn check_files(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check_dataplane(&text) {
+            Ok(()) => println!("{f}: ok"),
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope = None;
+    let mut threads = 1usize;
+    let mut out_dir = PathBuf::from(".");
+    let mut check = false;
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scope = Some(Scope::Smoke),
+            "--full" => scope = Some(Scope::Full),
+            "--check" => check = true,
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
+            "--out-dir" => {
+                i += 1;
+                let Some(d) = args.get(i) else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(d);
+            }
+            other if check && !other.starts_with('-') => files.push(other.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    if !files.is_empty() {
+        return check_files(&files);
+    }
+    let Some(scope) = scope else {
+        return usage();
+    };
+
+    let bench = run_dataplane(scope, threads);
+    for r in &bench.compile {
+        println!(
+            "compile {:<10} {:>5} subclasses | {:>6} rules | {:8.3} ms | {:10.0} rules/s",
+            r.topology, r.subclasses, r.rules, r.compile_ms, r.rules_per_sec,
+        );
+    }
+    println!(
+        "online  {:<10} {:>7} events | {} syncs | {} incremental vs {} full ops | {:.1}x",
+        bench.online.topology,
+        bench.online.events,
+        bench.online.syncs,
+        bench.online.incremental_ops,
+        bench.online.full_recompile_ops,
+        bench.online.online_speedup,
+    );
+    println!(
+        "churn   {:<10} {} plan ops vs {} full | {:.1}x",
+        bench.churn.topology,
+        bench.churn.churn_ops,
+        bench.churn.full_ops,
+        bench.churn.churn_speedup,
+    );
+    let text = dataplane_json(&bench, scope, threads);
+    if let Err(e) = check_dataplane(&text) {
+        eprintln!("generated JSON failed its own schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if check {
+        println!("dataplane benchmark self-check: ok");
+        return ExitCode::SUCCESS;
+    }
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = out_dir.join("BENCH_dataplane.json");
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

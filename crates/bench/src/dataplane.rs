@@ -1,0 +1,541 @@
+//! Committed data-plane compiler benchmark: the data behind
+//! `BENCH_dataplane.json` at the repository root (DESIGN.md §10,
+//! EXPERIMENTS.md "Data-plane compiler").
+//!
+//! Three sections, one artifact:
+//!
+//! * **compile** — full-snapshot compile throughput per topology
+//!   (rules/second of [`compile`] over a planned deployment's
+//!   [`CompilerSnapshot`]);
+//! * **online** — an Internet2 arrival/departure timeline streamed through
+//!   the [`OrchestrationLoop`] with the incremental compiler on
+//!   (`compile_rules`), comparing the rule operations the diff-based sync
+//!   actually issued against what a full reinstall at every sync would
+//!   cost;
+//! * **churn** — the headline acceptance number: a *single sub-class*
+//!   churn step (one chain stage re-served by a fresh instance) on the
+//!   largest topology, where the incremental plan must emit at least
+//!   [`MIN_CHURN_SPEEDUP`]× fewer rule operations than a full recompile.
+//!
+//! Everything is seeded and deterministic; the committed JSON regenerates
+//! bit-identically modulo the timing fields. `--smoke` keeps to Internet2
+//! and a short horizon for the `ci` stage; `--full` covers the four real
+//! topologies, runs the ≥100 000-event horizon and puts the churn step on
+//! AS-3679.
+
+use crate::online::run_config;
+use crate::trajectory::Scope;
+use crate::{apple_config, class_budget, offered_load};
+use apple_core::classes::{ClassConfig, ClassSet};
+use apple_core::engine::OptimizationEngine;
+use apple_core::online::OrchestrationLoop;
+use apple_core::orchestrator::ResourceOrchestrator;
+use apple_core::rules::{generate_with, snapshot_of, RuleGenConfig};
+use apple_core::subclass::{SplitStrategy, SubclassPlan};
+use apple_dataplane::compiler::{compile, CompilerSnapshot};
+use apple_dataplane::diff::diff;
+use apple_sim::online::build_timeline;
+use apple_telemetry::json::{write_num, write_str, Json};
+use apple_telemetry::NOOP;
+use apple_topology::TopologyKind;
+use apple_traffic::GravityModel;
+use std::time::Instant;
+
+/// Schema tag carried by `BENCH_dataplane.json`.
+pub const DATAPLANE_SCHEMA: &str = "apple-bench-dataplane-v1";
+/// Traffic seed pinned for the offline snapshots.
+pub const SEED: u64 = 0x0d1f;
+/// Minimum event count the `--full` online section must reach.
+pub const FULL_MIN_EVENTS: u64 = 100_000;
+/// Minimum full-recompile / incremental-plan operation ratio the churn
+/// microbench must demonstrate (the PR's acceptance criterion).
+pub const MIN_CHURN_SPEEDUP: f64 = 10.0;
+
+/// One topology's compile-throughput row.
+#[derive(Debug, Clone)]
+pub struct CompileRow {
+    /// Topology name.
+    pub topology: String,
+    /// Sub-classes in the snapshot.
+    pub subclasses: u64,
+    /// Rules in the compiled program (switch + vSwitch).
+    pub rules: u64,
+    /// Mean wall-clock of one compile (ms).
+    pub compile_ms: f64,
+    /// Rules emitted per second of compile time.
+    pub rules_per_sec: f64,
+}
+
+/// The online incremental-sync section.
+#[derive(Debug, Clone)]
+pub struct OnlineSection {
+    /// Topology name.
+    pub topology: String,
+    /// Timeline events streamed.
+    pub events: u64,
+    /// Steps that synchronised the data plane (non-empty diffs).
+    pub syncs: u64,
+    /// Rule operations the incremental plans issued in total.
+    pub incremental_ops: u64,
+    /// Rule operations a full reinstall at every sync would have issued.
+    pub full_recompile_ops: u64,
+    /// `full_recompile_ops / incremental_ops`.
+    pub online_speedup: f64,
+    /// Billable TCAM rules left after the timeline drained (must be 0).
+    pub final_billable_rules: u64,
+}
+
+/// The single-sub-class churn microbench.
+#[derive(Debug, Clone)]
+pub struct ChurnSection {
+    /// Topology name (`AS-3679` in the committed full artifact).
+    pub topology: String,
+    /// Rules in the compiled target program — the full-recompile cost.
+    pub full_ops: u64,
+    /// Rule operations in the incremental plan for the churn step.
+    pub churn_ops: u64,
+    /// `full_ops / churn_ops`.
+    pub churn_speedup: f64,
+}
+
+/// The whole benchmark document.
+#[derive(Debug, Clone)]
+pub struct DataplaneBench {
+    /// Per-topology compile throughput.
+    pub compile: Vec<CompileRow>,
+    /// The online incremental-sync run.
+    pub online: OnlineSection,
+    /// The churn microbench.
+    pub churn: ChurnSection,
+}
+
+/// Plans a deployment offline and lowers it into a [`CompilerSnapshot`].
+///
+/// # Panics
+///
+/// On planning failure — the pinned seeds are known-feasible.
+#[must_use]
+pub fn offline_snapshot(kind: TopologyKind, threads: usize) -> CompilerSnapshot {
+    let topo = kind.build();
+    let tm = GravityModel::new(offered_load(kind), SEED).base_matrix(&topo);
+    let classes = ClassSet::build(
+        &topo,
+        &tm,
+        &ClassConfig {
+            max_classes: class_budget(kind),
+            ..Default::default()
+        },
+    );
+    let mut engine_cfg = apple_config(kind).engine;
+    engine_cfg.threads = threads;
+    let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+    let placement = OptimizationEngine::new(engine_cfg)
+        .place(&classes, &orch)
+        .expect("pinned benchmark seed must be feasible");
+    let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+    let config = RuleGenConfig::default();
+    let prog = generate_with(&topo, &classes, &plan, &placement, &mut orch, &config)
+        .expect("rule generation succeeds on a feasible placement");
+    snapshot_of(&topo, &classes, &plan, &prog.assignment, &orch, &config)
+        .expect("snapshot lowering succeeds")
+}
+
+/// Times `compile` over a snapshot (best-effort mean over `repeats`).
+fn compile_row(kind: TopologyKind, snap: &CompilerSnapshot, repeats: usize) -> CompileRow {
+    let repeats = repeats.max(1);
+    let mut prog = compile(snap); // warm-up, also the measured program
+    let t0 = Instant::now();
+    for _ in 0..repeats {
+        prog = compile(snap);
+    }
+    let secs = t0.elapsed().as_secs_f64() / repeats as f64;
+    let rules = prog.rule_count() as u64;
+    CompileRow {
+        topology: kind.name().to_string(),
+        subclasses: snap.subclasses.len() as u64,
+        rules,
+        compile_ms: secs * 1e3,
+        rules_per_sec: if secs > 0.0 { rules as f64 / secs } else { 0.0 },
+    }
+}
+
+/// Streams the scope's Internet2 timeline through the loop with the
+/// incremental compiler enabled, billing incremental vs full-reinstall
+/// rule operations at every sync.
+#[must_use]
+pub fn run_online_section(scope: Scope, threads: usize) -> OnlineSection {
+    let mut cfg = run_config(scope);
+    cfg.online.engine.threads = threads;
+    cfg.online.compile_rules = true;
+    let topo = TopologyKind::Internet2.build();
+    let timeline = build_timeline(&topo, &cfg);
+    let orch = ResourceOrchestrator::with_uniform_hosts(&topo, cfg.host_cores);
+    let mut looper = OrchestrationLoop::new(&topo, orch, cfg.online.clone());
+    let mut section = OnlineSection {
+        topology: TopologyKind::Internet2.name().to_string(),
+        events: 0,
+        syncs: 0,
+        incremental_ops: 0,
+        full_recompile_ops: 0,
+        online_speedup: 0.0,
+        final_billable_rules: 0,
+    };
+    for event in timeline.events() {
+        let step = looper.step(event, &NOOP);
+        section.events += 1;
+        if step.dataplane_ops > 0 {
+            section.syncs += 1;
+            section.incremental_ops += step.dataplane_ops;
+            // A non-incremental controller reinstalls the whole program.
+            section.full_recompile_ops += looper
+                .dataplane_program()
+                .map_or(0, |p| p.rule_count() as u64);
+        }
+    }
+    section.final_billable_rules = looper
+        .dataplane_program()
+        .map_or(0, |p| p.billable_rules() as u64);
+    section.online_speedup = if section.incremental_ops > 0 {
+        section.full_recompile_ops as f64 / section.incremental_ops as f64
+    } else {
+        0.0
+    };
+    section
+}
+
+/// The single-sub-class churn step: re-serve the first chain stage of the
+/// first sub-class with a fresh instance and diff the compiled programs.
+#[must_use]
+pub fn churn_section(kind: TopologyKind, snap: &CompilerSnapshot) -> ChurnSection {
+    let mut churned = snap.clone();
+    let fresh = snap
+        .subclasses
+        .iter()
+        .flat_map(|s| s.instances.iter())
+        .map(|i| i.0)
+        .max()
+        .expect("snapshot has at least one instance")
+        + 1;
+    churned.subclasses[0].instances[0] = apple_nf::InstanceId(fresh);
+    let before = compile(snap);
+    let after = compile(&churned);
+    let plan = diff(&before, &after);
+    let full_ops = after.rule_count() as u64;
+    let churn_ops = plan.op_count() as u64;
+    ChurnSection {
+        topology: kind.name().to_string(),
+        full_ops,
+        churn_ops,
+        churn_speedup: if churn_ops > 0 {
+            full_ops as f64 / churn_ops as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Runs the whole benchmark for one scope.
+#[must_use]
+pub fn run_dataplane(scope: Scope, threads: usize) -> DataplaneBench {
+    let (kinds, churn_kind, repeats): (&[TopologyKind], TopologyKind, usize) = match scope {
+        Scope::Smoke => (&[TopologyKind::Internet2], TopologyKind::Internet2, 3),
+        Scope::Full => (
+            &[
+                TopologyKind::Internet2,
+                TopologyKind::Geant,
+                TopologyKind::Univ1,
+                TopologyKind::As3679,
+            ],
+            TopologyKind::As3679,
+            10,
+        ),
+    };
+    let mut compile_rows = Vec::new();
+    let mut churn = None;
+    for &kind in kinds {
+        let snap = offline_snapshot(kind, threads);
+        compile_rows.push(compile_row(kind, &snap, repeats));
+        if kind == churn_kind {
+            churn = Some(churn_section(kind, &snap));
+        }
+    }
+    DataplaneBench {
+        compile: compile_rows,
+        online: run_online_section(scope, threads),
+        churn: churn.expect("churn topology is in the compile list"),
+    }
+}
+
+/// Serialises a benchmark to the [`DATAPLANE_SCHEMA`] JSON document.
+#[must_use]
+pub fn dataplane_json(bench: &DataplaneBench, scope: Scope, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    write_str(&mut out, DATAPLANE_SCHEMA);
+    out.push_str(",\n  \"seed\": ");
+    write_num(&mut out, SEED as f64);
+    out.push_str(",\n  \"threads\": ");
+    write_num(&mut out, threads.max(1) as f64);
+    out.push_str(",\n  \"scope\": ");
+    write_str(
+        &mut out,
+        match scope {
+            Scope::Smoke => "smoke",
+            Scope::Full => "full",
+        },
+    );
+    out.push_str(",\n  \"compile\": [");
+    for (i, r) in bench.compile.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"topology\": ");
+        write_str(&mut out, &r.topology);
+        out.push_str(", \"subclasses\": ");
+        write_num(&mut out, r.subclasses as f64);
+        out.push_str(", \"rules\": ");
+        write_num(&mut out, r.rules as f64);
+        out.push_str(", \"compile_ms\": ");
+        write_num(&mut out, r.compile_ms);
+        out.push_str(", \"rules_per_sec\": ");
+        write_num(&mut out, r.rules_per_sec);
+        out.push('}');
+    }
+    out.push_str("\n  ],\n  \"online\": {\"topology\": ");
+    write_str(&mut out, &bench.online.topology);
+    for (key, v) in [
+        ("events", bench.online.events),
+        ("syncs", bench.online.syncs),
+        ("incremental_ops", bench.online.incremental_ops),
+        ("full_recompile_ops", bench.online.full_recompile_ops),
+        ("final_billable_rules", bench.online.final_billable_rules),
+    ] {
+        out.push_str(", \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        write_num(&mut out, v as f64);
+    }
+    out.push_str(", \"online_speedup\": ");
+    write_num(&mut out, bench.online.online_speedup);
+    out.push_str("},\n  \"churn\": {\"topology\": ");
+    write_str(&mut out, &bench.churn.topology);
+    out.push_str(", \"full_ops\": ");
+    write_num(&mut out, bench.churn.full_ops as f64);
+    out.push_str(", \"churn_ops\": ");
+    write_num(&mut out, bench.churn.churn_ops as f64);
+    out.push_str(", \"churn_speedup\": ");
+    write_num(&mut out, bench.churn.churn_speedup);
+    out.push_str("}\n}\n");
+    out
+}
+
+fn require<'a>(obj: &'a Json, key: &str, path: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{path}: missing required field `{key}`"))
+}
+
+fn require_num(obj: &Json, key: &str, path: &str) -> Result<f64, String> {
+    require(obj, key, path)?
+        .as_num()
+        .ok_or_else(|| format!("{path}.{key}: expected a number"))
+}
+
+/// Validates a `BENCH_dataplane.json` document against
+/// [`DATAPLANE_SCHEMA`].
+///
+/// Beyond field presence this enforces the benchmark's claims: a
+/// `full`-scope online section covers at least [`FULL_MIN_EVENTS`] events
+/// and churns on AS-3679; the drained timeline leaves zero billable rules;
+/// the incremental sync beats a full reinstall (`online_speedup > 1`); and
+/// the single-sub-class churn step shows at least [`MIN_CHURN_SPEEDUP`]×
+/// fewer operations than the full recompile.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn check_dataplane(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("parse error: {e}"))?;
+    let got = require(&doc, "schema", "$")?
+        .as_str()
+        .ok_or("$.schema: expected a string")?;
+    if got != DATAPLANE_SCHEMA {
+        return Err(format!(
+            "$.schema: expected \"{DATAPLANE_SCHEMA}\", got \"{got}\""
+        ));
+    }
+    require_num(&doc, "seed", "$")?;
+    require_num(&doc, "threads", "$")?;
+    let scope = require(&doc, "scope", "$")?
+        .as_str()
+        .ok_or("$.scope: expected a string")?;
+    if scope != "smoke" && scope != "full" {
+        return Err(format!("$.scope: expected smoke|full, got \"{scope}\""));
+    }
+
+    let arr = require(&doc, "compile", "$")?
+        .as_arr()
+        .ok_or("$.compile: expected an array")?;
+    if arr.is_empty() {
+        return Err("$.compile: must not be empty".to_string());
+    }
+    for (i, r) in arr.iter().enumerate() {
+        let path = format!("$.compile[{i}]");
+        require(r, "topology", &path)?
+            .as_str()
+            .ok_or_else(|| format!("{path}.topology: expected a string"))?;
+        for key in ["subclasses", "rules", "compile_ms", "rules_per_sec"] {
+            require_num(r, key, &path)?;
+        }
+        if require_num(r, "rules", &path)? <= 0.0 {
+            return Err(format!("{path}.rules: compiled program is empty"));
+        }
+        if require_num(r, "rules_per_sec", &path)? <= 0.0 {
+            return Err(format!("{path}.rules_per_sec: must be positive"));
+        }
+    }
+
+    let online = require(&doc, "online", "$")?;
+    let opath = "$.online";
+    require(online, "topology", opath)?
+        .as_str()
+        .ok_or("$.online.topology: expected a string")?;
+    for key in [
+        "events",
+        "syncs",
+        "incremental_ops",
+        "full_recompile_ops",
+        "final_billable_rules",
+        "online_speedup",
+    ] {
+        require_num(online, key, opath)?;
+    }
+    let events = require_num(online, "events", opath)?;
+    if scope == "full" && events < FULL_MIN_EVENTS as f64 {
+        return Err(format!(
+            "{opath}.events: full scope needs >= {FULL_MIN_EVENTS} events, got {events}"
+        ));
+    }
+    if require_num(online, "syncs", opath)? <= 0.0 {
+        return Err(format!("{opath}.syncs: the loop never synced"));
+    }
+    if require_num(online, "final_billable_rules", opath)? != 0.0 {
+        return Err(format!(
+            "{opath}.final_billable_rules: drained timeline left rules installed"
+        ));
+    }
+    if require_num(online, "online_speedup", opath)? <= 1.0 {
+        return Err(format!(
+            "{opath}.online_speedup: incremental sync must beat full reinstall"
+        ));
+    }
+
+    let churn = require(&doc, "churn", "$")?;
+    let cpath = "$.churn";
+    let churn_topo = require(churn, "topology", cpath)?
+        .as_str()
+        .ok_or("$.churn.topology: expected a string")?;
+    if scope == "full" && churn_topo != TopologyKind::As3679.name() {
+        return Err(format!(
+            "{cpath}.topology: full scope must churn on {}, got \"{churn_topo}\"",
+            TopologyKind::As3679.name()
+        ));
+    }
+    for key in ["full_ops", "churn_ops", "churn_speedup"] {
+        require_num(churn, key, cpath)?;
+    }
+    let speedup = require_num(churn, "churn_speedup", cpath)?;
+    if speedup < MIN_CHURN_SPEEDUP {
+        return Err(format!(
+            "{cpath}.churn_speedup: single-sub-class churn must be >= {MIN_CHURN_SPEEDUP}x \
+             cheaper than a full recompile, got {speedup:.2}x"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_dataplane_round_trips_and_validates() {
+        let bench = run_dataplane(Scope::Smoke, 1);
+        assert_eq!(bench.compile.len(), 1);
+        assert!(bench.online.syncs > 0);
+        assert_eq!(bench.online.final_billable_rules, 0);
+        assert!(
+            bench.churn.churn_speedup >= MIN_CHURN_SPEEDUP,
+            "churn speedup {:.2}x below the {MIN_CHURN_SPEEDUP}x floor",
+            bench.churn.churn_speedup
+        );
+        let text = dataplane_json(&bench, Scope::Smoke, 1);
+        check_dataplane(&text).unwrap();
+    }
+
+    /// A plausible document without running anything (the round-trip test
+    /// covers real numbers; this one exercises the claim checks).
+    fn canned() -> DataplaneBench {
+        DataplaneBench {
+            compile: vec![CompileRow {
+                topology: "Internet2".to_string(),
+                subclasses: 40,
+                rules: 191,
+                compile_ms: 0.05,
+                rules_per_sec: 3.8e6,
+            }],
+            online: OnlineSection {
+                topology: "Internet2".to_string(),
+                events: 4_234,
+                syncs: 278,
+                incremental_ops: 4_011,
+                full_recompile_ops: 93_700,
+                online_speedup: 23.4,
+                final_billable_rules: 0,
+            },
+            churn: ChurnSection {
+                topology: "Internet2".to_string(),
+                full_ops: 191,
+                churn_ops: 4,
+                churn_speedup: 47.75,
+            },
+        }
+    }
+
+    #[test]
+    fn check_dataplane_rejects_schema_and_claim_violations() {
+        assert!(check_dataplane("{").is_err());
+        assert!(check_dataplane("{\"schema\": \"nope\"}")
+            .unwrap_err()
+            .contains("schema"));
+        let good = dataplane_json(&canned(), Scope::Smoke, 1);
+        check_dataplane(&good).unwrap();
+
+        let mut bench = canned();
+        bench.churn.churn_speedup = 2.0;
+        let slow = dataplane_json(&bench, Scope::Smoke, 1);
+        assert!(check_dataplane(&slow)
+            .unwrap_err()
+            .contains("churn_speedup"));
+
+        let mut bench = canned();
+        bench.online.final_billable_rules = 5;
+        let leak = dataplane_json(&bench, Scope::Smoke, 1);
+        assert!(check_dataplane(&leak)
+            .unwrap_err()
+            .contains("final_billable_rules"));
+
+        let mut bench = canned();
+        bench.online.online_speedup = 0.9;
+        let slow = dataplane_json(&bench, Scope::Smoke, 1);
+        assert!(check_dataplane(&slow)
+            .unwrap_err()
+            .contains("online_speedup"));
+
+        // A smoke-sized run labelled full must fail the event floor, and a
+        // full-scope churn must sit on AS-3679.
+        let text = dataplane_json(&canned(), Scope::Full, 1);
+        assert!(check_dataplane(&text).unwrap_err().contains("full scope"));
+        let mut bench = canned();
+        bench.online.events = FULL_MIN_EVENTS + 1;
+        let text = dataplane_json(&bench, Scope::Full, 1);
+        assert!(check_dataplane(&text).unwrap_err().contains("AS-3679"));
+    }
+}

@@ -22,8 +22,12 @@
 //! (monolithic vs decomposed solve, warm-cache failover re-plans; see
 //! DESIGN.md §8 and EXPERIMENTS.md), and [`online`] regenerates
 //! `BENCH_online.json` (event throughput, per-step placement latency and
-//! instance-count overhead of the online orchestration loop; DESIGN.md §9).
+//! instance-count overhead of the online orchestration loop; DESIGN.md §9),
+//! and [`dataplane`] regenerates `BENCH_dataplane.json` (compile
+//! throughput, incremental-vs-full rule operations of the data-plane
+//! compiler; DESIGN.md §10).
 
+pub mod dataplane;
 pub mod harness;
 pub mod online;
 pub mod trajectory;

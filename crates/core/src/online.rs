@@ -369,6 +369,11 @@ pub struct OnlineConfig {
     pub engine: EngineConfig,
     /// Seed for control-plane retry jitter.
     pub seed: u64,
+    /// Maintain an incrementally patched compiled rule program: each step
+    /// that changes the serving state compiles the new snapshot, diffs it
+    /// against the installed program, and applies only the delta (cost
+    /// scales with churn, not topology size).
+    pub compile_rules: bool,
 }
 
 /// What one [`OrchestrationLoop::step`] did.
@@ -393,6 +398,10 @@ pub struct StepReport {
     /// The re-solve's transition rolled back and the period fell back to
     /// the in-place re-pack (implies [`Self::resolved`]).
     pub resolve_repacked: bool,
+    /// Data-plane rule operations (installs + modifies + removes) the
+    /// incremental compiler emitted for this step; 0 when the compiler is
+    /// disabled or nothing rule-relevant changed.
+    pub dataplane_ops: u64,
 }
 
 /// Whether the DP can serve the class at all: a class whose rate exceeds a
@@ -450,6 +459,20 @@ pub struct OrchestrationLoop {
     live: BTreeMap<LiveKey, LiveClass>,
     rejected: BTreeMap<LiveKey, EquivalenceClass>,
     events_seen: u64,
+    /// The incrementally patched installed program (None = compiler off).
+    compiled: Option<apple_dataplane::compiler::RuleProgram>,
+    /// Persistent per-live-class data-plane tags. Lowest-unused allocation
+    /// on placement, freed on departure: tags must survive unrelated churn
+    /// (index-derived tags would shift on every removal and spuriously
+    /// rewrite the whole program).
+    tags: BTreeMap<LiveKey, u16>,
+    /// The serving decision each tag was allocated for, as of the last
+    /// sync: `(stage_positions, stage_instances)`. A live class whose
+    /// decision moved is re-tagged (two-phase versioning, see
+    /// [`Self::sync_tags`]).
+    tag_decisions: BTreeMap<LiveKey, (Vec<usize>, Vec<InstanceId>)>,
+    /// Whether the serving state changed since the last data-plane sync.
+    dp_dirty: bool,
 }
 
 impl OrchestrationLoop {
@@ -468,6 +491,10 @@ impl OrchestrationLoop {
         cfg: OnlineConfig,
         ops: ControlOps,
     ) -> Self {
+        let compiled = cfg
+            .compile_rules
+            .then(apple_dataplane::compiler::RuleProgram::default);
+        let dp_dirty = compiled.is_some();
         OrchestrationLoop {
             inc: IncrementalClasses::new(topo, &cfg.class_cfg),
             placer: OnlinePlacer::new(),
@@ -478,6 +505,10 @@ impl OrchestrationLoop {
             live: BTreeMap::new(),
             rejected: BTreeMap::new(),
             events_seen: 0,
+            compiled,
+            tags: BTreeMap::new(),
+            tag_decisions: BTreeMap::new(),
+            dp_dirty,
         }
     }
 
@@ -503,6 +534,10 @@ impl OrchestrationLoop {
         if self.cfg.resolve_every > 0 && self.events_seen.is_multiple_of(self.cfg.resolve_every) {
             self.resolve(rec, &mut report);
         }
+        if self.dp_dirty {
+            self.dp_dirty = false;
+            report.dataplane_ops = self.sync_dataplane(rec);
+        }
         report
     }
 
@@ -525,6 +560,7 @@ impl OrchestrationLoop {
                 report.placed += 1;
                 report.launched += decision.launched.len() as u32;
                 self.live.insert(key, LiveClass { class, decision });
+                self.mark_dp_dirty();
             }
             Err(e) => {
                 if matches!(e, OnlineError::JumboClass { .. }) {
@@ -533,6 +569,10 @@ impl OrchestrationLoop {
                 rec.counter("online.shed_events", 1);
                 report.shed += 1;
                 self.rejected.insert(key, class);
+                // The caller may have removed the key from `live` on the
+                // way here (re-rate, crash); a sync is cheap when nothing
+                // actually changed (empty diff).
+                self.mark_dp_dirty();
             }
         }
     }
@@ -657,6 +697,7 @@ impl OrchestrationLoop {
                     self.placer.adjust(id, -lc.class.rate_mbps);
                 }
                 self.retire_idle(&lc.decision.stage_instances, rec, report);
+                self.mark_dp_dirty();
             }
             self.rejected.remove(&key);
         }
@@ -787,6 +828,9 @@ impl OrchestrationLoop {
         }
         rec.counter("online.instance_crashes", 1);
         self.placer.forget(id);
+        // The instance is gone even if no live class referenced it, so the
+        // hosts-in-use set (host-match rules) may have changed.
+        self.mark_dp_dirty();
         let affected: Vec<LiveKey> = self
             .live
             .iter()
@@ -806,7 +850,177 @@ impl OrchestrationLoop {
             self.place_or_shed(*key, lc.class, rec, &mut report);
             self.retire_idle(&survivors, rec, &mut report);
         }
+        // Crashes are out-of-band (not a timeline step), so sync here: the
+        // failover path must install its repair delta immediately.
+        if self.dp_dirty {
+            self.dp_dirty = false;
+            self.sync_dataplane(rec);
+        }
         affected.len()
+    }
+
+    /// Flags the installed program as stale; no-op when the compiler is
+    /// disabled.
+    fn mark_dp_dirty(&mut self) {
+        if self.compiled.is_some() {
+            self.dp_dirty = true;
+        }
+    }
+
+    /// Turns the data-plane compiler on mid-run (the config flag does the
+    /// same at construction). The first sync after this installs the full
+    /// program as one delta from empty.
+    pub fn enable_dataplane_compiler(&mut self) {
+        if self.compiled.is_none() {
+            self.compiled = Some(apple_dataplane::compiler::RuleProgram::default());
+            self.dp_dirty = true;
+        }
+    }
+
+    /// The incrementally maintained installed rule program, when the
+    /// compiler is enabled. Reflects the state as of the last completed
+    /// step (syncs run at step end).
+    pub fn dataplane_program(&self) -> Option<&apple_dataplane::compiler::RuleProgram> {
+        self.compiled.as_ref()
+    }
+
+    /// The compiler snapshot of the current serving state, when the
+    /// compiler is enabled (tags as currently allocated).
+    pub fn dataplane_snapshot(&self) -> Option<apple_dataplane::compiler::CompilerSnapshot> {
+        self.compiled.as_ref()?;
+        Some(self.build_dataplane_snapshot())
+    }
+
+    /// Frees dead tags and allocates lowest-unused tags for new live keys,
+    /// with two safeguards that together give per-packet consistency
+    /// through every update plan (the conformance battery's "no transient
+    /// chain bypass" tier):
+    ///
+    /// * **Two-phase versioning** — a live class whose serving decision
+    ///   (stage positions or instances) moved since its tag was allocated
+    ///   is *re-tagged*. Its old rules drain under the old tag while the
+    ///   new rules install under the new one, so a packet is classified
+    ///   into exactly one complete configuration — never a per-hop mix
+    ///   that could skip a stage or exit early.
+    /// * **Tag quarantine** — tags still present in the installed program
+    ///   (including ones just freed or retired by a re-tag) are not
+    ///   reallocated this sync: while the plan drains the old rules, an
+    ///   equal fresh tag would steer newly classified packets into them.
+    ///   Quarantined tags become reusable at the next sync, once the old
+    ///   rules are gone.
+    fn sync_tags(&mut self) {
+        let quarantined: std::collections::BTreeSet<u16> = self.tags.values().copied().collect();
+        let live = &self.live;
+        let decisions = &self.tag_decisions;
+        self.tags.retain(|k, _| {
+            live.get(k).is_some_and(|lc| {
+                decisions.get(k).is_some_and(|(pos, inst)| {
+                    *pos == lc.decision.stage_positions && *inst == lc.decision.stage_instances
+                })
+            })
+        });
+        let mut used: std::collections::BTreeSet<u16> = self.tags.values().copied().collect();
+        used.extend(quarantined);
+        let missing: Vec<LiveKey> = self
+            .live
+            .keys()
+            .filter(|k| !self.tags.contains_key(*k))
+            .copied()
+            .collect();
+        for key in missing {
+            let mut t = 0u16;
+            while used.contains(&t) {
+                t += 1;
+            }
+            used.insert(t);
+            self.tags.insert(key, t);
+        }
+        self.tag_decisions = self
+            .live
+            .iter()
+            .map(|(k, lc)| {
+                (
+                    *k,
+                    (
+                        lc.decision.stage_positions.clone(),
+                        lc.decision.stage_instances.clone(),
+                    ),
+                )
+            })
+            .collect();
+    }
+
+    /// Lowers the live serving state into a compiler snapshot. Every live
+    /// class is one sub-class (the online model serves whole classes) with
+    /// a globally unique tag, so rewriting chains can match tag-only (§X)
+    /// without a separate allocation walk.
+    fn build_dataplane_snapshot(&self) -> apple_dataplane::compiler::CompilerSnapshot {
+        use apple_dataplane::compiler::{CompilerSnapshot, SubclassSpec};
+
+        let mut rewriters: Vec<InstanceId> = Vec::new();
+        let mut subclasses = Vec::with_capacity(self.live.len());
+        for (key, lc) in &self.live {
+            let tag = *self.tags.get(key).expect("sync_tags covers every live key");
+            let nfs = lc.class.chain.nfs();
+            let global = nfs.iter().any(|&nf| VnfSpec::of(nf).rewrites_headers());
+            for (&inst, &nf) in lc.decision.stage_instances.iter().zip(nfs) {
+                if VnfSpec::of(nf).rewrites_headers() {
+                    rewriters.push(inst);
+                }
+            }
+            subclasses.push(SubclassSpec {
+                class: u64::from(tag),
+                class_name: format!("c{tag}"),
+                sub: 0,
+                tag,
+                global,
+                path: lc.class.path.iter().map(|n| n.0).collect(),
+                src_prefix: lc.class.src_prefix,
+                dst_prefix: lc.class.dst_prefix,
+                proto: lc.class.proto,
+                dst_ports: lc.class.dst_ports.clone(),
+                prefixes: vec![lc.class.src_prefix],
+                stage_positions: lc.decision.stage_positions.clone(),
+                stage_nfs: nfs.to_vec(),
+                instances: lc.decision.stage_instances.clone(),
+            });
+        }
+        rewriters.sort_unstable();
+        rewriters.dedup();
+        CompilerSnapshot {
+            switches: self.orch.hosts().keys().copied().collect(),
+            hosts: self.orch.hosts_in_use().into_iter().collect(),
+            rewriters,
+            subclasses,
+            compress: true,
+        }
+    }
+
+    /// Compiles the current snapshot, diffs it against the installed
+    /// program and applies the delta in place. Returns the rule operations
+    /// billed. Telemetry: `dataplane.sync` span, `dataplane.plans` /
+    /// `dataplane.rule_ops` counters, `dataplane.program_rules` gauge.
+    fn sync_dataplane(&mut self, rec: &dyn Recorder) -> u64 {
+        if self.compiled.is_none() {
+            return 0;
+        }
+        let _s = rec.span("dataplane.sync");
+        self.sync_tags();
+        let snap = self.build_dataplane_snapshot();
+        let target = apple_dataplane::compiler::compile_recorded(&snap, rec);
+        let installed = self.compiled.as_mut().expect("checked above");
+        let plan = apple_dataplane::diff::diff_recorded(installed, &target, rec);
+        let stats = plan
+            .apply(installed, None)
+            .expect("uncapped apply cannot fail");
+        debug_assert_eq!(
+            *installed, target,
+            "incremental patch must reproduce the full compile"
+        );
+        rec.counter("dataplane.plans", 1);
+        rec.counter("dataplane.rule_ops", stats.total() as u64);
+        rec.gauge("dataplane.program_rules", target.rule_count() as f64);
+        stats.total() as u64
     }
 
     /// Verifies the residual-capacity ledger against orchestrator truth:
@@ -1136,6 +1350,57 @@ mod tests {
         }
         assert!(crashed, "expected a live instance to crash mid-run");
         assert_eq!(looper.live_count(), 0);
+    }
+
+    /// The incrementally patched program must equal a fresh full compile
+    /// of the snapshot after every single step (the step-end sync also
+    /// debug-asserts this internally), and a drained timeline must leave
+    /// an empty program.
+    #[test]
+    fn compiled_mirror_tracks_every_step() {
+        use apple_traffic::arrivals::{ArrivalConfig, EventTimeline};
+        let topo = zoo::internet2();
+        let pairs = vec![(NodeId(0), NodeId(5)), (NodeId(2), NodeId(6))];
+        let timeline = EventTimeline::generate(&pairs, &ArrivalConfig::default(), 40.0);
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut looper = OrchestrationLoop::new(
+            &topo,
+            orch,
+            OnlineConfig {
+                compile_rules: true,
+                resolve_every: 15,
+                ..Default::default()
+            },
+        );
+        let mut total_ops = 0u64;
+        let mut crashed = false;
+        for (n, e) in timeline.events().iter().enumerate() {
+            let report = looper.step(e, &apple_telemetry::NOOP);
+            total_ops += report.dataplane_ops;
+            if n == timeline.len() / 2 {
+                if let Some(id) = looper.placer().loads().keys().next().copied() {
+                    looper.handle_instance_crash(id, &apple_telemetry::NOOP);
+                    crashed = true;
+                }
+            }
+            let snap = looper.dataplane_snapshot().expect("compiler enabled");
+            let full = apple_dataplane::compiler::compile(&snap);
+            assert_eq!(
+                looper.dataplane_program(),
+                Some(&full),
+                "installed program diverged from full compile at event {n}"
+            );
+        }
+        assert!(crashed, "expected a crash mid-run");
+        assert!(total_ops > 0, "rule deltas must have been billed");
+        assert_eq!(looper.live_count(), 0);
+        let final_prog = looper.dataplane_program().unwrap();
+        assert!(final_prog.hosts.is_empty(), "drained fleet has no hosts");
+        assert_eq!(
+            final_prog.billable_rules(),
+            0,
+            "only pass-by defaults remain"
+        );
     }
 
     #[test]

@@ -317,6 +317,15 @@ impl ResourceOrchestrator {
         self.instances.values()
     }
 
+    /// Switches with at least one live instance — the set that needs a
+    /// host-match rule and a programmed vSwitch (Table III row 1).
+    pub fn hosts_in_use(&self) -> std::collections::BTreeSet<usize> {
+        self.instances
+            .values()
+            .map(VnfInstance::host_switch)
+            .collect()
+    }
+
     /// Instances of `nf` on the host at `v`, ordered by id.
     pub fn instances_at(&self, v: NodeId, nf: NfType) -> Vec<InstanceId> {
         self.instances

@@ -307,10 +307,7 @@ pub fn generate_with(
         .map(|n| (n.0, PhysicalSwitch::new(n.0, false)))
         .collect();
     // Host-match + pass-by rules.
-    let hosts_in_use: std::collections::BTreeSet<usize> = orch
-        .instances()
-        .map(apple_nf::VnfInstance::host_switch)
-        .collect();
+    let hosts_in_use = orch.hosts_in_use();
     for (id, sw) in switches.iter_mut() {
         if hosts_in_use.contains(id) {
             sw.has_host = true;
@@ -565,6 +562,115 @@ pub fn generate_with(
     })
 }
 
+/// Lowers the deployed state into a plain-data
+/// [`CompilerSnapshot`](apple_dataplane::compiler::CompilerSnapshot) for
+/// the incremental data-plane compiler.
+///
+/// `assignment` and `orch` must come from a prior [`generate_with`] run on
+/// the same plan (the snapshot captures which instance serves each stage
+/// and which hosts are in use). [`apple_dataplane::compiler::compile`] on
+/// the snapshot reproduces the generator's program rule for rule — pinned
+/// by the parity test below — which is what lets transitions and the
+/// online loop install deltas instead of recompiling.
+///
+/// # Errors
+///
+/// [`RuleGenError::NeedsPrefixSplit`] when the plan lacks prefix covers.
+///
+/// # Panics
+///
+/// When `assignment` does not cover every stage of every sub-class in the
+/// plan (it always does for a matching [`generate_with`] output).
+pub fn snapshot_of(
+    topo: &Topology,
+    classes: &ClassSet,
+    plan: &SubclassPlan,
+    assignment: &InstanceAssignment,
+    orch: &ResourceOrchestrator,
+    config: &RuleGenConfig,
+) -> Result<apple_dataplane::compiler::CompilerSnapshot, RuleGenError> {
+    use apple_dataplane::compiler::{CompilerSnapshot, SubclassSpec};
+
+    if plan.strategy() != SplitStrategy::PrefixSplit {
+        return Err(RuleGenError::NeedsPrefixSplit);
+    }
+    // Same §X global-tag allocation walk as `generate_with`.
+    let mut global_tag: BTreeMap<(ClassId, u16), u16> = BTreeMap::new();
+    if config.global_tags {
+        let mut next: u16 = 0x8000;
+        for s in plan.subclasses() {
+            let class = classes
+                .class(s.class)
+                .expect("plan refers to known classes");
+            let rewrites = class
+                .chain
+                .nfs()
+                .iter()
+                .any(|&nf| VnfSpec::of(nf).rewrites_headers());
+            if rewrites {
+                global_tag.insert((s.class, s.id), next);
+                next = next
+                    .checked_add(1)
+                    .expect("fewer than 32k rewritten sub-classes");
+            }
+        }
+    }
+    let mut rewriters: Vec<InstanceId> = Vec::new();
+    if config.model_rewrites {
+        for (&(class, _sub, stage), &inst) in assignment.entries() {
+            let nf = classes
+                .class(class)
+                .expect("assignment refers to known classes")
+                .chain
+                .nfs()[stage];
+            if VnfSpec::of(nf).rewrites_headers() {
+                rewriters.push(inst);
+            }
+        }
+        rewriters.sort_unstable();
+        rewriters.dedup();
+    }
+    let subclasses = plan
+        .subclasses()
+        .iter()
+        .map(|s| {
+            let class = classes
+                .class(s.class)
+                .expect("plan refers to known classes");
+            let instances: Vec<InstanceId> = (0..s.stage_positions.len())
+                .map(|j| {
+                    assignment
+                        .instance(s.class, s.id, j)
+                        .expect("assignment covers every stage")
+                })
+                .collect();
+            SubclassSpec {
+                class: s.class.0 as u64,
+                class_name: s.class.to_string(),
+                sub: s.id,
+                tag: global_tag.get(&(s.class, s.id)).copied().unwrap_or(s.id),
+                global: global_tag.contains_key(&(s.class, s.id)),
+                path: class.path.iter().map(|n| n.0).collect(),
+                src_prefix: class.src_prefix,
+                dst_prefix: class.dst_prefix,
+                proto: class.proto,
+                dst_ports: class.dst_ports.clone(),
+                prefixes: s.prefixes.clone(),
+                stage_positions: s.stage_positions.clone(),
+                stage_nfs: class.chain.nfs().to_vec(),
+                instances,
+            }
+        })
+        .collect();
+    Ok(CompilerSnapshot {
+        switches: topo.graph.node_ids().map(|n| n.0).collect(),
+        hosts: orch.hosts_in_use().into_iter().collect(),
+        rewriters,
+        subclasses,
+        compress: config.compress_classification,
+    })
+}
+
 /// One transport-predicate variant: `(proto, dst_port)` with `None` =
 /// wildcard. A class with N ports needs N TCAM rules per prefix — real
 /// hardware pays the same.
@@ -770,6 +876,62 @@ mod tests {
         let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::ConsistentHash);
         let err = generate(&topo, &classes, &plan, &placement, &mut orch);
         assert!(matches!(err, Err(RuleGenError::NeedsPrefixSplit)));
+    }
+
+    /// The incremental compiler must reproduce the generator rule for
+    /// rule: same switch tables in the same order, same vSwitch rule
+    /// lists, same rewriter registry.
+    #[test]
+    fn compiler_parity_with_generator() {
+        let topo = zoo::internet2();
+        let tm = GravityModel::new(2_200.0, 17).base_matrix(&topo);
+        let classes = ClassSet::build(
+            &topo,
+            &tm,
+            &ClassConfig {
+                max_classes: 12,
+                ..Default::default()
+            },
+        );
+        let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let placement = OptimizationEngine::new(EngineConfig::default())
+            .place(&classes, &orch)
+            .unwrap();
+        let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+        let config = RuleGenConfig::default();
+        let prog = generate_with(&topo, &classes, &plan, &placement, &mut orch, &config).unwrap();
+        let snap = snapshot_of(&topo, &classes, &plan, &prog.assignment, &orch, &config).unwrap();
+        let compiled = apple_dataplane::compiler::compile(&snap);
+
+        for (&id, sr) in &compiled.switches {
+            let sw = prog.walker.switch(id).expect("switch exists in both");
+            let generated: Vec<TcamRule> = sw.apple_table.iter().cloned().collect();
+            assert_eq!(generated, sr.rules, "switch {id} table diverged");
+            assert_eq!(sw.has_host, sr.has_host, "switch {id} host flag");
+        }
+        assert_eq!(
+            prog.walker.switches().count(),
+            compiled.switches.len(),
+            "switch universe diverged"
+        );
+        for (&v, rules) in &compiled.hosts {
+            let vs = prog.walker.host(v).expect("host exists in both");
+            let generated: Vec<_> = vs.iter().cloned().collect();
+            assert_eq!(generated, *rules, "host {v} rules diverged");
+        }
+        assert_eq!(
+            prog.walker.hosts().count(),
+            compiled.hosts.len(),
+            "host universe diverged"
+        );
+        for inst in &compiled.rewriters {
+            assert!(prog.walker.is_rewriter(*inst), "rewriter set diverged");
+        }
+        assert_eq!(
+            compiled.walker().total_tcam_entries(),
+            prog.walker.total_tcam_entries()
+        );
+        assert_eq!(compiled.billable_rules(), prog.tcam.tagged_total);
     }
 
     #[test]

@@ -29,7 +29,9 @@
 //! assert_eq!(p.subclass_tag, Some(3));
 //! ```
 
+pub mod compiler;
 pub mod counters;
+pub mod diff;
 pub mod packet;
 pub mod switch;
 pub mod tcam;
@@ -37,6 +39,8 @@ pub mod walk;
 
 pub use counters::PortCounters;
 
+pub use compiler::{compile, CompilerSnapshot, RuleProgram, SubclassSpec};
+pub use diff::{diff, ApplyError, UpdateBatch, UpdatePlan, UpdateStats};
 pub use packet::{HostTag, Packet};
 pub use switch::{PhysicalSwitch, VSwitch, VSwitchRule};
 pub use tcam::{Action, MatchSpec, TcamRule, TcamTable};

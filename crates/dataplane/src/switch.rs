@@ -178,6 +178,13 @@ impl VSwitch {
         self.rules.retain(|r| !pred(r));
         before - self.rules.len()
     }
+
+    /// Atomically replaces the whole rule list. Update plans reprogram a
+    /// vSwitch per barrier with the exact post-barrier rule order, since
+    /// first-match-wins semantics make the order part of the program.
+    pub fn replace_rules(&mut self, rules: Vec<VSwitchRule>) {
+        self.rules = rules;
+    }
 }
 
 impl fmt::Display for PhysicalSwitch {
@@ -214,7 +221,7 @@ impl PhysicalSwitch {
             priority: 0,
             spec: crate::tcam::MatchSpec::any(),
             actions: vec![Action::GotoNextTable],
-            label: "pass-by".into(),
+            label: crate::tcam::PASS_BY_LABEL.into(),
         });
     }
 }

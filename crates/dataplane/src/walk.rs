@@ -120,6 +120,36 @@ impl NetworkWalker {
         self.switches.get(&id)
     }
 
+    /// Shared access to a host vSwitch.
+    pub fn host(&self, id: usize) -> Option<&VSwitch> {
+        self.hosts.get(&id)
+    }
+
+    /// Iterates over all physical switches in id order.
+    pub fn switches(&self) -> impl Iterator<Item = &PhysicalSwitch> {
+        self.switches.values()
+    }
+
+    /// Iterates over all host vSwitches in attachment order.
+    pub fn hosts(&self) -> impl Iterator<Item = &VSwitch> {
+        self.hosts.values()
+    }
+
+    /// Removes a switch (e.g. when an update plan drops it entirely).
+    pub fn remove_switch(&mut self, id: usize) -> Option<PhysicalSwitch> {
+        self.switches.remove(&id)
+    }
+
+    /// Removes a host vSwitch.
+    pub fn remove_host(&mut self, id: usize) -> Option<VSwitch> {
+        self.hosts.remove(&id)
+    }
+
+    /// Unregisters a header rewriter (e.g. after its NAT instance retires).
+    pub fn remove_rewriter(&mut self, id: InstanceId) -> bool {
+        self.rewriters.remove(&id)
+    }
+
     /// Total APPLE TCAM entries across all physical switches — the Fig. 10
     /// metric.
     pub fn total_tcam_entries(&self) -> usize {

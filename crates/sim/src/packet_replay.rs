@@ -13,14 +13,26 @@
 //! end-to-end. Mitigation (re-balancing) is the analytic replay's job;
 //! here the interesting outputs are the detection events and the
 //! counter-derived loss curve.
+//!
+//! The module also hosts the **differential conformance battery** for the
+//! incremental rule compiler ([`differential_conformance`]): replay a
+//! seeded probe set through the full recompiled program and through the
+//! incrementally patched program *at every intermediate barrier* of the
+//! update plan, and check the three-tier update guarantee documented in
+//! `apple_dataplane::diff`.
 
 use apple_core::controller::{Apple, AppleConfig};
 use apple_core::engine::EngineError;
-use apple_dataplane::packet::Packet;
+use apple_dataplane::compiler::{compile, CompilerSnapshot};
+use apple_dataplane::diff::{apply_batch, diff};
+use apple_dataplane::packet::{HostTag, Packet};
+use apple_dataplane::walk::{WalkError, WalkRecord};
 use apple_dataplane::PortCounters;
-use apple_nf::OverloadModel;
-use apple_topology::Topology;
+use apple_nf::{InstanceId, NfType, OverloadModel};
+use apple_topology::{NodeId, Path, Topology};
 use apple_traffic::TmSeries;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use crate::detector::{CounterDetector, DetectionEvent};
 use crate::metrics::Series;
@@ -155,6 +167,285 @@ pub fn packet_replay(
     })
 }
 
+/// One representative packet of the differential conformance battery.
+#[derive(Debug, Clone)]
+pub struct ConformanceProbe {
+    /// Where the probe came from (sub-class/prefix/variant), for reports.
+    pub label: String,
+    /// The untagged packet injected at the path's ingress.
+    pub packet: Packet,
+    /// The forwarding path the packet is walked along.
+    pub path: Path,
+}
+
+/// Tallies from one conformance run. `old_exact`/`new_exact`/`mixed`
+/// classify each intermediate-barrier walk; the final barrier's walks are
+/// all required to be `new_exact`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConformanceReport {
+    /// Barriers the plan applied (one per [`apple_dataplane::UpdateBatch`]).
+    pub barriers: usize,
+    /// Probes in the battery.
+    pub probes: usize,
+    /// Total packet walks performed across all barriers.
+    pub walks: usize,
+    /// Walks bitwise-identical to the pre-update program's walk.
+    pub old_exact: usize,
+    /// Walks bitwise-identical to the full recompile's walk.
+    pub new_exact: usize,
+    /// Walks that were a chain-consistent old/new mix (full NF chain, Fin
+    /// tag on exit) — legal only at intermediate barriers.
+    pub mixed: usize,
+}
+
+/// A violation of the update guarantee found by the battery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConformanceError {
+    /// A probe's walk at an intermediate barrier was neither the old walk,
+    /// the new walk, nor a chain-consistent mix — a transient chain bypass
+    /// or interference.
+    BarrierWalk {
+        /// Index of the offending barrier in the plan.
+        barrier: usize,
+        /// The probe's label.
+        probe: String,
+        /// What the walk produced.
+        detail: String,
+    },
+    /// A probe's walk after the final barrier differs bitwise from the
+    /// full recompile's walk.
+    FinalWalk {
+        /// The probe's label.
+        probe: String,
+        /// What the walk produced.
+        detail: String,
+    },
+    /// The patched program after the final barrier is not rule-for-rule
+    /// identical to the full recompile.
+    FinalProgram,
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceError::BarrierWalk {
+                barrier,
+                probe,
+                detail,
+            } => write!(
+                f,
+                "probe {probe} at barrier {barrier}: walk is neither old, new nor a \
+                 chain-consistent mix: {detail}"
+            ),
+            ConformanceError::FinalWalk { probe, detail } => write!(
+                f,
+                "probe {probe} after the final barrier differs from the full recompile: {detail}"
+            ),
+            ConformanceError::FinalProgram => {
+                write!(f, "patched program differs from the full recompile")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+/// The outcome of one probe walk, as compared bitwise.
+type Walk = Result<WalkRecord, WalkError>;
+
+/// Header fields identifying a probe packet for dedup purposes.
+type ProbeKey = (u32, u32, u16, u16, u8);
+
+/// Builds the probe battery for a snapshot pair: one packet per
+/// (sub-class, prefix, transport variant) of **both** snapshots (deduped),
+/// plus one out-of-prefix control packet per distinct forwarding path.
+/// Probes use the same representative-host convention as the packet replay
+/// (`addr | 1` inside the prefix, `.9` in the destination prefix).
+pub fn conformance_probes(old: &CompilerSnapshot, new: &CompilerSnapshot) -> Vec<ConformanceProbe> {
+    let mut probes = Vec::new();
+    let mut seen: BTreeSet<(ProbeKey, Path)> = BTreeSet::new();
+    let key = |p: &Packet| (p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.proto);
+    let mut paths: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for s in old.subclasses.iter().chain(new.subclasses.iter()) {
+        paths.insert(s.path.clone());
+        let path = Path::new(s.path.iter().map(|&n| NodeId(n)).collect())
+            .expect("snapshot paths are valid");
+        let variants: Vec<(Option<u8>, Option<u16>)> = if s.dst_ports.is_empty() {
+            vec![(s.proto, None)]
+        } else {
+            s.dst_ports.iter().map(|&p| (s.proto, Some(p))).collect()
+        };
+        for &(addr, len) in &s.prefixes {
+            let host_bit = if len < 32 { 1 } else { 0 };
+            for &(proto, port) in &variants {
+                let p = Packet::new(
+                    addr | host_bit,
+                    s.dst_prefix.0 | 9,
+                    40_000,
+                    port.unwrap_or(80),
+                    proto.unwrap_or(6),
+                );
+                if seen.insert((key(&p), path.clone())) {
+                    probes.push(ConformanceProbe {
+                        label: format!(
+                            "{}/s{} {:#010x}/{} port {:?}",
+                            s.class_name, s.sub, addr, len, port
+                        ),
+                        packet: p,
+                        path: path.clone(),
+                    });
+                }
+            }
+        }
+    }
+    // Unclassified control traffic (192.168/16 — outside every 10/8 class
+    // prefix and the 11/8 NAT pool) must pass by untouched on every path.
+    for nodes in paths {
+        let path = Path::new(nodes.iter().map(|&n| NodeId(n)).collect()).expect("paths are valid");
+        let p = Packet::new(0xc0a8_0001, 0xc0a8_0002, 7, 7, 17);
+        if seen.insert((key(&p), path.clone())) {
+            probes.push(ConformanceProbe {
+                label: format!("control path via {}", nodes[0]),
+                packet: p,
+                path,
+            });
+        }
+    }
+    probes
+}
+
+fn walk_detail(w: &Walk) -> String {
+    match w {
+        Ok(rec) => format!(
+            "instances {:?}, host_tag {}, subclass {:?}",
+            rec.instances, rec.packet.host_tag, rec.packet.subclass_tag
+        ),
+        Err(e) => format!("walk error: {e}"),
+    }
+}
+
+/// Whether an intermediate-barrier walk is a legal chain-consistent mix:
+/// the packet completed (`Ok`), and either traversed no instances while
+/// one of the endpoint programs also leaves it untouched, or traversed a
+/// complete NF chain of the deployment (its instance sequence maps to the
+/// `stage_nfs` of some sub-class in either snapshot) and exited `Fin`.
+fn chain_consistent(
+    walk: &Walk,
+    old: &Walk,
+    new: &Walk,
+    nf_of: &BTreeMap<InstanceId, NfType>,
+    chains: &BTreeSet<Vec<NfType>>,
+) -> bool {
+    let Ok(rec) = walk else {
+        return false;
+    };
+    if rec.instances.is_empty() {
+        // No processing: legal only if one endpoint program also passes
+        // this packet by (otherwise it is a chain bypass).
+        let untouched = |w: &Walk| matches!(w, Ok(r) if r.instances.is_empty());
+        return untouched(old) || untouched(new);
+    }
+    if rec.packet.host_tag != HostTag::Fin {
+        // Classified but stranded mid-chain.
+        return false;
+    }
+    let Some(seq) = rec
+        .instances
+        .iter()
+        .map(|i| nf_of.get(i).copied())
+        .collect::<Option<Vec<NfType>>>()
+    else {
+        return false;
+    };
+    chains.contains(&seq)
+}
+
+/// Replays the probe battery through every intermediate barrier of the
+/// incremental update plan from `old` to `new`, checking the three-tier
+/// guarantee:
+///
+/// 1. interference freedom always (a successful walk's switch sequence is
+///    the forwarding path, by construction of the walker);
+/// 2. no transient chain bypass — at every barrier each probe's walk is
+///    bitwise the old walk, bitwise the new walk, or a chain-consistent
+///    old/new mix (complete NF chain of the deployment, `Fin` on exit);
+/// 3. after the final barrier every walk is bitwise identical to the full
+///    recompile's walk, and the patched program equals it rule for rule.
+///
+/// # Errors
+///
+/// The first [`ConformanceError`] found, naming the barrier and probe.
+pub fn differential_conformance(
+    old: &CompilerSnapshot,
+    new: &CompilerSnapshot,
+) -> Result<ConformanceReport, ConformanceError> {
+    let old_prog = compile(old);
+    let new_prog = compile(new);
+    let plan = diff(&old_prog, &new_prog);
+    let probes = conformance_probes(old, new);
+
+    let old_walker = old_prog.walker();
+    let new_walker = new_prog.walker();
+    let old_walks: Vec<Walk> = probes
+        .iter()
+        .map(|p| old_walker.walk(p.packet, &p.path))
+        .collect();
+    let new_walks: Vec<Walk> = probes
+        .iter()
+        .map(|p| new_walker.walk(p.packet, &p.path))
+        .collect();
+
+    let mut nf_of: BTreeMap<InstanceId, NfType> = BTreeMap::new();
+    let mut chains: BTreeSet<Vec<NfType>> = BTreeSet::new();
+    for s in old.subclasses.iter().chain(new.subclasses.iter()) {
+        for (j, &inst) in s.instances.iter().enumerate() {
+            nf_of.insert(inst, s.stage_nfs[j]);
+        }
+        if !s.stage_nfs.is_empty() {
+            chains.insert(s.stage_nfs.clone());
+        }
+    }
+
+    let mut report = ConformanceReport {
+        probes: probes.len(),
+        ..ConformanceReport::default()
+    };
+    let mut patched = old_prog;
+    let total = plan.batches().len();
+    for (bi, batch) in plan.batches().iter().enumerate() {
+        apply_batch(&mut patched, batch, None).expect("uncapped apply cannot fail");
+        report.barriers += 1;
+        let walker = patched.walker();
+        let last = bi + 1 == total;
+        for (i, probe) in probes.iter().enumerate() {
+            let got = walker.walk(probe.packet, &probe.path);
+            report.walks += 1;
+            if got == new_walks[i] {
+                report.new_exact += 1;
+            } else if last {
+                return Err(ConformanceError::FinalWalk {
+                    probe: probe.label.clone(),
+                    detail: walk_detail(&got),
+                });
+            } else if got == old_walks[i] {
+                report.old_exact += 1;
+            } else if chain_consistent(&got, &old_walks[i], &new_walks[i], &nf_of, &chains) {
+                report.mixed += 1;
+            } else {
+                return Err(ConformanceError::BarrierWalk {
+                    barrier: bi,
+                    probe: probe.label.clone(),
+                    detail: walk_detail(&got),
+                });
+            }
+        }
+    }
+    if patched != new_prog {
+        return Err(ConformanceError::FinalProgram);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +544,114 @@ mod tests {
         assert!(
             per_tick > 0.5 * expected_pps && per_tick < 2.0 * expected_pps,
             "per-tick packets {per_tick} vs expected ~{expected_pps}"
+        );
+    }
+
+    use apple_dataplane::compiler::SubclassSpec;
+    use apple_nf::{InstanceId, NfType};
+
+    /// A three-switch line with one two-stage class; `fw`/`ids` pick the
+    /// serving instances so tests can model churn.
+    fn line_snapshot(fw: u64, ids: u64) -> CompilerSnapshot {
+        CompilerSnapshot {
+            switches: vec![0, 1, 2],
+            hosts: vec![1, 2],
+            rewriters: Vec::new(),
+            subclasses: vec![SubclassSpec {
+                class: 0,
+                class_name: "c0".into(),
+                sub: 0,
+                tag: 0,
+                global: false,
+                path: vec![0, 1, 2],
+                src_prefix: (0x0a00_0000, 24),
+                dst_prefix: (0x0a00_0100, 24),
+                proto: Some(6),
+                dst_ports: vec![80, 443],
+                prefixes: vec![(0x0a00_0000, 25), (0x0a00_0080, 25)],
+                stage_positions: vec![1, 2],
+                stage_nfs: vec![NfType::Firewall, NfType::Ids],
+                instances: vec![InstanceId(fw), InstanceId(ids)],
+            }],
+            compress: true,
+        }
+    }
+
+    #[test]
+    fn conformance_identity_is_trivially_clean() {
+        let snap = line_snapshot(0, 1);
+        let report = differential_conformance(&snap, &snap).unwrap();
+        assert_eq!(report.barriers, 0, "diff(p, p) must be empty");
+        assert_eq!(report.walks, 0);
+        // 2 prefixes x 2 ports + 1 control probe.
+        assert_eq!(report.probes, 5);
+    }
+
+    #[test]
+    fn conformance_instance_swap_passes_every_barrier() {
+        let a = line_snapshot(0, 1);
+        let b = line_snapshot(7, 1);
+        let report = differential_conformance(&a, &b).unwrap();
+        assert!(report.barriers >= 2, "swap needs add + remove barriers");
+        assert_eq!(
+            report.walks,
+            report.old_exact + report.new_exact + report.mixed
+        );
+        // The control probe (and any probe not yet flipped) walks old; the
+        // final barrier forces everything to new.
+        assert!(report.new_exact > 0);
+        // And the reverse direction restores the original program.
+        differential_conformance(&b, &a).unwrap();
+    }
+
+    #[test]
+    fn conformance_covers_class_arrival_and_departure() {
+        let empty = CompilerSnapshot {
+            switches: vec![0, 1, 2],
+            ..CompilerSnapshot::default()
+        };
+        let full = line_snapshot(0, 1);
+        let up = differential_conformance(&empty, &full).unwrap();
+        assert!(up.barriers > 0 && up.new_exact > 0);
+        let down = differential_conformance(&full, &empty).unwrap();
+        // Departure flips classification first, so every probe converges on
+        // the new (pass-by) behaviour immediately.
+        assert!(down.barriers > 0 && down.new_exact > 0);
+        assert_eq!(down.walks, down.old_exact + down.new_exact + down.mixed);
+    }
+
+    #[test]
+    fn conformance_flags_a_chain_bypass() {
+        // Forged plan: apply only the *remove* barriers of a departure (no
+        // classification flip first) — in-flight-tagged packets strand.
+        use apple_dataplane::diff::UpdateBatch;
+
+        let full = line_snapshot(0, 1);
+        let empty = CompilerSnapshot {
+            switches: vec![0, 1, 2],
+            ..CompilerSnapshot::default()
+        };
+        let old_prog = compile(&full);
+        let new_prog = compile(&empty);
+        let plan = diff(&old_prog, &new_prog);
+        let mut patched = old_prog.clone();
+        // Apply host-removal barriers while classification still tags.
+        for batch in plan.batches() {
+            if matches!(batch, UpdateBatch::Host(h) if h.drop_host) {
+                apply_batch(&mut patched, batch, None).unwrap();
+            }
+        }
+        let probes = conformance_probes(&full, &empty);
+        let walker = patched.walker();
+        let stranded = probes.iter().any(|p| {
+            matches!(
+                walker.walk(p.packet, &p.path),
+                Err(WalkError::NoHostAtSwitch(_))
+            )
+        });
+        assert!(
+            stranded,
+            "removing hosts before the classification flip must strand tagged packets"
         );
     }
 }

@@ -6,6 +6,7 @@
 //! apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S]
 //! apple chaos  <TOPO> [--schedules N] [--seed S] [--classes K] [--load MBPS]
 //! apple online <TOPO> [--horizon SECS] [--rate R] [--resolve-every N] [--seed S]
+//! apple compile <TOPO> [--classes K] [--load MBPS] [--seed S] [--incremental]
 //! apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 //! ```
 //!
@@ -19,7 +20,12 @@ use apple_nfv::core::controller::{Apple, AppleConfig};
 use apple_nfv::core::engine::{EngineConfig, OptimizationEngine, SolveMode};
 use apple_nfv::core::online::OnlineConfig;
 use apple_nfv::core::orchestrator::ResourceOrchestrator;
+use apple_nfv::core::rules::{generate_with, snapshot_of, RuleGenConfig};
+use apple_nfv::core::subclass::{SplitStrategy, SubclassPlan};
+use apple_nfv::dataplane::compiler::compile_recorded;
+use apple_nfv::dataplane::diff::diff_recorded;
 use apple_nfv::faults::FaultPlanConfig;
+use apple_nfv::nf::InstanceId;
 use apple_nfv::sim::chaos::run_schedule;
 use apple_nfv::sim::online::{build_timeline, run_timeline, OnlineRunConfig};
 use apple_nfv::sim::replay::{replay_recorded, ReplayConfig};
@@ -48,6 +54,7 @@ const USAGE: &str = "usage:
   apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S] [--telemetry json]
   apple chaos  <TOPO> [--schedules N] [--seed S] [--classes K] [--load MBPS] [--telemetry json]
   apple online <TOPO> [--horizon SECS] [--rate R] [--resolve-every N] [--seed S] [--telemetry json]
+  apple compile <TOPO> [--classes K] [--load MBPS] [--seed S] [--incremental] [--telemetry json]
   apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 
 TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D
@@ -69,7 +76,13 @@ interference freedom and traffic accounting after every event.
 online streams a seeded flow arrival/departure timeline through the
 incremental orchestration loop: classes are maintained per event, new
 classes placed against the residual-capacity ledger, and a warm-started
-global re-solve runs every --resolve-every events.";
+global re-solve runs every --resolve-every events.
+
+compile plans a deployment, lowers it into a compiler snapshot and runs
+the deterministic Table III rule compiler over it. With --incremental it
+also models a single-sub-class churn step (one chain stage re-served by a
+fresh instance) and prints the incremental update plan's operation bill
+against the full-recompile cost.";
 
 /// Parsed optional flags.
 struct Flags {
@@ -85,6 +98,7 @@ struct Flags {
     dot: bool,
     edges: bool,
     stats: bool,
+    incremental: bool,
     telemetry: bool,
     solve_mode: SolveMode,
     threads: usize,
@@ -105,6 +119,7 @@ impl Default for Flags {
             dot: false,
             edges: false,
             stats: false,
+            incremental: false,
             telemetry: false,
             solve_mode: SolveMode::Monolithic,
             threads: 0,
@@ -188,6 +203,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--dot" => f.dot = true,
             "--edges" => f.edges = true,
             "--stats" => f.stats = true,
+            "--incremental" => f.incremental = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -440,6 +456,71 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.final_instances, report.final_shed
             );
             looper.check_ledger()?;
+            emit_telemetry(&mem);
+            Ok(())
+        }
+        "compile" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
+            let classes = ClassSet::build(
+                &topo,
+                &tm,
+                &ClassConfig {
+                    max_classes: flags.classes,
+                    ..Default::default()
+                },
+            );
+            let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+            let placement = OptimizationEngine::new(EngineConfig {
+                solve_mode: flags.solve_mode,
+                threads: flags.threads,
+                ..Default::default()
+            })
+            .place(&classes, &orch)
+            .map_err(|e| e.to_string())?;
+            let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+            let config = RuleGenConfig::default();
+            let prog = generate_with(&topo, &classes, &plan, &placement, &mut orch, &config)
+                .map_err(|e| e.to_string())?;
+            let snap = snapshot_of(&topo, &classes, &plan, &prog.assignment, &orch, &config)
+                .map_err(|e| e.to_string())?;
+            let mem = make_recorder(&flags);
+            let rec = recorder_ref(&mem);
+            let compiled = compile_recorded(&snap, rec);
+            println!("{}", topo.summary());
+            println!(
+                "compiled {} sub-classes -> {} rules ({} billable TCAM) over {} switches, {} hosts, {} rewriters",
+                snap.subclasses.len(),
+                compiled.rule_count(),
+                compiled.billable_rules(),
+                compiled.switches.len(),
+                compiled.hosts.len(),
+                compiled.rewriters.len()
+            );
+            if flags.incremental {
+                let mut churned = snap.clone();
+                let fresh = snap
+                    .subclasses
+                    .iter()
+                    .flat_map(|s| s.instances.iter())
+                    .map(|i| i.0)
+                    .max()
+                    .ok_or("snapshot has no instances to churn")?
+                    + 1;
+                churned.subclasses[0].instances[0] = InstanceId(fresh);
+                let target = compile_recorded(&churned, rec);
+                let update = diff_recorded(&compiled, &target, rec);
+                let full_ops = target.rule_count();
+                let inc_ops = update.op_count().max(1);
+                println!("single-sub-class churn step: {}", update.stats());
+                println!(
+                    "full recompile would reinstall {} rules -> incremental is {:.1}x cheaper",
+                    full_ops,
+                    full_ops as f64 / inc_ops as f64
+                );
+            }
             emit_telemetry(&mem);
             Ok(())
         }

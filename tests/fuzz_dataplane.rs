@@ -4,12 +4,20 @@
 //! * arbitrary packets (any header) walked along any class path terminate
 //!   without error and without leaving the path,
 //! * packets inside a class's prefix always complete that class's chain,
+//! * hostile update plans are survivable: empty diffs bill nothing,
+//!   delete-then-re-add of a sub-class round-trips bitwise, and TCAM
+//!   capacity exhaustion mid-plan fails atomically at a barrier boundary
+//!   with every original chain still enforced,
 //! * the inverse-CDF coupling produces valid monotone sub-classes for
 //!   *any* feasible fractional distribution, not just engine outputs.
 
 use apple_nfv::core::classes::{ClassConfig, ClassSet};
 use apple_nfv::core::controller::{Apple, AppleConfig};
+use apple_nfv::core::rules::{snapshot_of, RuleGenConfig};
+use apple_nfv::dataplane::compiler::{compile, CompilerSnapshot};
+use apple_nfv::dataplane::diff::{diff, ApplyError};
 use apple_nfv::dataplane::packet::{HostTag, Packet};
+use apple_nfv::sim::differential_conformance;
 use apple_nfv::topology::zoo;
 use apple_nfv::traffic::GravityModel;
 use apple_rng::{Rng, RngCore, SeedableRng, StdRng};
@@ -98,6 +106,167 @@ fn in_prefix_packets_always_complete() {
             assert_eq!(rec.packet.host_tag, HostTag::Fin);
             assert_eq!(rec.instances.len(), class.chain.len());
         }
+    }
+}
+
+/// Lowers a planned Internet2 deployment into a compiler snapshot.
+fn internet2_snapshot(seed: u64) -> CompilerSnapshot {
+    let topo = zoo::internet2();
+    let apple = apple_internet2(seed);
+    snapshot_of(
+        &topo,
+        apple.classes(),
+        apple.subclasses(),
+        &apple.program().assignment,
+        apple.orchestrator(),
+        &RuleGenConfig::default(),
+    )
+    .expect("planned deployments lower cleanly")
+}
+
+/// Hostile plan input: the empty diff. `diff(p, p)` must emit no batches
+/// and bill no operations, for real deployments and perturbed clones.
+#[test]
+fn empty_diffs_bill_nothing() {
+    for seed in 0..4u64 {
+        let snap = internet2_snapshot(200 + seed);
+        let prog = compile(&snap);
+        let plan = diff(&prog, &prog);
+        assert!(plan.is_empty(), "seed {seed}: diff(p, p) emitted batches");
+        assert_eq!(plan.op_count(), 0, "seed {seed}");
+        assert_eq!(plan.stats().total(), 0, "seed {seed}");
+        // A clone compiles to the identical program (compiler purity), so
+        // the snapshot round-trip is also an empty diff.
+        let again = compile(&snap.clone());
+        assert!(diff(&prog, &again).is_empty(), "seed {seed}");
+        // And the full conformance battery agrees: zero barriers.
+        let report = differential_conformance(&snap, &snap).expect("identity conforms");
+        assert_eq!(report.barriers, 0, "seed {seed}");
+    }
+}
+
+/// Hostile plan input: delete a sub-class, then re-add the *same*
+/// sub-class. Both steps must conform at every barrier and the program
+/// must return bitwise to the original compile — no residue, no drift.
+#[test]
+fn delete_then_readd_roundtrips() {
+    for case in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x300 + case));
+        let full = internet2_snapshot(210 + case);
+        let mut gone = full.clone();
+        let dropped = gone
+            .subclasses
+            .remove(rng.gen_range(0..gone.subclasses.len()));
+        let full_prog = compile(&full);
+        let gone_prog = compile(&gone);
+
+        // Delete leg.
+        differential_conformance(&full, &gone)
+            .unwrap_or_else(|e| panic!("case {case} ({dropped:?} delete): {e}"));
+        let mut prog = full_prog.clone();
+        diff(&full_prog, &gone_prog).apply(&mut prog, None).unwrap();
+        assert_eq!(prog, gone_prog, "case {case}: delete leg drifted");
+
+        // Re-add leg: back to the exact original program, rule for rule.
+        differential_conformance(&gone, &full)
+            .unwrap_or_else(|e| panic!("case {case} ({dropped:?} re-add): {e}"));
+        diff(&gone_prog, &full_prog).apply(&mut prog, None).unwrap();
+        assert_eq!(prog, full_prog, "case {case}: re-add leg left residue");
+    }
+}
+
+/// Hostile plan input: TCAM capacity exhaustion mid-batch. The up-front
+/// `check_capacity` must reject the plan, a capped `apply` must fail
+/// atomically at a barrier boundary, and the stranded hybrid program must
+/// still walk every original class chain-safely.
+#[test]
+fn tcam_exhaustion_mid_batch_is_atomic_and_chain_safe() {
+    for case in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x400 + case));
+        let base = internet2_snapshot(220 + case);
+        // Grow the deployment: clone a sub-class under a fresh tag with a
+        // disjoint prefix, so new classification rules must install on
+        // every switch of its path.
+        let mut grown = base.clone();
+        let donor = rng.gen_range(0..grown.subclasses.len());
+        let mut extra = grown.subclasses[donor].clone();
+        let fresh_tag = grown.subclasses.iter().map(|s| s.tag).max().unwrap() + 1;
+        extra.tag = fresh_tag;
+        extra.class = u64::from(fresh_tag);
+        extra.class_name = format!("c{fresh_tag}");
+        extra.src_prefix = (0xc0a8_0000, 24);
+        extra.prefixes = vec![(0xc0a8_0000, 24)];
+        grown.subclasses.push(extra);
+
+        let base_prog = compile(&base);
+        let grown_prog = compile(&grown);
+        let plan = diff(&base_prog, &grown_prog);
+        assert!(plan.op_count() > 0, "case {case}: growth produced no plan");
+
+        // Find the tightest capacity that admits the plan; one less must
+        // exhaust mid-update.
+        let enough = (1..10_000)
+            .find(|&cap| plan.check_capacity(&base_prog, cap).is_ok())
+            .expect("some capacity admits the plan");
+        assert!(enough > 1, "case {case}: plan trivially fits capacity 1");
+        let starved = enough - 1;
+        assert!(
+            plan.check_capacity(&base_prog, starved).is_err(),
+            "case {case}: check_capacity admitted a starved plan"
+        );
+
+        let mut hybrid = base_prog.clone();
+        let err = plan.apply(&mut hybrid, Some(starved)).unwrap_err();
+        let ApplyError::TcamCapacity {
+            needed, capacity, ..
+        } = err;
+        assert!(needed > capacity, "case {case}");
+        assert_ne!(
+            hybrid, grown_prog,
+            "case {case}: starved apply claims completion"
+        );
+
+        // Atomic: the hybrid sits at a barrier boundary, so every original
+        // class still walks its complete chain (interference-free).
+        let walker = hybrid.walker();
+        for s in &base.subclasses {
+            let p = Packet::new(
+                s.src_prefix.0 | 1,
+                s.dst_prefix.0 | 1,
+                40_000,
+                s.dst_ports.first().copied().unwrap_or(80),
+                s.proto.unwrap_or(6),
+            );
+            let path = apple_nfv::topology::Path::new(
+                s.path
+                    .iter()
+                    .map(|&n| apple_nfv::topology::NodeId(n))
+                    .collect(),
+            )
+            .expect("snapshot paths are valid");
+            let rec = walker
+                .walk(p, &path)
+                .unwrap_or_else(|e| panic!("case {case}: hybrid stranded {}: {e}", s.class_name));
+            if !rec.instances.is_empty() {
+                assert_eq!(
+                    rec.packet.host_tag,
+                    HostTag::Fin,
+                    "case {case}: {} chain incomplete in hybrid",
+                    s.class_name
+                );
+                assert_eq!(
+                    rec.instances.len(),
+                    s.instances.len(),
+                    "case {case}: {} skipped a stage in hybrid",
+                    s.class_name
+                );
+            }
+        }
+
+        // With enough capacity the same plan completes exactly.
+        let mut prog = base_prog.clone();
+        plan.apply(&mut prog, Some(enough)).unwrap();
+        assert_eq!(prog, grown_prog, "case {case}");
     }
 }
 
