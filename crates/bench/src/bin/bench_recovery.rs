@@ -1,0 +1,135 @@
+//! Regenerates (or validates) the committed `BENCH_recovery.json`
+//! crash-recovery benchmark.
+//!
+//! ```text
+//! bench_recovery --smoke [--threads N] [--out-dir DIR]   # short horizon
+//! bench_recovery --full  [--threads N] [--out-dir DIR]   # regenerates the committed file
+//! bench_recovery --smoke --check                         # run + self-validate, write nothing (ci)
+//! bench_recovery --check FILE [FILE...]                  # schema-validate files, no running
+//! ```
+//!
+//! `--smoke --check` is what the `ci` recovery-smoke stage runs: it
+//! streams the short timeline twice (plain and journaled), times the
+//! three recovery variants, validates the generated JSON against
+//! [`check_recovery`] and writes nothing. `--full` regenerates the file
+//! committed at the repository root (see EXPERIMENTS.md for the exact
+//! invocation).
+
+use apple_bench::recovery::{check_recovery, recovery_json, run_recovery};
+use apple_bench::trajectory::Scope;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_recovery --smoke|--full [--threads N] [--out-dir DIR] [--check]\n       bench_recovery --check FILE [FILE...]"
+    );
+    ExitCode::from(2)
+}
+
+fn check_files(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check_recovery(&text) {
+            Ok(()) => println!("{f}: ok"),
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope = None;
+    let mut threads = 1usize;
+    let mut out_dir = PathBuf::from(".");
+    let mut check = false;
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scope = Some(Scope::Smoke),
+            "--full" => scope = Some(Scope::Full),
+            "--check" => check = true,
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
+            "--out-dir" => {
+                i += 1;
+                let Some(d) = args.get(i) else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(d);
+            }
+            other if check && !other.starts_with('-') => files.push(other.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    if !files.is_empty() {
+        return check_files(&files);
+    }
+    let Some(scope) = scope else {
+        return usage();
+    };
+
+    let rows = run_recovery(scope, threads);
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} events | plain {:8.0} ev/s, journaled {:8.0} ev/s ({:+.2}% overhead) | \
+             {} records, {} KiB journal, {} snapshots ({} B last)",
+            r.topology,
+            r.events,
+            r.baseline_events_per_sec,
+            r.journaled_events_per_sec,
+            r.overhead_pct,
+            r.journal_records,
+            r.journal_bytes / 1024,
+            r.snapshots,
+            r.snapshot_bytes,
+        );
+        for p in &r.recoveries {
+            println!(
+                "  recover[{:<6}] snapshot {:>6} | {:>7} replayed | {:9.2} ms | digest {}",
+                p.label,
+                p.snapshot_seq.map_or("-".to_string(), |s| s.to_string()),
+                p.records_replayed,
+                p.recover_ms,
+                if p.digest_match { "ok" } else { "MISMATCH" },
+            );
+        }
+    }
+    let text = recovery_json(&rows, scope, threads);
+    if let Err(e) = check_recovery(&text) {
+        eprintln!("generated JSON failed its own schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if check {
+        println!("recovery benchmark self-check: ok");
+        return ExitCode::SUCCESS;
+    }
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = out_dir.join("BENCH_recovery.json");
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

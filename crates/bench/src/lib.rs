@@ -23,13 +23,16 @@
 //! DESIGN.md §8 and EXPERIMENTS.md), and [`online`] regenerates
 //! `BENCH_online.json` (event throughput, per-step placement latency and
 //! instance-count overhead of the online orchestration loop; DESIGN.md §9),
-//! and [`dataplane`] regenerates `BENCH_dataplane.json` (compile
+//! [`dataplane`] regenerates `BENCH_dataplane.json` (compile
 //! throughput, incremental-vs-full rule operations of the data-plane
-//! compiler; DESIGN.md §10).
+//! compiler; DESIGN.md §10), and [`recovery`] regenerates
+//! `BENCH_recovery.json` (write-ahead journal overhead, snapshot size and
+//! recovery wall time vs journal length; DESIGN.md §11).
 
 pub mod dataplane;
 pub mod harness;
 pub mod online;
+pub mod recovery;
 pub mod trajectory;
 
 use apple_core::baselines::{

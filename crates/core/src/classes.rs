@@ -550,6 +550,31 @@ impl IncrementalClasses {
             .collect()
     }
 
+    /// The live flow maps of every non-empty pair, for recovery snapshots.
+    /// Pairs whose flow set drained to empty are pure cache (their chain
+    /// and paths re-derive deterministically from the topology) and are
+    /// deliberately excluded: they are unobservable through any query.
+    pub(crate) fn live_pair_flows(
+        &self,
+    ) -> impl Iterator<Item = (&(NodeId, NodeId), &std::collections::BTreeMap<u64, f64>)> {
+        self.pairs
+            .iter()
+            .filter(|(_, s)| !s.flows.is_empty())
+            .map(|(pair, s)| (pair, &s.flows))
+    }
+
+    /// Restores one pair's live flows from a recovery snapshot. The
+    /// routing/policy artefacts are re-derived through the normal cache
+    /// path, so a restored aggregate is bitwise identical to one that saw
+    /// the flows arrive live.
+    pub(crate) fn restore_pair_flows(
+        &mut self,
+        pair: (NodeId, NodeId),
+        flows: std::collections::BTreeMap<u64, f64>,
+    ) {
+        self.pair_state(pair.0, pair.1).flows = flows;
+    }
+
     /// Number of forwarding paths a pair's traffic splits across (0 when
     /// the pair is disconnected or untouched).
     pub fn pair_path_count(&self, pair: (NodeId, NodeId)) -> usize {

@@ -33,6 +33,9 @@
 //!   (DESIGN.md §9),
 //! * [`policy_spec`] — the operator-facing policy grammar parsed into
 //!   weighted chains,
+//! * [`recovery`] — crash-consistent write-ahead journaling of the online
+//!   loop, deterministic redo recovery, and data-plane reconciliation
+//!   (DESIGN.md §11),
 //! * [`transition`] — make-before-break reconfiguration between two
 //!   placements,
 //! * [`verify`] — the runtime invariant checkers (interference freedom,
@@ -66,6 +69,7 @@ pub mod online;
 pub mod orchestrator;
 pub mod policy;
 pub mod policy_spec;
+pub mod recovery;
 pub mod rules;
 pub mod subclass;
 pub mod transition;

@@ -450,29 +450,43 @@ fn is_jumbo(class: &EquivalenceClass) -> bool {
 /// `online.step` span.
 #[derive(Debug)]
 pub struct OrchestrationLoop {
-    cfg: OnlineConfig,
-    inc: IncrementalClasses,
-    placer: OnlinePlacer,
-    orch: ResourceOrchestrator,
-    replanner: Replanner,
-    ops: ControlOps,
-    live: BTreeMap<LiveKey, LiveClass>,
-    rejected: BTreeMap<LiveKey, EquivalenceClass>,
-    events_seen: u64,
+    pub(crate) cfg: OnlineConfig,
+    pub(crate) inc: IncrementalClasses,
+    pub(crate) placer: OnlinePlacer,
+    pub(crate) orch: ResourceOrchestrator,
+    pub(crate) replanner: Replanner,
+    pub(crate) ops: ControlOps,
+    pub(crate) live: BTreeMap<LiveKey, LiveClass>,
+    pub(crate) rejected: BTreeMap<LiveKey, EquivalenceClass>,
+    pub(crate) events_seen: u64,
     /// The incrementally patched installed program (None = compiler off).
-    compiled: Option<apple_dataplane::compiler::RuleProgram>,
+    pub(crate) compiled: Option<apple_dataplane::compiler::RuleProgram>,
     /// Persistent per-live-class data-plane tags. Lowest-unused allocation
     /// on placement, freed on departure: tags must survive unrelated churn
     /// (index-derived tags would shift on every removal and spuriously
     /// rewrite the whole program).
-    tags: BTreeMap<LiveKey, u16>,
+    pub(crate) tags: BTreeMap<LiveKey, u16>,
     /// The serving decision each tag was allocated for, as of the last
     /// sync: `(stage_positions, stage_instances)`. A live class whose
     /// decision moved is re-tagged (two-phase versioning, see
     /// [`Self::sync_tags`]).
-    tag_decisions: BTreeMap<LiveKey, (Vec<usize>, Vec<InstanceId>)>,
+    pub(crate) tag_decisions: BTreeMap<LiveKey, (Vec<usize>, Vec<InstanceId>)>,
     /// Whether the serving state changed since the last data-plane sync.
-    dp_dirty: bool,
+    pub(crate) dp_dirty: bool,
+    /// Barrier observer: called after each update-plan batch is applied to
+    /// the installed mirror (the journal's per-phase barrier commit hook).
+    pub(crate) dp_observer: Option<Box<dyn DataplaneObserver>>,
+}
+
+/// Observes data-plane barriers as `OrchestrationLoop::sync_dataplane`
+/// applies an update plan batch by batch. The journaled controller
+/// ([`crate::recovery`]) uses this to mirror each barrier onto the
+/// external switch fabric and write a barrier commit record *after* the
+/// batch took effect — so on recovery the fabric is known to be at most
+/// one barrier ahead of the last journaled commit.
+pub trait DataplaneObserver: fmt::Debug {
+    /// Called after `batch` has been applied to the installed program.
+    fn on_barrier(&mut self, batch: &apple_dataplane::diff::UpdateBatch);
 }
 
 impl OrchestrationLoop {
@@ -509,7 +523,15 @@ impl OrchestrationLoop {
             tags: BTreeMap::new(),
             tag_decisions: BTreeMap::new(),
             dp_dirty,
+            dp_observer: None,
         }
+    }
+
+    /// Installs (or clears) the data-plane barrier observer. Crate-private:
+    /// only the journaled wrapper ([`crate::recovery::JournaledLoop`])
+    /// threads one through.
+    pub(crate) fn set_dp_observer(&mut self, obs: Option<Box<dyn DataplaneObserver>>) {
+        self.dp_observer = obs;
     }
 
     /// Applies one timeline event and returns what changed.
@@ -605,7 +627,12 @@ impl OrchestrationLoop {
         rec: &dyn Recorder,
         report: &mut StepReport,
     ) {
-        let lc = self.live.get_mut(&key).expect("live key checked");
+        // The caller checked membership, but re-placement paths can recurse
+        // through here; degrade to a fresh placement instead of panicking.
+        let Some(lc) = self.live.get_mut(&key) else {
+            self.place_or_shed(key, class, rec, report);
+            return;
+        };
         let old_rate = lc.class.rate_mbps;
         let delta = class.rate_mbps - old_rate;
         if delta <= 0.0 {
@@ -636,7 +663,10 @@ impl OrchestrationLoop {
             return;
         }
         // No slack: release and re-place at the new rate.
-        let old = self.live.remove(&key).expect("live key checked");
+        let Some(old) = self.live.remove(&key) else {
+            self.place_or_shed(key, class, rec, report);
+            return;
+        };
         for &id in &old.decision.stage_instances {
             self.placer.adjust(id, -old_rate);
         }
@@ -839,7 +869,9 @@ impl OrchestrationLoop {
             .collect();
         let mut report = StepReport::default();
         for key in &affected {
-            let lc = self.live.remove(key).expect("affected key is live");
+            let Some(lc) = self.live.remove(key) else {
+                continue;
+            };
             let mut survivors = Vec::new();
             for &sid in &lc.decision.stage_instances {
                 if sid != id {
@@ -885,10 +917,14 @@ impl OrchestrationLoop {
     }
 
     /// The compiler snapshot of the current serving state, when the
-    /// compiler is enabled (tags as currently allocated).
+    /// compiler is enabled. Tags are computed through the same pure
+    /// allocator the sync uses, so this is safe to call even between a
+    /// state change and the step-end sync (a live key without a persisted
+    /// tag gets the tag the next sync would assign it).
     pub fn dataplane_snapshot(&self) -> Option<apple_dataplane::compiler::CompilerSnapshot> {
         self.compiled.as_ref()?;
-        Some(self.build_dataplane_snapshot())
+        let effective = Self::allocate_tags(&self.live, &self.tags, &self.tag_decisions);
+        Some(self.build_dataplane_snapshot(&effective))
     }
 
     /// Frees dead tags and allocates lowest-unused tags for new live keys,
@@ -909,32 +945,7 @@ impl OrchestrationLoop {
     ///   Quarantined tags become reusable at the next sync, once the old
     ///   rules are gone.
     fn sync_tags(&mut self) {
-        let quarantined: std::collections::BTreeSet<u16> = self.tags.values().copied().collect();
-        let live = &self.live;
-        let decisions = &self.tag_decisions;
-        self.tags.retain(|k, _| {
-            live.get(k).is_some_and(|lc| {
-                decisions.get(k).is_some_and(|(pos, inst)| {
-                    *pos == lc.decision.stage_positions && *inst == lc.decision.stage_instances
-                })
-            })
-        });
-        let mut used: std::collections::BTreeSet<u16> = self.tags.values().copied().collect();
-        used.extend(quarantined);
-        let missing: Vec<LiveKey> = self
-            .live
-            .keys()
-            .filter(|k| !self.tags.contains_key(*k))
-            .copied()
-            .collect();
-        for key in missing {
-            let mut t = 0u16;
-            while used.contains(&t) {
-                t += 1;
-            }
-            used.insert(t);
-            self.tags.insert(key, t);
-        }
+        self.tags = Self::allocate_tags(&self.live, &self.tags, &self.tag_decisions);
         self.tag_decisions = self
             .live
             .iter()
@@ -950,17 +961,66 @@ impl OrchestrationLoop {
             .collect();
     }
 
+    /// The pure tag-allocation function behind [`Self::sync_tags`]: given
+    /// the live set and the previous sync's `(tags, tag_decisions)`,
+    /// returns the tag map the next sync will install. Keeping this pure
+    /// lets [`Self::dataplane_snapshot`] predict the post-sync snapshot
+    /// without mutating state.
+    pub(crate) fn allocate_tags(
+        live: &BTreeMap<LiveKey, LiveClass>,
+        tags: &BTreeMap<LiveKey, u16>,
+        tag_decisions: &BTreeMap<LiveKey, (Vec<usize>, Vec<InstanceId>)>,
+    ) -> BTreeMap<LiveKey, u16> {
+        let quarantined: std::collections::BTreeSet<u16> = tags.values().copied().collect();
+        let mut next: BTreeMap<LiveKey, u16> = tags
+            .iter()
+            .filter(|(k, _)| {
+                live.get(*k).is_some_and(|lc| {
+                    tag_decisions.get(*k).is_some_and(|(pos, inst)| {
+                        *pos == lc.decision.stage_positions && *inst == lc.decision.stage_instances
+                    })
+                })
+            })
+            .map(|(&k, &t)| (k, t))
+            .collect();
+        let mut used = quarantined;
+        used.extend(next.values().copied());
+        let missing: Vec<LiveKey> = live
+            .keys()
+            .filter(|k| !next.contains_key(*k))
+            .copied()
+            .collect();
+        for key in missing {
+            let mut t = 0u16;
+            while used.contains(&t) {
+                t += 1;
+            }
+            used.insert(t);
+            next.insert(key, t);
+        }
+        next
+    }
+
     /// Lowers the live serving state into a compiler snapshot. Every live
     /// class is one sub-class (the online model serves whole classes) with
     /// a globally unique tag, so rewriting chains can match tag-only (§X)
     /// without a separate allocation walk.
-    fn build_dataplane_snapshot(&self) -> apple_dataplane::compiler::CompilerSnapshot {
+    pub(crate) fn build_dataplane_snapshot(
+        &self,
+        tags: &BTreeMap<LiveKey, u16>,
+    ) -> apple_dataplane::compiler::CompilerSnapshot {
         use apple_dataplane::compiler::{CompilerSnapshot, SubclassSpec};
 
         let mut rewriters: Vec<InstanceId> = Vec::new();
         let mut subclasses = Vec::with_capacity(self.live.len());
         for (key, lc) in &self.live {
-            let tag = *self.tags.get(key).expect("sync_tags covers every live key");
+            // `tags` comes from `allocate_tags`, which covers every live
+            // key by construction; an absent key would mean the maps were
+            // built from different live sets, so skip rather than panic.
+            let Some(&tag) = tags.get(key) else {
+                debug_assert!(false, "tag map misses live key {key:?}");
+                continue;
+            };
             let nfs = lc.class.chain.nfs();
             let global = nfs.iter().any(|&nf| VnfSpec::of(nf).rewrites_headers());
             for (&inst, &nf) in lc.decision.stage_instances.iter().zip(nfs) {
@@ -1006,13 +1066,21 @@ impl OrchestrationLoop {
         }
         let _s = rec.span("dataplane.sync");
         self.sync_tags();
-        let snap = self.build_dataplane_snapshot();
+        let snap = self.build_dataplane_snapshot(&self.tags);
         let target = apple_dataplane::compiler::compile_recorded(&snap, rec);
-        let installed = self.compiled.as_mut().expect("checked above");
+        let Some(installed) = self.compiled.as_mut() else {
+            return 0; // unreachable: compiler presence checked above
+        };
         let plan = apple_dataplane::diff::diff_recorded(installed, &target, rec);
-        let stats = plan
-            .apply(installed, None)
-            .expect("uncapped apply cannot fail");
+        // Apply barrier by barrier so the observer sees each batch commit
+        // in order (the uncapped path is infallible — no phantom error).
+        for batch in plan.batches() {
+            apple_dataplane::diff::apply_batch_unchecked(installed, batch);
+            if let Some(obs) = self.dp_observer.as_mut() {
+                obs.on_barrier(batch);
+            }
+        }
+        let stats = plan.stats();
         debug_assert_eq!(
             *installed, target,
             "incremental patch must reproduce the full compile"

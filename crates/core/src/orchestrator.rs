@@ -294,12 +294,51 @@ impl ResourceOrchestrator {
             .instances
             .remove(&id)
             .ok_or(OrchestratorError::UnknownInstance(id))?;
-        let host = self
-            .hosts
-            .get_mut(&inst.host_switch())
-            .expect("instances always reference existing hosts");
-        host.used = host.used.saturating_sub(inst.spec().resources());
+        // Instances always reference an existing host; tolerate a missing
+        // one (the instance is gone either way, accounting stays sound).
+        if let Some(host) = self.hosts.get_mut(&inst.host_switch()) {
+            host.used = host.used.saturating_sub(inst.spec().resources());
+        }
         Ok(())
+    }
+
+    /// Decomposes the orchestrator into the parts a recovery snapshot
+    /// persists: `(hosts, instances, next_id)`. Crate-private — only the
+    /// journal codec ([`crate::recovery`]) consumes it.
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        &BTreeMap<usize, Host>,
+        &BTreeMap<InstanceId, VnfInstance>,
+        u64,
+    ) {
+        (&self.hosts, &self.instances, self.next_id)
+    }
+
+    /// Rebuilds an orchestrator from snapshot parts. `used` is recomputed
+    /// from the live instances (it is derived state: the sum of instance
+    /// resource vectors per up host), so a decoded snapshot can never
+    /// carry inconsistent accounting.
+    pub(crate) fn from_parts(
+        mut hosts: BTreeMap<usize, Host>,
+        instances: BTreeMap<InstanceId, VnfInstance>,
+        next_id: u64,
+    ) -> Self {
+        for host in hosts.values_mut() {
+            host.used = ResourceVector::zero();
+        }
+        for inst in instances.values() {
+            if let Some(host) = hosts.get_mut(&inst.host_switch()) {
+                if host.up {
+                    host.used += inst.spec().resources();
+                }
+            }
+        }
+        ResourceOrchestrator {
+            hosts,
+            instances,
+            next_id,
+        }
     }
 
     /// Shared access to an instance.

@@ -244,6 +244,17 @@ impl UpdatePlan {
         Ok(self.stats())
     }
 
+    /// Applies every barrier in order with no capacity admission — the
+    /// uncapped path is infallible by construction (each batch carries its
+    /// exact post-barrier state), so callers that do not model TCAM limits
+    /// get a signature without a phantom error to unwrap.
+    pub fn apply_unchecked(&self, prog: &mut RuleProgram) -> UpdateStats {
+        for b in &self.batches {
+            apply_batch_unchecked(prog, b);
+        }
+        self.stats()
+    }
+
     /// Pre-validates the plan against a per-switch TCAM capacity without
     /// mutating anything, simulating the transient billable occupancy at
     /// every barrier. Lets a controller *reject* an infeasible plan up
@@ -303,23 +314,30 @@ pub fn apply_batch(
     batch: &UpdateBatch,
     capacity: Option<usize>,
 ) -> Result<(), ApplyError> {
+    if let (Some(cap), UpdateBatch::Switch(b)) = (capacity, batch) {
+        let old = prog
+            .switches
+            .get(&b.switch)
+            .map(|s| s.billable())
+            .unwrap_or(0);
+        let transient = transient_billable(old, b);
+        if transient > cap {
+            return Err(ApplyError::TcamCapacity {
+                switch: b.switch,
+                needed: transient,
+                capacity: cap,
+            });
+        }
+    }
+    apply_batch_unchecked(prog, batch);
+    Ok(())
+}
+
+/// Applies one barrier with no capacity admission (infallible: each batch
+/// carries its exact post-barrier state and application is a swap).
+pub fn apply_batch_unchecked(prog: &mut RuleProgram, batch: &UpdateBatch) {
     match batch {
         UpdateBatch::Switch(b) => {
-            if let Some(cap) = capacity {
-                let old = prog
-                    .switches
-                    .get(&b.switch)
-                    .map(|s| s.billable())
-                    .unwrap_or(0);
-                let transient = transient_billable(old, b);
-                if transient > cap {
-                    return Err(ApplyError::TcamCapacity {
-                        switch: b.switch,
-                        needed: transient,
-                        capacity: cap,
-                    });
-                }
-            }
             if b.drop_switch {
                 prog.switches.remove(&b.switch);
             } else {
@@ -348,7 +366,6 @@ pub fn apply_batch(
             }
         }
     }
-    Ok(())
 }
 
 /// Splits `new` against `old` as multisets: returns `(installs, removes)`
@@ -424,83 +441,74 @@ pub fn diff(old: &RuleProgram, new: &RuleProgram) -> UpdatePlan {
         .chain(new.switches.keys())
         .copied()
         .collect();
+    let absent = SwitchRules {
+        rules: Vec::new(),
+        has_host: false,
+    };
     for id in switch_ids {
-        match (old.switches.get(&id), new.switches.get(&id)) {
-            (None, Some(n)) => {
-                // Brand-new switch: bring the whole table up before any
-                // classification elsewhere can tag packets toward it.
-                phase2_switch.push(UpdateBatch::Switch(SwitchBatch {
-                    switch: id,
-                    installs: n.rules.clone(),
-                    modifies: Vec::new(),
-                    removes: Vec::new(),
-                    after: n.rules.clone(),
-                    has_host_after: n.has_host,
-                    drop_switch: false,
-                }));
-            }
-            (Some(o), None) => {
-                phase4_switch.push(UpdateBatch::Switch(SwitchBatch {
-                    switch: id,
-                    installs: Vec::new(),
-                    modifies: Vec::new(),
-                    removes: o.rules.clone(),
-                    after: Vec::new(),
-                    has_host_after: false,
-                    drop_switch: true,
-                }));
-            }
-            (Some(o), Some(n)) => {
-                if o.rules == n.rules && o.has_host == n.has_host {
-                    continue;
-                }
-                let (mut installs, mut removes) = split_diff(&o.rules, &n.rules);
-                let modifies = pair_modifies(&mut installs, &mut removes);
-                let (scaffold_installs, class_installs): (Vec<_>, Vec<_>) =
-                    installs.into_iter().partition(is_scaffold);
-                let (scaffold_removes, class_removes): (Vec<_>, Vec<_>) =
-                    removes.into_iter().partition(is_scaffold);
-                // While the old host-match (if any) is still installed, the
-                // switch keeps serving its old host; `has_host` only drops
-                // at the subtractive barrier.
-                let transitional_host = o.has_host || n.has_host;
-                if !scaffold_installs.is_empty() {
-                    phase2_switch.push(UpdateBatch::Switch(SwitchBatch {
-                        switch: id,
-                        installs: scaffold_installs.clone(),
-                        modifies: Vec::new(),
-                        removes: Vec::new(),
-                        after: merged(&o.rules, &scaffold_installs),
-                        has_host_after: transitional_host,
-                        drop_switch: false,
-                    }));
-                }
-                if !(class_installs.is_empty() && modifies.is_empty() && class_removes.is_empty()) {
-                    // Classification flip: after = the new table, plus any
-                    // scaffold rules whose removal is deferred to phase 4.
-                    phase3.push(UpdateBatch::Switch(SwitchBatch {
-                        switch: id,
-                        installs: class_installs,
-                        modifies,
-                        removes: class_removes,
-                        after: merged(&n.rules, &scaffold_removes),
-                        has_host_after: transitional_host,
-                        drop_switch: false,
-                    }));
-                }
-                if !scaffold_removes.is_empty() {
-                    phase4_switch.push(UpdateBatch::Switch(SwitchBatch {
-                        switch: id,
-                        installs: Vec::new(),
-                        modifies: Vec::new(),
-                        removes: scaffold_removes,
-                        after: n.rules.clone(),
-                        has_host_after: n.has_host,
-                        drop_switch: false,
-                    }));
-                }
-            }
+        // A brand-new or vanished switch follows the same discipline as a
+        // modified one, diffed against an empty table. Installing a new
+        // switch's classification together with its scaffold would let the
+        // ingress tag packets toward a host whose vSwitch rules only land
+        // in a later phase-2 batch (found by the crash-recovery battery:
+        // a fabric reconciled from that torn state stranded probes); the
+        // split keeps classification strictly after every host barrier.
+        // Symmetrically, a vanished switch's classification comes out at
+        // the phase-3 flip — before phase 4 drops the hosts it tags
+        // toward — and the scaffold plus the table itself go at phase 4.
+        let (o, n, drop_switch) = match (old.switches.get(&id), new.switches.get(&id)) {
+            (Some(o), Some(n)) => (o, n, false),
+            (None, Some(n)) => (&absent, n, false),
+            (Some(o), None) => (o, &absent, true),
             (None, None) => unreachable!("id came from one of the maps"),
+        };
+        if o.rules == n.rules && o.has_host == n.has_host && !drop_switch {
+            continue;
+        }
+        let (mut installs, mut removes) = split_diff(&o.rules, &n.rules);
+        let modifies = pair_modifies(&mut installs, &mut removes);
+        let (scaffold_installs, class_installs): (Vec<_>, Vec<_>) =
+            installs.into_iter().partition(is_scaffold);
+        let (scaffold_removes, class_removes): (Vec<_>, Vec<_>) =
+            removes.into_iter().partition(is_scaffold);
+        // While the old host-match (if any) is still installed, the
+        // switch keeps serving its old host; `has_host` only drops
+        // at the subtractive barrier.
+        let transitional_host = o.has_host || n.has_host;
+        if !scaffold_installs.is_empty() {
+            phase2_switch.push(UpdateBatch::Switch(SwitchBatch {
+                switch: id,
+                installs: scaffold_installs.clone(),
+                modifies: Vec::new(),
+                removes: Vec::new(),
+                after: merged(&o.rules, &scaffold_installs),
+                has_host_after: transitional_host,
+                drop_switch: false,
+            }));
+        }
+        if !(class_installs.is_empty() && modifies.is_empty() && class_removes.is_empty()) {
+            // Classification flip: after = the new table, plus any
+            // scaffold rules whose removal is deferred to phase 4.
+            phase3.push(UpdateBatch::Switch(SwitchBatch {
+                switch: id,
+                installs: class_installs,
+                modifies,
+                removes: class_removes,
+                after: merged(&n.rules, &scaffold_removes),
+                has_host_after: transitional_host,
+                drop_switch: false,
+            }));
+        }
+        if !scaffold_removes.is_empty() || drop_switch {
+            phase4_switch.push(UpdateBatch::Switch(SwitchBatch {
+                switch: id,
+                installs: Vec::new(),
+                modifies: Vec::new(),
+                removes: scaffold_removes,
+                after: n.rules.clone(),
+                has_host_after: n.has_host,
+                drop_switch,
+            }));
         }
     }
 

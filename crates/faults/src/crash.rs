@@ -1,0 +1,260 @@
+//! Kill-at-any-point crash injection for the journaled control plane.
+//!
+//! PR 7's recovery battery needs to murder the controller at *every*
+//! durability-relevant point and prove recovery converges. The crash
+//! points are enumerated dynamically: each journal append, snapshot
+//! write, and data-plane barrier passes through [`CrashPoint::on_site`],
+//! which counts sites in execution order. Running once with
+//! [`CrashPoint::never`] measures how many sites a timeline visits; the
+//! battery then replays the timeline once per site ordinal, killing the
+//! controller exactly there.
+//!
+//! A kill is a `panic_any` carrying [`ControllerKill`], so a harness can
+//! `catch_unwind`, verify the payload with [`kill_of`], and drop the dead
+//! controller on the floor — exactly what a process crash does to
+//! in-memory state — while the journal store and the switch fabric (owned
+//! outside the unwind boundary) survive.
+//!
+//! Torn writes: when the crash point is configured with a torn seed and
+//! fires on a journal append, [`CrashAction::Kill`] tells the caller to
+//! persist only a deterministic prefix of the framed record before dying,
+//! leaving the invalid tail that recovery must truncate.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Which kind of durability point tripped the kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// A write-ahead record append (intent, commit, or barrier record).
+    JournalAppend,
+    /// A periodic state snapshot write.
+    SnapshotWrite,
+    /// A data-plane update-plan barrier (one batch applied to switches).
+    DataplaneBarrier,
+}
+
+impl fmt::Display for CrashSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashSite::JournalAppend => write!(f, "journal-append"),
+            CrashSite::SnapshotWrite => write!(f, "snapshot-write"),
+            CrashSite::DataplaneBarrier => write!(f, "dataplane-barrier"),
+        }
+    }
+}
+
+/// Panic payload carried by an injected controller kill.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerKill {
+    /// The site kind that fired.
+    pub site: CrashSite,
+    /// 1-based ordinal of the site within the run.
+    pub ordinal: u64,
+}
+
+/// What the instrumented call site must do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashAction {
+    /// Proceed normally.
+    Continue,
+    /// Die here (after optionally persisting a torn prefix).
+    Kill {
+        /// 1-based ordinal of the fatal site (for the panic payload).
+        ordinal: u64,
+        /// For journal appends with torn-write mode: how many bytes of
+        /// the framed record to persist before dying. `None` = crash
+        /// cleanly between records.
+        torn_keep: Option<usize>,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    visited: Cell<u64>,
+    /// 1-based site ordinal to kill at; 0 = never.
+    crash_at: u64,
+    /// When set, a kill on a journal append persists a seeded partial frame.
+    torn_seed: Option<u64>,
+}
+
+/// Shared, cheaply clonable crash clock. All clones count against the
+/// same site sequence, so the journal append path and the barrier
+/// observer can hold separate handles.
+#[derive(Debug, Clone)]
+pub struct CrashPoint(Rc<Inner>);
+
+/// SplitMix64 — the same mixing discipline `apple-rng` uses for seed
+/// derivation; used here to pick a deterministic torn-prefix length.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl CrashPoint {
+    /// A crash clock that never fires (used to enumerate sites).
+    pub fn never() -> Self {
+        Self(Rc::new(Inner {
+            visited: Cell::new(0),
+            crash_at: 0,
+            torn_seed: None,
+        }))
+    }
+
+    /// Kill cleanly at the `n`-th site (1-based).
+    pub fn at(n: u64) -> Self {
+        Self(Rc::new(Inner {
+            visited: Cell::new(0),
+            crash_at: n,
+            torn_seed: None,
+        }))
+    }
+
+    /// Kill at the `n`-th site; if that site is a journal append, persist
+    /// a seeded partial frame first (torn-write mode).
+    pub fn at_torn(n: u64, torn_seed: u64) -> Self {
+        Self(Rc::new(Inner {
+            visited: Cell::new(0),
+            crash_at: n,
+            torn_seed: Some(torn_seed),
+        }))
+    }
+
+    /// Number of sites visited so far.
+    pub fn visited(&self) -> u64 {
+        self.0.visited.get()
+    }
+
+    /// Register one durability site. `frame_len` is the framed record
+    /// length for [`CrashSite::JournalAppend`] (ignored elsewhere).
+    pub fn on_site(&self, site: CrashSite, frame_len: usize) -> CrashAction {
+        let ordinal = self.0.visited.get() + 1;
+        self.0.visited.set(ordinal);
+        if self.0.crash_at == 0 || ordinal != self.0.crash_at {
+            return CrashAction::Continue;
+        }
+        let torn_keep = match (site, self.0.torn_seed) {
+            (CrashSite::JournalAppend, Some(seed)) if frame_len > 1 => {
+                // Keep between 1 and frame_len - 1 bytes: always torn,
+                // never accidentally complete.
+                Some(1 + (mix(seed ^ ordinal) % (frame_len as u64 - 1)) as usize)
+            }
+            _ => None,
+        };
+        CrashAction::Kill { ordinal, torn_keep }
+    }
+}
+
+/// Kill the controller: panic with a [`ControllerKill`] payload.
+pub fn kill(site: CrashSite, ordinal: u64) -> ! {
+    std::panic::panic_any(ControllerKill { site, ordinal })
+}
+
+/// Downcast a caught unwind payload to the injected-kill marker.
+pub fn kill_of(payload: &(dyn Any + Send)) -> Option<&ControllerKill> {
+    payload.downcast_ref::<ControllerKill>()
+}
+
+/// Install (once, process-wide) a panic hook that stays silent for
+/// injected [`ControllerKill`] panics and delegates everything else to
+/// the previous hook. Without this, a 200-case chaos battery floods
+/// stderr with backtraces for panics that are the *expected* outcome.
+pub fn install_quiet_kill_hook() {
+    use std::sync::Once;
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ControllerKill>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn never_fires_and_counts() {
+        let cp = CrashPoint::never();
+        for _ in 0..10 {
+            assert_eq!(
+                cp.on_site(CrashSite::JournalAppend, 64),
+                CrashAction::Continue
+            );
+        }
+        assert_eq!(cp.visited(), 10);
+    }
+
+    #[test]
+    fn clones_share_the_site_clock() {
+        let cp = CrashPoint::at(3);
+        let other = cp.clone();
+        assert_eq!(
+            cp.on_site(CrashSite::JournalAppend, 16),
+            CrashAction::Continue
+        );
+        assert_eq!(
+            other.on_site(CrashSite::DataplaneBarrier, 0),
+            CrashAction::Continue
+        );
+        match cp.on_site(CrashSite::SnapshotWrite, 0) {
+            CrashAction::Kill {
+                ordinal: 3,
+                torn_keep: None,
+            } => {}
+            other => panic!("expected clean kill at ordinal 3, got {other:?}"),
+        }
+        // Past the configured point the clock keeps counting but never fires.
+        assert_eq!(
+            cp.on_site(CrashSite::JournalAppend, 16),
+            CrashAction::Continue
+        );
+        assert_eq!(cp.visited(), 4);
+    }
+
+    #[test]
+    fn torn_keep_is_bounded_and_deterministic() {
+        for seed in 0..32u64 {
+            let keep_of = |s: u64| {
+                let cp = CrashPoint::at_torn(1, s);
+                match cp.on_site(CrashSite::JournalAppend, 100) {
+                    CrashAction::Kill {
+                        torn_keep: Some(k), ..
+                    } => k,
+                    other => panic!("expected torn kill, got {other:?}"),
+                }
+            };
+            let k = keep_of(seed);
+            assert!((1..100).contains(&k), "torn keep {k} out of range");
+            assert_eq!(k, keep_of(seed));
+        }
+    }
+
+    #[test]
+    fn torn_mode_on_non_append_site_is_clean() {
+        let cp = CrashPoint::at_torn(1, 9);
+        match cp.on_site(CrashSite::DataplaneBarrier, 0) {
+            CrashAction::Kill {
+                torn_keep: None, ..
+            } => {}
+            other => panic!("expected clean kill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_payload_round_trips_through_unwind() {
+        install_quiet_kill_hook();
+        let err = catch_unwind(AssertUnwindSafe(|| kill(CrashSite::JournalAppend, 7))).unwrap_err();
+        let k = kill_of(err.as_ref()).expect("payload should be a ControllerKill");
+        assert_eq!(k.ordinal, 7);
+        assert_eq!(k.site, CrashSite::JournalAppend);
+    }
+}

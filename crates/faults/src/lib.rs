@@ -22,7 +22,12 @@
 //!   seeded Bernoulli outcomes,
 //! * [`retry`] — [`RetryPolicy`]: bounded exponential backoff with seeded
 //!   jitter and a per-operation timeout budget derived from the paper's
-//!   measured latencies ([`apple_nf::TimingModel`]).
+//!   measured latencies ([`apple_nf::TimingModel`]),
+//! * [`crash`] — [`CrashPoint`]: a kill-at-any-point crash clock for the
+//!   journaled controller (PR 7); every journal append, snapshot write,
+//!   and data-plane barrier is an enumerable crash site, and a kill is a
+//!   catchable panic that destroys exactly the in-memory state a real
+//!   process crash would.
 //!
 //! # Example
 //!
@@ -36,10 +41,12 @@
 //! let _fails = inj.boot_fails(0, 1);
 //! ```
 
+pub mod crash;
 pub mod injector;
 pub mod plan;
 pub mod retry;
 
+pub use crash::{ControllerKill, CrashAction, CrashPoint, CrashSite};
 pub use injector::{FailFirstN, FaultInjector, NoFaults, ScriptedInjector};
 pub use plan::{FaultKind, FaultPlan, FaultPlanConfig, ScheduledFault};
 pub use retry::RetryPolicy;

@@ -104,4 +104,51 @@ mod tests {
         };
         assert_eq!(seq(9), seq(9));
     }
+
+    /// The exact backoff value for every attempt must stay inside the
+    /// full-jitter envelope `[full/2, full]`, where `full` is the doubled
+    /// base capped at the ceiling — for every seed, not just one.
+    #[test]
+    fn jitter_stays_within_configured_bounds() {
+        let t = TimingModel::paper(11);
+        for policy in [RetryPolicy::for_boot(&t), RetryPolicy::for_rule_install(&t)] {
+            for seed in 0..64u64 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for attempt in 1..=24u32 {
+                    let full = policy
+                        .base_backoff_ms
+                        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+                        .min(policy.max_backoff_ms)
+                        .max(1);
+                    let b = policy.backoff_ms(attempt, &mut rng);
+                    assert!(
+                        (full / 2..=full).contains(&b),
+                        "seed {seed} attempt {attempt}: backoff {b} outside [{}, {full}]",
+                        full / 2
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pinned-seed regression: the backoff stream for a fixed seed is part
+    /// of the repo's determinism contract (fault schedules and recovery
+    /// fixtures replay against it). If this test breaks, the RNG or the
+    /// jitter arithmetic changed and every seeded experiment shifted.
+    #[test]
+    fn backoff_pinned_seed_regression() {
+        let t = TimingModel::paper(1);
+        let rule = RetryPolicy::for_rule_install(&t);
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        let seq: Vec<u64> = (1..=8).map(|a| rule.backoff_ms(a, &mut rng)).collect();
+        assert_eq!(seq, PINNED_RULE_BACKOFF_0XA11CE);
+
+        let boot = RetryPolicy::for_boot(&t);
+        let mut rng = StdRng::seed_from_u64(0xB007);
+        let seq: Vec<u64> = (1..=8).map(|a| boot.backoff_ms(a, &mut rng)).collect();
+        assert_eq!(seq, PINNED_BOOT_BACKOFF_0XB007);
+    }
+
+    const PINNED_RULE_BACKOFF_0XA11CE: [u64; 8] = [20, 27, 57, 84, 295, 385, 409, 332];
+    const PINNED_BOOT_BACKOFF_0XB007: [u64; 8] = [96, 144, 263, 516, 1444, 1376, 1281, 1190];
 }

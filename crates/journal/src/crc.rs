@@ -1,0 +1,56 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) implemented in-repo.
+//!
+//! The table is built in a `const` context so the checksum is available
+//! without lazy initialisation and stays identical across releases — the
+//! committed journal fixtures depend on that.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE polynomial, init `!0`, final xor `!0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"journal record");
+        let mut flipped = b"journal record".to_vec();
+        flipped[3] ^= 0x01;
+        assert_ne!(a, crc32(&flipped));
+    }
+}

@@ -42,7 +42,7 @@ pub use chaos::{run_chaos, run_schedule, ChaosReport};
 pub use metrics::{Series, Summary};
 pub use online::{build_timeline, run_timeline, OnlineRunConfig, OnlineRunReport};
 pub use packet_replay::{
-    conformance_probes, differential_conformance, ConformanceError, ConformanceProbe,
-    ConformanceReport,
+    conformance_probes, differential_conformance, repair_conformance, ConformanceError,
+    ConformanceProbe, ConformanceReport,
 };
 pub use replay::{ReplayConfig, ReplayError, ReplayOutcome};

@@ -23,8 +23,8 @@
 
 use apple_core::controller::{Apple, AppleConfig};
 use apple_core::engine::EngineError;
-use apple_dataplane::compiler::{compile, CompilerSnapshot};
-use apple_dataplane::diff::{apply_batch, diff};
+use apple_dataplane::compiler::{compile, CompilerSnapshot, RuleProgram};
+use apple_dataplane::diff::{apply_batch_unchecked, diff};
 use apple_dataplane::packet::{HostTag, Packet};
 use apple_dataplane::walk::{WalkError, WalkRecord};
 use apple_dataplane::PortCounters;
@@ -380,6 +380,43 @@ pub fn differential_conformance(
     new: &CompilerSnapshot,
 ) -> Result<ConformanceReport, ConformanceError> {
     let old_prog = compile(old);
+    conformance_core(old_prog, None, old, new)
+}
+
+/// The crash-recovery variant of [`differential_conformance`]: the "old"
+/// side is not a compiled snapshot but the **actual surviving switch
+/// fabric** (`installed`), which after a mid-sync crash sits at some
+/// barrier prefix between one sync's program and the next. Because the
+/// fabric is mid-transition, a walk during repair may legally look like
+/// the *pre-crash-sync* program (`old`, the context one sync before the
+/// crash) rather than the torn fabric itself — probes stranded by the
+/// torn state heal through `old`-like behaviour on their way to `new`.
+/// The acceptance set per barrier is therefore: bitwise-installed,
+/// bitwise-`old`, bitwise-`new`, or a chain-consistent mix against either
+/// endpoint — and after the final barrier, bitwise-`new` only.
+///
+/// # Errors
+///
+/// The first [`ConformanceError`] found, naming the barrier and probe.
+pub fn repair_conformance(
+    installed: &RuleProgram,
+    old: &CompilerSnapshot,
+    new: &CompilerSnapshot,
+) -> Result<ConformanceReport, ConformanceError> {
+    conformance_core(installed.clone(), Some(compile(old)), old, new)
+}
+
+/// Shared engine of the two conformance batteries: walk every probe at
+/// every intermediate barrier of the update plan from `old_prog` to
+/// `compile(new)`, enforcing bitwise-old / bitwise-new / chain-consistent
+/// mix (plus bitwise-`prev` when a pre-transition program is given), then
+/// require bitwise-final convergence.
+fn conformance_core(
+    old_prog: RuleProgram,
+    prev_prog: Option<RuleProgram>,
+    old: &CompilerSnapshot,
+    new: &CompilerSnapshot,
+) -> Result<ConformanceReport, ConformanceError> {
     let new_prog = compile(new);
     let plan = diff(&old_prog, &new_prog);
     let probes = conformance_probes(old, new);
@@ -394,6 +431,16 @@ pub fn differential_conformance(
         .iter()
         .map(|p| new_walker.walk(p.packet, &p.path))
         .collect();
+    // Repair runs start from a torn fabric: probes stranded by the crash
+    // heal through the pre-transition program's behaviour before reaching
+    // `new`, so those walks are a third legal reference alongside old/new.
+    let prev_walks: Option<Vec<Walk>> = prev_prog.map(|prog| {
+        let walker = prog.walker();
+        probes
+            .iter()
+            .map(|p| walker.walk(p.packet, &p.path))
+            .collect()
+    });
 
     let mut nf_of: BTreeMap<InstanceId, NfType> = BTreeMap::new();
     let mut chains: BTreeSet<Vec<NfType>> = BTreeSet::new();
@@ -413,7 +460,7 @@ pub fn differential_conformance(
     let mut patched = old_prog;
     let total = plan.batches().len();
     for (bi, batch) in plan.batches().iter().enumerate() {
-        apply_batch(&mut patched, batch, None).expect("uncapped apply cannot fail");
+        apply_batch_unchecked(&mut patched, batch);
         report.barriers += 1;
         let walker = patched.walker();
         let last = bi + 1 == total;
@@ -427,9 +474,24 @@ pub fn differential_conformance(
                     probe: probe.label.clone(),
                     detail: walk_detail(&got),
                 });
-            } else if got == old_walks[i] {
+            } else if got == old_walks[i] || prev_walks.as_ref().is_some_and(|pw| got == pw[i]) {
                 report.old_exact += 1;
-            } else if chain_consistent(&got, &old_walks[i], &new_walks[i], &nf_of, &chains) {
+            } else if prev_walks.is_some()
+                && matches!(got, Err(WalkError::NoRuleAtSwitch(_)))
+                && matches!(old_walks[i], Err(WalkError::NoRuleAtSwitch(_)))
+            {
+                // Repair mode only: a probe black-holed by the torn fabric
+                // may stay black-holed while scaffolding lands, with the
+                // stranding switch moving along the path. Still a drop in
+                // both states — but a punt to a missing host is never
+                // excused, so a make-before-break violation in the repair
+                // plan itself remains detectable.
+                report.old_exact += 1;
+            } else if chain_consistent(&got, &old_walks[i], &new_walks[i], &nf_of, &chains)
+                || prev_walks.as_ref().is_some_and(|pw| {
+                    chain_consistent(&got, &pw[i], &new_walks[i], &nf_of, &chains)
+                })
+            {
                 report.mixed += 1;
             } else {
                 return Err(ConformanceError::BarrierWalk {
@@ -638,7 +700,7 @@ mod tests {
         // Apply host-removal barriers while classification still tags.
         for batch in plan.batches() {
             if matches!(batch, UpdateBatch::Host(h) if h.drop_host) {
-                apply_batch(&mut patched, batch, None).unwrap();
+                apply_batch_unchecked(&mut patched, batch);
             }
         }
         let probes = conformance_probes(&full, &empty);

@@ -6,6 +6,7 @@
 //! apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S]
 //! apple chaos  <TOPO> [--schedules N] [--seed S] [--classes K] [--load MBPS]
 //! apple online <TOPO> [--horizon SECS] [--rate R] [--resolve-every N] [--seed S]
+//! apple recover <TOPO> [--horizon SECS] [--rate R] [--seed S] [--kill-at N] [--torn] [--snapshot-every N]
 //! apple compile <TOPO> [--classes K] [--load MBPS] [--seed S] [--incremental]
 //! apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 //! ```
@@ -20,19 +21,27 @@ use apple_nfv::core::controller::{Apple, AppleConfig};
 use apple_nfv::core::engine::{EngineConfig, OptimizationEngine, SolveMode};
 use apple_nfv::core::online::OnlineConfig;
 use apple_nfv::core::orchestrator::ResourceOrchestrator;
+use apple_nfv::core::recovery::{
+    encode_state, reconcile, recover, state_digest, JournaledLoop, RecoveryConfig, RecoverySetup,
+    SharedFabric,
+};
 use apple_nfv::core::rules::{generate_with, snapshot_of, RuleGenConfig};
 use apple_nfv::core::subclass::{SplitStrategy, SubclassPlan};
 use apple_nfv::dataplane::compiler::compile_recorded;
 use apple_nfv::dataplane::diff::diff_recorded;
-use apple_nfv::faults::FaultPlanConfig;
+use apple_nfv::faults::crash::{install_quiet_kill_hook, kill_of};
+use apple_nfv::faults::{CrashPoint, FaultPlanConfig};
+use apple_nfv::journal::SharedMemStore;
 use apple_nfv::nf::InstanceId;
 use apple_nfv::sim::chaos::run_schedule;
 use apple_nfv::sim::online::{build_timeline, run_timeline, OnlineRunConfig};
+use apple_nfv::sim::packet_replay::repair_conformance;
 use apple_nfv::sim::replay::{replay_recorded, ReplayConfig};
 use apple_nfv::telemetry::{MemoryRecorder, Recorder, NOOP};
 use apple_nfv::topology::{zoo, Topology};
 use apple_nfv::traffic::arrivals::ArrivalConfig;
 use apple_nfv::traffic::{GravityModel, SeriesConfig, TmSeries};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -54,6 +63,8 @@ const USAGE: &str = "usage:
   apple replay <TOPO> [--snapshots N] [--no-failover] [--seed S] [--telemetry json]
   apple chaos  <TOPO> [--schedules N] [--seed S] [--classes K] [--load MBPS] [--telemetry json]
   apple online <TOPO> [--horizon SECS] [--rate R] [--resolve-every N] [--seed S] [--telemetry json]
+  apple recover <TOPO> [--horizon SECS] [--rate R] [--seed S] [--kill-at N] [--torn]
+               [--snapshot-every N] [--resolve-every N] [--telemetry json]
   apple compile <TOPO> [--classes K] [--load MBPS] [--seed S] [--incremental] [--telemetry json]
   apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 
@@ -77,6 +88,16 @@ online streams a seeded flow arrival/departure timeline through the
 incremental orchestration loop: classes are maintained per event, new
 classes placed against the residual-capacity ledger, and a warm-started
 global re-solve runs every --resolve-every events.
+
+recover demonstrates the crash-recovery subsystem end to end: it streams
+the online timeline through a write-ahead-journaled controller, kills it
+at crash site --kill-at (counted across journal appends, snapshot writes
+and data-plane barriers; 0 = halfway through the run; --torn leaves a
+half-written journal record behind), then recovers from the surviving
+store, reconciles the torn switch fabric against the recovered intent,
+replays the repair through the packet-level conformance battery, resumes
+the rest of the timeline and checks the final state is bitwise-equal to
+a never-crashed twin.
 
 compile plans a deployment, lowers it into a compiler snapshot and runs
 the deterministic Table III rule compiler over it. With --incremental it
@@ -102,6 +123,9 @@ struct Flags {
     telemetry: bool,
     solve_mode: SolveMode,
     threads: usize,
+    snapshot_every: u64,
+    kill_at: u64,
+    torn: bool,
 }
 
 impl Default for Flags {
@@ -123,6 +147,9 @@ impl Default for Flags {
             telemetry: false,
             solve_mode: SolveMode::Monolithic,
             threads: 0,
+            snapshot_every: 64,
+            kill_at: 0,
+            torn: false,
         }
     }
 }
@@ -204,6 +231,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--edges" => f.edges = true,
             "--stats" => f.stats = true,
             "--incremental" => f.incremental = true,
+            "--snapshot-every" => {
+                f.snapshot_every = num("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "bad --snapshot-every")?
+            }
+            "--kill-at" => f.kill_at = num("--kill-at")?.parse().map_err(|_| "bad --kill-at")?,
+            "--torn" => f.torn = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -456,6 +490,158 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.final_instances, report.final_shed
             );
             looper.check_ledger()?;
+            emit_telemetry(&mem);
+            Ok(())
+        }
+        "recover" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let cfg = OnlineRunConfig {
+                arrivals: ArrivalConfig {
+                    arrival_rate: flags.rate,
+                    seed: flags.seed,
+                    ..Default::default()
+                },
+                horizon_secs: flags.horizon,
+                online: OnlineConfig {
+                    resolve_every: flags.resolve_every,
+                    max_churn: 64,
+                    engine: EngineConfig {
+                        solve_mode: flags.solve_mode,
+                        threads: flags.threads,
+                        ..Default::default()
+                    },
+                    seed: flags.seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let timeline = build_timeline(&topo, &cfg);
+            let setup = RecoverySetup {
+                topo: topo.clone(),
+                cfg: cfg.online.clone(),
+                recovery: RecoveryConfig {
+                    snapshot_every: flags.snapshot_every,
+                },
+                host_cores: cfg.host_cores,
+            };
+
+            // Never-crashed twin: fixes the expected final state and counts
+            // the durability sites the timeline visits.
+            let probe = CrashPoint::never();
+            let mut twin = JournaledLoop::new(
+                &setup,
+                SharedMemStore::new(),
+                SharedFabric::new(),
+                probe.clone(),
+            );
+            for e in timeline.events() {
+                twin.step(e, &NOOP).map_err(|e| e.to_string())?;
+            }
+            let twin_final = encode_state(twin.inner());
+            let visits = probe.visited();
+            if visits == 0 {
+                return Err("timeline visits no durability sites; lengthen --horizon".into());
+            }
+            let ordinal = if flags.kill_at == 0 {
+                visits / 2 + 1
+            } else {
+                flags.kill_at
+            };
+            if ordinal > visits {
+                return Err(format!(
+                    "--kill-at {ordinal} exceeds the {visits} crash sites this run visits"
+                ));
+            }
+
+            // Crash the controller mid-run; the store and fabric survive.
+            install_quiet_kill_hook();
+            let store = SharedMemStore::new();
+            let fabric = SharedFabric::new();
+            let crash = if flags.torn {
+                CrashPoint::at_torn(ordinal, flags.seed ^ ordinal)
+            } else {
+                CrashPoint::at(ordinal)
+            };
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let mut jl = JournaledLoop::new(&setup, store.clone(), fabric.clone(), crash);
+                for e in timeline.events() {
+                    jl.step(e, &NOOP)
+                        .expect("in-memory journal append cannot fail");
+                }
+            }));
+            let Err(payload) = caught else {
+                return Err("crash point never fired; pick a smaller --kill-at".into());
+            };
+            let kill =
+                kill_of(payload.as_ref()).ok_or("run panicked outside the crash injector")?;
+            println!(
+                "killed controller at {:?} site, ordinal {} of {}{}",
+                kill.site,
+                kill.ordinal,
+                visits,
+                if flags.torn { " (torn append)" } else { "" }
+            );
+
+            let mem = make_recorder(&flags);
+            let rec = recorder_ref(&mem);
+            let (mut recovered, report) =
+                recover(&setup, store, fabric.clone(), rec).map_err(|e| e.to_string())?;
+            println!(
+                "recovered from {}: {} records scanned, {} intents replayed, {} torn bytes truncated",
+                report
+                    .snapshot_seq
+                    .map_or("genesis".to_string(), |s| format!("snapshot seq {s}")),
+                report.records_scanned,
+                report.records_replayed,
+                report.torn_truncated_bytes
+            );
+
+            let rr = reconcile(&recovered, rec);
+            println!(
+                "reconciled data plane: {} ({} batches, {} rule ops)",
+                if rr.was_clean {
+                    "fabric already matched the recovered intent"
+                } else {
+                    "repaired the torn fabric"
+                },
+                rr.batches,
+                rr.rule_ops
+            );
+            let prev = report
+                .prev_ctx
+                .as_ref()
+                .ok_or("recovered loop has no compiler context")?;
+            let intended = report
+                .intended_ctx
+                .as_ref()
+                .ok_or("recovered loop has no compiler context")?;
+            let conf = repair_conformance(&rr.pre_repair_fabric, prev, intended)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "repair conformance: {} probes x {} barriers = {} walks, every one old, new or a consistent chain mix",
+                conf.probes, conf.barriers, conf.walks
+            );
+
+            let resume_from = recovered.seq() as usize;
+            for e in &timeline.events()[resume_from..] {
+                recovered.step(e, rec).map_err(|e| e.to_string())?;
+            }
+            if encode_state(recovered.inner()) != twin_final {
+                return Err(format!(
+                    "recovered+resumed state diverged from the never-crashed twin \
+                     (digest {:#010x} vs {:#010x})",
+                    state_digest(recovered.inner()),
+                    apple_nfv::journal::crc32(&twin_final)
+                ));
+            }
+            println!(
+                "resumed {} remaining events; final state bitwise-equal to the never-crashed twin (digest {:#010x})",
+                timeline.len() - resume_from,
+                state_digest(recovered.inner())
+            );
+            recovered.inner().check_ledger()?;
             emit_telemetry(&mem);
             Ok(())
         }

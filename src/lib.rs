@@ -18,6 +18,7 @@
 pub use apple_core as core;
 pub use apple_dataplane as dataplane;
 pub use apple_faults as faults;
+pub use apple_journal as journal;
 pub use apple_lp as lp;
 pub use apple_nf as nf;
 pub use apple_rng as rng;

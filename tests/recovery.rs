@@ -1,0 +1,446 @@
+//! Crash-recovery chaos battery for the journaled controller
+//! (DESIGN.md §11).
+//!
+//! The battery enumerates every durability site a seeded timeline visits
+//! — journal appends, snapshot writes, data-plane barriers — and, for a
+//! sampled set of ≥200 (timeline, crash-point) pairs, kills the
+//! controller exactly there (alternating clean kills and torn-write
+//! kills), then proves the full recovery contract:
+//!
+//! 1. `recover` truncates any torn tail, restores the newest snapshot,
+//!    and redo-replays the intent suffix;
+//! 2. `reconcile` repairs the surviving switch fabric up to the recovered
+//!    intent through the make-before-break diff planner;
+//! 3. the repair is interference-free per the packet-level
+//!    `repair_conformance` battery (bitwise-old / bitwise-new /
+//!    chain-consistent at every repair barrier);
+//! 4. resuming the recovered controller over the remainder of the script
+//!    converges **bitwise** to a never-crashed twin (canonical state
+//!    encoding, floats compared by bit pattern), with a clean residual
+//!    ledger and clean share verification;
+//! 5. pinned fixture files freeze the journal and snapshot wire formats.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use apple_nfv::core::online::{OnlineConfig, OrchestrationLoop};
+use apple_nfv::core::orchestrator::ResourceOrchestrator;
+use apple_nfv::core::recovery::{
+    encode_state, reconcile, recover, state_digest, JournaledLoop, Record, RecoveryConfig,
+    RecoverySetup, SharedFabric,
+};
+use apple_nfv::core::verify::verify_shares;
+use apple_nfv::faults::crash::{install_quiet_kill_hook, kill_of};
+use apple_nfv::faults::{CrashPoint, CrashSite};
+use apple_nfv::journal::{Journal, MemStore, SharedMemStore};
+use apple_nfv::nf::InstanceId;
+use apple_nfv::sim::repair_conformance;
+use apple_nfv::telemetry::{MemoryRecorder, NOOP};
+use apple_nfv::topology::{zoo, NodeId};
+use apple_nfv::traffic::arrivals::{ArrivalConfig, EventTimeline, FlowEvent};
+
+/// Base seed for this file (see tests/README.md).
+const SEED: u64 = 0x4ec0_7e41;
+
+/// Timelines in the sweep; each contributes an even sample of its crash
+/// ordinals so the battery covers early, mid, and late crash points.
+const TIMELINE_SEEDS: [u64; 4] = [SEED, SEED ^ 1, SEED ^ 2, SEED ^ 3];
+
+/// Crash-point pairs sampled per timeline (4 × 55 = 220 ≥ 200).
+const PAIRS_PER_TIMELINE: u64 = 55;
+
+/// Inject a scripted instance crash before every 17th event (when any
+/// instance is running) so recovery also covers the out-of-band
+/// `CrashIntent` path.
+const INSTANCE_CRASH_EVERY: usize = 17;
+
+fn setup() -> RecoverySetup {
+    RecoverySetup {
+        topo: zoo::internet2(),
+        cfg: OnlineConfig {
+            resolve_every: 40,
+            ..Default::default()
+        },
+        recovery: RecoveryConfig { snapshot_every: 24 },
+        host_cores: 64,
+    }
+}
+
+fn events(seed: u64) -> Vec<FlowEvent> {
+    let pairs = vec![
+        (NodeId(0), NodeId(5)),
+        (NodeId(2), NodeId(6)),
+        (NodeId(1), NodeId(7)),
+    ];
+    let cfg = ArrivalConfig {
+        seed,
+        ..ArrivalConfig::default()
+    };
+    EventTimeline::generate(&pairs, &cfg, 14.0)
+        .events()
+        .to_vec()
+}
+
+/// One scripted controller action. The script is frozen **before** any
+/// journaled run (via a dry run), so the crashed run, the recovery
+/// replay, the post-recovery resume, and the never-crashed twin all apply
+/// byte-identical action sequences — each action is exactly one journal
+/// intent, so `JournaledLoop::seq` is the resume cursor.
+#[derive(Clone)]
+enum Action {
+    Step(FlowEvent),
+    Crash(InstanceId),
+}
+
+fn build_script(s: &RecoverySetup, evs: &[FlowEvent]) -> Vec<Action> {
+    let mut cfg = s.cfg.clone();
+    cfg.compile_rules = true;
+    let orch = ResourceOrchestrator::with_uniform_hosts(&s.topo, s.host_cores);
+    let mut looper = OrchestrationLoop::new(&s.topo, orch, cfg);
+    let mut script = Vec::new();
+    for (i, e) in evs.iter().enumerate() {
+        if i > 0 && i % INSTANCE_CRASH_EVERY == 0 {
+            if let Some(id) = looper.orchestrator().instances().map(|v| v.id()).min() {
+                looper.handle_instance_crash(id, &NOOP);
+                script.push(Action::Crash(id));
+            }
+        }
+        looper.step(e, &NOOP);
+        script.push(Action::Step(e.clone()));
+    }
+    script
+}
+
+/// Apply `script[from..]` to a journaled loop. Panics propagate (that is
+/// the point: an injected kill unwinds out of here).
+fn run_script<S: apple_nfv::journal::JournalStore + 'static>(
+    jl: &mut JournaledLoop<S>,
+    script: &[Action],
+    from: usize,
+) {
+    for action in &script[from..] {
+        match action {
+            Action::Step(e) => {
+                jl.step(e, &NOOP)
+                    .expect("in-memory journal append cannot fail");
+            }
+            Action::Crash(id) => {
+                jl.crash_instance(*id, &NOOP)
+                    .expect("in-memory journal append cannot fail");
+            }
+        }
+    }
+}
+
+/// Runs the full script uninterrupted and returns the twin's canonical
+/// final state plus the number of durability sites the run visits.
+fn twin_and_sites(s: &RecoverySetup, script: &[Action]) -> (Vec<u8>, u64) {
+    let crash = CrashPoint::never();
+    let mut twin = JournaledLoop::new(s, SharedMemStore::new(), SharedFabric::new(), crash.clone());
+    run_script(&mut twin, script, 0);
+    (encode_state(twin.inner()), crash.visited())
+}
+
+struct PairOutcome {
+    site: CrashSite,
+    torn_bytes: u64,
+    replayed: u64,
+    repaired: bool,
+}
+
+/// One (timeline, crash-point) pair: crash, recover, reconcile, prove
+/// conformance, resume, and compare bitwise against the twin.
+fn run_pair(
+    s: &RecoverySetup,
+    script: &[Action],
+    twin_final: &[u8],
+    ordinal: u64,
+    torn: bool,
+    label: &str,
+) -> PairOutcome {
+    let store = SharedMemStore::new();
+    let fabric = SharedFabric::new();
+    let crash = if torn {
+        CrashPoint::at_torn(ordinal, SEED ^ ordinal)
+    } else {
+        CrashPoint::at(ordinal)
+    };
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut jl = JournaledLoop::new(s, store.clone(), fabric.clone(), crash);
+        run_script(&mut jl, script, 0);
+    }))
+    .expect_err("crash point inside the visited range must fire");
+    let kill = kill_of(caught.as_ref()).unwrap_or_else(|| panic!("{label}: panic was not a kill"));
+    assert_eq!(kill.ordinal, ordinal, "{label}: wrong site fired");
+
+    // The controller is gone; the store and fabric survived. Recover.
+    let rec = MemoryRecorder::new();
+    let (mut recovered, report) =
+        recover(s, store, fabric.clone(), &rec).unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert!(
+        !torn || kill.site != CrashSite::JournalAppend || report.torn_truncated_bytes > 0,
+        "{label}: torn kill on an append must leave a truncatable tail"
+    );
+
+    // Reconcile the surviving fabric with the recovered intent, and prove
+    // the repair interference-free at packet level.
+    let rr = reconcile(&recovered, &rec);
+    assert_eq!(
+        &fabric.program(),
+        recovered
+            .inner()
+            .dataplane_program()
+            .expect("recovered loop compiles rules"),
+        "{label}: fabric must match the recovered intent after repair"
+    );
+    let (prev, intended) = (
+        report
+            .prev_ctx
+            .as_ref()
+            .expect("recovered loop has a context"),
+        report
+            .intended_ctx
+            .as_ref()
+            .expect("recovered loop has a context"),
+    );
+    repair_conformance(&rr.pre_repair_fabric, prev, intended)
+        .unwrap_or_else(|e| panic!("{label}: repair conformance: {e}"));
+
+    // Resume from the journal's intent cursor and converge on the twin.
+    let resume_from = recovered.seq() as usize;
+    assert!(
+        resume_from <= script.len(),
+        "{label}: replay overshot the script"
+    );
+    run_script(&mut recovered, script, resume_from);
+    assert_eq!(
+        encode_state(recovered.inner()),
+        twin_final,
+        "{label}: recovered+resumed state must be bitwise-equal to the twin \
+         (digest {:#010x} vs {:#010x})",
+        state_digest(recovered.inner()),
+        apple_nfv::journal::crc32(twin_final),
+    );
+    recovered
+        .inner()
+        .check_ledger()
+        .unwrap_or_else(|e| panic!("{label}: residual ledger: {e}"));
+    let (classes, handler) = recovered.inner().snapshot();
+    let violations = verify_shares(&classes, &handler, recovered.inner().orchestrator(), 1e-6);
+    assert!(
+        violations.is_empty(),
+        "{label}: share violations: {violations:?}"
+    );
+    let snap = rec.snapshot();
+    PairOutcome {
+        site: kill.site,
+        torn_bytes: report.torn_truncated_bytes,
+        replayed: report.records_replayed,
+        repaired: !rr.was_clean || snap.counter("recovery.reconcile_repairs").unwrap_or(0) > 0,
+    }
+}
+
+/// The headline sweep: ≥200 sampled (timeline, crash-point) pairs, each
+/// recovered, reconciled, conformance-checked, and resumed to bitwise
+/// twin equality.
+#[test]
+fn crash_point_battery_recovers_bitwise_everywhere() {
+    install_quiet_kill_hook();
+    let s = setup();
+    let mut pairs = 0u64;
+    let mut torn_pairs = 0u64;
+    let mut replays = 0u64;
+    let mut repairs = 0u64;
+    let mut sites = [0u64; 3];
+    for (ti, &tl_seed) in TIMELINE_SEEDS.iter().enumerate() {
+        let evs = events(tl_seed);
+        let script = build_script(&s, &evs);
+        let (twin_final, visits) = twin_and_sites(&s, &script);
+        assert!(
+            visits > PAIRS_PER_TIMELINE,
+            "timeline {ti} visits only {visits} sites"
+        );
+        let stride = visits / PAIRS_PER_TIMELINE;
+        for k in 0..PAIRS_PER_TIMELINE {
+            // Even spread over the run, offset per timeline so different
+            // timelines sample different phases of the step cycle.
+            let ordinal = (k * stride + ti as u64 % stride.max(1)) + 1;
+            let torn = pairs % 2 == 1;
+            let label = format!("timeline {ti} ordinal {ordinal} torn {torn}");
+            let out = run_pair(&s, &script, &twin_final, ordinal, torn, &label);
+            pairs += 1;
+            torn_pairs += u64::from(out.torn_bytes > 0);
+            replays += out.replayed;
+            repairs += u64::from(out.repaired);
+            sites[match out.site {
+                CrashSite::JournalAppend => 0,
+                CrashSite::SnapshotWrite => 1,
+                CrashSite::DataplaneBarrier => 2,
+            }] += 1;
+        }
+    }
+    assert!(pairs >= 200, "battery ran only {pairs} pairs");
+    assert!(
+        sites.iter().all(|&c| c > 0),
+        "battery must hit every site kind, got {sites:?}"
+    );
+    assert!(torn_pairs > 0, "battery never produced a torn tail");
+    assert!(replays > 0, "battery never replayed a record");
+    assert!(repairs > 0, "battery never exercised fabric repair");
+}
+
+/// A crash before the very first durability site recovers to genesis and
+/// replays the entire script.
+#[test]
+fn crash_at_first_site_recovers_from_genesis() {
+    install_quiet_kill_hook();
+    let s = setup();
+    let evs = events(SEED ^ 7);
+    let script = build_script(&s, &evs);
+    let (twin_final, _) = twin_and_sites(&s, &script);
+    run_pair(&s, &script, &twin_final, 1, false, "first-site");
+}
+
+/// Journal-only mode (snapshots disabled) still recovers bitwise — every
+/// intent replays from genesis.
+#[test]
+fn journal_only_mode_recovers_bitwise() {
+    install_quiet_kill_hook();
+    let s = RecoverySetup {
+        recovery: RecoveryConfig { snapshot_every: 0 },
+        ..setup()
+    };
+    let evs = events(SEED ^ 11);
+    let script = build_script(&s, &evs);
+    let (twin_final, visits) = twin_and_sites(&s, &script);
+    let out = run_pair(&s, &script, &twin_final, visits / 2, true, "journal-only");
+    assert!(
+        out.replayed > 0,
+        "journal-only recovery must replay intents"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Pinned wire-format fixtures.
+//
+// The committed files freeze the journal and snapshot byte formats at
+// RECORD_VERSION / SNAPSHOT_VERSION 1. If either codec changes shape,
+// these tests fail — bump the version constants and regenerate with
+// `BLESS_RECOVERY_FIXTURES=1 cargo test -p apple-nfv --test recovery`.
+// ---------------------------------------------------------------------------
+
+/// Seed and shape of the fixture run (small on purpose: the files are
+/// committed).
+const FIXTURE_SEED: u64 = 0xf1c5;
+const FIXTURE_EVENTS: usize = 20;
+const FIXTURE_SNAPSHOT_EVERY: u64 = 8;
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("recovery")
+}
+
+/// Reruns the pinned fixture scenario and returns the raw store bytes
+/// (journal, last snapshot seq, snapshot payload).
+fn fixture_bytes() -> (Vec<u8>, u64, Vec<u8>) {
+    let s = RecoverySetup {
+        recovery: RecoveryConfig {
+            snapshot_every: FIXTURE_SNAPSHOT_EVERY,
+        },
+        ..setup()
+    };
+    let evs = events(FIXTURE_SEED);
+    assert!(evs.len() >= FIXTURE_EVENTS, "fixture timeline too short");
+    let store = SharedMemStore::new();
+    let mut jl = JournaledLoop::new(&s, store.clone(), SharedFabric::new(), CrashPoint::never());
+    for e in &evs[..FIXTURE_EVENTS] {
+        jl.step(e, &NOOP).expect("fixture run");
+    }
+    let snap_seq = (FIXTURE_EVENTS as u64 / FIXTURE_SNAPSHOT_EVERY) * FIXTURE_SNAPSHOT_EVERY;
+    let inner = store.inner();
+    let snapshot = inner
+        .snapshot_bytes(snap_seq)
+        .expect("fixture run writes a snapshot")
+        .to_vec();
+    (inner.journal_bytes().to_vec(), snap_seq, snapshot)
+}
+
+#[test]
+fn fixture_files_match_the_pinned_run() {
+    let dir = fixture_dir();
+    let (journal, snap_seq, snapshot) = fixture_bytes();
+    if std::env::var("BLESS_RECOVERY_FIXTURES").is_ok() {
+        std::fs::create_dir_all(&dir).expect("create fixture dir");
+        std::fs::write(dir.join("journal.bin"), &journal).expect("write journal fixture");
+        std::fs::write(dir.join(format!("snapshot_{snap_seq}.bin")), &snapshot)
+            .expect("write snapshot fixture");
+        return;
+    }
+    let want_journal = std::fs::read(dir.join("journal.bin")).expect("committed journal fixture");
+    let want_snapshot =
+        std::fs::read(dir.join(format!("snapshot_{snap_seq}.bin"))).expect("committed snapshot");
+    assert_eq!(
+        journal, want_journal,
+        "journal wire format drifted from the committed fixture — if \
+         intentional, bump RECORD_VERSION and re-bless"
+    );
+    assert_eq!(
+        snapshot, want_snapshot,
+        "snapshot wire format drifted from the committed fixture — if \
+         intentional, bump SNAPSHOT_VERSION and re-bless"
+    );
+}
+
+/// The committed fixture bytes must stay *recoverable*: load them into a
+/// fresh store, recover, and land on the pinned state digest.
+#[test]
+fn committed_fixture_recovers_to_pinned_digest() {
+    let dir = fixture_dir();
+    let journal = std::fs::read(dir.join("journal.bin")).expect("committed journal fixture");
+    let snap_seq = (FIXTURE_EVENTS as u64 / FIXTURE_SNAPSHOT_EVERY) * FIXTURE_SNAPSHOT_EVERY;
+    let snapshot =
+        std::fs::read(dir.join(format!("snapshot_{snap_seq}.bin"))).expect("committed snapshot");
+
+    // Every committed journal record must decode under the current codec.
+    let mut probe = MemStore::new();
+    probe.set_journal_bytes(journal.clone());
+    let scanned = Journal::recover(&mut probe).expect("committed journal scans");
+    assert_eq!(
+        scanned.truncated_bytes, 0,
+        "committed fixture has no torn tail"
+    );
+    for payload in &scanned.records {
+        Record::decode(payload).expect("committed record decodes");
+    }
+
+    let s = RecoverySetup {
+        recovery: RecoveryConfig {
+            snapshot_every: FIXTURE_SNAPSHOT_EVERY,
+        },
+        ..setup()
+    };
+    let mut store = MemStore::new();
+    store.set_journal_bytes(journal);
+    store.set_snapshot_bytes(snap_seq, snapshot);
+    let (recovered, report) = recover(&s, store, SharedFabric::new(), &NOOP).expect("recover");
+    assert_eq!(report.snapshot_seq, Some(snap_seq));
+    // Cross-check against an in-process rerun of the same scenario: the
+    // digest is pinned to the *run*, not to a magic constant, so the test
+    // catches any divergence between the committed bytes and what the
+    // current code would produce and replay.
+    let srun = fixture_bytes();
+    let mut store2 = MemStore::new();
+    store2.set_journal_bytes(srun.0);
+    store2.set_snapshot_bytes(srun.1, srun.2);
+    let (rerun, _) = recover(&s, store2, SharedFabric::new(), &NOOP).expect("recover rerun");
+    assert_eq!(
+        state_digest(recovered.inner()),
+        state_digest(rerun.inner()),
+        "committed fixture and pinned rerun must recover to the same state"
+    );
+    assert!(
+        recovered.inner().live_count() > 0,
+        "fixture state is non-trivial"
+    );
+}
