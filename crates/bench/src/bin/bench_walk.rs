@@ -1,0 +1,136 @@
+//! Regenerates (or validates) the committed `BENCH_walk.json` walk-engine
+//! benchmark.
+//!
+//! ```text
+//! bench_walk --smoke [--threads N] [--out-dir DIR]   # Internet2 only
+//! bench_walk --full  [--threads N] [--out-dir DIR]   # 4 topologies, AS-3679 acceptance row
+//! bench_walk --smoke --check                         # run + self-validate, write nothing (ci)
+//! bench_walk --check FILE [FILE...]                  # schema-validate files, no running
+//! ```
+//!
+//! `--check FILE` is how the acceptance criterion is enforced: the
+//! committed artifact must show the single-threaded compiled fast path at
+//! least 10x faster than the linear scan on AS-3679, with identical
+//! conformance reports under every engine (see `check_walk`).
+
+use apple_bench::trajectory::Scope;
+use apple_bench::walk::{check_walk, run_walk, walk_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_walk --smoke|--full [--threads N] [--out-dir DIR] [--check]\n       bench_walk --check FILE [FILE...]"
+    );
+    ExitCode::from(2)
+}
+
+fn check_files(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check_walk(&text) {
+            Ok(()) => println!("{f}: ok"),
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope = None;
+    let mut threads = 1usize;
+    let mut out_dir = PathBuf::from(".");
+    let mut check = false;
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scope = Some(Scope::Smoke),
+            "--full" => scope = Some(Scope::Full),
+            "--check" => check = true,
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
+            "--out-dir" => {
+                i += 1;
+                let Some(d) = args.get(i) else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(d);
+            }
+            other if check && !other.starts_with('-') => files.push(other.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    if !files.is_empty() {
+        return check_files(&files);
+    }
+    let Some(scope) = scope else {
+        return usage();
+    };
+
+    let bench = run_walk(scope, threads);
+    for r in &bench.engines {
+        println!(
+            "walk    {:<10} {:>4} probes | {:>6} rules | {:>10.0} linear | {:>10.0} compiled ({:.1}x) | {:>10.0} parallel ({:.1}x) walks/s",
+            r.topology,
+            r.probes,
+            r.rules,
+            r.linear_pps,
+            r.compiled_pps,
+            r.compiled_speedup,
+            r.parallel_pps,
+            r.parallel_speedup,
+        );
+    }
+    println!(
+        "conform {:<10} {} probes x {} barriers = {} walks | {:.1} ms linear | {:.1} ms compiled | {:.1} ms parallel | reports {}",
+        bench.conformance.topology,
+        bench.conformance.probes,
+        bench.conformance.barriers,
+        bench.conformance.walks,
+        bench.conformance.linear_ms,
+        bench.conformance.compiled_ms,
+        bench.conformance.parallel_ms,
+        if bench.conformance.reports_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+    );
+    let text = walk_json(&bench, scope, threads);
+    if let Err(e) = check_walk(&text) {
+        eprintln!("generated JSON failed its own schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if check {
+        println!("walk benchmark self-check: ok");
+        return ExitCode::SUCCESS;
+    }
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = out_dir.join("BENCH_walk.json");
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -41,8 +41,12 @@ use apple_topology::TopologyKind;
 use apple_traffic::GravityModel;
 use std::time::Instant;
 
-/// Schema tag carried by `BENCH_dataplane.json`.
-pub const DATAPLANE_SCHEMA: &str = "apple-bench-dataplane-v1";
+/// Schema tag carried by `BENCH_dataplane.json`. `v2` renamed the
+/// misleading `final_billable_rules` (always 0 by design — the timeline
+/// drains and the validator enforces it) to `drained_billable_rules` and
+/// added `peak_billable_rules`, the high-water mark observed across syncs,
+/// which proves the run actually installed rules before draining them.
+pub const DATAPLANE_SCHEMA: &str = "apple-bench-dataplane-v2";
 /// Traffic seed pinned for the offline snapshots.
 pub const SEED: u64 = 0x0d1f;
 /// Minimum event count the `--full` online section must reach.
@@ -81,8 +85,14 @@ pub struct OnlineSection {
     pub full_recompile_ops: u64,
     /// `full_recompile_ops / incremental_ops`.
     pub online_speedup: f64,
-    /// Billable TCAM rules left after the timeline drained (must be 0).
-    pub final_billable_rules: u64,
+    /// Billable TCAM rules left after the timeline drained (must be 0 —
+    /// every arrival has a matching departure, so a non-zero value means
+    /// the incremental sync leaked rules).
+    pub drained_billable_rules: u64,
+    /// High-water mark of billable TCAM rules across all syncs (must be
+    /// positive — a zero peak would mean the run never installed anything
+    /// and the drained count is vacuous).
+    pub peak_billable_rules: u64,
 }
 
 /// The single-sub-class churn microbench.
@@ -178,7 +188,8 @@ pub fn run_online_section(scope: Scope, threads: usize) -> OnlineSection {
         incremental_ops: 0,
         full_recompile_ops: 0,
         online_speedup: 0.0,
-        final_billable_rules: 0,
+        drained_billable_rules: 0,
+        peak_billable_rules: 0,
     };
     for event in timeline.events() {
         let step = looper.step(event, &NOOP);
@@ -187,12 +198,14 @@ pub fn run_online_section(scope: Scope, threads: usize) -> OnlineSection {
             section.syncs += 1;
             section.incremental_ops += step.dataplane_ops;
             // A non-incremental controller reinstalls the whole program.
-            section.full_recompile_ops += looper
-                .dataplane_program()
-                .map_or(0, |p| p.rule_count() as u64);
+            let installed = looper.dataplane_program();
+            section.full_recompile_ops += installed.map_or(0, |p| p.rule_count() as u64);
+            section.peak_billable_rules = section
+                .peak_billable_rules
+                .max(installed.map_or(0, |p| p.billable_rules() as u64));
         }
     }
-    section.final_billable_rules = looper
+    section.drained_billable_rules = looper
         .dataplane_program()
         .map_or(0, |p| p.billable_rules() as u64);
     section.online_speedup = if section.incremental_ops > 0 {
@@ -306,7 +319,11 @@ pub fn dataplane_json(bench: &DataplaneBench, scope: Scope, threads: usize) -> S
         ("syncs", bench.online.syncs),
         ("incremental_ops", bench.online.incremental_ops),
         ("full_recompile_ops", bench.online.full_recompile_ops),
-        ("final_billable_rules", bench.online.final_billable_rules),
+        (
+            "drained_billable_rules",
+            bench.online.drained_billable_rules,
+        ),
+        ("peak_billable_rules", bench.online.peak_billable_rules),
     ] {
         out.push_str(", \"");
         out.push_str(key);
@@ -343,10 +360,11 @@ fn require_num(obj: &Json, key: &str, path: &str) -> Result<f64, String> {
 ///
 /// Beyond field presence this enforces the benchmark's claims: a
 /// `full`-scope online section covers at least [`FULL_MIN_EVENTS`] events
-/// and churns on AS-3679; the drained timeline leaves zero billable rules;
-/// the incremental sync beats a full reinstall (`online_speedup > 1`); and
-/// the single-sub-class churn step shows at least [`MIN_CHURN_SPEEDUP`]×
-/// fewer operations than the full recompile.
+/// and churns on AS-3679; the drained timeline leaves zero billable rules
+/// while the peak across syncs is positive (the run really installed
+/// something); the incremental sync beats a full reinstall
+/// (`online_speedup > 1`); and the single-sub-class churn step shows at
+/// least [`MIN_CHURN_SPEEDUP`]× fewer operations than the full recompile.
 ///
 /// # Errors
 ///
@@ -402,7 +420,8 @@ pub fn check_dataplane(text: &str) -> Result<(), String> {
         "syncs",
         "incremental_ops",
         "full_recompile_ops",
-        "final_billable_rules",
+        "drained_billable_rules",
+        "peak_billable_rules",
         "online_speedup",
     ] {
         require_num(online, key, opath)?;
@@ -416,9 +435,14 @@ pub fn check_dataplane(text: &str) -> Result<(), String> {
     if require_num(online, "syncs", opath)? <= 0.0 {
         return Err(format!("{opath}.syncs: the loop never synced"));
     }
-    if require_num(online, "final_billable_rules", opath)? != 0.0 {
+    if require_num(online, "drained_billable_rules", opath)? != 0.0 {
         return Err(format!(
-            "{opath}.final_billable_rules: drained timeline left rules installed"
+            "{opath}.drained_billable_rules: drained timeline left rules installed"
+        ));
+    }
+    if require_num(online, "peak_billable_rules", opath)? <= 0.0 {
+        return Err(format!(
+            "{opath}.peak_billable_rules: the run never installed a billable rule"
         ));
     }
     if require_num(online, "online_speedup", opath)? <= 1.0 {
@@ -460,7 +484,8 @@ mod tests {
         let bench = run_dataplane(Scope::Smoke, 1);
         assert_eq!(bench.compile.len(), 1);
         assert!(bench.online.syncs > 0);
-        assert_eq!(bench.online.final_billable_rules, 0);
+        assert_eq!(bench.online.drained_billable_rules, 0);
+        assert!(bench.online.peak_billable_rules > 0);
         assert!(
             bench.churn.churn_speedup >= MIN_CHURN_SPEEDUP,
             "churn speedup {:.2}x below the {MIN_CHURN_SPEEDUP}x floor",
@@ -488,7 +513,8 @@ mod tests {
                 incremental_ops: 4_011,
                 full_recompile_ops: 93_700,
                 online_speedup: 23.4,
-                final_billable_rules: 0,
+                drained_billable_rules: 0,
+                peak_billable_rules: 412,
             },
             churn: ChurnSection {
                 topology: "Internet2".to_string(),
@@ -516,11 +542,18 @@ mod tests {
             .contains("churn_speedup"));
 
         let mut bench = canned();
-        bench.online.final_billable_rules = 5;
+        bench.online.drained_billable_rules = 5;
         let leak = dataplane_json(&bench, Scope::Smoke, 1);
         assert!(check_dataplane(&leak)
             .unwrap_err()
-            .contains("final_billable_rules"));
+            .contains("drained_billable_rules"));
+
+        let mut bench = canned();
+        bench.online.peak_billable_rules = 0;
+        let idle = dataplane_json(&bench, Scope::Smoke, 1);
+        assert!(check_dataplane(&idle)
+            .unwrap_err()
+            .contains("peak_billable_rules"));
 
         let mut bench = canned();
         bench.online.online_speedup = 0.9;

@@ -25,15 +25,18 @@
 //! instance-count overhead of the online orchestration loop; DESIGN.md §9),
 //! [`dataplane`] regenerates `BENCH_dataplane.json` (compile
 //! throughput, incremental-vs-full rule operations of the data-plane
-//! compiler; DESIGN.md §10), and [`recovery`] regenerates
+//! compiler; DESIGN.md §10), [`recovery`] regenerates
 //! `BENCH_recovery.json` (write-ahead journal overhead, snapshot size and
-//! recovery wall time vs journal length; DESIGN.md §11).
+//! recovery wall time vs journal length; DESIGN.md §11), and [`walk`]
+//! regenerates `BENCH_walk.json` (linear vs compiled walk-engine
+//! throughput and conformance wall-clock; DESIGN.md §12).
 
 pub mod dataplane;
 pub mod harness;
 pub mod online;
 pub mod recovery;
 pub mod trajectory;
+pub mod walk;
 
 use apple_core::baselines::{
     ingress_per_class, steering_consolidation, SteeringPlan, TrafficSteering,

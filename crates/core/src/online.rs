@@ -461,6 +461,12 @@ pub struct OrchestrationLoop {
     pub(crate) events_seen: u64,
     /// The incrementally patched installed program (None = compiler off).
     pub(crate) compiled: Option<apple_dataplane::compiler::RuleProgram>,
+    /// The compiled fast-path mirror of [`Self::compiled`]: the same
+    /// installed state lowered into per-switch LPM tries and exact-match
+    /// tag tables ([`apple_dataplane::fastpath::CompiledProgram`]), patched
+    /// per update-plan barrier through `rebuild_delta` so it is never
+    /// rebuilt from scratch during churn.
+    pub(crate) fastpath: Option<apple_dataplane::fastpath::CompiledProgram>,
     /// Persistent per-live-class data-plane tags. Lowest-unused allocation
     /// on placement, freed on departure: tags must survive unrelated churn
     /// (index-derived tags would shift on every removal and spuriously
@@ -508,6 +514,9 @@ impl OrchestrationLoop {
         let compiled = cfg
             .compile_rules
             .then(apple_dataplane::compiler::RuleProgram::default);
+        let fastpath = cfg
+            .compile_rules
+            .then(apple_dataplane::fastpath::CompiledProgram::default);
         let dp_dirty = compiled.is_some();
         OrchestrationLoop {
             inc: IncrementalClasses::new(topo, &cfg.class_cfg),
@@ -520,6 +529,7 @@ impl OrchestrationLoop {
             rejected: BTreeMap::new(),
             events_seen: 0,
             compiled,
+            fastpath,
             tags: BTreeMap::new(),
             tag_decisions: BTreeMap::new(),
             dp_dirty,
@@ -905,6 +915,7 @@ impl OrchestrationLoop {
     pub fn enable_dataplane_compiler(&mut self) {
         if self.compiled.is_none() {
             self.compiled = Some(apple_dataplane::compiler::RuleProgram::default());
+            self.fastpath = Some(apple_dataplane::fastpath::CompiledProgram::default());
             self.dp_dirty = true;
         }
     }
@@ -914,6 +925,16 @@ impl OrchestrationLoop {
     /// step (syncs run at step end).
     pub fn dataplane_program(&self) -> Option<&apple_dataplane::compiler::RuleProgram> {
         self.compiled.as_ref()
+    }
+
+    /// The compiled fast-path mirror of [`Self::dataplane_program`], when
+    /// the compiler is enabled. Kept in lock-step with the installed
+    /// program by patching it per barrier during the data-plane
+    /// sync — callers get switch-rate lookups
+    /// ([`apple_dataplane::walk::WalkEngine`]) without ever paying a full
+    /// recompile.
+    pub fn dataplane_fastpath(&self) -> Option<&apple_dataplane::fastpath::CompiledProgram> {
+        self.fastpath.as_ref()
     }
 
     /// The compiler snapshot of the current serving state, when the
@@ -1076,6 +1097,9 @@ impl OrchestrationLoop {
         // in order (the uncapped path is infallible — no phantom error).
         for batch in plan.batches() {
             apple_dataplane::diff::apply_batch_unchecked(installed, batch);
+            if let Some(fp) = self.fastpath.as_mut() {
+                fp.rebuild_delta(batch);
+            }
             if let Some(obs) = self.dp_observer.as_mut() {
                 obs.on_barrier(batch);
             }
@@ -1084,6 +1108,11 @@ impl OrchestrationLoop {
         debug_assert_eq!(
             *installed, target,
             "incremental patch must reproduce the full compile"
+        );
+        debug_assert_eq!(
+            self.fastpath,
+            Some(apple_dataplane::fastpath::CompiledProgram::new(installed)),
+            "delta-patched fast path must equal a fresh compile of the installed program"
         );
         rec.counter("dataplane.plans", 1);
         rec.counter("dataplane.rule_ops", stats.total() as u64);

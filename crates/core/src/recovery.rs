@@ -623,7 +623,9 @@ fn decode_state(setup: &RecoverySetup, bytes: &[u8]) -> Result<OrchestrationLoop
         )));
     }
     let snap = looper.build_dataplane_snapshot(&looper.tags);
-    looper.compiled = Some(apple_dataplane::compiler::compile(&snap));
+    let prog = apple_dataplane::compiler::compile(&snap);
+    looper.fastpath = Some(apple_dataplane::fastpath::CompiledProgram::new(&prog));
+    looper.compiled = Some(prog);
     Ok(looper)
 }
 

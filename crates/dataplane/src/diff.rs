@@ -475,7 +475,10 @@ pub fn diff(old: &RuleProgram, new: &RuleProgram) -> UpdatePlan {
         // switch keeps serving its old host; `has_host` only drops
         // at the subtractive barrier.
         let transitional_host = o.has_host || n.has_host;
-        if !scaffold_installs.is_empty() {
+        let has_phase2 = !scaffold_installs.is_empty();
+        let has_phase3 =
+            !(class_installs.is_empty() && modifies.is_empty() && class_removes.is_empty());
+        if has_phase2 {
             phase2_switch.push(UpdateBatch::Switch(SwitchBatch {
                 switch: id,
                 installs: scaffold_installs.clone(),
@@ -486,7 +489,7 @@ pub fn diff(old: &RuleProgram, new: &RuleProgram) -> UpdatePlan {
                 drop_switch: false,
             }));
         }
-        if !(class_installs.is_empty() && modifies.is_empty() && class_removes.is_empty()) {
+        if has_phase3 {
             // Classification flip: after = the new table, plus any
             // scaffold rules whose removal is deferred to phase 4.
             phase3.push(UpdateBatch::Switch(SwitchBatch {
@@ -499,7 +502,18 @@ pub fn diff(old: &RuleProgram, new: &RuleProgram) -> UpdatePlan {
                 drop_switch: false,
             }));
         }
-        if !scaffold_removes.is_empty() || drop_switch {
+        // `has_host` must land on `n.has_host` even when no subtractive
+        // rule delta drives a batch: a metadata-only host flip emits no
+        // barrier above at all, and a host loss whose rule ops were all
+        // additive/modifies leaves the transitional state holding the old
+        // host through phase 3. Either way the subtractive barrier is
+        // where the flip belongs.
+        let reached = if has_phase2 || has_phase3 {
+            transitional_host
+        } else {
+            o.has_host
+        };
+        if !scaffold_removes.is_empty() || drop_switch || reached != n.has_host {
             phase4_switch.push(UpdateBatch::Switch(SwitchBatch {
                 switch: id,
                 installs: Vec::new(),

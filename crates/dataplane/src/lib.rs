@@ -13,10 +13,16 @@
 //! Table III gives the physical-switch TCAM layout (host match →
 //! classification → pass-by), and vSwitches inside APPLE hosts match
 //! `<InPort, class, sub-class>` to steer packets across VNF instances.
-//! This crate implements those tables and provides
-//! [`walk::NetworkWalker`], which replays a packet across its forwarding
-//! path and records the VNF instances traversed — the oracle used by the
-//! policy-enforcement property tests.
+//! This crate implements those tables and provides two [`walk::WalkEngine`]
+//! implementations that replay a packet across its forwarding path and
+//! record the VNF instances traversed — the oracle used by the
+//! policy-enforcement property tests:
+//!
+//! * [`walk::NetworkWalker`] — the reference linear first-match scan,
+//! * [`fastpath::CompiledProgram`] — the compiled fast path (LPM tries +
+//!   exact-match tag tables, DESIGN.md §12), bitwise-identical to the
+//!   linear scan and incrementally patchable through
+//!   [`fastpath::CompiledProgram::rebuild_delta`].
 //!
 //! # Example
 //!
@@ -29,9 +35,12 @@
 //! assert_eq!(p.subclass_tag, Some(3));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod compiler;
 pub mod counters;
 pub mod diff;
+pub mod fastpath;
 pub mod packet;
 pub mod switch;
 pub mod tcam;
@@ -41,7 +50,8 @@ pub use counters::PortCounters;
 
 pub use compiler::{compile, CompilerSnapshot, RuleProgram, SubclassSpec};
 pub use diff::{diff, ApplyError, UpdateBatch, UpdatePlan, UpdateStats};
+pub use fastpath::{CompiledHost, CompiledProgram, CompiledSwitch};
 pub use packet::{HostTag, Packet};
 pub use switch::{PhysicalSwitch, VSwitch, VSwitchRule};
 pub use tcam::{Action, MatchSpec, TcamRule, TcamTable};
-pub use walk::{NetworkWalker, WalkError, WalkRecord};
+pub use walk::{NetworkWalker, WalkEngine, WalkError, WalkRecord};

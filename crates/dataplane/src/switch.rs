@@ -49,30 +49,54 @@ impl PhysicalSwitch {
         let Some(rule) = self.apple_table.lookup(p) else {
             return SwitchVerdict::NoMatch;
         };
-        let mut verdict = SwitchVerdict::Forward;
-        let mut decided = false;
-        for action in rule.actions.clone() {
-            match action {
-                Action::SetSubclassTag(t) => p.subclass_tag = Some(t),
-                Action::SetHostTag(t) => p.host_tag = t,
-                Action::ForwardToHost => {
-                    verdict = SwitchVerdict::ToHost;
-                    decided = true;
-                }
-                Action::GotoNextTable => {
-                    if !decided {
-                        verdict = SwitchVerdict::Forward;
-                    }
-                }
-            }
-        }
-        verdict
+        apply_actions(&rule.actions, p)
     }
 
     /// Number of APPLE TCAM entries on this switch.
     pub fn tcam_entries(&self) -> usize {
         self.apple_table.entry_count()
     }
+}
+
+/// Applies a matched APPLE rule's action list to a packet and returns the
+/// forwarding verdict. Shared between the linear table scan
+/// ([`PhysicalSwitch::process`]) and the compiled fast path
+/// ([`crate::fastpath::CompiledProgram`]) so the two engines cannot drift
+/// in action semantics: `ForwardToHost` decides the verdict and a later
+/// `GotoNextTable` cannot override it, exactly as in Table III's pipeline.
+pub fn apply_actions(actions: &[Action], p: &mut Packet) -> SwitchVerdict {
+    let mut verdict = SwitchVerdict::Forward;
+    let mut decided = false;
+    for action in actions {
+        match *action {
+            Action::SetSubclassTag(t) => p.subclass_tag = Some(t),
+            Action::SetHostTag(t) => p.host_tag = t,
+            Action::ForwardToHost => {
+                verdict = SwitchVerdict::ToHost;
+                decided = true;
+            }
+            Action::GotoNextTable => {
+                if !decided {
+                    verdict = SwitchVerdict::Forward;
+                }
+            }
+        }
+    }
+    verdict
+}
+
+/// Applies one matched vSwitch rule's tag writes to a packet and returns
+/// its verdict. Shared between the linear first-match scan
+/// ([`VSwitch::process`]) and the compiled fast path, for the same
+/// anti-drift reason as [`apply_actions`].
+pub fn apply_vswitch_rule(r: &VSwitchRule, p: &mut Packet) -> VSwitchVerdict {
+    if let Some(t) = r.set_host_tag {
+        p.host_tag = t;
+    }
+    if let Some(t) = r.set_subclass_tag {
+        p.subclass_tag = Some(t);
+    }
+    r.verdict
 }
 
 /// Where a vSwitch sends a packet next.
@@ -149,13 +173,7 @@ impl VSwitch {
             let port_ok = r.in_port == port;
             let subclass_ok = r.subclass.is_none_or(|s| p.subclass_tag == Some(s));
             if port_ok && subclass_ok && r.spec.matches(p) {
-                if let Some(t) = r.set_host_tag {
-                    p.host_tag = t;
-                }
-                if let Some(t) = r.set_subclass_tag {
-                    p.subclass_tag = Some(t);
-                }
-                return r.verdict;
+                return apply_vswitch_rule(r, p);
             }
         }
         VSwitchVerdict::NoMatch

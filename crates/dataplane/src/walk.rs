@@ -61,6 +61,32 @@ pub struct WalkRecord {
     pub packet: Packet,
 }
 
+/// A packet-walk engine: anything that can replay one packet along a
+/// forwarding path against a programmed data plane and produce the
+/// observable [`WalkRecord`] (or a [`WalkError`]).
+///
+/// Two implementations exist and are kept **bitwise-identical** by the
+/// differential fuzz battery (`tests/fuzz_walk.rs`):
+///
+/// * [`NetworkWalker`] — the reference linear scan: every switch lookup is
+///   a first-match walk over the descending-priority rule list, every
+///   vSwitch lookup a first-match walk in install order;
+/// * [`crate::fastpath::CompiledProgram`] — the compiled fast path: LPM
+///   tries and exact-match tag/port tables with rank-resolved tie-breaks
+///   (DESIGN.md §12).
+///
+/// The conformance batteries and the replay engine in `apple_sim` are
+/// generic over this trait, so either engine can back them.
+pub trait WalkEngine {
+    /// Walks `packet` along `path` and returns the full record.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WalkError`] indicates an inconsistency between the installed
+    /// rules and the path/packet.
+    fn walk(&self, packet: Packet, path: &Path) -> Result<WalkRecord, WalkError>;
+}
+
 /// A data-plane snapshot: programmed switches plus host vSwitches.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkWalker {
@@ -133,6 +159,11 @@ impl NetworkWalker {
     /// Iterates over all host vSwitches in attachment order.
     pub fn hosts(&self) -> impl Iterator<Item = &VSwitch> {
         self.hosts.values()
+    }
+
+    /// Iterates over the registered header-rewriting instances in id order.
+    pub fn rewriters(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.rewriters.iter().copied()
     }
 
     /// Removes a switch (e.g. when an update plan drops it entirely).
@@ -237,6 +268,12 @@ impl NetworkWalker {
             }
         }
         Err(WalkError::InstanceLoop(sid))
+    }
+}
+
+impl WalkEngine for NetworkWalker {
+    fn walk(&self, packet: Packet, path: &Path) -> Result<WalkRecord, WalkError> {
+        NetworkWalker::walk(self, packet, path)
     }
 }
 

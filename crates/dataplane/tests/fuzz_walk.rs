@@ -1,0 +1,336 @@
+//! Differential fuzz battery for the two [`WalkEngine`] implementations.
+//!
+//! The compiled fast path ([`CompiledProgram`]) claims to be
+//! **bitwise-identical** to the reference linear scan
+//! ([`NetworkWalker`]) — same [`WalkRecord`]s, same [`WalkError`]s, same
+//! final packet tags — for *any* rule program, not just the well-formed
+//! ones the Table III compiler emits. This battery earns that claim the
+//! hard way:
+//!
+//! * **random rule programs** — arbitrary priorities (with ties),
+//!   arbitrary prefix lengths (/0 through /32), tag-conditioned and
+//!   wildcard rules, hosts with and without matching vSwitch rules,
+//!   dangling `ForwardToHost` actions, random rewriter sets;
+//! * **hostile packets** — NAT-pool sources, stale host/sub-class tags,
+//!   pre-finished (`Fin`) packets, random headers;
+//! * **every [`WalkError`] variant** — engineered programs drive both
+//!   engines into `NoRuleAtSwitch`, `NoHostAtSwitch`, `VSwitchNoMatch`
+//!   and `InstanceLoop`, and the errors must agree exactly;
+//! * **delta-patch closure** — for random program pairs, patching the
+//!   compiled form barrier-by-barrier through
+//!   [`CompiledProgram::rebuild_delta`] must land on the same structure
+//!   as compiling the patched program from scratch.
+//!
+//! Seeding follows the repo convention: every stream is a pure function
+//! of a literal `u64` seed (see `tests/README.md`).
+
+use apple_dataplane::compiler::{RuleProgram, SwitchRules};
+use apple_dataplane::diff::{apply_batch_unchecked, diff};
+use apple_dataplane::fastpath::CompiledProgram;
+use apple_dataplane::packet::{HostTag, Packet};
+use apple_dataplane::switch::{VPort, VSwitchRule, VSwitchVerdict};
+use apple_dataplane::tcam::{Action, MatchSpec, TcamRule};
+use apple_dataplane::walk::{NetworkWalker, WalkEngine, WalkError};
+use apple_nf::InstanceId;
+use apple_rng::rngs::StdRng;
+use apple_rng::{Rng, RngCore, SeedableRng};
+use apple_topology::{NodeId, Path};
+
+/// The NAT source-pool prefix the walker's rewriter model uses; hostile
+/// packets claiming to already come from the pool must classify
+/// identically under both engines.
+const NAT_POOL_PREFIX: u32 = 0x0b00_0000;
+
+fn random_spec(rng: &mut StdRng) -> MatchSpec {
+    let mut spec = MatchSpec::any();
+    if rng.gen_bool(0.6) {
+        let len = rng.gen_range(0..=32u8);
+        spec.src = Some((rng.next_u64() as u32, len));
+    }
+    if rng.gen_bool(0.3) {
+        let len = rng.gen_range(0..=32u8);
+        spec.dst = Some((rng.next_u64() as u32, len));
+    }
+    if rng.gen_bool(0.3) {
+        spec.proto = Some(if rng.gen_bool(0.5) { 6 } else { 17 });
+    }
+    if rng.gen_bool(0.3) {
+        spec.dst_port = Some(rng.gen_range(1..=4u16) * 443);
+    }
+    if rng.gen_bool(0.5) {
+        spec.host_tag = Some(random_tag(rng));
+    }
+    if rng.gen_bool(0.4) {
+        spec.subclass_tag = Some(if rng.gen_bool(0.3) {
+            None
+        } else {
+            Some(rng.gen_range(0..4u16))
+        });
+    }
+    spec
+}
+
+fn random_tag(rng: &mut StdRng) -> HostTag {
+    match rng.gen_range(0..4u8) {
+        0 => HostTag::Empty,
+        1 => HostTag::Fin,
+        _ => HostTag::Host(rng.gen_range(0..5u16)),
+    }
+}
+
+fn random_actions(rng: &mut StdRng) -> Vec<Action> {
+    let mut actions = Vec::new();
+    if rng.gen_bool(0.5) {
+        actions.push(Action::SetSubclassTag(rng.gen_range(0..4u16)));
+    }
+    if rng.gen_bool(0.5) {
+        actions.push(Action::SetHostTag(random_tag(rng)));
+    }
+    actions.push(if rng.gen_bool(0.4) {
+        Action::ForwardToHost
+    } else {
+        Action::GotoNextTable
+    });
+    actions
+}
+
+/// A random rule program over `n_switches` switches. Deliberately allowed
+/// to be ill-formed in every way the type system permits: switches may
+/// lack a catch-all, `ForwardToHost` may point at a switch with no host,
+/// vSwitch chains may revisit instances.
+fn random_program(rng: &mut StdRng, n_switches: usize) -> RuleProgram {
+    let mut prog = RuleProgram::default();
+    let insts: Vec<InstanceId> = (0..6).map(|i| InstanceId(100 + i)).collect();
+    for sid in 0..n_switches {
+        let has_host = rng.gen_bool(0.6);
+        let mut rules = Vec::new();
+        for _ in 0..rng.gen_range(0..10usize) {
+            rules.push(TcamRule {
+                priority: rng.gen_range(0..=10_000u16),
+                spec: random_spec(rng),
+                actions: random_actions(rng),
+                label: format!("fz s{sid}"),
+            });
+        }
+        if rng.gen_bool(0.7) {
+            rules.push(TcamRule {
+                priority: 0,
+                spec: MatchSpec::any(),
+                actions: vec![Action::GotoNextTable],
+                label: "pass-by".into(),
+            });
+        }
+        // The canonical SwitchRules invariant: descending priority, stable
+        // for ties (what repeated TcamTable::install produces).
+        rules.sort_by_key(|r| std::cmp::Reverse(r.priority));
+        prog.switches.insert(sid, SwitchRules { rules, has_host });
+        if has_host && rng.gen_bool(0.8) {
+            let mut vrules = Vec::new();
+            for _ in 0..rng.gen_range(0..8usize) {
+                let in_port = match rng.gen_range(0..3u8) {
+                    0 => VPort::Network,
+                    1 => VPort::FromVnf(insts[rng.gen_range(0..insts.len())]),
+                    _ => VPort::ProductionVm,
+                };
+                vrules.push(VSwitchRule {
+                    in_port,
+                    spec: if rng.gen_bool(0.3) {
+                        random_spec(rng)
+                    } else {
+                        MatchSpec::any()
+                    },
+                    subclass: rng.gen_bool(0.5).then(|| rng.gen_range(0..4u16)),
+                    set_host_tag: rng.gen_bool(0.5).then(|| random_tag(rng)),
+                    set_subclass_tag: rng.gen_bool(0.3).then(|| rng.gen_range(0..4u16)),
+                    verdict: if rng.gen_bool(0.6) {
+                        VSwitchVerdict::ToVnf(insts[rng.gen_range(0..insts.len())])
+                    } else {
+                        VSwitchVerdict::ToNetwork
+                    },
+                    label: format!("fz h{sid}"),
+                });
+            }
+            prog.hosts.insert(sid, vrules);
+        }
+    }
+    for &i in &insts {
+        if rng.gen_bool(0.3) {
+            prog.rewriters.insert(i);
+        }
+    }
+    prog
+}
+
+/// Hostile packet battery: random headers plus the adversarial cases the
+/// issue calls out explicitly.
+fn hostile_packets(rng: &mut StdRng) -> Vec<Packet> {
+    let mut packets = Vec::new();
+    for _ in 0..6 {
+        packets.push(Packet::new(
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+            rng.gen_range(1..=60_000u16),
+            rng.gen_range(1..=4u16) * 443,
+            if rng.gen_bool(0.5) { 6 } else { 17 },
+        ));
+    }
+    // NAT-pool source: claims to already be post-rewrite.
+    packets.push(Packet::new(
+        NAT_POOL_PREFIX | (rng.next_u64() as u32 & 0xffff),
+        rng.next_u64() as u32,
+        4_000,
+        443,
+        6,
+    ));
+    // Stale host tag pointing at a host that may not exist.
+    let mut stale = Packet::new(rng.next_u64() as u32, rng.next_u64() as u32, 5_000, 80, 6);
+    stale.host_tag = HostTag::Host(rng.gen_range(0..8u16));
+    stale.subclass_tag = Some(rng.gen_range(0..6u16));
+    packets.push(stale);
+    // Pre-finished packet: must pass by everywhere.
+    let mut fin = Packet::new(rng.next_u64() as u32, rng.next_u64() as u32, 5_000, 80, 6);
+    fin.host_tag = HostTag::Fin;
+    packets.push(fin);
+    // Untagged sub-class wildcard prey.
+    let mut sub = Packet::new(rng.next_u64() as u32, rng.next_u64() as u32, 5_000, 80, 17);
+    sub.subclass_tag = Some(rng.gen_range(0..4u16));
+    packets.push(sub);
+    packets
+}
+
+/// Random loop-free paths over the program's switch IDs.
+fn random_paths(rng: &mut StdRng, n_switches: usize) -> Vec<Path> {
+    let mut paths = Vec::new();
+    for _ in 0..4 {
+        let mut ids: Vec<usize> = (0..n_switches).collect();
+        // Fisher–Yates with the workspace RNG.
+        for i in (1..ids.len()).rev() {
+            ids.swap(i, rng.gen_range(0..=i));
+        }
+        let len = rng.gen_range(1..=ids.len());
+        ids.truncate(len);
+        paths.push(Path::new(ids.into_iter().map(NodeId).collect()).expect("ids are distinct"));
+    }
+    paths
+}
+
+#[test]
+fn random_programs_walk_bitwise_identically() {
+    let mut rng = StdRng::seed_from_u64(0xf_a57);
+    let mut verdicts = 0usize;
+    let mut errors = 0usize;
+    for _ in 0..150 {
+        let n_switches = rng.gen_range(1..=5usize);
+        let prog = random_program(&mut rng, n_switches);
+        let walker: NetworkWalker = prog.walker();
+        let compiled = CompiledProgram::new(&prog);
+        for path in random_paths(&mut rng, n_switches) {
+            for p in hostile_packets(&mut rng) {
+                let lin = WalkEngine::walk(&walker, p, &path);
+                let fast = WalkEngine::walk(&compiled, p, &path);
+                assert_eq!(
+                    lin, fast,
+                    "engines diverged on packet {p:?} along {path:?}\nprogram: {prog:?}"
+                );
+                match lin {
+                    Ok(_) => verdicts += 1,
+                    Err(_) => errors += 1,
+                }
+            }
+        }
+    }
+    // The battery must actually exercise both the success and the error
+    // surface; a fuzz run that only errors (or never errors) proves less.
+    assert!(
+        verdicts > 100,
+        "only {verdicts} clean walks — battery too hostile"
+    );
+    assert!(errors > 100, "only {errors} error walks — battery too tame");
+}
+
+#[test]
+fn every_walk_error_variant_agrees_across_engines() {
+    let host = InstanceId(7);
+    let packet = Packet::new(0x0a00_0001, 0x0a00_0002, 1000, 80, 6);
+    let punt = |sid: usize, has_host: bool| SwitchRules {
+        rules: vec![TcamRule {
+            priority: 100,
+            spec: MatchSpec::any(),
+            actions: vec![Action::ForwardToHost],
+            label: format!("punt s{sid}"),
+        }],
+        has_host,
+    };
+
+    // NoRuleAtSwitch: an empty table matches nothing.
+    let mut no_rule = RuleProgram::default();
+    no_rule.switches.insert(
+        0,
+        SwitchRules {
+            rules: Vec::new(),
+            has_host: false,
+        },
+    );
+    // NoHostAtSwitch: punts on a switch without a host.
+    let mut no_host = RuleProgram::default();
+    no_host.switches.insert(0, punt(0, false));
+    // VSwitchNoMatch: punts into a host whose vSwitch has no rules.
+    let mut no_match = RuleProgram::default();
+    no_match.switches.insert(0, punt(0, true));
+    no_match.hosts.insert(0, Vec::new());
+    // InstanceLoop: the vSwitch sends the packet back into the same VNF.
+    let mut looped = RuleProgram::default();
+    looped.switches.insert(0, punt(0, true));
+    let chain = |in_port: VPort| VSwitchRule {
+        in_port,
+        spec: MatchSpec::any(),
+        subclass: None,
+        set_host_tag: None,
+        set_subclass_tag: None,
+        verdict: VSwitchVerdict::ToVnf(host),
+        label: "loop".into(),
+    };
+    looped
+        .hosts
+        .insert(0, vec![chain(VPort::Network), chain(VPort::FromVnf(host))]);
+
+    let cases: [(&RuleProgram, WalkError); 4] = [
+        (&no_rule, WalkError::NoRuleAtSwitch(0)),
+        (&no_host, WalkError::NoHostAtSwitch(0)),
+        (&no_match, WalkError::VSwitchNoMatch(0)),
+        (&looped, WalkError::InstanceLoop(0)),
+    ];
+    let path = Path::new(vec![NodeId(0)]).unwrap();
+    for (prog, want) in cases {
+        let walker = prog.walker();
+        let compiled = CompiledProgram::new(prog);
+        let lin = WalkEngine::walk(&walker, packet, &path);
+        let fast = WalkEngine::walk(&compiled, packet, &path);
+        assert_eq!(lin, Err(want.clone()), "linear engine verdict for {want:?}");
+        assert_eq!(lin, fast, "engines disagree on {want:?}");
+    }
+}
+
+#[test]
+fn delta_patch_closes_over_random_program_pairs() {
+    let mut rng = StdRng::seed_from_u64(0xde17a);
+    for _ in 0..40 {
+        let n = rng.gen_range(1..=5usize);
+        let before = random_program(&mut rng, n);
+        let m = rng.gen_range(1..=5usize);
+        let after = random_program(&mut rng, m);
+        let plan = diff(&before, &after);
+        let mut mirror = before.clone();
+        let mut fast = CompiledProgram::new(&before);
+        for batch in plan.batches() {
+            apply_batch_unchecked(&mut mirror, batch);
+            fast.rebuild_delta(batch);
+            assert_eq!(
+                fast,
+                CompiledProgram::new(&mirror),
+                "delta-patched fast path diverged from a fresh compile mid-plan"
+            );
+        }
+        assert_eq!(mirror, after, "diff/apply closed over the pair");
+    }
+}

@@ -18,7 +18,13 @@
 //!   runtime invariants verified after every event,
 //! * [`online`] — drive a flow arrival/departure timeline through the
 //!   online orchestration loop and summarise placements, re-solves and
-//!   shedding.
+//!   shedding,
+//! * [`detector`] — the counter-based overload detector behind the Fig. 9
+//!   timeline,
+//! * [`packet_replay`] — packet-level conformance batteries over compiled
+//!   rule programs, the batched parallel [`walk_batch`] replay engine, and
+//!   the [`WalkEngineConfig`] seam selecting linear-scan vs compiled
+//!   fast-path walking (DESIGN.md §10 and §12).
 //!
 //! # Example
 //!
@@ -28,6 +34,8 @@
 //! let timeline = detection_timeline(&DetectorConfig::paper());
 //! assert!(timeline.iter().any(|p| p.helper_active));
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod chaos;
 pub mod detector;
@@ -42,7 +50,8 @@ pub use chaos::{run_chaos, run_schedule, ChaosReport};
 pub use metrics::{Series, Summary};
 pub use online::{build_timeline, run_timeline, OnlineRunConfig, OnlineRunReport};
 pub use packet_replay::{
-    conformance_probes, differential_conformance, repair_conformance, ConformanceError,
-    ConformanceProbe, ConformanceReport,
+    conformance_probes, differential_conformance, differential_conformance_with,
+    repair_conformance, repair_conformance_with, walk_batch, ConformanceError, ConformanceProbe,
+    ConformanceReport, EngineKind, WalkEngineConfig,
 };
 pub use replay::{ReplayConfig, ReplayError, ReplayOutcome};

@@ -20,13 +20,25 @@
 //! incrementally patched program *at every intermediate barrier* of the
 //! update plan, and check the three-tier update guarantee documented in
 //! `apple_dataplane::diff`.
+//!
+//! Both the per-tick replay batteries and the per-barrier conformance
+//! walks run through [`walk_batch`]: contiguous chunks across scoped
+//! worker threads with a deterministic by-index merge (the PR-3
+//! decomposed-solver pattern), generic over the
+//! [`WalkEngine`] in use. The engine —
+//! the reference linear scan or the compiled fast path of DESIGN.md §12 —
+//! and the thread budget are picked per run via [`WalkEngineConfig`]; the
+//! conformance batteries patch the compiled engine barrier-by-barrier
+//! through `rebuild_delta`, so every battery run also exercises the
+//! incremental fast-path maintenance the online loop relies on.
 
 use apple_core::controller::{Apple, AppleConfig};
 use apple_core::engine::EngineError;
 use apple_dataplane::compiler::{compile, CompilerSnapshot, RuleProgram};
 use apple_dataplane::diff::{apply_batch_unchecked, diff};
+use apple_dataplane::fastpath::CompiledProgram;
 use apple_dataplane::packet::{HostTag, Packet};
-use apple_dataplane::walk::{WalkError, WalkRecord};
+use apple_dataplane::walk::{NetworkWalker, WalkEngine, WalkError, WalkRecord};
 use apple_dataplane::PortCounters;
 use apple_nf::{InstanceId, NfType, OverloadModel};
 use apple_topology::{NodeId, Path, Topology};
@@ -37,6 +49,143 @@ use std::fmt;
 use crate::detector::{CounterDetector, DetectionEvent};
 use crate::metrics::Series;
 
+/// Which [`WalkEngine`] implementation backs a replay or conformance run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The reference linear first-match scan
+    /// ([`apple_dataplane::walk::NetworkWalker`]).
+    Linear,
+    /// The compiled fast path
+    /// ([`apple_dataplane::fastpath::CompiledProgram`], DESIGN.md §12).
+    #[default]
+    Compiled,
+}
+
+impl EngineKind {
+    /// Parses the `--engine` CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the accepted spellings.
+    pub fn parse(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "linear" => Ok(EngineKind::Linear),
+            "compiled" => Ok(EngineKind::Compiled),
+            other => Err(format!("unknown engine \"{other}\" (linear|compiled)")),
+        }
+    }
+
+    /// Canonical display name (`linear` / `compiled`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Linear => "linear",
+            EngineKind::Compiled => "compiled",
+        }
+    }
+}
+
+/// Engine selection plus worker-thread budget for batched walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkEngineConfig {
+    /// Which engine walks the packets.
+    pub engine: EngineKind,
+    /// Worker threads for [`walk_batch`]; `0` = one per available CPU,
+    /// `1` = in-place sequential (no spawning).
+    pub threads: usize,
+}
+
+impl Default for WalkEngineConfig {
+    fn default() -> Self {
+        WalkEngineConfig {
+            engine: EngineKind::Compiled,
+            threads: 1,
+        }
+    }
+}
+
+/// Resolves a requested thread count against the machine and the amount of
+/// work, mirroring the decomposed-solver convention.
+fn effective_threads(requested: usize, work: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let t = if requested == 0 { auto } else { requested };
+    t.clamp(1, work.max(1))
+}
+
+/// Walks a battery of `(packet, path)` jobs through one engine, chunked
+/// across scoped worker threads with a deterministic by-index merge: the
+/// result at index `i` is always job `i`'s walk, whatever the thread
+/// count. `threads <= 1` walks in place without spawning.
+pub fn walk_batch<E: WalkEngine + Sync + ?Sized>(
+    engine: &E,
+    jobs: &[(Packet, &Path)],
+    threads: usize,
+) -> Vec<Result<WalkRecord, WalkError>> {
+    let threads = effective_threads(threads, jobs.len());
+    if threads <= 1 || jobs.len() < 2 {
+        return jobs.iter().map(|(p, path)| engine.walk(*p, path)).collect();
+    }
+    let chunk = jobs.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = jobs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|(p, path)| engine.walk(*p, path))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(jobs.len());
+        for w in workers {
+            out.extend(w.join().expect("walk worker panicked"));
+        }
+        out
+    })
+}
+
+/// An owned engine of either kind, so callers can be generic over the
+/// [`WalkEngineConfig`] choice at runtime.
+#[derive(Debug, Clone)]
+enum Engine {
+    Linear(NetworkWalker),
+    Compiled(CompiledProgram),
+}
+
+impl Engine {
+    fn of(prog: &RuleProgram, kind: EngineKind) -> Engine {
+        match kind {
+            EngineKind::Linear => Engine::Linear(prog.walker()),
+            EngineKind::Compiled => Engine::Compiled(CompiledProgram::new(prog)),
+        }
+    }
+
+    fn of_walker(w: &NetworkWalker, kind: EngineKind) -> Engine {
+        match kind {
+            EngineKind::Linear => Engine::Linear(w.clone()),
+            EngineKind::Compiled => Engine::Compiled(CompiledProgram::from_walker(w)),
+        }
+    }
+
+    fn as_dyn(&self) -> &(dyn WalkEngine + Sync) {
+        match self {
+            Engine::Linear(w) => w,
+            Engine::Compiled(c) => c,
+        }
+    }
+
+    /// Applies one update-plan barrier: the compiled engine patches
+    /// per-device via `rebuild_delta`; the linear engine re-materialises
+    /// from the already-patched program (its lookup *is* the rule list).
+    fn patch(&mut self, prog_after: &RuleProgram, batch: &apple_dataplane::UpdateBatch) {
+        match self {
+            Engine::Linear(w) => *w = prog_after.walker(),
+            Engine::Compiled(c) => c.rebuild_delta(batch),
+        }
+    }
+}
+
 /// Configuration for a packet-level replay.
 #[derive(Debug, Clone)]
 pub struct PacketReplayConfig {
@@ -46,6 +195,8 @@ pub struct PacketReplayConfig {
     pub packet_bytes: u32,
     /// Seconds per tick (= detector poll interval).
     pub tick_secs: f64,
+    /// Walk engine and thread budget for the per-tick packet batteries.
+    pub engine: WalkEngineConfig,
 }
 
 impl Default for PacketReplayConfig {
@@ -54,6 +205,7 @@ impl Default for PacketReplayConfig {
             apple: AppleConfig::default(),
             packet_bytes: 1500,
             tick_secs: 1.0,
+            engine: WalkEngineConfig::default(),
         }
     }
 }
@@ -99,11 +251,17 @@ pub fn packet_replay(
     let mut trips = 0usize;
     let mut clears = 0usize;
     let mut packets_walked = 0u64;
+    // Compile the programmed data plane once for the whole series: the
+    // replay only reads it.
+    let engine = Engine::of_walker(&apple.program().walker, cfg.engine.engine);
 
     for (tick, tm) in series.iter().enumerate() {
         let scoped = apple.classes().with_rates_from(tm);
         // Walk one representative packet per (sub-class, prefix), credited
-        // with the prefix's share of the sub-class packet count.
+        // with the prefix's share of the sub-class packet count. The tick's
+        // battery is collected first, then walked as one chunked batch.
+        let mut jobs: Vec<(Packet, &Path)> = Vec::new();
+        let mut credits: Vec<u64> = Vec::new();
         for class in &scoped {
             let pps = class.rate_pps(cfg.packet_bytes) * cfg.tick_secs;
             for sub in apple.subclasses().of_class(class.id) {
@@ -125,15 +283,16 @@ pub fn packet_replay(
                     // A host inside this prefix (host bits = 1 where room).
                     let host_bit = if len < 32 { 1 } else { 0 };
                     let p = Packet::new(addr | host_bit, class.dst_prefix.0 | 9, 40_000, 80, 6);
-                    let rec = apple
-                        .program()
-                        .walker
-                        .walk(p, &class.path)
-                        .expect("programmed data plane walks cleanly");
-                    counters.observe_many(&rec, count);
-                    packets_walked += count;
+                    jobs.push((p, &class.path));
+                    credits.push(count);
                 }
             }
+        }
+        let recs = walk_batch(engine.as_dyn(), &jobs, cfg.engine.threads);
+        for (rec, count) in recs.iter().zip(&credits) {
+            let rec = rec.as_ref().expect("programmed data plane walks cleanly");
+            counters.observe_many(rec, *count);
+            packets_walked += count;
         }
         // Poll: detection events + counter-derived loss.
         for (_, event) in detector.poll(&counters) {
@@ -379,8 +538,23 @@ pub fn differential_conformance(
     old: &CompilerSnapshot,
     new: &CompilerSnapshot,
 ) -> Result<ConformanceReport, ConformanceError> {
+    differential_conformance_with(old, new, &WalkEngineConfig::default())
+}
+
+/// [`differential_conformance`] with an explicit engine choice and thread
+/// budget. The two engines must accept and reject exactly the same plans —
+/// the walk-bench battery runs both and diffs the verdicts.
+///
+/// # Errors
+///
+/// The first [`ConformanceError`] found, naming the barrier and probe.
+pub fn differential_conformance_with(
+    old: &CompilerSnapshot,
+    new: &CompilerSnapshot,
+    cfg: &WalkEngineConfig,
+) -> Result<ConformanceReport, ConformanceError> {
     let old_prog = compile(old);
-    conformance_core(old_prog, None, old, new)
+    conformance_core(old_prog, None, old, new, cfg)
 }
 
 /// The crash-recovery variant of [`differential_conformance`]: the "old"
@@ -403,7 +577,22 @@ pub fn repair_conformance(
     old: &CompilerSnapshot,
     new: &CompilerSnapshot,
 ) -> Result<ConformanceReport, ConformanceError> {
-    conformance_core(installed.clone(), Some(compile(old)), old, new)
+    repair_conformance_with(installed, old, new, &WalkEngineConfig::default())
+}
+
+/// [`repair_conformance`] with an explicit engine choice and thread
+/// budget.
+///
+/// # Errors
+///
+/// The first [`ConformanceError`] found, naming the barrier and probe.
+pub fn repair_conformance_with(
+    installed: &RuleProgram,
+    old: &CompilerSnapshot,
+    new: &CompilerSnapshot,
+    cfg: &WalkEngineConfig,
+) -> Result<ConformanceReport, ConformanceError> {
+    conformance_core(installed.clone(), Some(compile(old)), old, new, cfg)
 }
 
 /// Shared engine of the two conformance batteries: walk every probe at
@@ -416,30 +605,23 @@ fn conformance_core(
     prev_prog: Option<RuleProgram>,
     old: &CompilerSnapshot,
     new: &CompilerSnapshot,
+    cfg: &WalkEngineConfig,
 ) -> Result<ConformanceReport, ConformanceError> {
     let new_prog = compile(new);
     let plan = diff(&old_prog, &new_prog);
     let probes = conformance_probes(old, new);
+    let jobs: Vec<(Packet, &Path)> = probes.iter().map(|p| (p.packet, &p.path)).collect();
 
-    let old_walker = old_prog.walker();
-    let new_walker = new_prog.walker();
-    let old_walks: Vec<Walk> = probes
-        .iter()
-        .map(|p| old_walker.walk(p.packet, &p.path))
-        .collect();
-    let new_walks: Vec<Walk> = probes
-        .iter()
-        .map(|p| new_walker.walk(p.packet, &p.path))
-        .collect();
+    let old_engine = Engine::of(&old_prog, cfg.engine);
+    let new_engine = Engine::of(&new_prog, cfg.engine);
+    let old_walks: Vec<Walk> = walk_batch(old_engine.as_dyn(), &jobs, cfg.threads);
+    let new_walks: Vec<Walk> = walk_batch(new_engine.as_dyn(), &jobs, cfg.threads);
     // Repair runs start from a torn fabric: probes stranded by the crash
     // heal through the pre-transition program's behaviour before reaching
     // `new`, so those walks are a third legal reference alongside old/new.
     let prev_walks: Option<Vec<Walk>> = prev_prog.map(|prog| {
-        let walker = prog.walker();
-        probes
-            .iter()
-            .map(|p| walker.walk(p.packet, &p.path))
-            .collect()
+        let engine = Engine::of(&prog, cfg.engine);
+        walk_batch(engine.as_dyn(), &jobs, cfg.threads)
     });
 
     let mut nf_of: BTreeMap<InstanceId, NfType> = BTreeMap::new();
@@ -458,14 +640,19 @@ fn conformance_core(
         ..ConformanceReport::default()
     };
     let mut patched = old_prog;
+    // The barrier loop exercises the incremental path end-to-end: the
+    // compiled engine is patched per-device via `rebuild_delta`, never
+    // rebuilt from scratch.
+    let mut engine = old_engine;
     let total = plan.batches().len();
     for (bi, batch) in plan.batches().iter().enumerate() {
         apply_batch_unchecked(&mut patched, batch);
+        engine.patch(&patched, batch);
         report.barriers += 1;
-        let walker = patched.walker();
+        let got_walks = walk_batch(engine.as_dyn(), &jobs, cfg.threads);
         let last = bi + 1 == total;
         for (i, probe) in probes.iter().enumerate() {
-            let got = walker.walk(probe.packet, &probe.path);
+            let got = got_walks[i].clone();
             report.walks += 1;
             if got == new_walks[i] {
                 report.new_exact += 1;
@@ -680,6 +867,57 @@ mod tests {
         // the new (pass-by) behaviour immediately.
         assert!(down.barriers > 0 && down.new_exact > 0);
         assert_eq!(down.walks, down.old_exact + down.new_exact + down.mixed);
+    }
+
+    #[test]
+    fn conformance_reports_identical_across_engines_and_threads() {
+        let a = line_snapshot(0, 1);
+        let b = line_snapshot(7, 1);
+        let base = differential_conformance_with(
+            &a,
+            &b,
+            &WalkEngineConfig {
+                engine: EngineKind::Linear,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        for engine in [EngineKind::Linear, EngineKind::Compiled] {
+            for threads in [1, 2, 8] {
+                let got =
+                    differential_conformance_with(&a, &b, &WalkEngineConfig { engine, threads })
+                        .unwrap();
+                assert_eq!(got, base, "engine {} threads {threads}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn replay_outcome_identical_across_engines_and_threads() {
+        let (topo, series) = bursty();
+        let base = packet_replay(&topo, &series, &cfg()).unwrap();
+        for engine in [EngineKind::Linear, EngineKind::Compiled] {
+            for threads in [1, 4] {
+                let out = packet_replay(
+                    &topo,
+                    &series,
+                    &PacketReplayConfig {
+                        engine: WalkEngineConfig { engine, threads },
+                        ..cfg()
+                    },
+                )
+                .unwrap();
+                assert_eq!(out.packets_walked, base.packets_walked);
+                assert_eq!(out.trips, base.trips);
+                assert_eq!(out.clears, base.clears);
+                assert_eq!(
+                    out.loss.samples(),
+                    base.loss.samples(),
+                    "engine {} threads {threads}",
+                    engine.name()
+                );
+            }
+        }
     }
 
     #[test]

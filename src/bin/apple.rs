@@ -8,6 +8,7 @@
 //! apple online <TOPO> [--horizon SECS] [--rate R] [--resolve-every N] [--seed S]
 //! apple recover <TOPO> [--horizon SECS] [--rate R] [--seed S] [--kill-at N] [--torn] [--snapshot-every N]
 //! apple compile <TOPO> [--classes K] [--load MBPS] [--seed S] [--incremental]
+//! apple walk   <TOPO> [--engine linear|compiled] [--threads N] [--repeats N]
 //! apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 //! ```
 //!
@@ -29,13 +30,17 @@ use apple_nfv::core::rules::{generate_with, snapshot_of, RuleGenConfig};
 use apple_nfv::core::subclass::{SplitStrategy, SubclassPlan};
 use apple_nfv::dataplane::compiler::compile_recorded;
 use apple_nfv::dataplane::diff::diff_recorded;
+use apple_nfv::dataplane::fastpath::CompiledProgram;
+use apple_nfv::dataplane::walk::WalkEngine;
 use apple_nfv::faults::crash::{install_quiet_kill_hook, kill_of};
 use apple_nfv::faults::{CrashPoint, FaultPlanConfig};
 use apple_nfv::journal::SharedMemStore;
 use apple_nfv::nf::InstanceId;
 use apple_nfv::sim::chaos::run_schedule;
 use apple_nfv::sim::online::{build_timeline, run_timeline, OnlineRunConfig};
-use apple_nfv::sim::packet_replay::repair_conformance;
+use apple_nfv::sim::packet_replay::{
+    conformance_probes, repair_conformance, walk_batch, EngineKind,
+};
 use apple_nfv::sim::replay::{replay_recorded, ReplayConfig};
 use apple_nfv::telemetry::{MemoryRecorder, Recorder, NOOP};
 use apple_nfv::topology::{zoo, Topology};
@@ -66,6 +71,8 @@ const USAGE: &str = "usage:
   apple recover <TOPO> [--horizon SECS] [--rate R] [--seed S] [--kill-at N] [--torn]
                [--snapshot-every N] [--resolve-every N] [--telemetry json]
   apple compile <TOPO> [--classes K] [--load MBPS] [--seed S] [--incremental] [--telemetry json]
+  apple walk   <TOPO> [--engine linear|compiled] [--threads N] [--repeats N]
+               [--classes K] [--load MBPS] [--seed S]
   apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 
 TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D
@@ -103,7 +110,14 @@ compile plans a deployment, lowers it into a compiler snapshot and runs
 the deterministic Table III rule compiler over it. With --incremental it
 also models a single-sub-class churn step (one chain stage re-served by a
 fresh instance) and prints the incremental update plan's operation bill
-against the full-recompile cost.";
+against the full-recompile cost.
+
+walk plans and compiles a deployment, derives its packet-probe battery and
+replays it --repeats times through the chosen walk engine: `linear` is the
+reference first-match scan, `compiled` (default) the per-switch LPM-trie /
+exact-match fast path of DESIGN.md 12. --threads N fans the battery out
+over scoped worker threads (0 = one per CPU). Prints walks/sec; exits
+non-zero if any probe fails to walk.";
 
 /// Parsed optional flags.
 struct Flags {
@@ -126,6 +140,8 @@ struct Flags {
     snapshot_every: u64,
     kill_at: u64,
     torn: bool,
+    engine: EngineKind,
+    repeats: usize,
 }
 
 impl Default for Flags {
@@ -150,6 +166,8 @@ impl Default for Flags {
             snapshot_every: 64,
             kill_at: 0,
             torn: false,
+            engine: EngineKind::default(),
+            repeats: 32,
         }
     }
 }
@@ -238,6 +256,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--kill-at" => f.kill_at = num("--kill-at")?.parse().map_err(|_| "bad --kill-at")?,
             "--torn" => f.torn = true,
+            "--engine" => f.engine = EngineKind::parse(&num("--engine")?)?,
+            "--repeats" => f.repeats = num("--repeats")?.parse().map_err(|_| "bad --repeats")?,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -708,6 +728,79 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
             }
             emit_telemetry(&mem);
+            Ok(())
+        }
+        "walk" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
+            let classes = ClassSet::build(
+                &topo,
+                &tm,
+                &ClassConfig {
+                    max_classes: flags.classes,
+                    ..Default::default()
+                },
+            );
+            let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+            let placement = OptimizationEngine::new(EngineConfig {
+                solve_mode: flags.solve_mode,
+                threads: flags.threads,
+                ..Default::default()
+            })
+            .place(&classes, &orch)
+            .map_err(|e| e.to_string())?;
+            let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+            let config = RuleGenConfig::default();
+            let prog = generate_with(&topo, &classes, &plan, &placement, &mut orch, &config)
+                .map_err(|e| e.to_string())?;
+            let snap = snapshot_of(&topo, &classes, &plan, &prog.assignment, &orch, &config)
+                .map_err(|e| e.to_string())?;
+            let program = compile_recorded(&snap, &NOOP);
+            let probes = conformance_probes(&snap, &snap);
+            if probes.is_empty() {
+                return Err("deployment produced no packet probes".into());
+            }
+            let jobs: Vec<_> = probes.iter().map(|pr| (pr.packet, &pr.path)).collect();
+            let walker = program.walker();
+            let compiled = CompiledProgram::new(&program);
+            let engine: &(dyn WalkEngine + Sync) = match flags.engine {
+                EngineKind::Linear => &walker,
+                EngineKind::Compiled => &compiled,
+            };
+            let repeats = flags.repeats.max(1);
+            let mut errors = 0usize;
+            let mut instances = 0usize;
+            let start = std::time::Instant::now();
+            for _ in 0..repeats {
+                for res in walk_batch(engine, &jobs, flags.threads) {
+                    match res {
+                        Ok(rec) => instances += rec.instances.len(),
+                        Err(_) => errors += 1,
+                    }
+                }
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let walks = repeats * jobs.len();
+            println!("{}", topo.summary());
+            println!(
+                "engine {}  {} probes x {} repeats = {} walks ({} VNF traversals)",
+                flags.engine.name(),
+                jobs.len(),
+                repeats,
+                walks,
+                instances
+            );
+            println!(
+                "{:.3}s wall  {:.0} walks/sec  threads {}",
+                secs,
+                walks as f64 / secs.max(1e-9),
+                flags.threads
+            );
+            if errors > 0 {
+                return Err(format!("{errors} probe walks failed"));
+            }
             Ok(())
         }
         "export-lp" => {

@@ -212,6 +212,74 @@ fn incremental_patch_equals_full_compile() {
     }
 }
 
+/// Walk-engine equivalence on *planned* programs: the compiled fast path
+/// must walk every conformance probe of a real deployment to the same
+/// record (or error) as the linear scan, and the delta-patched compiled
+/// form of an `a → b` transition must equal compiling `b` from scratch.
+/// The random-program version of this property lives in
+/// `crates/dataplane/tests/fuzz_walk.rs`; this one pins it on programs
+/// the actual control plane emits (DESIGN.md §12).
+#[test]
+fn walk_engines_agree_on_planned_programs() {
+    use apple_nfv::core::rules::{snapshot_of, RuleGenConfig};
+    use apple_nfv::dataplane::compiler::compile;
+    use apple_nfv::dataplane::diff::diff;
+    use apple_nfv::dataplane::fastpath::CompiledProgram;
+    use apple_nfv::dataplane::walk::WalkEngine;
+    use apple_nfv::sim::packet_replay::conformance_probes;
+
+    for case in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x600 + case));
+        let nodes = rng.gen_range(5usize..12);
+        let degree = rng.gen_range(2.0..3.5);
+        let topo_seed = rng.gen_range(0u64..1_000);
+        let tm_a = rng.gen_range(0u64..1_000);
+        let tm_b = rng.gen_range(0u64..1_000);
+        let topo = zoo::random_connected(nodes, degree, topo_seed);
+        let snap = |tm_seed| match plan_random(nodes, degree, topo_seed, tm_seed, 10) {
+            Ok(apple) => Some(
+                snapshot_of(
+                    &topo,
+                    apple.classes(),
+                    apple.subclasses(),
+                    &apple.program().assignment,
+                    apple.orchestrator(),
+                    &RuleGenConfig::default(),
+                )
+                .expect("planned deployments lower cleanly"),
+            ),
+            Err(EngineError::Infeasible) => None,
+            Err(e) => panic!("case {case}: plan failed: {e}"),
+        };
+        let (Some(a), Some(b)) = (snap(tm_a), snap(tm_b)) else {
+            continue;
+        };
+        let pa = compile(&a);
+        let pb = compile(&b);
+        let walker = pa.walker();
+        let fast = CompiledProgram::new(&pa);
+        for probe in conformance_probes(&a, &b) {
+            assert_eq!(
+                walker.walk(probe.packet, &probe.path),
+                fast.walk(probe.packet, &probe.path),
+                "case {case}: engines diverged on {}",
+                probe.label
+            );
+        }
+        let mut patched = pa.clone();
+        let mut fast = fast;
+        for batch in diff(&pa, &pb).batches() {
+            apple_nfv::dataplane::diff::apply_batch_unchecked(&mut patched, batch);
+            fast.rebuild_delta(batch);
+        }
+        assert_eq!(
+            fast,
+            CompiledProgram::new(&pb),
+            "case {case}: delta-patched fast path drifted from recompiling b"
+        );
+    }
+}
+
 #[test]
 fn capacity_holds_after_rounding() {
     for case in 0..8u64 {
