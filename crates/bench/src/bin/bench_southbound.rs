@@ -1,0 +1,130 @@
+//! Regenerates (or validates) the committed `BENCH_southbound.json`
+//! southbound-channel benchmark.
+//!
+//! ```text
+//! bench_southbound --smoke [--threads N] [--out-dir DIR]   # short horizon
+//! bench_southbound --full  [--threads N] [--out-dir DIR]   # regenerates the committed file
+//! bench_southbound --smoke --check                         # run + self-validate, write nothing (ci)
+//! bench_southbound --check FILE [FILE...]                  # schema-validate files, no running
+//! ```
+//!
+//! `--smoke --check` is what the `ci` southbound-conformance stage runs:
+//! it streams the short timeline twice (synchronous and async dataplane
+//! paths), validates the generated JSON against [`check_southbound`] and
+//! writes nothing. `--full` regenerates the file committed at the
+//! repository root (see EXPERIMENTS.md for the exact invocation).
+
+use apple_bench::southbound::{check_southbound, run_southbound, southbound_json};
+use apple_bench::trajectory::Scope;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_southbound --smoke|--full [--threads N] [--out-dir DIR] [--check]\n       bench_southbound --check FILE [FILE...]"
+    );
+    ExitCode::from(2)
+}
+
+fn check_files(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check_southbound(&text) {
+            Ok(()) => println!("{f}: ok"),
+            Err(e) => {
+                eprintln!("{f}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scope = None;
+    let mut threads = 1usize;
+    let mut out_dir = PathBuf::from(".");
+    let mut check = false;
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => scope = Some(Scope::Smoke),
+            "--full" => scope = Some(Scope::Full),
+            "--check" => check = true,
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
+            "--out-dir" => {
+                i += 1;
+                let Some(d) = args.get(i) else {
+                    return usage();
+                };
+                out_dir = PathBuf::from(d);
+            }
+            other if check && !other.starts_with('-') => files.push(other.to_string()),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+    if !files.is_empty() {
+        return check_files(&files);
+    }
+    let Some(scope) = scope else {
+        return usage();
+    };
+
+    let rows = run_southbound(scope, threads);
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} events, {:>7} ops | sync {:8.0} ev/s, async {:8.0} ev/s ({:.2}x) | \
+             {} barriers, {} retries | wait p50 {:.0} p95 {:.0} p99 {:.0} max {:.0} ms | \
+             {:.1} virtual s absorbed | bitwise {}",
+            r.topology,
+            r.events,
+            r.dataplane_ops,
+            r.sync_events_per_sec,
+            r.async_events_per_sec,
+            r.slowdown,
+            r.barriers,
+            r.retries,
+            r.barrier_wait_p50_ms,
+            r.barrier_wait_p95_ms,
+            r.barrier_wait_p99_ms,
+            r.barrier_wait_max_ms,
+            r.virtual_wait_total_ms as f64 / 1e3,
+            if r.bitwise_match { "ok" } else { "MISMATCH" },
+        );
+    }
+    let text = southbound_json(&rows, scope, threads);
+    if let Err(e) = check_southbound(&text) {
+        eprintln!("generated JSON failed its own schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    if check {
+        println!("southbound benchmark self-check: ok");
+        return ExitCode::SUCCESS;
+    }
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = out_dir.join("BENCH_southbound.json");
+    std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

@@ -27,14 +27,18 @@
 //! throughput, incremental-vs-full rule operations of the data-plane
 //! compiler; DESIGN.md §10), [`recovery`] regenerates
 //! `BENCH_recovery.json` (write-ahead journal overhead, snapshot size and
-//! recovery wall time vs journal length; DESIGN.md §11), and [`walk`]
+//! recovery wall time vs journal length; DESIGN.md §11), [`walk`]
 //! regenerates `BENCH_walk.json` (linear vs compiled walk-engine
-//! throughput and conformance wall-clock; DESIGN.md §12).
+//! throughput and conformance wall-clock; DESIGN.md §12), and
+//! [`southbound`] regenerates `BENCH_southbound.json` (async southbound
+//! channel throughput vs the synchronous path and virtual barrier
+//! latency under the 70 ms install model; DESIGN.md §13).
 
 pub mod dataplane;
 pub mod harness;
 pub mod online;
 pub mod recovery;
+pub mod southbound;
 pub mod trajectory;
 pub mod walk;
 

@@ -1,0 +1,420 @@
+//! Committed southbound benchmark: the data behind `BENCH_southbound.json`
+//! at the repository root (DESIGN.md §13, EXPERIMENTS.md "Southbound").
+//!
+//! The same Internet2 arrival/departure timeline as `BENCH_online.json`
+//! is streamed twice, back to back in one process, with rule compilation
+//! on: once through a plain [`OrchestrationLoop`] applying update plans
+//! synchronously, and once with the asynchronous
+//! [`SouthboundChannel`](apple_dataplane::southbound::SouthboundChannel)
+//! between the controller and the fabric (seeded per-op latency under
+//! the paper's 70 ms rule-install model, per-device reordering, explicit
+//! barrier acks). The channel is **virtual-time**: nothing sleeps, so
+//! its wall-clock cost is pure bookkeeping — the events/second delta
+//! between the two runs is the price of queueing, reorder scheduling and
+//! ack accounting, measured on the same build, machine and timeline. The
+//! committed artifact must keep the async path within
+//! [`MAX_SLOWDOWN`]× of the synchronous path, and the two runs must end
+//! bitwise-identical data planes.
+//!
+//! The async run also reports the virtual barrier-latency distribution
+//! (p50/p95/p99/max of submit→last-ack) under the 70 ms model — the
+//! latency the controller would actually observe on the paper's
+//! prototype fabric.
+
+use crate::online::{run_config, FULL_MIN_EVENTS, SEED};
+use crate::trajectory::Scope;
+use apple_core::online::OrchestrationLoop;
+use apple_core::orchestrator::ResourceOrchestrator;
+use apple_dataplane::southbound::SouthboundConfig;
+use apple_sim::online::build_timeline;
+use apple_telemetry::json::{write_num, write_str, Json};
+use apple_telemetry::{MemoryRecorder, NOOP};
+use apple_topology::TopologyKind;
+use std::time::Instant;
+
+/// Schema tag carried by `BENCH_southbound.json`.
+pub const SOUTHBOUND_SCHEMA: &str = "apple-bench-southbound-v1";
+/// Maximum wall-clock slowdown the async channel may cost: the async
+/// run's events/sec must stay within this factor of the synchronous
+/// run's (`--check` rejects committed files above it).
+pub const MAX_SLOWDOWN: f64 = 2.0;
+
+/// One topology's southbound benchmark row.
+#[derive(Debug, Clone)]
+pub struct SouthboundRow {
+    /// Topology name.
+    pub topology: String,
+    /// Events streamed through each loop.
+    pub events: u64,
+    /// Data-plane ops the plans carried (identical across both runs).
+    pub dataplane_ops: u64,
+    /// Synchronous-path throughput (events/sec, rules compiled).
+    pub sync_events_per_sec: f64,
+    /// Async-path throughput (events/sec).
+    pub async_events_per_sec: f64,
+    /// `sync / async` wall-clock ratio — the channel's bookkeeping cost.
+    pub slowdown: f64,
+    /// Barriers the channel completed.
+    pub barriers: u64,
+    /// Install retries consumed (0: the benchmark channel is fault-free).
+    pub retries: u64,
+    /// Virtual submit→last-ack barrier latency, 50th percentile (ms).
+    pub barrier_wait_p50_ms: f64,
+    /// Virtual barrier latency, 95th percentile (ms).
+    pub barrier_wait_p95_ms: f64,
+    /// Virtual barrier latency, 99th percentile (ms).
+    pub barrier_wait_p99_ms: f64,
+    /// Largest virtual barrier latency observed (ms).
+    pub barrier_wait_max_ms: f64,
+    /// Virtual milliseconds of install latency the timeline absorbed
+    /// (sum of per-event waits) — latency simulated, not slept.
+    pub virtual_wait_total_ms: u64,
+    /// The two runs ended with bitwise-identical rule programs.
+    pub bitwise_match: bool,
+}
+
+/// The run configuration for one scope: the `BENCH_online.json` timeline
+/// with rule compilation forced on (the channel only carries compiled
+/// update plans) and a shorter smoke horizon — every event pays a
+/// compile + diff twice here.
+#[must_use]
+pub fn southbound_run_config(scope: Scope) -> apple_sim::online::OnlineRunConfig {
+    let mut c = run_config(scope);
+    if scope == Scope::Smoke {
+        c.horizon_secs = 4.0;
+    }
+    c.online.compile_rules = true;
+    c
+}
+
+/// Streams the scope's Internet2 timeline through the synchronous and
+/// asynchronous dataplane paths and reports throughput plus the virtual
+/// barrier-latency distribution.
+///
+/// # Panics
+///
+/// Panics if either loop fails to compile a data plane — the benchmark
+/// would be measuring nothing.
+#[must_use]
+pub fn run_southbound(scope: Scope, threads: usize) -> Vec<SouthboundRow> {
+    let mut cfg = southbound_run_config(scope);
+    cfg.online.engine.threads = threads;
+    run_with(&cfg)
+}
+
+fn run_with(cfg: &apple_sim::online::OnlineRunConfig) -> Vec<SouthboundRow> {
+    let topo = TopologyKind::Internet2.build();
+    let timeline = build_timeline(&topo, cfg);
+    let events = timeline.len() as u64;
+
+    // Synchronous baseline: plans applied inline at each step.
+    let orch = ResourceOrchestrator::with_uniform_hosts(&topo, cfg.host_cores);
+    let mut sync_loop = OrchestrationLoop::new(&topo, orch, cfg.online.clone());
+    let t0 = Instant::now();
+    for event in timeline.events() {
+        sync_loop.step(event, &NOOP);
+    }
+    let sync_secs = t0.elapsed().as_secs_f64();
+
+    // Async run: the same plans enqueued on the seeded channel and
+    // awaited barrier by barrier.
+    let mut async_cfg = cfg.online.clone();
+    async_cfg.southbound = Some(SouthboundConfig::paper(SEED));
+    let orch = ResourceOrchestrator::with_uniform_hosts(&topo, cfg.host_cores);
+    let mut async_loop = OrchestrationLoop::new(&topo, orch, async_cfg);
+    let rec = MemoryRecorder::new();
+    let mut dataplane_ops = 0u64;
+    let mut virtual_wait_total_ms = 0u64;
+    let t0 = Instant::now();
+    for event in timeline.events() {
+        let report = async_loop.step(event, &rec);
+        dataplane_ops += report.dataplane_ops;
+        virtual_wait_total_ms += report.southbound_wait_ms;
+    }
+    let async_secs = t0.elapsed().as_secs_f64();
+
+    let snap = rec.snapshot();
+    let wait = snap.histogram("southbound.barrier_wait_ms");
+    let sync_eps = events as f64 / sync_secs.max(1e-9);
+    let async_eps = events as f64 / async_secs.max(1e-9);
+    let sync_prog = sync_loop
+        .dataplane_program()
+        .expect("benchmark compiles rules");
+    let async_prog = async_loop
+        .dataplane_program()
+        .expect("benchmark compiles rules");
+    vec![SouthboundRow {
+        topology: TopologyKind::Internet2.name().to_string(),
+        events,
+        dataplane_ops,
+        sync_events_per_sec: sync_eps,
+        async_events_per_sec: async_eps,
+        slowdown: sync_eps / async_eps.max(1e-9),
+        barriers: snap.counter("southbound.barriers").unwrap_or(0),
+        retries: snap.counter("southbound.retries").unwrap_or(0),
+        barrier_wait_p50_ms: wait.map_or(0.0, |h| h.p50),
+        barrier_wait_p95_ms: wait.map_or(0.0, |h| h.p95),
+        barrier_wait_p99_ms: wait.map_or(0.0, |h| h.p99),
+        barrier_wait_max_ms: wait.map_or(0.0, |h| h.max),
+        virtual_wait_total_ms,
+        bitwise_match: sync_prog == async_prog,
+    }]
+}
+
+/// Serialises southbound rows to the [`SOUTHBOUND_SCHEMA`] JSON document.
+#[must_use]
+pub fn southbound_json(rows: &[SouthboundRow], scope: Scope, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    write_str(&mut out, SOUTHBOUND_SCHEMA);
+    out.push_str(",\n  \"seed\": ");
+    write_num(&mut out, SEED as f64);
+    out.push_str(",\n  \"threads\": ");
+    write_num(&mut out, threads.max(1) as f64);
+    out.push_str(",\n  \"rule_install_ms\": ");
+    write_num(
+        &mut out,
+        SouthboundConfig::paper(SEED).rule_install_ms as f64,
+    );
+    out.push_str(",\n  \"scope\": ");
+    write_str(
+        &mut out,
+        match scope {
+            Scope::Smoke => "smoke",
+            Scope::Full => "full",
+        },
+    );
+    out.push_str(",\n  \"scenarios\": [");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"topology\": ");
+        write_str(&mut out, &r.topology);
+        for (key, v) in [
+            ("events", r.events as f64),
+            ("dataplane_ops", r.dataplane_ops as f64),
+            ("sync_events_per_sec", r.sync_events_per_sec),
+            ("async_events_per_sec", r.async_events_per_sec),
+            ("slowdown", r.slowdown),
+            ("barriers", r.barriers as f64),
+            ("retries", r.retries as f64),
+            ("barrier_wait_p50_ms", r.barrier_wait_p50_ms),
+            ("barrier_wait_p95_ms", r.barrier_wait_p95_ms),
+            ("barrier_wait_p99_ms", r.barrier_wait_p99_ms),
+            ("barrier_wait_max_ms", r.barrier_wait_max_ms),
+            ("virtual_wait_total_ms", r.virtual_wait_total_ms as f64),
+            ("bitwise_match", f64::from(u8::from(r.bitwise_match))),
+        ] {
+            out.push_str(",\n     \"");
+            out.push_str(key);
+            out.push_str("\": ");
+            write_num(&mut out, v);
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn require<'a>(obj: &'a Json, key: &str, path: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{path}: missing required field `{key}`"))
+}
+
+fn require_num(obj: &Json, key: &str, path: &str) -> Result<f64, String> {
+    require(obj, key, path)?
+        .as_num()
+        .ok_or_else(|| format!("{path}.{key}: expected a number"))
+}
+
+/// Validates a `BENCH_southbound.json` document against
+/// [`SOUTHBOUND_SCHEMA`].
+///
+/// Beyond field presence and types this enforces what the benchmark is
+/// supposed to demonstrate: the async path stays within [`MAX_SLOWDOWN`]×
+/// of the synchronous path's events/sec, both runs ended bitwise-equal,
+/// the channel completed barriers, and the virtual barrier-latency
+/// quantiles are ordered and consistent with the 70 ms install model
+/// (every op-carrying barrier waits at least one install, so the maximum
+/// must reach the model's floor).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn check_southbound(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("parse error: {e}"))?;
+    let got = require(&doc, "schema", "$")?
+        .as_str()
+        .ok_or("$.schema: expected a string")?;
+    if got != SOUTHBOUND_SCHEMA {
+        return Err(format!(
+            "$.schema: expected \"{SOUTHBOUND_SCHEMA}\", got \"{got}\""
+        ));
+    }
+    require_num(&doc, "seed", "$")?;
+    require_num(&doc, "threads", "$")?;
+    let install_ms = require_num(&doc, "rule_install_ms", "$")?;
+    if install_ms <= 0.0 {
+        return Err("$.rule_install_ms: must be positive".to_string());
+    }
+    let scope = require(&doc, "scope", "$")?
+        .as_str()
+        .ok_or("$.scope: expected a string")?;
+    if scope != "smoke" && scope != "full" {
+        return Err(format!("$.scope: expected smoke|full, got \"{scope}\""));
+    }
+    let arr = require(&doc, "scenarios", "$")?
+        .as_arr()
+        .ok_or("$.scenarios: expected an array")?;
+    if arr.is_empty() {
+        return Err("$.scenarios: must not be empty".to_string());
+    }
+    for (i, s) in arr.iter().enumerate() {
+        let path = format!("$.scenarios[{i}]");
+        require(s, "topology", &path)?
+            .as_str()
+            .ok_or_else(|| format!("{path}.topology: expected a string"))?;
+        for key in [
+            "events",
+            "dataplane_ops",
+            "sync_events_per_sec",
+            "async_events_per_sec",
+            "slowdown",
+            "barriers",
+            "retries",
+            "barrier_wait_p50_ms",
+            "barrier_wait_p95_ms",
+            "barrier_wait_p99_ms",
+            "barrier_wait_max_ms",
+            "virtual_wait_total_ms",
+        ] {
+            require_num(s, key, &path)?;
+        }
+        let events = require_num(s, "events", &path)?;
+        if events <= 0.0 {
+            return Err(format!("{path}.events: timeline was empty"));
+        }
+        if scope == "full" && events < FULL_MIN_EVENTS as f64 {
+            return Err(format!(
+                "{path}.events: full scope needs >= {FULL_MIN_EVENTS} events, got {events}"
+            ));
+        }
+        if require_num(s, "sync_events_per_sec", &path)? <= 0.0 {
+            return Err(format!("{path}.sync_events_per_sec: must be positive"));
+        }
+        if require_num(s, "async_events_per_sec", &path)? <= 0.0 {
+            return Err(format!("{path}.async_events_per_sec: must be positive"));
+        }
+        let slowdown = require_num(s, "slowdown", &path)?;
+        if slowdown > MAX_SLOWDOWN {
+            return Err(format!(
+                "{path}.slowdown: async path is {slowdown:.2}x the synchronous one, \
+                 budget is {MAX_SLOWDOWN}x"
+            ));
+        }
+        if require_num(s, "barriers", &path)? <= 0.0 {
+            return Err(format!(
+                "{path}.barriers: channel never completed a barrier"
+            ));
+        }
+        let p50 = require_num(s, "barrier_wait_p50_ms", &path)?;
+        let p95 = require_num(s, "barrier_wait_p95_ms", &path)?;
+        let p99 = require_num(s, "barrier_wait_p99_ms", &path)?;
+        let max = require_num(s, "barrier_wait_max_ms", &path)?;
+        if !(0.0 <= p50 && p50 <= p95 && p95 <= p99 && p99 <= max) {
+            return Err(format!(
+                "{path}: barrier-wait quantiles out of order \
+                 (p50 {p50}, p95 {p95}, p99 {p99}, max {max})"
+            ));
+        }
+        if max < install_ms {
+            return Err(format!(
+                "{path}.barrier_wait_max_ms: {max} ms is below the \
+                 {install_ms} ms single-install floor"
+            ));
+        }
+        if require_num(s, "virtual_wait_total_ms", &path)? <= 0.0 {
+            return Err(format!(
+                "{path}.virtual_wait_total_ms: the async run never waited"
+            ));
+        }
+        if require_num(s, "bitwise_match", &path)? != 1.0 {
+            return Err(format!(
+                "{path}: async run's data plane diverged from the synchronous one"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared mini-run: a short horizon keeps the debug-build
+    /// compile + diff cost bearable; every assertion here is about
+    /// structure, not statistics (the smoke/full runs enforce the real
+    /// budgets via `check_southbound`).
+    fn mini_rows() -> Vec<SouthboundRow> {
+        let mut cfg = southbound_run_config(Scope::Smoke);
+        cfg.horizon_secs = 1.0;
+        cfg.online.engine.threads = 1;
+        run_with(&cfg)
+    }
+
+    #[test]
+    fn mini_southbound_round_trips_and_validates() {
+        let mut rows = mini_rows();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.events > 0, "mini timeline empty");
+        assert!(r.barriers > 0, "channel never completed a barrier");
+        assert!(r.bitwise_match, "async data plane diverged");
+        assert!(
+            r.virtual_wait_total_ms > 0,
+            "async run absorbed no virtual latency"
+        );
+        assert!(
+            r.barrier_wait_max_ms >= 70.0,
+            "max barrier wait {} below one install",
+            r.barrier_wait_max_ms
+        );
+        // Mini-scope wall-clock is all noise; the slowdown budget is
+        // exercised via the rejection below and enforced for real on the
+        // smoke/full runs.
+        rows[0].slowdown = 1.0;
+        let text = southbound_json(&rows, Scope::Smoke, 1);
+        check_southbound(&text).unwrap();
+
+        // Structural rejections, exercised on the same rows.
+        let mut bad = rows.clone();
+        bad[0].slowdown = MAX_SLOWDOWN + 1.0;
+        let text = southbound_json(&bad, Scope::Smoke, 1);
+        assert!(check_southbound(&text).unwrap_err().contains("slowdown"));
+
+        let mut bad = rows.clone();
+        bad[0].bitwise_match = false;
+        let text = southbound_json(&bad, Scope::Smoke, 1);
+        assert!(check_southbound(&text).unwrap_err().contains("diverged"));
+
+        let mut bad = rows;
+        bad[0].barrier_wait_p50_ms = 0.0;
+        bad[0].barrier_wait_p95_ms = 0.0;
+        bad[0].barrier_wait_p99_ms = 0.0;
+        bad[0].barrier_wait_max_ms = 1.0;
+        let text = southbound_json(&bad, Scope::Smoke, 1);
+        assert!(check_southbound(&text).unwrap_err().contains("floor"));
+    }
+
+    #[test]
+    fn check_southbound_rejects_malformed_documents() {
+        assert!(check_southbound("{").is_err());
+        assert!(check_southbound("{\"schema\": \"nope\"}")
+            .unwrap_err()
+            .contains("schema"));
+        let bad_scope = format!(
+            "{{\"schema\": \"{SOUTHBOUND_SCHEMA}\", \"seed\": 0, \"threads\": 1, \
+             \"rule_install_ms\": 70, \"scope\": \"tiny\", \"scenarios\": [{{}}]}}"
+        );
+        assert!(check_southbound(&bad_scope).unwrap_err().contains("scope"));
+    }
+}

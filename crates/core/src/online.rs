@@ -374,6 +374,13 @@ pub struct OnlineConfig {
     /// against the installed program, and applies only the delta (cost
     /// scales with churn, not topology size).
     pub compile_rules: bool,
+    /// Route each sync's update plan through the asynchronous southbound
+    /// channel instead of applying it synchronously: batches are enqueued
+    /// per device, their ops draw seeded bounded latency and reordering,
+    /// and the installed mirror only advances when a barrier is fully
+    /// acked ([`StepReport::southbound_wait_ms`] bills the virtual wait).
+    /// `None` (the default) keeps the synchronous apply.
+    pub southbound: Option<apple_dataplane::southbound::SouthboundConfig>,
 }
 
 /// What one [`OrchestrationLoop::step`] did.
@@ -402,6 +409,10 @@ pub struct StepReport {
     /// incremental compiler emitted for this step; 0 when the compiler is
     /// disabled or nothing rule-relevant changed.
     pub dataplane_ops: u64,
+    /// Virtual milliseconds this step spent awaiting southbound barrier
+    /// acks (enqueue of the step's update plan to the last barrier's
+    /// ack); 0 on the synchronous path or when nothing changed.
+    pub southbound_wait_ms: u64,
 }
 
 /// Whether the DP can serve the class at all: a class whose rate exceeds a
@@ -482,6 +493,11 @@ pub struct OrchestrationLoop {
     /// Barrier observer: called after each update-plan batch is applied to
     /// the installed mirror (the journal's per-phase barrier commit hook).
     pub(crate) dp_observer: Option<Box<dyn DataplaneObserver>>,
+    /// The asynchronous southbound channel, when configured: syncs become
+    /// enqueue + await-barrier and the installed mirror advances only on
+    /// acked barriers. The channel persists across steps so its virtual
+    /// clock, barrier ids and reorder streams are continuous over a run.
+    pub(crate) southbound: Option<apple_dataplane::southbound::SouthboundChannel>,
 }
 
 /// Observes data-plane barriers as `OrchestrationLoop::sync_dataplane`
@@ -518,6 +534,9 @@ impl OrchestrationLoop {
             .compile_rules
             .then(apple_dataplane::fastpath::CompiledProgram::default);
         let dp_dirty = compiled.is_some();
+        let southbound = cfg
+            .southbound
+            .map(apple_dataplane::southbound::SouthboundChannel::new);
         OrchestrationLoop {
             inc: IncrementalClasses::new(topo, &cfg.class_cfg),
             placer: OnlinePlacer::new(),
@@ -534,6 +553,7 @@ impl OrchestrationLoop {
             tag_decisions: BTreeMap::new(),
             dp_dirty,
             dp_observer: None,
+            southbound,
         }
     }
 
@@ -568,7 +588,9 @@ impl OrchestrationLoop {
         }
         if self.dp_dirty {
             self.dp_dirty = false;
-            report.dataplane_ops = self.sync_dataplane(rec);
+            let (ops, wait_ms) = self.sync_dataplane(rec);
+            report.dataplane_ops = ops;
+            report.southbound_wait_ms = wait_ms;
         }
         report
     }
@@ -1079,29 +1101,68 @@ impl OrchestrationLoop {
 
     /// Compiles the current snapshot, diffs it against the installed
     /// program and applies the delta in place. Returns the rule operations
-    /// billed. Telemetry: `dataplane.sync` span, `dataplane.plans` /
-    /// `dataplane.rule_ops` counters, `dataplane.program_rules` gauge.
-    fn sync_dataplane(&mut self, rec: &dyn Recorder) -> u64 {
+    /// billed and the virtual southbound wait (0 on the synchronous
+    /// path). Telemetry: `dataplane.sync` span, `dataplane.plans` /
+    /// `dataplane.rule_ops` counters, `dataplane.program_rules` gauge;
+    /// with the southbound channel also `southbound.barriers`,
+    /// `southbound.retries` counters and the `southbound.barrier_wait_ms`
+    /// histogram.
+    fn sync_dataplane(&mut self, rec: &dyn Recorder) -> (u64, u64) {
         if self.compiled.is_none() {
-            return 0;
+            return (0, 0);
         }
         let _s = rec.span("dataplane.sync");
         self.sync_tags();
         let snap = self.build_dataplane_snapshot(&self.tags);
         let target = apple_dataplane::compiler::compile_recorded(&snap, rec);
         let Some(installed) = self.compiled.as_mut() else {
-            return 0; // unreachable: compiler presence checked above
+            return (0, 0); // unreachable: compiler presence checked above
         };
         let plan = apple_dataplane::diff::diff_recorded(installed, &target, rec);
-        // Apply barrier by barrier so the observer sees each batch commit
-        // in order (the uncapped path is infallible — no phantom error).
-        for batch in plan.batches() {
-            apple_dataplane::diff::apply_batch_unchecked(installed, batch);
-            if let Some(fp) = self.fastpath.as_mut() {
-                fp.rebuild_delta(batch);
+        let mut wait_ms = 0u64;
+        if let Some(chan) = self.southbound.as_mut() {
+            // Async path: enqueue the whole plan, then await each
+            // barrier's ack — the installed mirror, the fast path and the
+            // observer all advance only when a barrier's acked set equals
+            // its op set. The fault-free channel cannot fail, so the ops
+            // bill matches the synchronous path bitwise.
+            let submitted = chan.now_ms();
+            chan.submit_plan(&plan);
+            let mut last_ack = submitted;
+            while chan.pending() > 0 {
+                let events = chan
+                    .advance(3_600_000)
+                    .expect("fault-free southbound channel cannot fail");
+                for ev in events {
+                    let apple_dataplane::southbound::SouthboundEvent::Barrier(done) = ev else {
+                        continue;
+                    };
+                    apple_dataplane::diff::apply_batch_unchecked(installed, &done.batch);
+                    if let Some(fp) = self.fastpath.as_mut() {
+                        fp.rebuild_delta(&done.batch);
+                    }
+                    if let Some(obs) = self.dp_observer.as_mut() {
+                        obs.on_barrier(&done.batch);
+                    }
+                    last_ack = done.completed_ms;
+                    rec.counter("southbound.barriers", 1);
+                    rec.counter("southbound.retries", done.retries);
+                    rec.observe("southbound.barrier_wait_ms", done.wait_ms() as f64);
+                }
             }
-            if let Some(obs) = self.dp_observer.as_mut() {
-                obs.on_barrier(batch);
+            wait_ms = last_ack.saturating_sub(submitted);
+        } else {
+            // Apply barrier by barrier so the observer sees each batch
+            // commit in order (the uncapped path is infallible — no
+            // phantom error).
+            for batch in plan.batches() {
+                apple_dataplane::diff::apply_batch_unchecked(installed, batch);
+                if let Some(fp) = self.fastpath.as_mut() {
+                    fp.rebuild_delta(batch);
+                }
+                if let Some(obs) = self.dp_observer.as_mut() {
+                    obs.on_barrier(batch);
+                }
             }
         }
         let stats = plan.stats();
@@ -1117,7 +1178,7 @@ impl OrchestrationLoop {
         rec.counter("dataplane.plans", 1);
         rec.counter("dataplane.rule_ops", stats.total() as u64);
         rec.gauge("dataplane.program_rules", target.rule_count() as f64);
-        stats.total() as u64
+        (stats.total() as u64, wait_ms)
     }
 
     /// Verifies the residual-capacity ledger against orchestrator truth:
@@ -1498,6 +1559,54 @@ mod tests {
             0,
             "only pass-by defaults remain"
         );
+    }
+
+    /// Enqueue + await-barrier must land the installed mirror bitwise on
+    /// the synchronous path's program after every event, while billing a
+    /// nonzero virtual barrier wait whenever rule ops shipped.
+    #[test]
+    fn southbound_mode_matches_synchronous_path_bitwise() {
+        use apple_traffic::arrivals::{ArrivalConfig, EventTimeline};
+        let topo = zoo::internet2();
+        let pairs = vec![(NodeId(0), NodeId(5)), (NodeId(2), NodeId(6))];
+        let timeline = EventTimeline::generate(&pairs, &ArrivalConfig::default(), 40.0);
+        let cfg = OnlineConfig {
+            compile_rules: true,
+            resolve_every: 15,
+            ..Default::default()
+        };
+        let async_cfg = OnlineConfig {
+            southbound: Some(apple_dataplane::southbound::SouthboundConfig::paper(0x5b)),
+            ..cfg.clone()
+        };
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut sync_loop = OrchestrationLoop::new(&topo, orch, cfg);
+        let orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+        let mut async_loop = OrchestrationLoop::new(&topo, orch, async_cfg);
+        let mut waited = 0u64;
+        for (n, e) in timeline.events().iter().enumerate() {
+            let sync_report = sync_loop.step(e, &apple_telemetry::NOOP);
+            let async_report = async_loop.step(e, &apple_telemetry::NOOP);
+            assert_eq!(
+                sync_report.dataplane_ops, async_report.dataplane_ops,
+                "ops bill diverged at event {n}"
+            );
+            assert_eq!(sync_report.southbound_wait_ms, 0);
+            if async_report.dataplane_ops > 0 {
+                assert!(
+                    async_report.southbound_wait_ms > 0,
+                    "rule ops shipped with no barrier wait at event {n}"
+                );
+            }
+            waited += async_report.southbound_wait_ms;
+            assert_eq!(
+                sync_loop.dataplane_program(),
+                async_loop.dataplane_program(),
+                "installed programs diverged at event {n}"
+            );
+        }
+        assert!(waited > 0, "the run must have waited on some barrier");
+        assert_eq!(async_loop.live_count(), 0);
     }
 
     #[test]

@@ -134,10 +134,21 @@ pub enum Record {
         /// The completed intent.
         seq: u64,
     },
-    /// Data-plane barrier `index` of intent `seq` was applied to the
-    /// fabric (diagnostic: recovery reconciles the fabric by diffing, it
-    /// never replays barriers).
+    /// Data-plane barrier `index` of intent `seq` was submitted to the
+    /// southbound channel (diagnostic: recovery reconciles the fabric by
+    /// diffing, it never replays barriers).
     Barrier {
+        /// The intent whose sync emitted this barrier.
+        seq: u64,
+        /// Barrier ordinal within the journaled run.
+        index: u64,
+    },
+    /// Barrier `index` of intent `seq` was fully acked by its device —
+    /// every op of the batch confirmed installed. A [`Record::Barrier`]
+    /// with no matching ack is the journal's mark of a partially-acked
+    /// tail: the fabric may hold the batch the controller never saw
+    /// confirmed, and [`reconcile`] must repair by diffing.
+    BarrierAck {
         /// The intent whose sync emitted this barrier.
         seq: u64,
         /// Barrier ordinal within the journaled run.
@@ -150,6 +161,7 @@ const TAG_STEP_COMMIT: u8 = 2;
 const TAG_CRASH_INTENT: u8 = 3;
 const TAG_CRASH_COMMIT: u8 = 4;
 const TAG_BARRIER: u8 = 5;
+const TAG_BARRIER_ACK: u8 = 6;
 
 fn encode_flow_event(w: &mut ByteWriter, e: &FlowEvent) {
     w.put_f64(e.time_secs);
@@ -227,6 +239,11 @@ impl Record {
                 w.put_u64(*seq);
                 w.put_u64(*index);
             }
+            Record::BarrierAck { seq, index } => {
+                w.put_u8(TAG_BARRIER_ACK);
+                w.put_u64(*seq);
+                w.put_u64(*index);
+            }
         }
         w.into_bytes()
     }
@@ -262,6 +279,10 @@ impl Record {
                 seq: r.get_u64()?,
                 index: r.get_u64()?,
             },
+            TAG_BARRIER_ACK => Record::BarrierAck {
+                seq: r.get_u64()?,
+                index: r.get_u64()?,
+            },
             tag => {
                 return Err(DecodeError::BadTag {
                     context: "journal record",
@@ -282,7 +303,8 @@ impl Record {
             | Record::StepCommit { seq }
             | Record::CrashIntent { seq, .. }
             | Record::CrashCommit { seq }
-            | Record::Barrier { seq, .. } => *seq,
+            | Record::Barrier { seq, .. }
+            | Record::BarrierAck { seq, .. } => *seq,
         }
     }
 }
@@ -702,15 +724,20 @@ fn append_with_crash<S: JournalStore>(
     }
 }
 
-/// The barrier observer wired into the wrapped loop: mirrors each update
-/// batch onto the shared fabric, journals a [`Record::Barrier`], and ticks
-/// the barrier crash site.
+/// The barrier observer wired into the wrapped loop: journals a
+/// [`Record::Barrier`] (the submit), mirrors the batch onto the shared
+/// fabric, then journals the matching [`Record::BarrierAck`] — with a
+/// crash site on either side of the fabric mutation
+/// ([`CrashSite::DataplaneBarrier`] between submit record and apply,
+/// [`CrashSite::SouthboundAck`] between apply and ack record). A kill at
+/// the ack site leaves the journal's partially-acked tail: the fabric
+/// holds a batch whose ack was never made durable.
 ///
 /// The observer callback cannot return an error, so a store failure
 /// mid-barrier is parked in `failed` and surfaced as a typed
 /// [`RecoveryError::Journal`] by the [`JournaledLoop::step`] that drove
-/// the sync. Barrier records are diagnostics, not redo state, so a lost
-/// one never compromises recovery.
+/// the sync. Barrier and ack records are diagnostics, not redo state, so
+/// a lost one never compromises recovery.
 struct FabricObserver<S: JournalStore> {
     fabric: SharedFabric,
     journal: Rc<RefCell<Journal<S>>>,
@@ -730,20 +757,29 @@ impl<S: JournalStore> fmt::Debug for FabricObserver<S> {
 
 impl<S: JournalStore> DataplaneObserver for FabricObserver<S> {
     fn on_barrier(&mut self, batch: &UpdateBatch) {
-        self.fabric
-            .with_mut(|p| apple_dataplane::diff::apply_batch_unchecked(p, batch));
-        let rec = Record::Barrier {
-            seq: self.seq.get(),
-            index: self.barrier_index,
-        };
+        let (seq, index) = (self.seq.get(), self.barrier_index);
         self.barrier_index += 1;
-        if let Err(e) = append_with_crash(&self.journal, &self.crash, &rec.encode()) {
+        let submit = Record::Barrier { seq, index };
+        if let Err(e) = append_with_crash(&self.journal, &self.crash, &submit.encode()) {
             self.failed.borrow_mut().get_or_insert(e);
         }
+        // Ops on the wire, install unconfirmed: submit record ahead of
+        // the fabric.
         if let CrashAction::Kill { ordinal, .. } =
             self.crash.on_site(CrashSite::DataplaneBarrier, 0)
         {
             crashpoint::kill(CrashSite::DataplaneBarrier, ordinal);
+        }
+        self.fabric
+            .with_mut(|p| apple_dataplane::diff::apply_batch_unchecked(p, batch));
+        // Installed but un-acked: fabric ahead of the journal — the
+        // partially-acked tail reconcile must repair.
+        if let CrashAction::Kill { ordinal, .. } = self.crash.on_site(CrashSite::SouthboundAck, 0) {
+            crashpoint::kill(CrashSite::SouthboundAck, ordinal);
+        }
+        let ack = Record::BarrierAck { seq, index };
+        if let Err(e) = append_with_crash(&self.journal, &self.crash, &ack.encode()) {
+            self.failed.borrow_mut().get_or_insert(e);
         }
     }
 }
@@ -946,6 +982,12 @@ pub struct RecoveryReport {
     pub records_replayed: u64,
     /// Bytes of torn tail truncated (0 = clean shutdown or clean kill).
     pub torn_truncated_bytes: u64,
+    /// Barrier submit records with no matching ack record — the length of
+    /// the journal's partially-acked southbound tail. Nonzero means the
+    /// crashed run died between submitting a batch and making its ack
+    /// durable, so the fabric may be ahead of the last acked barrier and
+    /// [`reconcile`] has repair work to do.
+    pub unacked_barriers: u64,
     /// The compiler context of the recovered state *before* the final
     /// replayed intent — the "old" side for repair conformance (stale
     /// fabric rules can date from exactly one sync before the crash).
@@ -1005,6 +1047,7 @@ pub fn recover<S: JournalStore + 'static>(
     }
     let mut last_seq = start_seq;
     let mut intents = Vec::new();
+    let (mut barriers_submitted, mut barriers_acked) = (0u64, 0u64);
     for record in &records {
         last_seq = last_seq.max(record.seq());
         match record {
@@ -1014,6 +1057,8 @@ pub fn recover<S: JournalStore + 'static>(
             Record::CrashIntent { seq, instance } if *seq > start_seq => {
                 intents.push(Intent::Crash(*instance));
             }
+            Record::Barrier { .. } => barriers_submitted += 1,
+            Record::BarrierAck { .. } => barriers_acked += 1,
             _ => {}
         }
     }
@@ -1045,6 +1090,7 @@ pub fn recover<S: JournalStore + 'static>(
         records_scanned: records.len() as u64,
         records_replayed: n as u64,
         torn_truncated_bytes: scanned.truncated_bytes,
+        unacked_barriers: barriers_submitted.saturating_sub(barriers_acked),
         prev_ctx,
         intended_ctx: inner.dataplane_snapshot(),
     };

@@ -42,6 +42,7 @@ pub mod counters;
 pub mod diff;
 pub mod fastpath;
 pub mod packet;
+pub mod southbound;
 pub mod switch;
 pub mod tcam;
 pub mod walk;
@@ -52,6 +53,10 @@ pub use compiler::{compile, CompilerSnapshot, RuleProgram, SubclassSpec};
 pub use diff::{diff, ApplyError, UpdateBatch, UpdatePlan, UpdateStats};
 pub use fastpath::{CompiledHost, CompiledProgram, CompiledSwitch};
 pub use packet::{HostTag, Packet};
+pub use southbound::{
+    apply_plan_async, BarrierId, CompletedBarrier, DeviceKey, SouthboundChannel, SouthboundConfig,
+    SouthboundError, SouthboundEvent, SouthboundReport, SouthboundStats,
+};
 pub use switch::{PhysicalSwitch, VSwitch, VSwitchRule};
 pub use tcam::{Action, MatchSpec, TcamRule, TcamTable};
 pub use walk::{NetworkWalker, WalkEngine, WalkError, WalkRecord};

@@ -34,6 +34,11 @@ pub enum CrashSite {
     SnapshotWrite,
     /// A data-plane update-plan barrier (one batch applied to switches).
     DataplaneBarrier,
+    /// A southbound barrier acknowledgement being made durable (the
+    /// `BarrierAck` journal record); killing here leaves a submitted
+    /// barrier with no recorded ack — the partially-acked tail the
+    /// reconciler must repair.
+    SouthboundAck,
 }
 
 impl fmt::Display for CrashSite {
@@ -42,6 +47,7 @@ impl fmt::Display for CrashSite {
             CrashSite::JournalAppend => write!(f, "journal-append"),
             CrashSite::SnapshotWrite => write!(f, "snapshot-write"),
             CrashSite::DataplaneBarrier => write!(f, "dataplane-barrier"),
+            CrashSite::SouthboundAck => write!(f, "southbound-ack"),
         }
     }
 }

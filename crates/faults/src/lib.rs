@@ -23,6 +23,10 @@
 //! * [`retry`] — [`RetryPolicy`]: bounded exponential backoff with seeded
 //!   jitter and a per-operation timeout budget derived from the paper's
 //!   measured latencies ([`apple_nf::TimingModel`]),
+//! * [`reorder`] — [`ReorderPlan`]: seeded bounded-displacement
+//!   permutations for asynchronous delivery, with independent per-key
+//!   streams so each southbound switch queue reorders on its own
+//!   schedule (PR 9),
 //! * [`crash`] — [`CrashPoint`]: a kill-at-any-point crash clock for the
 //!   journaled controller (PR 7); every journal append, snapshot write,
 //!   and data-plane barrier is an enumerable crash site, and a kill is a
@@ -44,9 +48,11 @@
 pub mod crash;
 pub mod injector;
 pub mod plan;
+pub mod reorder;
 pub mod retry;
 
 pub use crash::{ControllerKill, CrashAction, CrashPoint, CrashSite};
 pub use injector::{FailFirstN, FaultInjector, NoFaults, ScriptedInjector};
 pub use plan::{FaultKind, FaultPlan, FaultPlanConfig, ScheduledFault};
+pub use reorder::ReorderPlan;
 pub use retry::RetryPolicy;

@@ -1,0 +1,347 @@
+//! In-flight conformance battery: the asynchronous variant of the
+//! differential battery in [`crate::packet_replay`] (DESIGN.md §13).
+//!
+//! The differential battery walks probes at plan barriers — synchronous
+//! points where a batch has just been applied. This battery instead
+//! submits the whole update plan to an asynchronous
+//! [`SouthboundChannel`] (seeded per-op latency under the paper's 70 ms
+//! rule-install model, per-device reordering, explicit barrier acks) and
+//! walks **every probe at every scheduler tick** while installs are in
+//! flight. At each tick the observable fabric is whatever prefix of the
+//! plan the channel has acked so far, so the battery proves the
+//! three-tier guarantee *in virtual time*, not just at batch boundaries:
+//!
+//! 1. every observed walk is bitwise the old walk, bitwise the new walk,
+//!    or a chain-consistent old/new mix — never a transient chain bypass;
+//! 2. once the channel drains, every walk is bitwise the full
+//!    recompile's walk;
+//! 3. the final fabric equals the full recompile rule for rule.
+//!
+//! The channel's global barrier gate is what makes this hold: reordering
+//! and retries are confined *within* a barrier, so tick-time states are
+//! exactly the plan prefixes the synchronous battery already certifies.
+
+use apple_dataplane::compiler::{compile, CompilerSnapshot};
+use apple_dataplane::diff::{apply_batch_unchecked, diff};
+use apple_dataplane::packet::Packet;
+use apple_dataplane::southbound::{SouthboundChannel, SouthboundConfig, SouthboundEvent};
+use apple_nf::{InstanceId, NfType};
+use apple_topology::Path;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::packet_replay::{
+    chain_consistent, conformance_probes, walk_batch, walk_detail, ConformanceError, Engine, Walk,
+    WalkEngineConfig,
+};
+
+/// Configuration for one in-flight conformance run.
+#[derive(Debug, Clone, Copy)]
+pub struct InflightConfig {
+    /// Walk engine and thread budget for the per-tick probe batteries.
+    pub engine: WalkEngineConfig,
+    /// Channel timing: seed, per-rule latency, jitter, reorder window.
+    pub southbound: SouthboundConfig,
+    /// Virtual milliseconds per scheduler tick.
+    pub tick_ms: u64,
+}
+
+impl InflightConfig {
+    /// The paper's timing model (70 ms per rule install) with a 10 ms
+    /// probe tick — several walks land inside every barrier's flight.
+    pub fn paper(seed: u64) -> InflightConfig {
+        InflightConfig {
+            engine: WalkEngineConfig::default(),
+            southbound: SouthboundConfig::paper(seed),
+            tick_ms: 10,
+        }
+    }
+}
+
+/// Tallies from one in-flight run. Walk classifications mirror
+/// [`crate::packet_replay::ConformanceReport`], but are counted per tick
+/// rather than per barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InflightReport {
+    /// Barriers the channel completed (one per update batch).
+    pub barriers: usize,
+    /// Scheduler ticks the run observed (= probe batteries walked).
+    pub ticks: usize,
+    /// Probes in the battery.
+    pub probes: usize,
+    /// Total packet walks across all ticks.
+    pub walks: usize,
+    /// Walks bitwise-identical to the pre-update program's walk.
+    pub old_exact: usize,
+    /// Walks bitwise-identical to the full recompile's walk.
+    pub new_exact: usize,
+    /// Chain-consistent old/new mixes (legal while in flight).
+    pub mixed: usize,
+    /// Virtual time the channel took to drain the plan.
+    pub elapsed_ms: u64,
+    /// Install retries the channel consumed (0 under [`SouthboundChannel::new`]).
+    pub retries: u64,
+}
+
+/// Runs the in-flight battery for the update from `old` to `new`.
+///
+/// The plan is submitted up front; the channel is then advanced one
+/// [`InflightConfig::tick_ms`] at a time, completed barriers are applied
+/// to the observed fabric (patching the compiled engine per device via
+/// `rebuild_delta`), and the full probe battery is walked at every tick
+/// until the channel drains.
+///
+/// # Errors
+///
+/// The first [`ConformanceError`] found: a `BarrierWalk` for a mid-flight
+/// walk that is neither old, new, nor a chain-consistent mix; a
+/// `FinalWalk` for a post-drain walk that differs from the recompile; a
+/// `FinalProgram` if the drained fabric is not rule-for-rule the
+/// recompile.
+///
+/// # Panics
+///
+/// The fault-free channel cannot fail; an internal channel error panics.
+pub fn inflight_conformance(
+    old: &CompilerSnapshot,
+    new: &CompilerSnapshot,
+    cfg: &InflightConfig,
+) -> Result<InflightReport, ConformanceError> {
+    let old_prog = compile(old);
+    let new_prog = compile(new);
+    let plan = diff(&old_prog, &new_prog);
+    let probes = conformance_probes(old, new);
+    let jobs: Vec<(Packet, &Path)> = probes.iter().map(|p| (p.packet, &p.path)).collect();
+
+    let old_engine = Engine::of(&old_prog, cfg.engine.engine);
+    let new_engine = Engine::of(&new_prog, cfg.engine.engine);
+    let old_walks: Vec<Walk> = walk_batch(old_engine.as_dyn(), &jobs, cfg.engine.threads);
+    let new_walks: Vec<Walk> = walk_batch(new_engine.as_dyn(), &jobs, cfg.engine.threads);
+
+    let mut nf_of: BTreeMap<InstanceId, NfType> = BTreeMap::new();
+    let mut chains: BTreeSet<Vec<NfType>> = BTreeSet::new();
+    for s in old.subclasses.iter().chain(new.subclasses.iter()) {
+        for (j, &inst) in s.instances.iter().enumerate() {
+            nf_of.insert(inst, s.stage_nfs[j]);
+        }
+        if !s.stage_nfs.is_empty() {
+            chains.insert(s.stage_nfs.clone());
+        }
+    }
+
+    let mut chan = SouthboundChannel::new(cfg.southbound);
+    chan.submit_plan(&plan);
+
+    let mut report = InflightReport {
+        probes: probes.len(),
+        ..InflightReport::default()
+    };
+    let mut patched = old_prog;
+    let mut engine = old_engine;
+    while !chan.is_idle() {
+        let events = chan
+            .advance(cfg.tick_ms)
+            .expect("fault-free southbound channel cannot fail");
+        for event in events {
+            if let SouthboundEvent::Barrier(done) = event {
+                apply_batch_unchecked(&mut patched, &done.batch);
+                engine.patch(&patched, &done.batch);
+                report.barriers += 1;
+                report.retries += done.retries;
+            }
+        }
+        report.ticks += 1;
+        let drained = chan.is_idle();
+        let got_walks = walk_batch(engine.as_dyn(), &jobs, cfg.engine.threads);
+        for (i, probe) in probes.iter().enumerate() {
+            let got = got_walks[i].clone();
+            report.walks += 1;
+            if got == new_walks[i] {
+                report.new_exact += 1;
+            } else if drained {
+                return Err(ConformanceError::FinalWalk {
+                    probe: probe.label.clone(),
+                    detail: walk_detail(&got),
+                });
+            } else if got == old_walks[i] {
+                report.old_exact += 1;
+            } else if chain_consistent(&got, &old_walks[i], &new_walks[i], &nf_of, &chains) {
+                report.mixed += 1;
+            } else {
+                return Err(ConformanceError::BarrierWalk {
+                    barrier: report.barriers,
+                    probe: probe.label.clone(),
+                    detail: walk_detail(&got),
+                });
+            }
+        }
+    }
+    if patched != new_prog {
+        return Err(ConformanceError::FinalProgram);
+    }
+    report.elapsed_ms = chan.now_ms();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apple_dataplane::compiler::SubclassSpec;
+
+    /// A `switches`-long line with one two-stage class; `fw`/`ids` pick
+    /// the serving instances so scenarios can model churn.
+    fn line_snapshot(switches: usize, fw: u64, ids: u64) -> CompilerSnapshot {
+        let path: Vec<usize> = (0..switches).collect();
+        CompilerSnapshot {
+            switches: path.clone(),
+            hosts: vec![1, switches - 1],
+            rewriters: Vec::new(),
+            subclasses: vec![SubclassSpec {
+                class: 0,
+                class_name: "c0".into(),
+                sub: 0,
+                tag: 0,
+                global: false,
+                path,
+                src_prefix: (0x0a00_0000, 24),
+                dst_prefix: (0x0a00_0100, 24),
+                proto: Some(6),
+                dst_ports: vec![80, 443],
+                prefixes: vec![(0x0a00_0000, 25), (0x0a00_0080, 25)],
+                stage_positions: vec![1, switches - 1],
+                stage_nfs: vec![NfType::Firewall, NfType::Ids],
+                instances: vec![InstanceId(fw), InstanceId(ids)],
+            }],
+            compress: true,
+        }
+    }
+
+    fn empty_snapshot(switches: usize) -> CompilerSnapshot {
+        CompilerSnapshot {
+            switches: (0..switches).collect(),
+            ..CompilerSnapshot::default()
+        }
+    }
+
+    /// The headline acceptance battery: ≥200 seeded (topology,
+    /// reorder-schedule) pairs, probes walked at every tick, every walk
+    /// three-tier legal, every run draining to the recompile.
+    #[test]
+    fn battery_holds_across_seeded_reorderings() {
+        // 4 update scenarios × 52 channel seeds = 208 ≥ 200 pairs; the
+        // seed drives both per-op latency sampling and the per-device
+        // reorder permutations, so each pair observes a distinct
+        // in-flight schedule.
+        let scenarios: Vec<(&str, CompilerSnapshot, CompilerSnapshot)> = vec![
+            ("swap-3", line_snapshot(3, 0, 1), line_snapshot(3, 7, 1)),
+            ("swap-5", line_snapshot(5, 0, 1), line_snapshot(5, 7, 9)),
+            ("arrive-4", empty_snapshot(4), line_snapshot(4, 0, 1)),
+            ("depart-4", line_snapshot(4, 0, 1), empty_snapshot(4)),
+        ];
+        let mut pairs = 0usize;
+        let mut mid_flight_walks = 0usize;
+        for (name, old, new) in &scenarios {
+            for k in 0..52u64 {
+                let cfg = InflightConfig::paper(0x1f11_0000 ^ (k << 8) ^ pairs as u64);
+                let report = inflight_conformance(old, new, &cfg)
+                    .unwrap_or_else(|e| panic!("{name} seed {k}: {e}"));
+                assert!(report.barriers > 0, "{name} seed {k}: empty plan");
+                assert_eq!(
+                    report.walks,
+                    report.ticks * report.probes,
+                    "{name} seed {k}: probes must be walked at every tick"
+                );
+                assert_eq!(
+                    report.walks,
+                    report.old_exact + report.new_exact + report.mixed,
+                    "{name} seed {k}: unclassified walk"
+                );
+                // Under the 70 ms model a barrier flies for several
+                // 10 ms ticks, so the battery must observe the fabric
+                // mid-flight (strictly more ticks than barriers).
+                assert!(
+                    report.ticks > report.barriers,
+                    "{name} seed {k}: no mid-flight ticks"
+                );
+                // Zero-op rewriter barriers drain instantly, but every
+                // scenario installs rules somewhere, so the run must pay
+                // at least one full install latency.
+                assert!(
+                    report.elapsed_ms >= cfg.southbound.rule_install_ms,
+                    "{name} seed {k}: drained faster than one rule install"
+                );
+                mid_flight_walks += report.old_exact + report.mixed;
+                pairs += 1;
+            }
+        }
+        assert!(pairs >= 200, "battery ran only {pairs} pairs");
+        assert!(
+            mid_flight_walks > 0,
+            "battery never observed an in-flight state"
+        );
+    }
+
+    /// The identity update drains instantly: no barriers, no ticks.
+    #[test]
+    fn identity_plan_is_trivially_clean() {
+        let snap = line_snapshot(3, 0, 1);
+        let report = inflight_conformance(&snap, &snap, &InflightConfig::paper(4)).unwrap();
+        assert_eq!(report.barriers, 0);
+        assert_eq!(report.ticks, 0);
+        assert_eq!(report.walks, 0);
+        assert_eq!(report.elapsed_ms, 0);
+    }
+
+    /// The run is a pure function of the seed, and distinct seeds
+    /// produce distinct in-flight schedules.
+    #[test]
+    fn reports_are_deterministic_per_seed() {
+        let old = line_snapshot(4, 0, 1);
+        let new = line_snapshot(4, 7, 1);
+        let a = inflight_conformance(&old, &new, &InflightConfig::paper(11)).unwrap();
+        let b = inflight_conformance(&old, &new, &InflightConfig::paper(11)).unwrap();
+        assert_eq!(a, b, "same seed must replay bitwise");
+        let c = inflight_conformance(&old, &new, &InflightConfig::paper(12)).unwrap();
+        assert_ne!(
+            a.elapsed_ms, c.elapsed_ms,
+            "different seeds should sample different schedules"
+        );
+    }
+
+    /// Engine choice and thread budget must not change what the battery
+    /// observes — the schedule lives in the channel, not the walker.
+    #[test]
+    fn reports_identical_across_engines_and_threads() {
+        use crate::packet_replay::EngineKind;
+        let old = line_snapshot(3, 0, 1);
+        let new = line_snapshot(3, 7, 1);
+        let base = inflight_conformance(&old, &new, &InflightConfig::paper(21)).unwrap();
+        for engine in [EngineKind::Linear, EngineKind::Compiled] {
+            for threads in [1, 2, 8] {
+                let cfg = InflightConfig {
+                    engine: WalkEngineConfig { engine, threads },
+                    ..InflightConfig::paper(21)
+                };
+                let got = inflight_conformance(&old, &new, &cfg).unwrap();
+                assert_eq!(got, base, "engine {} threads {threads}", engine.name());
+            }
+        }
+    }
+
+    /// A wider reorder window shuffles op completions harder but must
+    /// never surface an illegal state.
+    #[test]
+    fn hostile_reorder_windows_stay_conformant() {
+        let old = line_snapshot(5, 0, 1);
+        let new = empty_snapshot(5);
+        for window in [0usize, 1, 8, 64] {
+            let mut cfg = InflightConfig::paper(0x77 ^ window as u64);
+            cfg.southbound.reorder_window = window;
+            let report = inflight_conformance(&old, &new, &cfg)
+                .unwrap_or_else(|e| panic!("window {window}: {e}"));
+            assert_eq!(
+                report.walks,
+                report.old_exact + report.new_exact + report.mixed
+            );
+        }
+    }
+}

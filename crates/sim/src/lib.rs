@@ -24,7 +24,10 @@
 //! * [`packet_replay`] — packet-level conformance batteries over compiled
 //!   rule programs, the batched parallel [`walk_batch`] replay engine, and
 //!   the [`WalkEngineConfig`] seam selecting linear-scan vs compiled
-//!   fast-path walking (DESIGN.md §10 and §12).
+//!   fast-path walking (DESIGN.md §10 and §12),
+//! * [`inflight_conformance()`] — the asynchronous variant: walk every
+//!   probe at every scheduler tick while an update plan is in flight on
+//!   the seeded southbound channel (DESIGN.md §13).
 //!
 //! # Example
 //!
@@ -41,12 +44,14 @@ pub mod chaos;
 pub mod detector;
 pub mod events;
 pub mod failover_lab;
+pub mod inflight_conformance;
 pub mod metrics;
 pub mod online;
 pub mod packet_replay;
 pub mod replay;
 
 pub use chaos::{run_chaos, run_schedule, ChaosReport};
+pub use inflight_conformance::{inflight_conformance, InflightConfig, InflightReport};
 pub use metrics::{Series, Summary};
 pub use online::{build_timeline, run_timeline, OnlineRunConfig, OnlineRunReport};
 pub use packet_replay::{

@@ -146,15 +146,16 @@ pub fn walk_batch<E: WalkEngine + Sync + ?Sized>(
 }
 
 /// An owned engine of either kind, so callers can be generic over the
-/// [`WalkEngineConfig`] choice at runtime.
+/// [`WalkEngineConfig`] choice at runtime. Shared with the in-flight
+/// battery ([`crate::inflight_conformance`]).
 #[derive(Debug, Clone)]
-enum Engine {
+pub(crate) enum Engine {
     Linear(NetworkWalker),
     Compiled(CompiledProgram),
 }
 
 impl Engine {
-    fn of(prog: &RuleProgram, kind: EngineKind) -> Engine {
+    pub(crate) fn of(prog: &RuleProgram, kind: EngineKind) -> Engine {
         match kind {
             EngineKind::Linear => Engine::Linear(prog.walker()),
             EngineKind::Compiled => Engine::Compiled(CompiledProgram::new(prog)),
@@ -168,7 +169,7 @@ impl Engine {
         }
     }
 
-    fn as_dyn(&self) -> &(dyn WalkEngine + Sync) {
+    pub(crate) fn as_dyn(&self) -> &(dyn WalkEngine + Sync) {
         match self {
             Engine::Linear(w) => w,
             Engine::Compiled(c) => c,
@@ -178,7 +179,7 @@ impl Engine {
     /// Applies one update-plan barrier: the compiled engine patches
     /// per-device via `rebuild_delta`; the linear engine re-materialises
     /// from the already-patched program (its lookup *is* the rule list).
-    fn patch(&mut self, prog_after: &RuleProgram, batch: &apple_dataplane::UpdateBatch) {
+    pub(crate) fn patch(&mut self, prog_after: &RuleProgram, batch: &apple_dataplane::UpdateBatch) {
         match self {
             Engine::Linear(w) => *w = prog_after.walker(),
             Engine::Compiled(c) => c.rebuild_delta(batch),
@@ -410,7 +411,7 @@ impl fmt::Display for ConformanceError {
 impl std::error::Error for ConformanceError {}
 
 /// The outcome of one probe walk, as compared bitwise.
-type Walk = Result<WalkRecord, WalkError>;
+pub(crate) type Walk = Result<WalkRecord, WalkError>;
 
 /// Header fields identifying a probe packet for dedup purposes.
 type ProbeKey = (u32, u32, u16, u16, u8);
@@ -473,7 +474,7 @@ pub fn conformance_probes(old: &CompilerSnapshot, new: &CompilerSnapshot) -> Vec
     probes
 }
 
-fn walk_detail(w: &Walk) -> String {
+pub(crate) fn walk_detail(w: &Walk) -> String {
     match w {
         Ok(rec) => format!(
             "instances {:?}, host_tag {}, subclass {:?}",
@@ -488,7 +489,7 @@ fn walk_detail(w: &Walk) -> String {
 /// one of the endpoint programs also leaves it untouched, or traversed a
 /// complete NF chain of the deployment (its instance sequence maps to the
 /// `stage_nfs` of some sub-class in either snapshot) and exited `Fin`.
-fn chain_consistent(
+pub(crate) fn chain_consistent(
     walk: &Walk,
     old: &Walk,
     new: &Walk,

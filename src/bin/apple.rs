@@ -31,15 +31,17 @@ use apple_nfv::core::subclass::{SplitStrategy, SubclassPlan};
 use apple_nfv::dataplane::compiler::compile_recorded;
 use apple_nfv::dataplane::diff::diff_recorded;
 use apple_nfv::dataplane::fastpath::CompiledProgram;
+use apple_nfv::dataplane::southbound::SouthboundConfig;
 use apple_nfv::dataplane::walk::WalkEngine;
 use apple_nfv::faults::crash::{install_quiet_kill_hook, kill_of};
 use apple_nfv::faults::{CrashPoint, FaultPlanConfig};
 use apple_nfv::journal::SharedMemStore;
 use apple_nfv::nf::InstanceId;
 use apple_nfv::sim::chaos::run_schedule;
+use apple_nfv::sim::inflight_conformance::{inflight_conformance, InflightConfig};
 use apple_nfv::sim::online::{build_timeline, run_timeline, OnlineRunConfig};
 use apple_nfv::sim::packet_replay::{
-    conformance_probes, repair_conformance, walk_batch, EngineKind,
+    conformance_probes, repair_conformance, walk_batch, EngineKind, WalkEngineConfig,
 };
 use apple_nfv::sim::replay::{replay_recorded, ReplayConfig};
 use apple_nfv::telemetry::{MemoryRecorder, Recorder, NOOP};
@@ -73,6 +75,8 @@ const USAGE: &str = "usage:
   apple compile <TOPO> [--classes K] [--load MBPS] [--seed S] [--incremental] [--telemetry json]
   apple walk   <TOPO> [--engine linear|compiled] [--threads N] [--repeats N]
                [--classes K] [--load MBPS] [--seed S]
+  apple southbound <TOPO> [--classes K] [--load MBPS] [--seed S]
+               [--engine linear|compiled] [--threads N]
   apple export-lp <TOPO> [--classes K] [--load MBPS] [--seed S]
 
 TOPO: internet2 | geant | univ1 | as3679 | fat-tree:K | jellyfish:N:D
@@ -117,7 +121,16 @@ replays it --repeats times through the chosen walk engine: `linear` is the
 reference first-match scan, `compiled` (default) the per-switch LPM-trie /
 exact-match fast path of DESIGN.md 12. --threads N fans the battery out
 over scoped worker threads (0 = one per CPU). Prints walks/sec; exits
-non-zero if any probe fails to walk.";
+non-zero if any probe fails to walk.
+
+southbound plans and compiles a deployment, models a single-sub-class
+churn step, and pushes the incremental update plan through the seeded
+asynchronous southbound channel (70 ms/rule install latency, per-device
+reordering, explicit barrier acks; DESIGN.md 13) while walking the full
+packet-probe battery at every 10 ms scheduler tick. Prints the in-flight
+walk classification (bitwise-old / bitwise-new / chain-consistent) and
+the virtual drain time; exits non-zero if any tick observes a transient
+chain bypass.";
 
 /// Parsed optional flags.
 struct Flags {
@@ -801,6 +814,77 @@ fn run(args: &[String]) -> Result<(), String> {
             if errors > 0 {
                 return Err(format!("{errors} probe walks failed"));
             }
+            Ok(())
+        }
+        "southbound" => {
+            let (spec, flag_args) = rest.split_first().ok_or("missing topology")?;
+            let topo = parse_topo(spec)?;
+            let flags = parse_flags(flag_args)?;
+            let tm = GravityModel::new(flags.load, flags.seed).base_matrix(&topo);
+            let classes = ClassSet::build(
+                &topo,
+                &tm,
+                &ClassConfig {
+                    max_classes: flags.classes,
+                    ..Default::default()
+                },
+            );
+            let mut orch = ResourceOrchestrator::with_uniform_hosts(&topo, 64);
+            let placement = OptimizationEngine::new(EngineConfig {
+                solve_mode: flags.solve_mode,
+                threads: flags.threads,
+                ..Default::default()
+            })
+            .place(&classes, &orch)
+            .map_err(|e| e.to_string())?;
+            let plan = SubclassPlan::derive(&classes, &placement, SplitStrategy::PrefixSplit);
+            let config = RuleGenConfig::default();
+            let prog = generate_with(&topo, &classes, &plan, &placement, &mut orch, &config)
+                .map_err(|e| e.to_string())?;
+            let snap = snapshot_of(&topo, &classes, &plan, &prog.assignment, &orch, &config)
+                .map_err(|e| e.to_string())?;
+            // The same single-sub-class churn step `compile --incremental`
+            // models: one chain stage re-served by a fresh instance.
+            let mut churned = snap.clone();
+            let fresh = snap
+                .subclasses
+                .iter()
+                .flat_map(|s| s.instances.iter())
+                .map(|i| i.0)
+                .max()
+                .ok_or("snapshot has no instances to churn")?
+                + 1;
+            churned.subclasses[0].instances[0] = InstanceId(fresh);
+            let cfg = InflightConfig {
+                engine: WalkEngineConfig {
+                    engine: flags.engine,
+                    threads: flags.threads,
+                },
+                southbound: SouthboundConfig::paper(flags.seed),
+                tick_ms: 10,
+            };
+            let report = inflight_conformance(&snap, &churned, &cfg)
+                .map_err(|e| format!("in-flight conformance violated: {e}"))?;
+            println!("{}", topo.summary());
+            println!(
+                "channel: {} ms/rule (+{} ms jitter), reorder window {}, seed {}",
+                cfg.southbound.rule_install_ms,
+                cfg.southbound.jitter_ms,
+                cfg.southbound.reorder_window,
+                cfg.southbound.seed,
+            );
+            println!(
+                "churn plan drained in {} virtual ms across {} barriers ({} retries)",
+                report.elapsed_ms, report.barriers, report.retries,
+            );
+            println!(
+                "in-flight battery: {} ticks x {} probes = {} walks, all conformant",
+                report.ticks, report.probes, report.walks,
+            );
+            println!(
+                "  {} bitwise-old, {} bitwise-new, {} chain-consistent mixes",
+                report.old_exact, report.new_exact, report.mixed,
+            );
             Ok(())
         }
         "export-lp" => {

@@ -313,3 +313,89 @@ fn capacity_holds_after_rounding() {
         }
     }
 }
+
+/// Southbound ack-set exactness (DESIGN.md §13): for any random plan and
+/// any reorder window, every [`CompletedBarrier`] the channel emits has
+/// an `ack_order` that is a **permutation of exactly its op set** — no op
+/// missing, none duplicated, no phantom index — even while hostile acks
+/// are injected between ticks. Summed over the run, the channel acks
+/// exactly `plan.op_count()` ops and the drained fabric equals the
+/// synchronous apply.
+#[test]
+fn completed_barriers_ack_exactly_their_op_set() {
+    use apple_nfv::core::rules::{snapshot_of, RuleGenConfig};
+    use apple_nfv::dataplane::compiler::compile;
+    use apple_nfv::dataplane::diff::{apply_batch_unchecked, diff};
+    use apple_nfv::dataplane::southbound::{SouthboundChannel, SouthboundConfig, SouthboundEvent};
+
+    for case in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(SEED ^ (0x700 + case));
+        let nodes = rng.gen_range(5usize..12);
+        let degree = rng.gen_range(2.0..3.5);
+        let topo_seed = rng.gen_range(0u64..1_000);
+        let tm_a = rng.gen_range(0u64..1_000);
+        let tm_b = rng.gen_range(0u64..1_000);
+        let topo = zoo::random_connected(nodes, degree, topo_seed);
+        let snap = |tm_seed| match plan_random(nodes, degree, topo_seed, tm_seed, 10) {
+            Ok(apple) => Some(
+                snapshot_of(
+                    &topo,
+                    apple.classes(),
+                    apple.subclasses(),
+                    &apple.program().assignment,
+                    apple.orchestrator(),
+                    &RuleGenConfig::default(),
+                )
+                .expect("planned deployments lower cleanly"),
+            ),
+            // Tiny random topologies can be genuinely infeasible.
+            Err(EngineError::Infeasible) => None,
+            Err(e) => panic!("case {case}: plan failed: {e}"),
+        };
+        let (Some(a), Some(b)) = (snap(tm_a), snap(tm_b)) else {
+            continue;
+        };
+        let pa = compile(&a);
+        let pb = compile(&b);
+        let plan = diff(&pa, &pb);
+
+        let mut cfg = SouthboundConfig::paper(SEED ^ (0x780 + case));
+        cfg.reorder_window = rng.gen_range(0usize..9);
+        let mut chan = SouthboundChannel::new(cfg);
+        let ids = chan.submit_plan(&plan);
+        let mut prog = pa.clone();
+        let mut completed = 0usize;
+        while !chan.is_idle() {
+            // Hostile acks between ticks: random (barrier, op) pairs the
+            // channel must classify without ever corrupting an ack set.
+            for _ in 0..rng.gen_range(0usize..4) {
+                let id = ids[rng.gen_range(0..ids.len().max(1))];
+                let _ = chan.inject_ack(id, rng.gen_range(0usize..24));
+            }
+            for ev in chan
+                .advance(rng.gen_range(1u64..160))
+                .expect("fault-free southbound channel cannot fail")
+            {
+                if let SouthboundEvent::Barrier(done) = ev {
+                    let mut acked = done.ack_order.clone();
+                    acked.sort_unstable();
+                    let want: Vec<usize> = (0..done.batch.op_count()).collect();
+                    assert_eq!(
+                        acked, want,
+                        "case {case}: barrier {} ack set is not exactly its op set",
+                        done.id
+                    );
+                    apply_batch_unchecked(&mut prog, &done.batch);
+                    completed += 1;
+                }
+            }
+        }
+        assert_eq!(completed, plan.batches().len(), "case {case}");
+        assert_eq!(prog, pb, "case {case}: drained fabric drifted");
+        assert_eq!(
+            chan.stats().acks,
+            plan.op_count() as u64,
+            "case {case}: ops must ack exactly once across the run"
+        );
+    }
+}

@@ -2,7 +2,8 @@
 //! (DESIGN.md §11).
 //!
 //! The battery enumerates every durability site a seeded timeline visits
-//! — journal appends, snapshot writes, data-plane barriers — and, for a
+//! — journal appends, snapshot writes, data-plane barrier submissions,
+//! and southbound barrier acks — and, for a
 //! sampled set of ≥200 (timeline, crash-point) pairs, kills the
 //! controller exactly there (alternating clean kills and torn-write
 //! kills), then proves the full recovery contract:
@@ -145,6 +146,7 @@ struct PairOutcome {
     torn_bytes: u64,
     replayed: u64,
     repaired: bool,
+    unacked: u64,
 }
 
 /// One (timeline, crash-point) pair: crash, recover, reconcile, prove
@@ -179,6 +181,14 @@ fn run_pair(
     assert!(
         !torn || kill.site != CrashSite::JournalAppend || report.torn_truncated_bytes > 0,
         "{label}: torn kill on an append must leave a truncatable tail"
+    );
+    assert!(
+        !matches!(
+            kill.site,
+            CrashSite::DataplaneBarrier | CrashSite::SouthboundAck
+        ) || report.unacked_barriers >= 1,
+        "{label}: a kill between barrier submit and ack must leave an \
+         unacked barrier in the journal"
     );
 
     // Reconcile the surviving fabric with the recovered intent, and prove
@@ -236,6 +246,7 @@ fn run_pair(
         torn_bytes: report.torn_truncated_bytes,
         replayed: report.records_replayed,
         repaired: !rr.was_clean || snap.counter("recovery.reconcile_repairs").unwrap_or(0) > 0,
+        unacked: report.unacked_barriers,
     }
 }
 
@@ -250,7 +261,7 @@ fn crash_point_battery_recovers_bitwise_everywhere() {
     let mut torn_pairs = 0u64;
     let mut replays = 0u64;
     let mut repairs = 0u64;
-    let mut sites = [0u64; 3];
+    let mut sites = [0u64; 4];
     for (ti, &tl_seed) in TIMELINE_SEEDS.iter().enumerate() {
         let evs = events(tl_seed);
         let script = build_script(&s, &evs);
@@ -275,6 +286,7 @@ fn crash_point_battery_recovers_bitwise_everywhere() {
                 CrashSite::JournalAppend => 0,
                 CrashSite::SnapshotWrite => 1,
                 CrashSite::DataplaneBarrier => 2,
+                CrashSite::SouthboundAck => 3,
             }] += 1;
         }
     }
@@ -442,5 +454,172 @@ fn committed_fixture_recovers_to_pinned_digest() {
     assert!(
         recovered.inner().live_count() > 0,
         "fixture state is non-trivial"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Southbound-ack crash sites (DESIGN.md §13).
+//
+// `FabricObserver` journals a `Barrier` record *before* mutating the
+// fabric and a `BarrierAck` record *after*: killing at the
+// `SouthboundAck` site freezes the exact "applied but unacked" window the
+// async southbound channel exposes — the fabric is one barrier ahead of
+// the acked journal suffix. These tests target that window directly and
+// pin its journal wire image under `tests/fixtures/southbound/`.
+// ---------------------------------------------------------------------------
+
+/// Kill at `ordinal` over a fresh store + fabric and report which site
+/// fired, handing back the surviving store and fabric.
+fn kill_at(
+    s: &RecoverySetup,
+    script: &[Action],
+    ordinal: u64,
+) -> (CrashSite, SharedMemStore, SharedFabric) {
+    let store = SharedMemStore::new();
+    let fabric = SharedFabric::new();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut jl = JournaledLoop::new(s, store.clone(), fabric.clone(), CrashPoint::at(ordinal));
+        run_script(&mut jl, script, 0);
+    }))
+    .expect_err("probe ordinal must be inside the visited range");
+    let kill = kill_of(caught.as_ref()).expect("probe panic was not a kill");
+    assert_eq!(kill.ordinal, ordinal, "probe fired at the wrong ordinal");
+    (kill.site, store, fabric)
+}
+
+/// First ordinal in `from..=visits` whose site is `SouthboundAck`.
+/// Deterministic: the site schedule is a pure function of the script.
+fn find_southbound_ordinal(s: &RecoverySetup, script: &[Action], from: u64, visits: u64) -> u64 {
+    (from.max(1)..=visits)
+        .find(|&o| kill_at(s, script, o).0 == CrashSite::SouthboundAck)
+        .expect("run never visits a southbound-ack site")
+}
+
+/// A kill in the applied-but-unacked window recovers, repairs the
+/// partially-acked fabric tail, and resumes to bitwise twin equality —
+/// with the unacked barrier visible in the recovery report.
+#[test]
+fn southbound_ack_crash_repairs_partially_acked_tail() {
+    install_quiet_kill_hook();
+    let s = setup();
+    let evs = events(SEED ^ 13);
+    let script = build_script(&s, &evs);
+    let (twin_final, visits) = twin_and_sites(&s, &script);
+    let ordinal = find_southbound_ordinal(&s, &script, visits / 2, visits);
+    let out = run_pair(&s, &script, &twin_final, ordinal, false, "southbound-ack");
+    assert_eq!(
+        out.site,
+        CrashSite::SouthboundAck,
+        "probe and pair disagree"
+    );
+    assert!(
+        out.unacked >= 1,
+        "a southbound-ack kill must leave at least one unacked barrier, \
+         got {}",
+        out.unacked
+    );
+}
+
+/// Seed and shape of the pinned southbound fixture (journal-only mode so
+/// the committed artifact is a single journal file).
+const SB_FIXTURE_SEED: u64 = 0x5bf1;
+const SB_FIXTURE_EVENTS: usize = 18;
+
+fn southbound_fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("southbound")
+}
+
+/// Reruns the pinned southbound crash scenario: kill the controller at
+/// the first southbound-ack site past the midpoint and hand back the
+/// surviving journal bytes, the surviving (partially-acked) fabric, the
+/// setup, and the frozen script.
+fn southbound_fixture_run() -> (Vec<u8>, SharedFabric, RecoverySetup, Vec<Action>) {
+    let s = RecoverySetup {
+        recovery: RecoveryConfig { snapshot_every: 0 },
+        ..setup()
+    };
+    let evs = events(SB_FIXTURE_SEED);
+    assert!(evs.len() >= SB_FIXTURE_EVENTS, "fixture timeline too short");
+    let script = build_script(&s, &evs[..SB_FIXTURE_EVENTS]);
+    let (_, visits) = twin_and_sites(&s, &script);
+    let ordinal = find_southbound_ordinal(&s, &script, visits / 2, visits);
+    let (site, store, fabric) = kill_at(&s, &script, ordinal);
+    assert_eq!(site, CrashSite::SouthboundAck, "fixture kill site drifted");
+    (store.inner().journal_bytes().to_vec(), fabric, s, script)
+}
+
+/// The committed journal freezes a submitted-but-unacked barrier tail:
+/// its bytes match the pinned rerun, every record decodes, the `Barrier`
+/// / `BarrierAck` counts disagree, and recovering + reconciling from the
+/// committed bytes repairs the surviving fabric and resumes to bitwise
+/// twin equality. Regenerate with
+/// `BLESS_RECOVERY_FIXTURES=1 cargo test -p apple-nfv --test recovery`.
+#[test]
+fn southbound_fixture_freezes_partially_acked_tail() {
+    install_quiet_kill_hook();
+    let dir = southbound_fixture_dir();
+    let (journal, fabric, s, script) = southbound_fixture_run();
+    if std::env::var("BLESS_RECOVERY_FIXTURES").is_ok() {
+        std::fs::create_dir_all(&dir).expect("create southbound fixture dir");
+        std::fs::write(dir.join("journal.bin"), &journal).expect("write southbound fixture");
+        return;
+    }
+    let want = std::fs::read(dir.join("journal.bin")).expect("committed southbound fixture");
+    assert_eq!(
+        journal, want,
+        "southbound journal fixture drifted from the pinned run — if \
+         intentional, re-bless with BLESS_RECOVERY_FIXTURES=1"
+    );
+
+    // The committed bytes decode under the current codec and visibly
+    // carry a submitted-but-unacked barrier.
+    let mut probe = MemStore::new();
+    probe.set_journal_bytes(want.clone());
+    let scanned = Journal::recover(&mut probe).expect("committed southbound journal scans");
+    assert_eq!(scanned.truncated_bytes, 0, "fixture has no torn tail");
+    let (mut submitted, mut acked) = (0u64, 0u64);
+    for payload in &scanned.records {
+        match Record::decode(payload).expect("committed record decodes") {
+            Record::Barrier { .. } => submitted += 1,
+            Record::BarrierAck { .. } => acked += 1,
+            _ => {}
+        }
+    }
+    assert!(
+        submitted > acked,
+        "fixture must freeze an unacked barrier (submitted {submitted}, acked {acked})"
+    );
+
+    // Recover from the committed bytes against the surviving fabric,
+    // repair the partially-acked tail, and resume to the twin.
+    let mut store = MemStore::new();
+    store.set_journal_bytes(want);
+    let rec = MemoryRecorder::new();
+    let (mut recovered, report) =
+        recover(&s, store, fabric.clone(), &rec).expect("recover southbound fixture");
+    assert!(
+        report.unacked_barriers >= 1,
+        "recovery must surface the unacked barrier, got {}",
+        report.unacked_barriers
+    );
+    reconcile(&recovered, &rec);
+    assert_eq!(
+        &fabric.program(),
+        recovered
+            .inner()
+            .dataplane_program()
+            .expect("recovered loop compiles rules"),
+        "reconcile must repair the partially-acked fabric tail"
+    );
+    let (twin_final, _) = twin_and_sites(&s, &script);
+    let resume_from = recovered.seq() as usize;
+    run_script(&mut recovered, &script, resume_from);
+    assert_eq!(
+        encode_state(recovered.inner()),
+        twin_final,
+        "southbound fixture recovery must converge bitwise on the twin"
     );
 }
